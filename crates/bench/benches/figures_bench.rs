@@ -1,0 +1,51 @@
+//! Wall-time of the experiment harness itself: dataset construction
+//! (steps A–C over all 56 regions) and one cross-validation fold of model
+//! training — the units every figure is built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use irnuma_core::dataset::{build_dataset, DatasetParams};
+use irnuma_core::models::static_gnn::{StaticModel, StaticParams};
+use irnuma_core::models::DynamicModel;
+use irnuma_ml::kfold;
+use irnuma_sim::MicroArch;
+
+fn bench_dataset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("dataset_56regions_4seqs", |b| {
+        b.iter(|| {
+            build_dataset(
+                MicroArch::Skylake,
+                &DatasetParams { num_sequences: 4, calls: 3, ..Default::default() },
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_fold(c: &mut Criterion) {
+    let ds = build_dataset(
+        MicroArch::Skylake,
+        &DatasetParams { num_sequences: 4, calls: 3, ..Default::default() },
+    );
+    let folds = kfold(ds.regions.len(), 10, 1);
+    let train: Vec<usize> = irnuma_ml::cv::train_indices(&folds, 0);
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("train_static_one_fold_h16_e5", |b| {
+        b.iter(|| {
+            StaticModel::train(
+                &ds,
+                &train,
+                StaticParams { hidden: 16, epochs: 5, train_sequences: 2, ..Default::default() },
+            )
+        })
+    });
+    g.bench_function("train_dynamic_one_fold", |b| {
+        b.iter(|| DynamicModel::train(&ds, &train))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dataset, bench_fold);
+criterion_main!(benches);

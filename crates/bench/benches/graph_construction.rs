@@ -1,0 +1,35 @@
+//! Step B cost: ProGraML graph construction and GNN-ready conversion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use irnuma_graph::{build_module_graph, Vocab};
+use irnuma_ir::extract::extract_region;
+use irnuma_nn::GraphData;
+use irnuma_workloads::all_regions;
+
+fn bench_graphs(c: &mut Criterion) {
+    let vocab = Vocab::full();
+    let mut g = c.benchmark_group("graph");
+    for name in ["hotspot.temp", "cg.spmv", "lulesh.calc_fb"] {
+        let spec = all_regions().into_iter().find(|r| r.name == name).unwrap();
+        let module = spec.module();
+        let extracted = extract_region(&module, &spec.region_fn()).unwrap();
+        g.bench_function(format!("extract/{name}"), |b| {
+            b.iter(|| extract_region(std::hint::black_box(&module), &spec.region_fn()).unwrap())
+        });
+        g.bench_function(format!("build/{name}"), |b| {
+            b.iter(|| build_module_graph(std::hint::black_box(&extracted), &vocab))
+        });
+        let graph = build_module_graph(&extracted, &vocab);
+        g.bench_function(format!("to_gnn_data/{name}"), |b| {
+            b.iter(|| GraphData::from_graph(std::hint::black_box(&graph)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_vocab(c: &mut Criterion) {
+    c.bench_function("vocab/full_build", |b| b.iter(Vocab::full));
+}
+
+criterion_group!(benches, bench_graphs, bench_vocab);
+criterion_main!(benches);

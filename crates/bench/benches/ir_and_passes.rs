@@ -1,0 +1,65 @@
+//! Substrate benchmarks: IR text round-trip and the middle-end passes
+//! (step A's augmentation cost is `sequences × regions × pipeline-run`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use irnuma_ir::{parse_module, print_module};
+use irnuma_passes::{o3_sequence, sample_sequences, PassManager, SampleParams};
+use irnuma_workloads::all_regions;
+
+fn region_module(name: &str) -> irnuma_ir::Module {
+    all_regions()
+        .into_iter()
+        .find(|r| r.name == name)
+        .expect("region exists")
+        .module()
+}
+
+fn bench_print_parse(c: &mut Criterion) {
+    let m = region_module("cfd.compute_flux");
+    let text = print_module(&m);
+    c.bench_function("ir/print_module", |b| b.iter(|| print_module(std::hint::black_box(&m))));
+    c.bench_function("ir/parse_module", |b| {
+        b.iter(|| parse_module(std::hint::black_box(&text)).unwrap())
+    });
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let m = region_module("lulesh.calc_fb");
+    let pm = PassManager::new(false);
+    let mut g = c.benchmark_group("passes");
+    for pass in ["dce", "constprop", "gvn", "instcombine", "simplifycfg", "licm", "loop-unroll", "inline"] {
+        g.bench_function(pass, |b| {
+            b.iter_batched(
+                || m.clone(),
+                |mut module| pm.run(&mut module, &[pass.to_string()]).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.bench_function("o3_pipeline", |b| {
+        let seq: Vec<String> = o3_sequence().iter().map(|s| s.to_string()).collect();
+        b.iter_batched(
+            || m.clone(),
+            |mut module| pm.run(&mut module, &seq).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_augmentation(c: &mut Criterion) {
+    // One region through one sampled flag sequence: the unit of step A.
+    let m = region_module("cg.spmv");
+    let seqs = sample_sequences(4, 9, SampleParams::default());
+    let pm = PassManager::new(false);
+    c.bench_function("stepA/one_region_one_sequence", |b| {
+        b.iter_batched(
+            || m.clone(),
+            |mut module| pm.run(&mut module, &seqs[0].passes).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_print_parse, bench_passes, bench_augmentation);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Diagnostic: how stable is the "static model needs profiling" set across
+//! model seeds? If it is mostly model noise, no router can learn it.
+
+use irnuma_core::dataset::{build_dataset, DatasetParams};
+use irnuma_core::models::hybrid::static_needs_profiling;
+use irnuma_core::models::static_gnn::{StaticModel, StaticParams};
+use irnuma_ml::kfold;
+use irnuma_sim::MicroArch;
+
+fn main() {
+    let ds = build_dataset(
+        MicroArch::Skylake,
+        &DatasetParams { num_sequences: 48, calls: 6, ..Default::default() },
+    );
+    let folds = kfold(ds.regions.len(), 10, 0xF01D);
+    let mut sets: Vec<Vec<bool>> = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let mut needs = vec![false; ds.regions.len()];
+        let mut errs = vec![0.0; ds.regions.len()];
+        let mut correct = 0usize;
+        for (fi, val) in folds.iter().enumerate() {
+            let train: Vec<usize> = irnuma_ml::cv::train_indices(&folds, fi);
+            let sm = StaticModel::train(
+                &ds,
+                &train,
+                StaticParams { epochs: 14, hidden: 32, seed, ..Default::default() },
+            );
+            for &r in val {
+                needs[r] = static_needs_profiling(&ds, &sm, r, 0.2);
+                let pred = sm.predict(&ds, r);
+                errs[r] = irnuma_ml::relative_difference(
+                    ds.regions[r].full_best_time(),
+                    ds.label_time(r, pred),
+                );
+                if pred == ds.labels[r] {
+                    correct += 1;
+                }
+            }
+        }
+        let count = needs.iter().filter(|&&n| n).count();
+        println!(
+            "seed {seed}: needs={count}/56, label acc={:.2}",
+            correct as f64 / 56.0
+        );
+        sets.push(needs);
+    }
+    // Pairwise overlap.
+    for a in 0..sets.len() {
+        for b in a + 1..sets.len() {
+            let agree = sets[a].iter().zip(&sets[b]).filter(|(x, y)| x == y).count();
+            println!("seeds {a}-{b}: agreement {agree}/56");
+        }
+    }
+    // Which regions are consistently hard?
+    println!("always-needs regions:");
+    for r in 0..ds.regions.len() {
+        if sets.iter().all(|s| s[r]) {
+            println!("  {} (dyn_sens={:.2}, shape={:?})", ds.regions[r].spec.name, ds.regions[r].spec.profile.dynamic_sensitivity, ds.regions[r].spec.shape);
+        }
+    }
+    println!("sometimes-needs regions:");
+    for r in 0..ds.regions.len() {
+        let c = sets.iter().filter(|s| s[r]).count();
+        if c > 0 && c < sets.len() {
+            println!("  {} ({}/{})", ds.regions[r].spec.name, c, sets.len());
+        }
+    }
+
+    // Router variants: GA-10 dims vs all dims, trained on honest labels.
+    use irnuma_core::models::hybrid::inner_cv_needs_labels;
+    use irnuma_ml::{DecisionTree, TreeParams};
+    let sp = StaticParams { epochs: 14, hidden: 32, seed: 1, ..Default::default() };
+    for use_all_dims in [true, false] {
+        let mut hit = 0usize;
+        let mut profiled = 0usize;
+        for (fi, val) in folds.iter().enumerate() {
+            let train: Vec<usize> = irnuma_ml::cv::train_indices(&folds, fi);
+            let sm = StaticModel::train(&ds, &train, sp);
+            let (emb, y) = inner_cv_needs_labels(&ds, &train, 0.2, 5, sp);
+            let tree = if use_all_dims {
+                DecisionTree::fit(&emb, &y, TreeParams { max_depth: Some(3), ..Default::default() })
+            } else {
+                let hp = irnuma_core::models::hybrid::HybridParams::default();
+                let hm = irnuma_core::models::HybridModel::train(&ds, &sm, &train, hp, sp);
+                let _ = fi;
+                // route with the real hybrid model below instead
+                for &r in val {
+                    let truth = static_needs_profiling(&ds, &sm, r, 0.2);
+                    let pred = hm.route_to_dynamic(&ds, &sm, r);
+                    profiled += pred as usize;
+                    hit += (pred == truth) as usize;
+                }
+                continue;
+            };
+            for &r in val {
+                let truth = static_needs_profiling(&ds, &sm, r, 0.2);
+                let e = sm.router_features(&ds, r);
+                let pred = tree.predict(&e) == 1;
+                profiled += pred as usize;
+                hit += (pred == truth) as usize;
+            }
+        }
+        println!(
+            "router({}): accuracy {}/56, profiled {}",
+            if use_all_dims { "all-dims" } else { "ga-10" },
+            hit,
+            profiled
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! `irnuma` — the command-line front door.
+//!
+//! ```text
+//! irnuma list-regions                         # the 56-region suite
+//! irnuma show-ir cg.spmv [--o3]               # print a region's IR
+//! irnuma graph cg.spmv [--dot out.dot]        # ProGraML graph stats / DOT
+//! irnuma sweep cg.spmv --arch skylake         # top/bottom configurations
+//! irnuma interp cg.spmv --n 64                # run under the interpreter
+//! irnuma dataset --arch skylake --seqs 12 --out ds.json
+//! irnuma predict cg.spmv --arch skylake [--dataset ds.json]
+//! ```
+
+use irnuma_core::dataset::{build_dataset, Dataset, DatasetParams};
+use irnuma_core::models::static_gnn::{StaticModel, StaticParams};
+use irnuma_graph::{build_module_graph, to_dot, Vocab};
+use irnuma_ir::extract::extract_region;
+use irnuma_ir::{print_module, Interp, InterpConfig, Value};
+use irnuma_passes::{o3_sequence, run_sequence};
+use irnuma_sim::{default_config, sweep_region, Machine, MicroArch};
+use irnuma_workloads::{all_regions, InputSize, RegionSpec};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "list-regions" => list_regions(),
+        "show-ir" => show_ir(rest),
+        "show-source" => show_source(rest),
+        "graph" => graph(rest),
+        "sweep" => sweep(rest),
+        "interp" => interp(rest),
+        "dataset" => dataset(rest),
+        "predict" => predict(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "irnuma — static NUMA/prefetcher tuning from IR graphs
+
+USAGE:
+  irnuma list-regions
+  irnuma show-ir <region> [--o3]
+  irnuma show-source <region>
+  irnuma graph <region> [--dot <file>]
+  irnuma sweep <region> [--arch skylake|sandybridge|xeongold]
+  irnuma interp <region> [--n <elements>]
+  irnuma dataset [--arch <a>] [--seqs <n>] --out <file.json>
+  irnuma predict <region> [--arch <a>] [--dataset <file.json>]";
+
+fn find_region(name: &str) -> Result<RegionSpec, String> {
+    all_regions()
+        .into_iter()
+        .find(|r| r.name == name)
+        .ok_or_else(|| format!("unknown region `{name}` (try `irnuma list-regions`)"))
+}
+
+fn opt_value<'a>(rest: &'a [String], flag: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| a == flag)
+        .and_then(|i| rest.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_arch(rest: &[String]) -> Result<MicroArch, String> {
+    match opt_value(rest, "--arch").unwrap_or("skylake") {
+        "skylake" => Ok(MicroArch::Skylake),
+        "sandybridge" => Ok(MicroArch::SandyBridge),
+        "xeongold" => Ok(MicroArch::XeonGold),
+        other => Err(format!("unknown arch `{other}`")),
+    }
+}
+
+fn list_regions() -> Result<(), String> {
+    println!("{:<28} {:<10} {:>8} {:>6}  shape", "region", "suite", "ws", "calls");
+    for r in all_regions() {
+        println!(
+            "{:<28} {:<10} {:>6}MB {:>6}  {:?}",
+            r.name,
+            format!("{:?}", r.suite),
+            r.profile.working_set_bytes >> 20,
+            r.profile.calls_per_run,
+            r.shape
+        );
+    }
+    Ok(())
+}
+
+fn show_ir(rest: &[String]) -> Result<(), String> {
+    let r = find_region(rest.first().ok_or("missing region name")?)?;
+    let mut m = r.module();
+    if rest.iter().any(|a| a == "--o3") {
+        run_sequence(&mut m, &o3_sequence()).map_err(|e| e.to_string())?;
+    }
+    print!("{}", print_module(&m));
+    Ok(())
+}
+
+fn show_source(rest: &[String]) -> Result<(), String> {
+    let r = find_region(rest.first().ok_or("missing region name")?)?;
+    println!("// {} ({:?}, ws {} MiB)", r.name, r.suite, r.profile.working_set_bytes >> 20);
+    println!("{}", irnuma_workloads::pseudo_source(&r.shape));
+    Ok(())
+}
+
+fn graph(rest: &[String]) -> Result<(), String> {
+    let r = find_region(rest.first().ok_or("missing region name")?)?;
+    let vocab = Vocab::full();
+    let m = r.module();
+    let e = extract_region(&m, &r.region_fn()).map_err(|e| e.to_string())?;
+    let g = build_module_graph(&e, &vocab);
+    if let Some(path) = opt_value(rest, "--dot") {
+        std::fs::write(path, to_dot(&g, &vocab)).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    } else {
+        use irnuma_graph::{EdgeKind, NodeKind};
+        println!("region {}: {} nodes, {} edges", r.name, g.num_nodes(), g.num_edges());
+        println!(
+            "  nodes: {} instruction / {} variable / {} constant",
+            g.count_nodes(NodeKind::Instruction),
+            g.count_nodes(NodeKind::Variable),
+            g.count_nodes(NodeKind::Constant)
+        );
+        println!(
+            "  edges: {} control / {} data / {} call",
+            g.count_edges(EdgeKind::Control),
+            g.count_edges(EdgeKind::Data),
+            g.count_edges(EdgeKind::Call)
+        );
+    }
+    Ok(())
+}
+
+fn sweep(rest: &[String]) -> Result<(), String> {
+    let r = find_region(rest.first().ok_or("missing region name")?)?;
+    let m = Machine::new(parse_arch(rest)?);
+    let results = sweep_region(&r, &m, InputSize::Size1, 6);
+    let def = default_config(&m);
+    let t_def = results.iter().find(|(c, _)| *c == def).unwrap().1;
+    let mut ranked: Vec<_> = results.iter().collect();
+    ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+    println!(
+        "{} on {:?}: default {} = {:.3}ms over {} configurations",
+        r.name,
+        m.arch,
+        def.label(),
+        t_def * 1e3,
+        results.len()
+    );
+    println!("top 5:");
+    for (c, t) in ranked.iter().take(5) {
+        println!("  {:<28} {:>9.3}ms  x{:.2}", c.label(), t * 1e3, t_def / t);
+    }
+    println!("bottom 3:");
+    for (c, t) in ranked.iter().rev().take(3) {
+        println!("  {:<28} {:>9.3}ms  x{:.2}", c.label(), t * 1e3, t_def / t);
+    }
+    Ok(())
+}
+
+fn interp(rest: &[String]) -> Result<(), String> {
+    let r = find_region(rest.first().ok_or("missing region name")?)?;
+    let n: i64 = opt_value(rest, "--n").unwrap_or("64").parse().map_err(|_| "bad --n")?;
+    // Execute a small-footprint build of the region so this stays instant.
+    let m = r.shape.gen_ir(&r.name, r.variant, 1 << 18);
+    let mut it = Interp::new(&m, InterpConfig::default());
+    it.seed_globals(1);
+    let out = it.call(&r.region_fn(), &[Value::I(n)]).map_err(|e| e.to_string())?;
+    println!(
+        "@{}(n={n}) executed {} interpreter steps; memory digest {:016x}",
+        r.region_fn(),
+        out.steps,
+        it.memory_digest()
+    );
+    Ok(())
+}
+
+fn dataset(rest: &[String]) -> Result<(), String> {
+    let arch = parse_arch(rest)?;
+    let seqs: usize = opt_value(rest, "--seqs").unwrap_or("12").parse().map_err(|_| "bad --seqs")?;
+    let out = opt_value(rest, "--out").ok_or("missing --out <file.json>")?;
+    eprintln!("building dataset for {arch:?} ({seqs} sequences)…");
+    let ds = build_dataset(arch, &DatasetParams { num_sequences: seqs, ..Default::default() });
+    ds.save_json(std::path::Path::new(out)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} regions × {} graphs, {} configs, label coverage {:.3}",
+        ds.regions.len(),
+        ds.sequences.len(),
+        ds.configs.len(),
+        ds.label_coverage()
+    );
+    Ok(())
+}
+
+fn predict(rest: &[String]) -> Result<(), String> {
+    let target = rest.first().ok_or("missing region name")?.clone();
+    let arch = parse_arch(rest)?;
+    let ds: Dataset = match opt_value(rest, "--dataset") {
+        Some(path) => Dataset::load_json(std::path::Path::new(path)).map_err(|e| e.to_string())?,
+        None => {
+            eprintln!("building dataset (pass --dataset file.json to reuse one)…");
+            build_dataset(arch, &DatasetParams { num_sequences: 8, ..Default::default() })
+        }
+    };
+    let ti = ds
+        .regions
+        .iter()
+        .position(|r| r.spec.name == target)
+        .ok_or_else(|| format!("region `{target}` not in dataset"))?;
+    let train: Vec<usize> = (0..ds.regions.len()).filter(|&i| i != ti).collect();
+    eprintln!("training the static model on the other {} regions…", train.len());
+    let sm = StaticModel::train(
+        &ds,
+        &train,
+        StaticParams { epochs: 10, train_sequences: 4, ..Default::default() },
+    );
+    let label = sm.predict(&ds, ti);
+    let cfg = ds.configs[ds.chosen_configs[label]];
+    let t = ds.label_time(ti, label);
+    let reg = &ds.regions[ti];
+    println!("region:        {target}");
+    println!("prediction:    {}", cfg.label());
+    println!("default time:  {:.3}ms", reg.default_time * 1e3);
+    println!("predicted:     {:.3}ms  (x{:.2})", t * 1e3, reg.default_time / t);
+    println!(
+        "best possible: {:.3}ms  (x{:.2}, full exploration)",
+        reg.full_best_time() * 1e3,
+        reg.default_time / reg.full_best_time()
+    );
+    Ok(())
+}

@@ -1,0 +1,251 @@
+//! Dataset construction: steps A (flag augmentation), B (region graphs) and
+//! C (configuration sweep + label reduction) of the paper's workflow.
+
+use irnuma_graph::{build_module_graph, Vocab};
+use irnuma_ir::extract::extract_region;
+use irnuma_nn::GraphData;
+use irnuma_passes::{sample_sequences, FlagSequence, PassManager, SampleParams};
+use irnuma_sim::{config_space, default_config, simulate, Config, Machine, MicroArch};
+use irnuma_workloads::{all_regions, InputSize, RegionSpec};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Dataset-construction knobs.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DatasetParams {
+    /// Flag sequences sampled for augmentation (the paper uses 1000).
+    pub num_sequences: usize,
+    /// Sampled calls per configuration during the sweep (paper: 10).
+    pub calls: u32,
+    /// Label-set size (13 by default, as in the paper; 6 and 2 in Fig. 6).
+    pub num_labels: usize,
+    pub size: InputSize,
+    pub seed: u64,
+}
+
+impl Default for DatasetParams {
+    fn default() -> Self {
+        DatasetParams {
+            num_sequences: 48,
+            calls: 6,
+            num_labels: 13,
+            size: InputSize::Size1,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Everything known about one region after steps A–C.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionData {
+    pub spec: RegionSpec,
+    /// One graph per flag sequence (aligned with [`Dataset::sequences`]).
+    pub graphs: Vec<GraphData>,
+    /// Mean execution time per configuration, in [`Dataset::configs`] order.
+    pub sweep: Vec<f64>,
+    /// Time under the machine default (the speedup baseline).
+    pub default_time: f64,
+    /// Dynamic features at the default configuration: the counter vector
+    /// the dynamic baseline trains on (package power, L3 miss ratio).
+    pub dynamic_features: Vec<f32>,
+}
+
+impl RegionData {
+    /// Best time over the full space (the "full exploration" bar).
+    pub fn full_best_time(&self) -> f64 {
+        self.sweep.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// The complete experiment dataset for one machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    pub machine: Machine,
+    pub size: InputSize,
+    pub sequences: Vec<FlagSequence>,
+    pub configs: Vec<Config>,
+    pub regions: Vec<RegionData>,
+    /// Indices (into `configs`) of the reduced label set, selection order.
+    pub chosen_configs: Vec<usize>,
+    /// Per-region class label: index into `chosen_configs`.
+    pub labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Serialize the dataset to a JSON file (cache for repeated experiment
+    /// runs: steps A–C dominate wall time at paper scale).
+    pub fn save_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let json = serde_json::to_vec(self).expect("dataset serializes");
+        std::fs::write(path, json)
+    }
+
+    /// Load a dataset cached with [`Dataset::save_json`].
+    pub fn load_json(path: &std::path::Path) -> std::io::Result<Dataset> {
+        let bytes = std::fs::read(path)?;
+        serde_json::from_slice(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Time of `region` under label class `label`.
+    pub fn label_time(&self, region: usize, label: usize) -> f64 {
+        self.regions[region].sweep[self.chosen_configs[label]]
+    }
+
+    /// Best achievable time restricted to the label set (the "oracle" the
+    /// classifiers are scored against).
+    pub fn oracle_time(&self, region: usize) -> f64 {
+        self.label_time(region, self.labels[region])
+    }
+
+    /// Fraction of full-space gains the label set retains (paper: ≥99% for
+    /// the 13-label set).
+    pub fn label_coverage(&self) -> f64 {
+        let times: Vec<Vec<f64>> = self.regions.iter().map(|r| r.sweep.clone()).collect();
+        let base: Vec<f64> = self.regions.iter().map(|r| r.default_time).collect();
+        irnuma_ml::coverage(&times, &base, &self.chosen_configs)
+    }
+}
+
+/// Build the dataset for a machine (steps A–C). Deterministic in
+/// `params.seed`. Parallelized over regions.
+pub fn build_dataset(arch: MicroArch, params: &DatasetParams) -> Dataset {
+    let machine = Machine::new(arch);
+    let configs = config_space(&machine);
+    let sequences = sample_sequences(params.num_sequences, params.seed, SampleParams::default());
+    let vocab = Vocab::full();
+    let specs = all_regions();
+
+    let regions: Vec<RegionData> = specs
+        .into_par_iter()
+        .map(|spec| build_region(&spec, &machine, &configs, &sequences, &vocab, params))
+        .collect();
+
+    // Step C: reduce the space to `num_labels` representative configs.
+    let times: Vec<Vec<f64>> = regions.iter().map(|r| r.sweep.clone()).collect();
+    let base: Vec<f64> = regions.iter().map(|r| r.default_time).collect();
+    let chosen_configs = irnuma_ml::reduce_labels(&times, &base, params.num_labels);
+    let labels = irnuma_ml::labels::label_per_region(&times, &chosen_configs);
+
+    Dataset { machine, size: params.size, sequences, configs, regions, chosen_configs, labels }
+}
+
+fn build_region(
+    spec: &RegionSpec,
+    machine: &Machine,
+    configs: &[Config],
+    sequences: &[FlagSequence],
+    vocab: &Vocab,
+    params: &DatasetParams,
+) -> RegionData {
+    // Step A+B: one graph per flag sequence.
+    let base_module = spec.module();
+    let pm = PassManager::new(false);
+    let graphs: Vec<GraphData> = sequences
+        .iter()
+        .map(|seq| {
+            let mut m = base_module.clone();
+            pm.run(&mut m, &seq.passes)
+                .unwrap_or_else(|e| panic!("{} × seq{}: {e}", spec.name, seq.id));
+            let extracted = extract_region(&m, &spec.region_fn()).expect("region survives passes");
+            GraphData::from_graph(&build_module_graph(&extracted, vocab))
+        })
+        .collect();
+
+    // Step C (per-region part): the sweep with default compile flags.
+    let sweep: Vec<f64> = configs
+        .iter()
+        .map(|c| {
+            let total: f64 = (0..params.calls)
+                .map(|k| simulate(&spec.name, &spec.profile, machine, c, params.size, k).seconds)
+                .sum();
+            total / params.calls as f64
+        })
+        .collect();
+
+    let def = default_config(machine);
+    let def_idx = configs.iter().position(|c| *c == def).expect("default in space");
+    let default_time = sweep[def_idx];
+    let meas = simulate(&spec.name, &spec.profile, machine, &def, params.size, 0);
+    let dynamic_features = vec![
+        meas.counters.package_power_w as f32,
+        meas.counters.l3_miss_ratio as f32,
+    ];
+
+    RegionData { spec: spec.clone(), graphs, sweep, default_time, dynamic_features }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DatasetParams {
+        DatasetParams { num_sequences: 3, calls: 2, num_labels: 5, ..Default::default() }
+    }
+
+    #[test]
+    fn dataset_has_all_regions_and_shapes() {
+        let ds = build_dataset(MicroArch::Skylake, &tiny());
+        assert_eq!(ds.regions.len(), 56);
+        assert_eq!(ds.configs.len(), 288);
+        assert_eq!(ds.sequences.len(), 3);
+        assert_eq!(ds.chosen_configs.len(), 5);
+        assert_eq!(ds.labels.len(), 56);
+        for r in &ds.regions {
+            assert_eq!(r.graphs.len(), 3);
+            assert_eq!(r.sweep.len(), 288);
+            assert!(r.default_time > 0.0);
+            assert_eq!(r.dynamic_features.len(), 2);
+        }
+    }
+
+    #[test]
+    fn labels_index_into_chosen_set_and_oracle_beats_default_mostly() {
+        let ds = build_dataset(MicroArch::Skylake, &tiny());
+        let mut wins = 0;
+        for (i, &l) in ds.labels.iter().enumerate() {
+            assert!(l < ds.chosen_configs.len());
+            if ds.oracle_time(i) <= ds.regions[i].default_time {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 50, "label-set oracle beats default on most regions: {wins}/56");
+    }
+
+    #[test]
+    fn thirteen_labels_cover_99_percent_of_gains() {
+        // The paper's property (§II-C): 13 configurations retain ~99% of
+        // the gains of the full space.
+        let params = DatasetParams { num_sequences: 2, calls: 3, num_labels: 13, ..Default::default() };
+        for arch in [MicroArch::Skylake, MicroArch::SandyBridge] {
+            let ds = build_dataset(arch, &params);
+            let cov = ds.label_coverage();
+            assert!(cov > 0.97, "{arch:?}: 13-label coverage {cov}");
+        }
+    }
+
+    #[test]
+    fn dataset_caches_to_json_and_back() {
+        let ds = build_dataset(MicroArch::Skylake, &tiny());
+        let dir = std::env::temp_dir().join("irnuma-test-cache");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.json");
+        ds.save_json(&path).unwrap();
+        let loaded = Dataset::load_json(&path).unwrap();
+        assert_eq!(loaded.labels, ds.labels);
+        assert_eq!(loaded.chosen_configs, ds.chosen_configs);
+        assert_eq!(loaded.regions.len(), 56);
+        assert_eq!(loaded.regions[3].sweep, ds.regions[3].sweep);
+        assert_eq!(loaded.regions[3].graphs[0].node_text, ds.regions[3].graphs[0].node_text);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dataset_is_deterministic() {
+        let a = build_dataset(MicroArch::Skylake, &tiny());
+        let b = build_dataset(MicroArch::Skylake, &tiny());
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.chosen_configs, b.chosen_configs);
+        assert_eq!(a.regions[7].sweep, b.regions[7].sweep);
+        assert_eq!(a.regions[7].graphs[0].node_text, b.regions[7].graphs[0].node_text);
+    }
+}

@@ -1,0 +1,92 @@
+//! §IV-F cost comparison: *"we compared the collection cost of static
+//! versus dynamic features by measuring the compilation times versus the
+//! execution times of some regions. For small programs (CG), the
+//! compilation time is similar to the execution time. However, as expected
+//! medium/large programs (SP) take order of magnitude longer to execute
+//! than to compile."*
+//!
+//! Here "compilation" is a real wall-clock measurement (flag-sequence
+//! pipeline + extraction + graph construction on this machine), while
+//! "execution" is the simulated region runtime × the benchmark's calls —
+//! the same comparison at the same granularity.
+
+use crate::experiments::FigureReport;
+use irnuma_graph::{build_module_graph, Vocab};
+use irnuma_ir::extract::extract_region;
+use irnuma_passes::{o3_sequence, PassManager};
+use irnuma_sim::{default_config, simulate, Machine, MicroArch};
+use irnuma_workloads::{all_regions, InputSize};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostRow {
+    pub region: String,
+    /// Wall-clock of one static characterization (seconds).
+    pub compile_seconds: f64,
+    /// Simulated execution of one profiling run (all calls, seconds).
+    pub execute_seconds: f64,
+    pub execute_over_compile: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostComparison {
+    pub rows: Vec<CostRow>,
+}
+
+pub fn run() -> CostComparison {
+    let vocab = Vocab::full();
+    let pm = PassManager::new(false);
+    let m = Machine::new(MicroArch::Skylake);
+    let cfg = default_config(&m);
+    let seq: Vec<String> = o3_sequence().iter().map(|s| s.to_string()).collect();
+
+    let rows = all_regions()
+        .into_iter()
+        .map(|r| {
+            let t0 = Instant::now();
+            let mut module = r.module();
+            pm.run(&mut module, &seq).expect("O3 runs");
+            let extracted = extract_region(&module, &r.region_fn()).expect("extracts");
+            let _g = build_module_graph(&extracted, &vocab);
+            let compile_seconds = t0.elapsed().as_secs_f64();
+
+            let per_call = simulate(&r.name, &r.profile, &m, &cfg, InputSize::Size1, 0).seconds;
+            let execute_seconds = per_call * r.profile.calls_per_run as f64;
+            CostRow {
+                region: r.name,
+                compile_seconds,
+                execute_seconds,
+                execute_over_compile: execute_seconds / compile_seconds.max(1e-9),
+            }
+        })
+        .collect();
+    CostComparison { rows }
+}
+
+impl CostComparison {
+    pub fn report(&self) -> FigureReport {
+        let mut r = FigureReport::new(
+            "cost_comparison",
+            "Static characterization cost vs profiled execution cost (§IV-F)",
+            &["region", "compile_s", "execute_s", "execute/compile"],
+        );
+        for row in &self.rows {
+            r.push_row(vec![
+                row.region.clone(),
+                format!("{:.4}", row.compile_seconds),
+                format!("{:.4}", row.execute_seconds),
+                format!("{:.1}", row.execute_over_compile),
+            ]);
+        }
+        let small = self.rows.iter().find(|x| x.region == "cg.axpy");
+        let large = self.rows.iter().find(|x| x.region == "sp.compute_rhs");
+        if let (Some(s), Some(l)) = (small, large) {
+            r.note(format!(
+                "cg: execute/compile {:.1}; sp: {:.1} (paper: CG similar, SP an order of magnitude larger)",
+                s.execute_over_compile, l.execute_over_compile
+            ));
+        }
+        r
+    }
+}

@@ -1,0 +1,103 @@
+//! Figure 10: input-size sensitivity (§IV-E, Xeon Gold 6130). Every region
+//! is tuned on size-2, the resulting configuration is re-applied on size-1,
+//! and the loss against a native size-1 tuning is reported:
+//! `L = S(size-1, best-conf(size-1)) − S(size-1, best-conf(size-2))`.
+//! The paper measures a 1.51× native vs 1.46× transferred average (≈0.05
+//! loss), strongly region-dependent.
+
+use crate::experiments::{f3, FigureReport};
+use irnuma_sim::{config_space, default_config, Machine, MicroArch};
+use irnuma_workloads::{all_regions, InputSize};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig10Row {
+    pub region: String,
+    pub native_gain: f64,
+    pub transferred_gain: f64,
+    pub loss: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig10 {
+    pub rows: Vec<Fig10Row>,
+    pub mean_native: f64,
+    pub mean_transferred: f64,
+    pub mean_loss: f64,
+}
+
+/// `calls` mirrors the paper's sampled execution (10 calls per region).
+pub fn run(calls: u32) -> Fig10 {
+    let m = Machine::new(MicroArch::XeonGold);
+    let configs = config_space(&m);
+    let def = default_config(&m);
+    let def_idx = configs.iter().position(|c| *c == def).expect("default in space");
+
+    let rows: Vec<Fig10Row> = all_regions()
+        .into_par_iter()
+        .map(|r| {
+            let sweep = |size: InputSize| -> Vec<f64> {
+                configs
+                    .iter()
+                    .map(|c| {
+                        (0..calls)
+                            .map(|k| irnuma_sim::simulate(&r.name, &r.profile, &m, c, size, k).seconds)
+                            .sum::<f64>()
+                            / calls as f64
+                    })
+                    .collect()
+            };
+            let s1 = sweep(InputSize::Size1);
+            let s2 = sweep(InputSize::Size2);
+            let best_idx = |v: &[f64]| {
+                v.iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap()
+            };
+            let b1 = best_idx(&s1);
+            let b2 = best_idx(&s2);
+            let native_gain = s1[def_idx] / s1[b1];
+            let transferred_gain = s1[def_idx] / s1[b2];
+            Fig10Row {
+                region: r.name,
+                native_gain,
+                transferred_gain,
+                loss: native_gain - transferred_gain,
+            }
+        })
+        .collect();
+
+    let n = rows.len() as f64;
+    Fig10 {
+        mean_native: rows.iter().map(|r| r.native_gain).sum::<f64>() / n,
+        mean_transferred: rows.iter().map(|r| r.transferred_gain).sum::<f64>() / n,
+        mean_loss: rows.iter().map(|r| r.loss).sum::<f64>() / n,
+        rows,
+    }
+}
+
+impl Fig10 {
+    pub fn report(&self) -> FigureReport {
+        let mut r = FigureReport::new(
+            "fig10",
+            "Speedup losses on size-1 when tuned on size-2 (Xeon Gold; lower is better)",
+            &["region", "native_gain", "transferred_gain", "loss"],
+        );
+        for row in &self.rows {
+            r.push_row(vec![
+                row.region.clone(),
+                f3(row.native_gain),
+                f3(row.transferred_gain),
+                f3(row.loss),
+            ]);
+        }
+        r.note(format!(
+            "native {:.2}x vs transferred {:.2}x, mean loss {:.3} (paper: 1.51x vs 1.46x, 0.05 loss)",
+            self.mean_native, self.mean_transferred, self.mean_loss
+        ));
+        r
+    }
+}

@@ -1,0 +1,79 @@
+//! Figure 11: average speedup per flag-selection strategy — *explored*
+//! (single best sequence from training regions), *overall* (single best
+//! sequence including validation regions), *predicted* (the per-program
+//! flag model), and the per-region *oracle* sequence. The paper measures
+//! the flag model improving gains by 3.4% (Skylake) and 4.2% (Sandy
+//! Bridge).
+
+use crate::evaluation::Evaluation;
+use crate::experiments::{f3, fig5, FigureReport};
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig11Arch {
+    pub arch: String,
+    pub explored: f64,
+    pub overall: f64,
+    pub predicted: f64,
+    pub oracle: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig11 {
+    pub arches: Vec<Fig11Arch>,
+}
+
+fn arch_row(eval: &Evaluation) -> Fig11Arch {
+    let per_seq = fig5::per_seq_gains(eval);
+    let overall = per_seq.iter().cloned().fold(f64::MIN, f64::max);
+    // Per-region oracle over sequences.
+    let oracle = eval
+        .outcomes
+        .iter()
+        .map(|o| {
+            eval.pred_time_by_seq[o.region]
+                .iter()
+                .map(|&t| o.default_time / t)
+                .fold(f64::MIN, f64::max)
+        })
+        .sum::<f64>()
+        / eval.outcomes.len() as f64;
+    Fig11Arch {
+        arch: format!("{:?}", eval.cfg.arch),
+        explored: eval.static_speedup(),
+        overall,
+        predicted: eval.mean_speedup(|o| o.predicted_seq_time),
+        oracle,
+    }
+}
+
+pub fn run(evals: &[&Evaluation]) -> Fig11 {
+    Fig11 { arches: evals.iter().map(|e| arch_row(e)).collect() }
+}
+
+impl Fig11 {
+    pub fn report(&self) -> FigureReport {
+        let mut r = FigureReport::new(
+            "fig11",
+            "Average speedup per flag-selection strategy (higher is better)",
+            &["arch", "explored_seq", "overall_seq", "predicted_seq", "oracle_seq"],
+        );
+        for a in &self.arches {
+            r.push_row(vec![
+                a.arch.clone(),
+                f3(a.explored),
+                f3(a.overall),
+                f3(a.predicted),
+                f3(a.oracle),
+            ]);
+        }
+        for a in &self.arches {
+            let improvement = (a.predicted / a.explored - 1.0) * 100.0;
+            r.note(format!(
+                "{}: predicted vs explored {:+.1}% (paper: +3.4% Skylake, +4.2% Sandy Bridge)",
+                a.arch, improvement
+            ));
+        }
+        r
+    }
+}

@@ -1,0 +1,112 @@
+//! Figure 12: execution time per call (in cycles) of the four worst
+//! statically-mispredicted regions plus SP as a stable reference (§V).
+//! Dynamically-sensitive regions show phase changes across calls; stable
+//! regions are flat — the behaviour static information cannot capture.
+
+use crate::evaluation::Evaluation;
+use crate::experiments::FigureReport;
+use irnuma_sim::{default_config, per_call_trace, Machine, MicroArch};
+use irnuma_workloads::{all_regions, InputSize};
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig12Trace {
+    pub region: String,
+    pub mispredicted: bool,
+    /// Execution time per call, in cycles.
+    pub cycles_per_call: Vec<f64>,
+    /// max/min across calls — the phase-change magnitude.
+    pub variation: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig12 {
+    pub traces: Vec<Fig12Trace>,
+    pub calls: u32,
+}
+
+/// Trace `worst` statically-mispredicted regions of an evaluation plus a
+/// stable SP region (the paper uses a Xeon Gold with clang 6). Mispredicted
+/// regions (error > 20%) are ranked by their cross-call variation, which is
+/// what the figure exists to display: the dynamic behaviour static
+/// information cannot see.
+pub fn run(eval: &Evaluation, worst: usize, calls: u32) -> Fig12 {
+    let m = Machine::new(MicroArch::XeonGold);
+    let cfg = default_config(&m);
+    let regions_all = all_regions();
+    let variation_of = |name: &str| -> f64 {
+        let spec = regions_all.iter().find(|r| r.name == name).expect("region");
+        let t = per_call_trace(spec, &m, &cfg, InputSize::Size1, calls);
+        let max = t.iter().cloned().fold(f64::MIN, f64::max);
+        let min = t.iter().cloned().fold(f64::MAX, f64::min);
+        max / min
+    };
+    let mut ranked: Vec<(&crate::evaluation::RegionOutcome, f64)> = eval
+        .outcomes
+        .iter()
+        .filter(|o| o.static_error > 0.2)
+        .map(|o| (o, variation_of(&o.name)))
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(b.0.static_error.total_cmp(&a.0.static_error)));
+    let mut names: Vec<(String, bool)> = ranked
+        .iter()
+        .take(worst)
+        .map(|(o, _)| (o.name.clone(), true))
+        .collect();
+    // SP reference (stable region), as in the paper.
+    let sp = "sp.compute_rhs";
+    if !names.iter().any(|(n, _)| n == sp) {
+        names.push((sp.to_string(), false));
+    }
+
+    let regions = regions_all;
+    let traces = names
+        .into_iter()
+        .map(|(name, mispredicted)| {
+            let spec = regions.iter().find(|r| r.name == name).expect("region exists");
+            let cycles = per_call_trace(spec, &m, &cfg, InputSize::Size1, calls);
+            let max = cycles.iter().cloned().fold(f64::MIN, f64::max);
+            let min = cycles.iter().cloned().fold(f64::MAX, f64::min);
+            Fig12Trace { region: name, mispredicted, variation: max / min, cycles_per_call: cycles }
+        })
+        .collect();
+    Fig12 { traces, calls }
+}
+
+impl Fig12 {
+    pub fn report(&self) -> FigureReport {
+        let mut cols: Vec<String> = vec!["region".into(), "mispredicted".into(), "variation".into()];
+        for c in 0..self.calls {
+            cols.push(format!("call{c}"));
+        }
+        let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+        let mut r = FigureReport::new(
+            "fig12",
+            "Execution time per call (cycles) of mispredicted regions + SP",
+            &col_refs,
+        );
+        for t in &self.traces {
+            let mut row = vec![
+                t.region.clone(),
+                t.mispredicted.to_string(),
+                format!("{:.2}", t.variation),
+            ];
+            row.extend(t.cycles_per_call.iter().map(|c| format!("{c:.0}")));
+            r.push_row(row);
+        }
+        let avg_mis: f64 = mean(self.traces.iter().filter(|t| t.mispredicted).map(|t| t.variation));
+        let avg_stable: f64 = mean(self.traces.iter().filter(|t| !t.mispredicted).map(|t| t.variation));
+        r.note(format!(
+            "mispredicted regions vary {avg_mis:.2}x across calls vs {avg_stable:.2}x for the stable reference (paper: phase changes only in mispredicted regions)"
+        ));
+        r
+    }
+}
+
+fn mean(it: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = it.collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}

@@ -1,0 +1,71 @@
+//! Figure 3: per-region prediction errors of the static model (explored
+//! flag sequence) vs the dynamic performance-counter model, both measured
+//! as the relative difference to full exploration. Lower is better; the
+//! paper observes half the regions perfectly optimized statically and a
+//! small tail where only the dynamic model works.
+
+use crate::evaluation::Evaluation;
+use crate::experiments::{f3, FigureReport};
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3Row {
+    pub region: String,
+    pub static_error: f64,
+    pub dynamic_error: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3 {
+    pub rows: Vec<Fig3Row>,
+    pub perfect_static_fraction: f64,
+    pub static_beats_dynamic: usize,
+}
+
+/// Build Figure 3 from a finished evaluation.
+pub fn run(eval: &Evaluation) -> Fig3 {
+    let mut rows: Vec<Fig3Row> = eval
+        .outcomes
+        .iter()
+        .map(|o| Fig3Row {
+            region: o.name.clone(),
+            static_error: o.static_error,
+            dynamic_error: o.dynamic_error,
+        })
+        .collect();
+    // Paper layout: worst static errors on the left, perfect on the right.
+    rows.sort_by(|a, b| b.static_error.total_cmp(&a.static_error));
+    let perfect = rows.iter().filter(|r| r.static_error < 0.02).count();
+    let beats = rows
+        .iter()
+        .filter(|r| r.static_error + 1e-9 < r.dynamic_error)
+        .count();
+    Fig3 {
+        perfect_static_fraction: perfect as f64 / rows.len() as f64,
+        static_beats_dynamic: beats,
+        rows,
+    }
+}
+
+impl Fig3 {
+    pub fn report(&self) -> FigureReport {
+        let mut r = FigureReport::new(
+            "fig3",
+            "Per-region prediction errors: static vs dynamic (lower is better)",
+            &["region", "static_error", "dynamic_error"],
+        );
+        for row in &self.rows {
+            r.push_row(vec![row.region.clone(), f3(row.static_error), f3(row.dynamic_error)]);
+        }
+        r.note(format!(
+            "{:.0}% of regions are (near-)perfectly optimized statically (paper: ~50%)",
+            self.perfect_static_fraction * 100.0
+        ));
+        r.note(format!(
+            "static beats dynamic on {} of {} regions (paper: right side of Fig. 3)",
+            self.static_beats_dynamic,
+            self.rows.len()
+        ));
+        r
+    }
+}

@@ -1,0 +1,57 @@
+//! Figure 4: mean static prediction error per validation fold (relative
+//! differences). The paper observes the errors spread evenly across folds —
+//! i.e. no fold's training set is systematically uninformative.
+
+use crate::evaluation::Evaluation;
+use crate::experiments::{f3, FigureReport};
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4 {
+    /// Mean static error per fold.
+    pub fold_errors: Vec<f64>,
+    pub max_over_min_spread: f64,
+}
+
+pub fn run(eval: &Evaluation) -> Fig4 {
+    let folds = eval.cfg.folds;
+    let mut sums = vec![0.0f64; folds];
+    let mut counts = vec![0usize; folds];
+    for o in &eval.outcomes {
+        sums[o.fold] += o.static_error;
+        counts[o.fold] += 1;
+    }
+    let fold_errors: Vec<f64> = sums
+        .iter()
+        .zip(&counts)
+        .map(|(s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+        .collect();
+    let max = fold_errors.iter().cloned().fold(0.0, f64::max);
+    let min_nonzero = fold_errors
+        .iter()
+        .cloned()
+        .filter(|&v| v > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    Fig4 {
+        max_over_min_spread: if min_nonzero.is_finite() { max / min_nonzero } else { 1.0 },
+        fold_errors,
+    }
+}
+
+impl Fig4 {
+    pub fn report(&self) -> FigureReport {
+        let mut r = FigureReport::new(
+            "fig4",
+            "Mean prediction error per validation fold (lower is better)",
+            &["fold", "mean_static_error"],
+        );
+        for (i, e) in self.fold_errors.iter().enumerate() {
+            r.push_row(vec![format!("fold{i}"), f3(*e)]);
+        }
+        r.note(format!(
+            "max/min fold-error spread {:.2} (paper: errors mostly even across folds)",
+            self.max_over_min_spread
+        ));
+        r
+    }
+}

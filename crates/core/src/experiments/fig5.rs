@@ -1,0 +1,70 @@
+//! Figure 5: arithmetic-mean speedup achieved per flag sequence, on both
+//! machines. The paper observes a 1.6×–1.9× swing on Sandy Bridge and that
+//! the two micro-architectures prefer different sequences.
+
+use crate::evaluation::Evaluation;
+use crate::experiments::{f3, FigureReport};
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5 {
+    /// `(sequence id, mean speedup)` per machine, sequence order preserved.
+    pub skylake: Vec<f64>,
+    pub sandy_bridge: Vec<f64>,
+    pub best_seq_differs: bool,
+}
+
+/// Mean speedup per sequence over all regions' validation predictions.
+pub fn per_seq_gains(eval: &Evaluation) -> Vec<f64> {
+    let n_seq = eval.dataset.sequences.len();
+    (0..n_seq)
+        .map(|s| {
+            eval.outcomes
+                .iter()
+                .map(|o| o.default_time / eval.pred_time_by_seq[o.region][s])
+                .sum::<f64>()
+                / eval.outcomes.len() as f64
+        })
+        .collect()
+}
+
+pub fn run(skylake: &Evaluation, sandy_bridge: &Evaluation) -> Fig5 {
+    let skl = per_seq_gains(skylake);
+    let snb = per_seq_gains(sandy_bridge);
+    let best = |v: &[f64]| {
+        v.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap()
+    };
+    Fig5 { best_seq_differs: best(&skl) != best(&snb), skylake: skl, sandy_bridge: snb }
+}
+
+impl Fig5 {
+    pub fn report(&self) -> FigureReport {
+        let mut r = FigureReport::new(
+            "fig5",
+            "Mean speedup per flag sequence (higher is better)",
+            &["sequence", "skylake", "sandy_bridge"],
+        );
+        for (i, (a, b)) in self.skylake.iter().zip(&self.sandy_bridge).enumerate() {
+            r.push_row(vec![format!("seq{i}"), f3(*a), f3(*b)]);
+        }
+        let span = |v: &[f64]| {
+            let max = v.iter().cloned().fold(f64::MIN, f64::max);
+            let min = v.iter().cloned().fold(f64::MAX, f64::min);
+            (min, max)
+        };
+        let (lo, hi) = span(&self.sandy_bridge);
+        r.note(format!(
+            "Sandy Bridge gains swing {:.2}x..{:.2}x across sequences (paper: 1.6x..1.9x)",
+            lo, hi
+        ));
+        r.note(format!(
+            "best sequence differs across micro-architectures: {} (paper: yes)",
+            self.best_seq_differs
+        ));
+        r
+    }
+}

@@ -1,0 +1,63 @@
+//! Figure 7: per-label prediction counts on Skylake with 6 labels —
+//! how often each label is the oracle, how often the model predicted it,
+//! and how many predictions were correct. Rare labels are hard.
+
+use crate::evaluation::Evaluation;
+use crate::experiments::FigureReport;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7Row {
+    pub label: usize,
+    pub oracle: usize,
+    pub predicted: usize,
+    pub correct: usize,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7 {
+    pub rows: Vec<Fig7Row>,
+}
+
+pub fn run(eval: &Evaluation) -> Fig7 {
+    let k = eval.dataset.chosen_configs.len();
+    let mut rows: Vec<Fig7Row> = (0..k)
+        .map(|l| Fig7Row { label: l, oracle: 0, predicted: 0, correct: 0 })
+        .collect();
+    for o in &eval.outcomes {
+        rows[o.oracle_label].oracle += 1;
+        rows[o.static_label].predicted += 1;
+        if o.static_label == o.oracle_label {
+            rows[o.static_label].correct += 1;
+        }
+    }
+    Fig7 { rows }
+}
+
+impl Fig7 {
+    pub fn report(&self) -> FigureReport {
+        let mut r = FigureReport::new(
+            "fig7",
+            "Predictions per label (Skylake, 6 labels)",
+            &["label", "oracle", "predicted", "correct"],
+        );
+        for row in &self.rows {
+            r.push_row(vec![
+                format!("L{}", row.label),
+                row.oracle.to_string(),
+                row.predicted.to_string(),
+                row.correct.to_string(),
+            ]);
+        }
+        let rare: Vec<usize> = self
+            .rows
+            .iter()
+            .filter(|x| x.oracle <= 2 && x.oracle > 0)
+            .map(|x| x.label)
+            .collect();
+        r.note(format!(
+            "rare labels {rare:?} have ≤2 oracle instances (paper: rare labels are hard to learn)"
+        ));
+        r
+    }
+}

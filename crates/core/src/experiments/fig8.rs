@@ -1,0 +1,121 @@
+//! Figure 8: cross-architecture prediction. A model trained on one machine
+//! is applied to the other by translating the predicted configuration
+//! (threads/nodes scaled, mappings and prefetch kept). The paper reports
+//! cross gains around 1.7× and that the native static model is on par with
+//! the cross dynamic one.
+
+use crate::evaluation::Evaluation;
+use crate::experiments::{f3, FigureReport};
+use irnuma_sim::translate_config;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8Arch {
+    pub arch: String,
+    pub native_static: f64,
+    pub cross_static: f64,
+    pub native_dynamic: f64,
+    pub cross_dynamic: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8 {
+    pub arches: Vec<Fig8Arch>,
+}
+
+/// Mean speedup on `target` when using `source`'s per-region *static*
+/// predictions, translated.
+fn cross_static_gain(source: &Evaluation, target: &Evaluation) -> f64 {
+    cross_gain(source, target, |o| o.static_label)
+}
+
+/// Same, using the dynamic model's label predictions from the source. The
+/// paper collects the source-selected counters on the target machine; here
+/// the counters are the target's own (the dynamic tree was fit on source
+/// data, which is the cross part).
+fn cross_dynamic_gain(source: &Evaluation, target: &Evaluation) -> f64 {
+    // Re-predict with the source fold models using the *target* counters.
+    let mut total = 0.0;
+    for o in &target.outcomes {
+        let r = o.region;
+        let fold = &source.folds[source.outcomes[r].fold];
+        let label = fold
+            .dynamic_model
+            .predict_features(&target.dataset.regions[r].dynamic_features);
+        total += gain_of_translated(source, target, r, label);
+    }
+    total / target.outcomes.len() as f64
+}
+
+fn cross_gain(
+    source: &Evaluation,
+    target: &Evaluation,
+    label_of: impl Fn(&crate::evaluation::RegionOutcome) -> usize,
+) -> f64 {
+    let mut total = 0.0;
+    for o in &target.outcomes {
+        let r = o.region;
+        let label = label_of(&source.outcomes[r]);
+        total += gain_of_translated(source, target, r, label);
+    }
+    total / target.outcomes.len() as f64
+}
+
+/// Speedup on the target for region `r` when the source model chose source
+/// label `label`.
+fn gain_of_translated(source: &Evaluation, target: &Evaluation, r: usize, label: usize) -> f64 {
+    let src_cfg = source.dataset.configs[source.dataset.chosen_configs[label]];
+    let tgt_cfg = translate_config(&src_cfg, &source.dataset.machine, &target.dataset.machine);
+    let idx = target
+        .dataset
+        .configs
+        .iter()
+        .position(|c| *c == tgt_cfg)
+        .expect("translation lands in the target space");
+    let t = target.dataset.regions[r].sweep[idx];
+    target.dataset.regions[r].default_time / t
+}
+
+/// `a` and `b` are full evaluations of the two machines over the same
+/// region set.
+pub fn run(a: &Evaluation, b: &Evaluation) -> Fig8 {
+    let arch_entry = |native: &Evaluation, other: &Evaluation| Fig8Arch {
+        arch: format!("{:?}", native.cfg.arch),
+        native_static: native.static_speedup(),
+        cross_static: cross_static_gain(other, native),
+        native_dynamic: native.dynamic_speedup(),
+        cross_dynamic: cross_dynamic_gain(other, native),
+    };
+    Fig8 { arches: vec![arch_entry(a, b), arch_entry(b, a)] }
+}
+
+impl Fig8 {
+    pub fn report(&self) -> FigureReport {
+        let mut r = FigureReport::new(
+            "fig8",
+            "Cross-architecture prediction (higher is better)",
+            &["arch", "native_static", "cross_static", "native_dynamic", "cross_dynamic"],
+        );
+        for a in &self.arches {
+            r.push_row(vec![
+                a.arch.clone(),
+                f3(a.native_static),
+                f3(a.cross_static),
+                f3(a.native_dynamic),
+                f3(a.cross_dynamic),
+            ]);
+        }
+        let mean_cross =
+            self.arches.iter().map(|a| a.cross_static).sum::<f64>() / self.arches.len() as f64;
+        r.note(format!(
+            "mean cross static gain {mean_cross:.2}x (paper: ~1.7x)"
+        ));
+        for a in &self.arches {
+            r.note(format!(
+                "{}: native static {:.2}x vs cross dynamic {:.2}x (paper: on par)",
+                a.arch, a.native_static, a.cross_dynamic
+            ));
+        }
+        r
+    }
+}

@@ -1,0 +1,83 @@
+//! Figure 9: per-region gains of the hybrid model vs the dynamic model vs
+//! full exploration, with the regions that were profiled (bold in the
+//! paper) and the regions where the router was wrong (red in the paper).
+
+use crate::evaluation::Evaluation;
+use crate::experiments::{f3, FigureReport};
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig9Row {
+    pub region: String,
+    pub dynamic_gain: f64,
+    pub hybrid_gain: f64,
+    pub full_gain: f64,
+    /// "Bold": the hybrid model profiled this region.
+    pub profiled: bool,
+    /// "Red": the router picked the wrong side.
+    pub route_wrong: bool,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig9 {
+    pub rows: Vec<Fig9Row>,
+    pub hybrid_speedup: f64,
+    pub dynamic_speedup: f64,
+    pub profiled_count: usize,
+    pub route_accuracy: f64,
+}
+
+pub fn run(eval: &Evaluation) -> Fig9 {
+    let rows: Vec<Fig9Row> = eval
+        .outcomes
+        .iter()
+        .map(|o| Fig9Row {
+            region: o.name.clone(),
+            dynamic_gain: o.default_time / o.dynamic_time,
+            hybrid_gain: o.default_time / o.hybrid_time,
+            full_gain: o.default_time / o.full_best_time,
+            profiled: o.hybrid_used_dynamic,
+            route_wrong: !o.route_correct(),
+        })
+        .collect();
+    Fig9 {
+        hybrid_speedup: eval.hybrid_speedup(),
+        dynamic_speedup: eval.dynamic_speedup(),
+        profiled_count: rows.iter().filter(|r| r.profiled).count(),
+        route_accuracy: eval.route_accuracy(),
+        rows,
+    }
+}
+
+impl Fig9 {
+    pub fn report(&self) -> FigureReport {
+        let mut r = FigureReport::new(
+            "fig9",
+            "Per-region gains: hybrid vs dynamic vs full exploration",
+            &["region", "dynamic_gain", "hybrid_gain", "full_exploration", "profiled", "route_wrong"],
+        );
+        for row in &self.rows {
+            r.push_row(vec![
+                row.region.clone(),
+                f3(row.dynamic_gain),
+                f3(row.hybrid_gain),
+                f3(row.full_gain),
+                row.profiled.to_string(),
+                row.route_wrong.to_string(),
+            ]);
+        }
+        r.note(format!(
+            "hybrid {:.2}x vs dynamic {:.2}x while profiling only {} of {} regions ({:.0}%; paper: ~30%, 16 programs)",
+            self.hybrid_speedup,
+            self.dynamic_speedup,
+            self.profiled_count,
+            self.rows.len(),
+            100.0 * self.profiled_count as f64 / self.rows.len() as f64
+        ));
+        r.note(format!(
+            "router accuracy {:.0}% (paper: 92%)",
+            self.route_accuracy * 100.0
+        ));
+        r
+    }
+}

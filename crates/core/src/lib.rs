@@ -1,0 +1,32 @@
+//! # irnuma-core — the paper's pipeline, end to end
+//!
+//! This crate wires the substrates into the workflow of Fig. 1:
+//!
+//! * **Step A** ([`dataset`]): compile every region under many sampled flag
+//!   sequences (`irnuma-passes`), producing augmented IR forms.
+//! * **Step B** ([`dataset`]): extract each outlined region
+//!   (`irnuma-ir::extract`) and build its ProGraML graph (`irnuma-graph`).
+//! * **Step C** ([`dataset`]): sweep the NUMA × prefetch space
+//!   (`irnuma-sim`) once per region with default flags, reduce the space to
+//!   13/6/2 label configurations (`irnuma-ml::labels`), and label each
+//!   region with its best.
+//! * **Step D** ([`models`]): train the RGCN **static model**
+//!   (`irnuma-nn`) on the augmented graphs; train the **dynamic baseline**
+//!   (decision tree on package power + L3 miss ratio); build the **hybrid
+//!   model** (decision tree over GA-selected embedding dimensions that
+//!   routes hard regions to the dynamic model).
+//! * **Step E** ([`models::flags`]): choose the deployment flag sequence —
+//!   *explored* (best average on training regions) or *predicted* (a
+//!   decision-tree flag model).
+//!
+//! [`evaluation`] runs the whole thing under 10-fold cross-validation and
+//! produces the per-region outcomes that [`experiments`] turns into every
+//! figure of the paper (Fig. 3–12).
+
+pub mod dataset;
+pub mod evaluation;
+pub mod experiments;
+pub mod models;
+
+pub use dataset::{build_dataset, Dataset, DatasetParams, RegionData};
+pub use evaluation::{evaluate, Evaluation, FoldModels, PipelineConfig, RegionOutcome};

@@ -1,0 +1,35 @@
+//! The dynamic baseline (paper §IV-A): the most efficient reaction-based
+//! model of Sánchez Barrera et al. — a classification tree over two
+//! performance counters, package power and L3 miss ratio, collected at the
+//! default configuration.
+
+use crate::dataset::Dataset;
+use irnuma_ml::{DecisionTree, TreeParams};
+
+/// The profiling-based configuration predictor.
+pub struct DynamicModel {
+    tree: DecisionTree,
+}
+
+impl DynamicModel {
+    /// Train on the counters of the given training regions.
+    pub fn train(ds: &Dataset, train_idx: &[usize]) -> DynamicModel {
+        let x: Vec<Vec<f32>> = train_idx
+            .iter()
+            .map(|&r| ds.regions[r].dynamic_features.clone())
+            .collect();
+        let y: Vec<usize> = train_idx.iter().map(|&r| ds.labels[r]).collect();
+        DynamicModel { tree: DecisionTree::fit(&x, &y, TreeParams::default()) }
+    }
+
+    /// Predict the label class of a region from its counters.
+    pub fn predict(&self, ds: &Dataset, region: usize) -> usize {
+        self.tree.predict(&ds.regions[region].dynamic_features)
+    }
+
+    /// Predict from raw counter features (cross-architecture evaluation
+    /// feeds counters collected on the *other* machine).
+    pub fn predict_features(&self, features: &[f32]) -> usize {
+        self.tree.predict(features)
+    }
+}

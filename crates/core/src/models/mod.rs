@@ -1,0 +1,22 @@
+//! The four models of the paper (Fig. 2 plus baselines):
+//!
+//! * [`static_gnn::StaticModel`] — the RGCN classifier over region graphs,
+//!   plus the *explored flag sequence* selection of step E;
+//! * [`dynamic::DynamicModel`] — the profiling baseline: a decision tree on
+//!   performance counters (package power, L3 miss ratio), the paper's
+//!   reference point from Sánchez Barrera et al.;
+//! * [`hybrid::HybridModel`] — a decision tree over GA-selected embedding
+//!   dimensions that predicts *whether the static model will fail* (>20%
+//!   error) and routes those regions to the dynamic model;
+//! * [`flags::FlagModel`] — the flag-prediction model: picks a per-program
+//!   flag sequence instead of a single explored one.
+
+pub mod dynamic;
+pub mod flags;
+pub mod hybrid;
+pub mod static_gnn;
+
+pub use dynamic::DynamicModel;
+pub use flags::FlagModel;
+pub use hybrid::HybridModel;
+pub use static_gnn::{StaticModel, StaticParams};

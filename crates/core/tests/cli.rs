@@ -1,0 +1,99 @@
+//! Integration tests for the `irnuma` CLI binary.
+
+use std::process::Command;
+
+fn irnuma(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_irnuma"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn help_and_unknown_commands() {
+    let out = irnuma(&["--help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+
+    let out = irnuma(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = irnuma(&[]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn list_regions_prints_all_56() {
+    let out = irnuma(&["list-regions"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.lines().count(), 57, "header + 56 regions");
+    assert!(text.contains("cg.spmv"));
+    assert!(text.contains("lulesh.calc_fb"));
+}
+
+#[test]
+fn show_ir_prints_a_module() {
+    let out = irnuma(&["show-ir", "cg.axpy"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("module \"cg.axpy\""));
+    assert!(text.contains(".omp_outlined.cg.axpy"));
+
+    // --o3 changes the IR.
+    let opt = irnuma(&["show-ir", "cg.axpy", "--o3"]);
+    assert!(opt.status.success());
+    assert_ne!(out.stdout, opt.stdout);
+}
+
+#[test]
+fn show_source_prints_pseudo_c() {
+    let out = irnuma(&["show-source", "cg.spmv"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("#pragma omp"));
+    assert!(text.contains("rowptr"));
+}
+
+#[test]
+fn graph_stats_and_dot_export() {
+    let out = irnuma(&["graph", "hotspot.temp"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("nodes"));
+    assert!(text.contains("control"));
+
+    let dir = std::env::temp_dir().join("irnuma-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dot = dir.join("g.dot");
+    let out = irnuma(&["graph", "hotspot.temp", "--dot", dot.to_str().unwrap()]);
+    assert!(out.status.success());
+    let content = std::fs::read_to_string(&dot).unwrap();
+    assert!(content.starts_with("digraph"));
+    std::fs::remove_file(&dot).ok();
+}
+
+#[test]
+fn sweep_reports_top_configs() {
+    let out = irnuma(&["sweep", "clomp.calc_zones", "--arch", "sandybridge"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("320 configurations"));
+    assert!(text.contains("top 5:"));
+}
+
+#[test]
+fn interp_executes_a_region() {
+    let out = irnuma(&["interp", "cg.axpy", "--n", "32"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("interpreter steps"));
+}
+
+#[test]
+fn unknown_region_is_a_clean_error() {
+    let out = irnuma(&["sweep", "no.such.region"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown region"));
+}

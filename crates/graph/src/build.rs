@@ -1,0 +1,298 @@
+//! Graph construction from a module (paper step B, ProGraML construction):
+//!
+//! * one **instruction node** per attached instruction;
+//! * **control edges**: consecutive instructions within a block, and
+//!   terminator → first instruction of each successor block (`pos` =
+//!   successor index);
+//! * one **variable node** per value-producing instruction (def edge
+//!   instruction → variable, use edges variable → user with `pos` = operand
+//!   index), per function argument, and per referenced global;
+//! * one **constant node** per distinct constant *value* per function, with
+//!   use edges;
+//! * **call edges**: call site → callee entry instruction and callee `ret`s
+//!   → call site, for callees defined in the module.
+
+use crate::graph::{EdgeKind, Graph, NodeKind};
+use crate::vocab::{const_text, global_text, instr_text, var_text, Vocab};
+use irnuma_ir::{InstrId, Module, Opcode, Operand, Ty};
+use std::collections::HashMap;
+
+/// Build the ProGraML-style graph of every function with a body in `m`.
+///
+/// ```
+/// use irnuma_graph::{build_module_graph, EdgeKind, NodeKind, Vocab};
+/// use irnuma_ir::builder::{iconst, FunctionBuilder};
+/// use irnuma_ir::{FunctionKind, Module, Operand, Ty};
+///
+/// let mut m = Module::new("demo");
+/// let g = m.add_global("data", Ty::F64, 1024);
+/// let mut b = FunctionBuilder::new(".omp_outlined.k", vec![Ty::I64], Ty::Void, FunctionKind::OmpOutlined);
+/// b.counted_loop(iconst(0), b.arg(0), iconst(1), |b, i| {
+///     let p = b.gep(Ty::F64, Operand::Global(g), i);
+///     let v = b.load(Ty::F64, p);
+///     b.store(v, p);
+/// });
+/// b.ret(None);
+/// m.add_function(b.finish());
+///
+/// let graph = build_module_graph(&m, &Vocab::full());
+/// graph.validate().unwrap();
+/// assert!(graph.count_nodes(NodeKind::Instruction) > 5);
+/// assert!(graph.count_edges(EdgeKind::Data) > 0);
+/// ```
+pub fn build_module_graph(m: &Module, vocab: &Vocab) -> Graph {
+    let mut g = Graph { name: m.name.clone(), ..Default::default() };
+
+    // Global variable nodes are shared across functions.
+    let mut global_nodes: HashMap<u32, u32> = HashMap::new();
+    for (gi, glob) in m.globals.iter().enumerate() {
+        let id = g.add_node(NodeKind::Variable, vocab.id(&global_text(glob.elem, glob.size_bytes())));
+        global_nodes.insert(gi as u32, id);
+    }
+
+    // First pass: create instruction + variable nodes per function and
+    // remember (function, instr) → node ids for the call-edge pass.
+    struct FnNodes {
+        instr_node: HashMap<InstrId, u32>,
+        entry_instr: Option<u32>,
+        ret_instrs: Vec<u32>,
+    }
+    let mut per_fn: HashMap<String, FnNodes> = HashMap::new();
+
+    for f in &m.functions {
+        if f.is_declaration() {
+            continue;
+        }
+        let mut instr_node: HashMap<InstrId, u32> = HashMap::new();
+        let mut value_node: HashMap<InstrId, u32> = HashMap::new();
+        let mut arg_node: HashMap<u32, u32> = HashMap::new();
+        let mut const_node: HashMap<(u8, i64, u64), u32> = HashMap::new();
+        let mut ret_instrs = Vec::new();
+
+        // Argument variable nodes.
+        for (i, &ty) in f.params.iter().enumerate() {
+            let id = g.add_node(NodeKind::Variable, vocab.id(&var_text(ty)));
+            arg_node.insert(i as u32, id);
+        }
+
+        // Instruction nodes + def variable nodes.
+        for (_, _, iid) in f.iter_attached() {
+            let instr = f.instr(iid);
+            let n = g.add_node(NodeKind::Instruction, vocab.id(&instr_text(instr)));
+            instr_node.insert(iid, n);
+            if instr.ty.is_first_class() {
+                let vn = g.add_node(NodeKind::Variable, vocab.id(&var_text(instr.ty)));
+                value_node.insert(iid, vn);
+                g.add_edge(n, vn, EdgeKind::Data, 0); // def
+            }
+            if matches!(instr.op, Opcode::Ret) {
+                ret_instrs.push(n);
+            }
+        }
+
+        // Control edges.
+        for (bid, block) in f.iter_blocks() {
+            for w in block.instrs.windows(2) {
+                g.add_edge(instr_node[&w[0]], instr_node[&w[1]], EdgeKind::Control, 0);
+            }
+            if let Some(t) = f.terminator(bid) {
+                for (si, succ) in f.instr(t).successors().into_iter().enumerate() {
+                    if let Some(&first) = f.blocks[succ.index()].instrs.first() {
+                        g.add_edge(
+                            instr_node[&t],
+                            instr_node[&first],
+                            EdgeKind::Control,
+                            si as u32,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Data use edges.
+        for (_, _, iid) in f.iter_attached() {
+            let user = instr_node[&iid];
+            let instr = f.instr(iid);
+            for (pos, op) in instr.operands.iter().enumerate() {
+                let src = match *op {
+                    Operand::Instr(d) => match value_node.get(&d) {
+                        Some(&v) => v,
+                        None => continue, // void results are never operands (verified)
+                    },
+                    Operand::Arg(a) => arg_node[&a],
+                    Operand::Global(gid) => global_nodes[&gid.0],
+                    Operand::ConstInt(v) => *const_node.entry((0, v, 0)).or_insert_with(|| {
+                        let ty = const_use_ty(instr, pos);
+                        g.add_node(NodeKind::Constant, vocab.id(&const_text(ty)))
+                    }),
+                    Operand::ConstFloat(bits) => {
+                        *const_node.entry((1, 0, bits)).or_insert_with(|| {
+                            let ty = const_use_ty(instr, pos);
+                            g.add_node(NodeKind::Constant, vocab.id(&const_text(ty)))
+                        })
+                    }
+                    Operand::Block(_) => continue, // labels are structure, not data
+                };
+                g.add_edge(src, user, EdgeKind::Data, pos as u32);
+            }
+        }
+
+        let entry_instr = f.blocks[f.entry().index()]
+            .instrs
+            .first()
+            .map(|i| instr_node[i]);
+        per_fn.insert(f.name.clone(), FnNodes { instr_node, entry_instr, ret_instrs });
+    }
+
+    // Call edges.
+    for f in &m.functions {
+        if f.is_declaration() {
+            continue;
+        }
+        let own = &per_fn[&f.name];
+        for (_, _, iid) in f.iter_attached() {
+            let Opcode::Call { callee } = &f.instr(iid).op else { continue };
+            let Some(target) = per_fn.get(callee) else { continue };
+            let call_node = own.instr_node[&iid];
+            if let Some(entry) = target.entry_instr {
+                g.add_edge(call_node, entry, EdgeKind::Call, 0);
+            }
+            for (ri, &r) in target.ret_instrs.iter().enumerate() {
+                g.add_edge(r, call_node, EdgeKind::Call, ri as u32);
+            }
+        }
+    }
+
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// Best-effort type of a constant used at operand `pos` of `instr` —
+/// inferred from the instruction since immediates are untyped in the IR.
+fn const_use_ty(instr: &irnuma_ir::Instr, pos: usize) -> Ty {
+    match &instr.op {
+        Opcode::Store => {
+            if pos == 0 {
+                // value operand: type unknown; integers default to i64
+                Ty::I64
+            } else {
+                Ty::Ptr
+            }
+        }
+        Opcode::Gep { .. } => Ty::I64,
+        Opcode::Icmp(_) => Ty::I64,
+        Opcode::Fcmp(_) => Ty::F64,
+        Opcode::CondBr | Opcode::Select if pos == 0 => Ty::I1,
+        op if op.is_binary() => instr.ty,
+        Opcode::Phi | Opcode::Ret | Opcode::Select => instr.ty,
+        Opcode::FMulAdd => Ty::F64,
+        _ => Ty::I64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irnuma_ir::builder::{fconst, iconst, FunctionBuilder};
+    use irnuma_ir::FunctionKind;
+
+    fn sample_module() -> Module {
+        let mut m = Module::new("g");
+        let gd = m.add_global("data", Ty::F64, 1024);
+        let mut h = FunctionBuilder::new("helper", vec![Ty::I64], Ty::F64, FunctionKind::Normal);
+        let p = h.gep(Ty::F64, Operand::Global(gd), h.arg(0));
+        let v = h.load(Ty::F64, p);
+        h.ret(Some(v));
+        m.add_function(h.finish());
+        let mut b = FunctionBuilder::new(".omp_outlined.k", vec![Ty::I64], Ty::Void, FunctionKind::OmpOutlined);
+        b.counted_loop(iconst(0), b.arg(0), iconst(1), |b, i| {
+            let x = b.call("helper", Ty::F64, vec![i]);
+            let y = b.fmul(Ty::F64, x, fconst(2.0));
+            let p = b.gep(Ty::F64, Operand::Global(gd), i);
+            b.store(y, p);
+        });
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn graph_has_all_three_relations() {
+        let m = sample_module();
+        let g = build_module_graph(&m, &Vocab::full());
+        g.validate().unwrap();
+        assert!(g.count_edges(EdgeKind::Control) > 0);
+        assert!(g.count_edges(EdgeKind::Data) > 0);
+        assert_eq!(g.count_edges(EdgeKind::Call), 2, "call→entry and ret→call");
+    }
+
+    #[test]
+    fn node_counts_match_structure() {
+        let m = sample_module();
+        let g = build_module_graph(&m, &Vocab::full());
+        let total_instrs: usize = m.functions.iter().map(|f| f.num_attached()).sum();
+        assert_eq!(g.count_nodes(NodeKind::Instruction), total_instrs);
+        // Variables: 1 global + 2 args + one per value-producing instr.
+        let value_producing: usize = m
+            .functions
+            .iter()
+            .flat_map(|f| f.iter_attached().map(move |(_, _, i)| f.instr(i)))
+            .filter(|i| i.ty.is_first_class())
+            .count();
+        assert_eq!(g.count_nodes(NodeKind::Variable), 1 + 2 + value_producing);
+        assert!(g.count_nodes(NodeKind::Constant) >= 2, "0, 1, 2.0 used");
+    }
+
+    #[test]
+    fn constants_are_deduplicated_per_function() {
+        let mut m = Module::new("c");
+        let mut b = FunctionBuilder::new("f", vec![], Ty::I64, FunctionKind::Normal);
+        let x = b.add(Ty::I64, iconst(7), iconst(7));
+        let y = b.mul(Ty::I64, x, iconst(7));
+        b.ret(Some(y));
+        m.add_function(b.finish());
+        let g = build_module_graph(&m, &Vocab::full());
+        assert_eq!(g.count_nodes(NodeKind::Constant), 1, "all three 7s share a node");
+        // ...but with three use edges.
+        let const_uses = g
+            .edges
+            .iter()
+            .filter(|e| g.nodes[e.src as usize].kind == NodeKind::Constant)
+            .count();
+        assert_eq!(const_uses, 3);
+    }
+
+    #[test]
+    fn control_edges_follow_branch_positions() {
+        let m = sample_module();
+        let g = build_module_graph(&m, &Vocab::full());
+        // The loop's condbr contributes two control edges with pos 0 and 1.
+        let max_pos = g
+            .edges
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Control)
+            .map(|e| e.pos)
+            .max()
+            .unwrap();
+        assert_eq!(max_pos, 1);
+    }
+
+    #[test]
+    fn different_flag_forms_give_different_graphs() {
+        let m = sample_module();
+        let g1 = build_module_graph(&m, &Vocab::full());
+        let mut m2 = m.clone();
+        irnuma_passes::run_sequence(&mut m2, &["inline", "instcombine", "gvn", "dce", "simplifycfg"]).unwrap();
+        let g2 = build_module_graph(&m2, &Vocab::full());
+        assert_ne!(g1, g2, "optimization visibly changes the graph");
+    }
+
+    #[test]
+    fn empty_module_yields_empty_graph() {
+        let m = Module::new("empty");
+        let g = build_module_graph(&m, &Vocab::full());
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.validate().is_ok());
+    }
+}

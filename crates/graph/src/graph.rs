@@ -1,0 +1,182 @@
+//! Graph data structures.
+
+use serde::{Deserialize, Serialize};
+
+/// Node kinds, mirroring ProGraML.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An executed instruction.
+    Instruction,
+    /// An SSA value: instruction result, function argument, or global.
+    Variable,
+    /// An immediate constant.
+    Constant,
+}
+
+/// Edge relations (the RGCN's relation types, paper Eq. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Instruction → instruction, program order / branch targets.
+    Control,
+    /// Variable/constant → instruction (use, positioned) and
+    /// instruction → variable (def).
+    Data,
+    /// Call site → callee entry and callee exit → call site.
+    Call,
+}
+
+pub const ALL_EDGE_KINDS: [EdgeKind; 3] = [EdgeKind::Control, EdgeKind::Data, EdgeKind::Call];
+
+impl EdgeKind {
+    /// Dense index used by the RGCN weight tables.
+    pub fn index(self) -> usize {
+        match self {
+            EdgeKind::Control => 0,
+            EdgeKind::Data => 1,
+            EdgeKind::Call => 2,
+        }
+    }
+}
+
+/// A node: its kind plus the vocabulary index of its text (see
+/// [`crate::vocab::Vocab`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    pub kind: NodeKind,
+    pub text_id: u32,
+}
+
+/// A directed, typed, positioned edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    pub src: u32,
+    pub dst: u32,
+    pub kind: EdgeKind,
+    /// Operand index (data uses), successor index (control branches), or 0.
+    pub pos: u32,
+}
+
+/// A program graph for one region module.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    /// Human-readable provenance (module name).
+    pub name: String,
+    pub nodes: Vec<Node>,
+    pub edges: Vec<Edge>,
+}
+
+impl Graph {
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add a node; returns its index.
+    pub fn add_node(&mut self, kind: NodeKind, text_id: u32) -> u32 {
+        self.nodes.push(Node { kind, text_id });
+        (self.nodes.len() - 1) as u32
+    }
+
+    pub fn add_edge(&mut self, src: u32, dst: u32, kind: EdgeKind, pos: u32) {
+        debug_assert!((src as usize) < self.nodes.len() && (dst as usize) < self.nodes.len());
+        self.edges.push(Edge { src, dst, kind, pos });
+    }
+
+    /// Count nodes of a kind.
+    pub fn count_nodes(&self, kind: NodeKind) -> usize {
+        self.nodes.iter().filter(|n| n.kind == kind).count()
+    }
+
+    /// Count edges of a kind.
+    pub fn count_edges(&self, kind: EdgeKind) -> usize {
+        self.edges.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Edges grouped per relation, as `(src, dst)` lists — the layout the
+    /// RGCN layer consumes. Index by [`EdgeKind::index`].
+    pub fn edges_by_relation(&self) -> [Vec<(u32, u32)>; 3] {
+        let mut out: [Vec<(u32, u32)>; 3] = Default::default();
+        for e in &self.edges {
+            out[e.kind.index()].push((e.src, e.dst));
+        }
+        out
+    }
+
+    /// Structural sanity: all endpoints in range, no self-loop control
+    /// edges, node list non-empty for non-trivial modules.
+    pub fn validate(&self) -> Result<(), String> {
+        for e in &self.edges {
+            if e.src as usize >= self.nodes.len() || e.dst as usize >= self.nodes.len() {
+                return Err(format!("edge ({}, {}) out of range", e.src, e.dst));
+            }
+            if e.kind == EdgeKind::Control && e.src == e.dst {
+                return Err(format!("control self-loop at node {}", e.src));
+            }
+            // Control edges connect instructions only.
+            if e.kind == EdgeKind::Control {
+                let (s, d) = (&self.nodes[e.src as usize], &self.nodes[e.dst as usize]);
+                if s.kind != NodeKind::Instruction || d.kind != NodeKind::Instruction {
+                    return Err("control edge touching a non-instruction".into());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_count() {
+        let mut g = Graph { name: "t".into(), ..Default::default() };
+        let a = g.add_node(NodeKind::Instruction, 0);
+        let b = g.add_node(NodeKind::Instruction, 1);
+        let v = g.add_node(NodeKind::Variable, 2);
+        g.add_edge(a, b, EdgeKind::Control, 0);
+        g.add_edge(a, v, EdgeKind::Data, 0);
+        g.add_edge(v, b, EdgeKind::Data, 1);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.count_nodes(NodeKind::Instruction), 2);
+        assert_eq!(g.count_edges(EdgeKind::Data), 2);
+        assert!(g.validate().is_ok());
+        let rel = g.edges_by_relation();
+        assert_eq!(rel[EdgeKind::Control.index()], vec![(a, b)]);
+        assert_eq!(rel[EdgeKind::Data.index()].len(), 2);
+        assert!(rel[EdgeKind::Call.index()].is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_bad_graphs() {
+        let mut g = Graph::default();
+        let a = g.add_node(NodeKind::Instruction, 0);
+        g.edges.push(Edge { src: a, dst: 99, kind: EdgeKind::Data, pos: 0 });
+        assert!(g.validate().is_err());
+
+        let mut g = Graph::default();
+        let a = g.add_node(NodeKind::Instruction, 0);
+        g.edges.push(Edge { src: a, dst: a, kind: EdgeKind::Control, pos: 0 });
+        assert!(g.validate().is_err(), "control self-loop");
+
+        let mut g = Graph::default();
+        let a = g.add_node(NodeKind::Instruction, 0);
+        let v = g.add_node(NodeKind::Variable, 0);
+        g.edges.push(Edge { src: a, dst: v, kind: EdgeKind::Control, pos: 0 });
+        assert!(g.validate().is_err(), "control edge to variable");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut g = Graph { name: "rt".into(), ..Default::default() };
+        let a = g.add_node(NodeKind::Constant, 7);
+        let b = g.add_node(NodeKind::Instruction, 3);
+        g.add_edge(a, b, EdgeKind::Data, 2);
+        let s = serde_json::to_string(&g).unwrap();
+        let g2: Graph = serde_json::from_str(&s).unwrap();
+        assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,25 @@
+//! # irnuma-graph — ProGraML-style program graphs
+//!
+//! Implements the program representation the paper feeds to its GNN
+//! (Cummins et al., *ProGraML*): a typed multigraph over the IR with three
+//! edge *relations* — control flow, data flow, and call flow — and three
+//! node kinds — instructions, variables (SSA values, arguments, globals),
+//! and constants. Edges carry a *position* (operand index or successor
+//! index), which the RGCN can exploit.
+//!
+//! The graph is built from an extracted region module
+//! ([`irnuma_ir::extract::extract_region`], paper step B). Node features are
+//! vocabulary indices over a closed, deterministic vocabulary
+//! ([`Vocab::full`]), so models trained on one dataset apply to any other
+//! module without re-fitting the vocabulary (a property the paper relies on
+//! for cross-architecture transfer).
+
+pub mod build;
+pub mod dot;
+pub mod graph;
+pub mod vocab;
+
+pub use build::build_module_graph;
+pub use dot::to_dot;
+pub use graph::{Edge, EdgeKind, Graph, Node, NodeKind};
+pub use vocab::Vocab;

@@ -1,0 +1,199 @@
+//! The closed node-text vocabulary.
+//!
+//! Every node is labeled with a short text — `"add.i64"`, `"var.f64"`,
+//! `"const.i32"`, … — and models consume the *index* of that text in a fixed
+//! vocabulary. The vocabulary is enumerated statically from the finite
+//! opcode × type product, so any module ever built maps onto it and two
+//! datasets built independently share indices (needed for cross-architecture
+//! evaluation, paper §IV-D).
+
+use irnuma_ir::{Instr, Opcode, Ty};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// All result types a node can advertise (Void appears for stores/branches).
+const TYPES: [Ty; 7] = [Ty::I1, Ty::I32, Ty::I64, Ty::F32, Ty::F64, Ty::Ptr, Ty::Void];
+
+/// Base mnemonics, *excluding* open payloads (callee names, GEP sizes,
+/// alloca shapes) so the vocabulary stays closed.
+const BASE_MNEMONICS: [&str; 40] = [
+    "add", "sub", "mul", "sdiv", "srem", "fadd", "fsub", "fmul", "fdiv", "and", "or", "xor",
+    "shl", "lshr", "ashr", "fmuladd", "icmp.eq", "icmp.ne", "icmp.slt", "icmp.sle", "icmp.sgt",
+    "icmp.sge", "fcmp.oeq", "fcmp.one", "fcmp.olt", "fcmp.ole", "fcmp.ogt", "fcmp.oge", "alloca",
+    "load", "store", "gep", "atomicrmw.add", "atomicrmw.min", "atomicrmw.max", "atomicrmw.xchg",
+    "br", "condbr", "ret", "phi",
+];
+
+/// Mnemonics with open payloads are flattened to these.
+const EXTRA_MNEMONICS: [&str; 9] = [
+    "call", "select", "trunc", "zext", "sext", "fptosi", "sitofp", "fpcast", "bitcast",
+];
+
+/// The canonical node text of an instruction: closed mnemonic + result type.
+pub fn instr_text(instr: &Instr) -> String {
+    let base = match &instr.op {
+        Opcode::Gep { .. } => "gep".to_string(),
+        Opcode::Alloca { .. } => "alloca".to_string(),
+        Opcode::Call { .. } => "call".to_string(),
+        other => other.mnemonic(),
+    };
+    format!("{}.{}", base, instr.ty.keyword())
+}
+
+/// Node text of a variable node holding a value of type `ty`.
+pub fn var_text(ty: Ty) -> String {
+    format!("var.{}", ty.keyword())
+}
+
+/// Node text of a constant node of type `ty`.
+pub fn const_text(ty: Ty) -> String {
+    format!("const.{}", ty.keyword())
+}
+
+/// Node text of a *global* variable node: element type plus a log2 bucket
+/// of the array's byte footprint. ProGraML keeps the full LLVM type text
+/// (e.g. `[1048576 x double]`) in its vocabulary; bucketing the size keeps
+/// ours closed while preserving the footprint signal that statically-sized
+/// benchmark arrays expose.
+pub fn global_text(ty: Ty, size_bytes: u64) -> String {
+    let bucket = size_bytes.max(1).ilog2().min(40);
+    format!("gvar.{}.{}", ty.keyword(), bucket)
+}
+
+/// A fixed text → index mapping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vocab {
+    texts: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, u32>,
+}
+
+impl Vocab {
+    /// The full static vocabulary: every (mnemonic, type) pair plus
+    /// variable/constant texts per type. Deterministic order.
+    pub fn full() -> Vocab {
+        let mut texts = Vec::new();
+        for m in BASE_MNEMONICS.iter().chain(EXTRA_MNEMONICS.iter()) {
+            for ty in TYPES {
+                texts.push(format!("{}.{}", m, ty.keyword()));
+            }
+        }
+        for ty in TYPES {
+            texts.push(var_text(ty));
+            texts.push(const_text(ty));
+            for bucket in 0..=40u32 {
+                texts.push(format!("gvar.{}.{}", ty.keyword(), bucket));
+            }
+        }
+        Vocab::from_texts(texts)
+    }
+
+    fn from_texts(texts: Vec<String>) -> Vocab {
+        let index = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i as u32))
+            .collect();
+        Vocab { texts, index }
+    }
+
+    /// Rebuild the lookup map (after deserialization).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i as u32))
+            .collect();
+    }
+
+    pub fn len(&self) -> usize {
+        self.texts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+
+    /// Index of a text; panics on unknown text (the vocabulary is closed, so
+    /// an unknown text is a construction bug, not data).
+    pub fn id(&self, text: &str) -> u32 {
+        *self
+            .index
+            .get(text)
+            .unwrap_or_else(|| panic!("text `{text}` missing from closed vocabulary"))
+    }
+
+    pub fn text(&self, id: u32) -> &str {
+        &self.texts[id as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irnuma_ir::Operand;
+
+    #[test]
+    fn full_vocab_size_is_closed_product() {
+        let v = Vocab::full();
+        assert_eq!(v.len(), (40 + 9) * 7 + 7 * 2 + 7 * 41);
+    }
+
+    #[test]
+    fn global_texts_bucket_by_log2_footprint() {
+        assert_eq!(global_text(Ty::F64, 1 << 20), "gvar.f64.20");
+        assert_eq!(global_text(Ty::F64, (1 << 20) + 7000), "gvar.f64.20");
+        assert_eq!(global_text(Ty::F64, 1 << 21), "gvar.f64.21");
+        assert_eq!(global_text(Ty::I64, 0), "gvar.i64.0", "zero-size clamps");
+        assert_eq!(global_text(Ty::I64, u64::MAX), "gvar.i64.40", "huge clamps to 40");
+        let v = Vocab::full();
+        let _ = v.id(&global_text(Ty::F64, 123456));
+    }
+
+    #[test]
+    fn ids_round_trip() {
+        let v = Vocab::full();
+        for id in 0..v.len() as u32 {
+            assert_eq!(v.id(v.text(id)), id);
+        }
+    }
+
+    #[test]
+    fn instruction_texts_are_in_vocab() {
+        let v = Vocab::full();
+        let samples = vec![
+            Instr::new(Opcode::Add, Ty::I64, vec![Operand::ConstInt(1), Operand::ConstInt(2)]),
+            Instr::new(Opcode::Gep { elem_size: 8 }, Ty::Ptr, vec![]),
+            Instr::new(Opcode::Alloca { elem: Ty::F32, count: 4 }, Ty::Ptr, vec![]),
+            Instr::new(Opcode::Call { callee: "anything".into() }, Ty::I32, vec![]),
+            Instr::new(Opcode::Icmp(irnuma_ir::IntPred::Sge), Ty::I1, vec![]),
+            Instr::new(Opcode::Cast(irnuma_ir::CastKind::SiToFp), Ty::F64, vec![]),
+            Instr::new(Opcode::Store, Ty::Void, vec![]),
+            Instr::new(Opcode::Phi, Ty::F64, vec![]),
+        ];
+        for i in samples {
+            let t = instr_text(&i);
+            let _ = v.id(&t); // must not panic
+        }
+    }
+
+    #[test]
+    fn gep_sizes_and_callees_collapse() {
+        let a = Instr::new(Opcode::Gep { elem_size: 4 }, Ty::Ptr, vec![]);
+        let b = Instr::new(Opcode::Gep { elem_size: 8 }, Ty::Ptr, vec![]);
+        assert_eq!(instr_text(&a), instr_text(&b), "payload does not leak into vocab");
+        let c = Instr::new(Opcode::Call { callee: "f".into() }, Ty::Void, vec![]);
+        let d = Instr::new(Opcode::Call { callee: "g".into() }, Ty::Void, vec![]);
+        assert_eq!(instr_text(&c), instr_text(&d));
+    }
+
+    #[test]
+    fn deserialized_vocab_can_rebuild_index() {
+        let v = Vocab::full();
+        let s = serde_json::to_string(&v).unwrap();
+        let mut v2: Vocab = serde_json::from_str(&s).unwrap();
+        v2.rebuild_index();
+        assert_eq!(v2.id("add.i64"), v.id("add.i64"));
+    }
+}

@@ -1,0 +1,414 @@
+//! Control-flow analyses shared by the verifier and the optimization passes:
+//! predecessor maps, reachability, reverse postorder, dominator trees
+//! (Cooper–Harvey–Kennedy), and natural-loop detection.
+
+use crate::function::{BlockId, Function};
+use std::collections::HashMap;
+
+/// Predecessors of every block (indexed by block id).
+pub fn predecessors(f: &Function) -> Vec<Vec<BlockId>> {
+    let mut preds = vec![Vec::new(); f.blocks.len()];
+    for (bid, _) in f.iter_blocks() {
+        for succ in f.successors(bid) {
+            preds[succ.index()].push(bid);
+        }
+    }
+    preds
+}
+
+/// Blocks reachable from the entry, as a bitset indexed by block id.
+pub fn reachable(f: &Function) -> Vec<bool> {
+    let mut seen = vec![false; f.blocks.len()];
+    if f.blocks.is_empty() {
+        return seen;
+    }
+    let mut stack = vec![f.entry()];
+    seen[f.entry().index()] = true;
+    while let Some(b) = stack.pop() {
+        for s in f.successors(b) {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+/// Reverse postorder over reachable blocks, starting at the entry.
+pub fn reverse_postorder(f: &Function) -> Vec<BlockId> {
+    let mut visited = vec![false; f.blocks.len()];
+    let mut post = Vec::with_capacity(f.blocks.len());
+    if f.blocks.is_empty() {
+        return post;
+    }
+    // Iterative DFS with an explicit phase marker to produce postorder.
+    enum Phase {
+        Enter(BlockId),
+        Exit(BlockId),
+    }
+    let mut stack = vec![Phase::Enter(f.entry())];
+    while let Some(ph) = stack.pop() {
+        match ph {
+            Phase::Enter(b) => {
+                if visited[b.index()] {
+                    continue;
+                }
+                visited[b.index()] = true;
+                stack.push(Phase::Exit(b));
+                // Push successors in reverse so the first successor is
+                // visited first (stable, LLVM-like ordering).
+                for s in f.successors(b).into_iter().rev() {
+                    if !visited[s.index()] {
+                        stack.push(Phase::Enter(s));
+                    }
+                }
+            }
+            Phase::Exit(b) => post.push(b),
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Dominator tree computed with the Cooper–Harvey–Kennedy iterative
+/// algorithm. Unreachable blocks have no dominator entry.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator per block (`idom[entry] == entry`); `None` for
+    /// unreachable blocks.
+    pub idom: Vec<Option<BlockId>>,
+    rpo_index: Vec<usize>,
+}
+
+impl DomTree {
+    pub fn compute(f: &Function) -> DomTree {
+        let rpo = reverse_postorder(f);
+        let mut rpo_index = vec![usize::MAX; f.blocks.len()];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        let preds = predecessors(f);
+        let mut idom: Vec<Option<BlockId>> = vec![None; f.blocks.len()];
+        if f.blocks.is_empty() {
+            return DomTree { idom, rpo_index };
+        }
+        let entry = f.entry();
+        idom[entry.index()] = Some(entry);
+
+        let intersect = |idom: &[Option<BlockId>], rpo_index: &[usize], mut a: BlockId, mut b: BlockId| {
+            while a != b {
+                while rpo_index[a.index()] > rpo_index[b.index()] {
+                    a = idom[a.index()].expect("processed block has idom");
+                }
+                while rpo_index[b.index()] > rpo_index[a.index()] {
+                    b = idom[b.index()].expect("processed block has idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue; // unprocessed or unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DomTree { idom, rpo_index }
+    }
+
+    /// Does block `a` dominate block `b`? (Reflexive; false if either is
+    /// unreachable.)
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[a.index()].is_none() || self.idom[b.index()].is_none() {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let id = self.idom[cur.index()].expect("reachable");
+            if id == cur {
+                return false; // reached entry
+            }
+            cur = id;
+        }
+    }
+
+    /// RPO index of a block (`usize::MAX` if unreachable).
+    pub fn rpo_index(&self, b: BlockId) -> usize {
+        self.rpo_index[b.index()]
+    }
+
+    /// Children lists of the dominator tree (entry is the root; unreachable
+    /// blocks have no parent and appear in no list).
+    pub fn children(&self) -> Vec<Vec<BlockId>> {
+        let mut out = vec![Vec::new(); self.idom.len()];
+        for (i, id) in self.idom.iter().enumerate() {
+            if let Some(p) = id {
+                if p.index() != i {
+                    out[p.index()].push(BlockId(i as u32));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Dominance frontiers (Cytron et al.): `df[b]` is the set of blocks where
+/// `b`'s dominance ends — exactly where SSA construction places phis.
+pub fn dominance_frontiers(f: &Function, dom: &DomTree) -> Vec<Vec<BlockId>> {
+    let preds = predecessors(f);
+    let mut df: Vec<Vec<BlockId>> = vec![Vec::new(); f.blocks.len()];
+    for (b, _) in f.iter_blocks() {
+        if preds[b.index()].len() < 2 || dom.idom[b.index()].is_none() {
+            continue;
+        }
+        let idom_b = dom.idom[b.index()].expect("reachable join");
+        for &p in &preds[b.index()] {
+            if dom.idom[p.index()].is_none() {
+                continue; // unreachable predecessor
+            }
+            let mut runner = p;
+            while runner != idom_b {
+                if !df[runner.index()].contains(&b) {
+                    df[runner.index()].push(b);
+                }
+                let next = dom.idom[runner.index()].expect("reachable");
+                if next == runner {
+                    break; // reached entry
+                }
+                runner = next;
+            }
+        }
+    }
+    df
+}
+
+/// A natural loop: header + member blocks (including the header).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    pub header: BlockId,
+    /// All blocks in the loop body, sorted by id (header included).
+    pub blocks: Vec<BlockId>,
+    /// Latch blocks (sources of back edges into the header).
+    pub latches: Vec<BlockId>,
+}
+
+impl NaturalLoop {
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.binary_search(&b).is_ok()
+    }
+}
+
+/// Find all natural loops: for each back edge `latch -> header` (where the
+/// header dominates the latch), collect the set of blocks that can reach the
+/// latch without passing through the header. Back edges sharing a header are
+/// merged into one loop (LLVM semantics).
+pub fn natural_loops(f: &Function) -> Vec<NaturalLoop> {
+    let dom = DomTree::compute(f);
+    let preds = predecessors(f);
+    let mut by_header: HashMap<BlockId, (Vec<BlockId>, Vec<bool>)> = HashMap::new();
+
+    for (bid, _) in f.iter_blocks() {
+        for succ in f.successors(bid) {
+            if dom.dominates(succ, bid) {
+                // back edge bid -> succ
+                let entry = by_header
+                    .entry(succ)
+                    .or_insert_with(|| (Vec::new(), vec![false; f.blocks.len()]));
+                entry.0.push(bid);
+                let in_loop = &mut entry.1;
+                in_loop[succ.index()] = true;
+                let mut stack = vec![bid];
+                while let Some(b) = stack.pop() {
+                    if in_loop[b.index()] {
+                        continue;
+                    }
+                    in_loop[b.index()] = true;
+                    for &p in &preds[b.index()] {
+                        stack.push(p);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut loops: Vec<NaturalLoop> = by_header
+        .into_iter()
+        .map(|(header, (latches, in_loop))| {
+            let blocks: Vec<BlockId> = in_loop
+                .iter()
+                .enumerate()
+                .filter(|&(_, &x)| x)
+                .map(|(i, _)| BlockId(i as u32))
+                .collect();
+            NaturalLoop { header, blocks, latches }
+        })
+        .collect();
+    loops.sort_by_key(|l| l.header);
+    loops
+}
+
+/// Loop nesting depth of every block (0 = not in any loop).
+pub fn loop_depths(f: &Function) -> Vec<u32> {
+    let loops = natural_loops(f);
+    let mut depth = vec![0u32; f.blocks.len()];
+    for l in &loops {
+        for &b in &l.blocks {
+            depth[b.index()] += 1;
+        }
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{iconst, FunctionBuilder};
+    use crate::function::FunctionKind;
+    use crate::instr::IntPred;
+    use crate::types::Ty;
+
+    /// Diamond: entry -> {a, b} -> join -> ret
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("d", vec![Ty::I64], Ty::Void, FunctionKind::Normal);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let c = b.icmp(IntPred::Slt, b.arg(0), iconst(10));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let f = diamond();
+        let dom = DomTree::compute(&f);
+        let (entry, t, e, j) = (BlockId(0), BlockId(1), BlockId(2), BlockId(3));
+        assert_eq!(dom.idom[t.index()], Some(entry));
+        assert_eq!(dom.idom[e.index()], Some(entry));
+        assert_eq!(dom.idom[j.index()], Some(entry), "join's idom skips the arms");
+        assert!(dom.dominates(entry, j));
+        assert!(!dom.dominates(t, j));
+        assert!(dom.dominates(j, j), "dominance is reflexive");
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let f = diamond();
+        let rpo = reverse_postorder(&f);
+        assert_eq!(rpo[0], f.entry());
+        assert_eq!(rpo.len(), 4);
+        // every block before its successors-only-reachable-through-it: join last
+        assert_eq!(*rpo.last().unwrap(), BlockId(3));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_excluded() {
+        let mut f = diamond();
+        let dead = f.add_block();
+        f.push_instr(dead, crate::instr::Instr::new(crate::instr::Opcode::Ret, Ty::Void, vec![]));
+        let r = reachable(&f);
+        assert!(!r[dead.index()]);
+        let dom = DomTree::compute(&f);
+        assert_eq!(dom.idom[dead.index()], None);
+        assert!(!dom.dominates(f.entry(), dead));
+    }
+
+    #[test]
+    fn single_loop_detected() {
+        let mut b = FunctionBuilder::new("l", vec![Ty::I64], Ty::Void, FunctionKind::Normal);
+        b.counted_loop(iconst(0), b.arg(0), iconst(1), |_, _| {});
+        b.ret(None);
+        let f = b.finish();
+        let loops = natural_loops(&f);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert!(l.contains(BlockId(1)) && l.contains(BlockId(2)));
+        assert!(!l.contains(BlockId(0)) && !l.contains(BlockId(3)));
+        assert_eq!(l.latches, vec![BlockId(2)]);
+    }
+
+    #[test]
+    fn nested_loop_depths() {
+        let mut b = FunctionBuilder::new("n", vec![], Ty::Void, FunctionKind::Normal);
+        b.counted_loop(iconst(0), iconst(8), iconst(1), |b, _| {
+            b.counted_loop(iconst(0), iconst(8), iconst(1), |_, _| {});
+        });
+        b.ret(None);
+        let f = b.finish();
+        let loops = natural_loops(&f);
+        assert_eq!(loops.len(), 2);
+        let depths = loop_depths(&f);
+        assert_eq!(*depths.iter().max().unwrap(), 2, "inner body has depth 2");
+        assert_eq!(depths[f.entry().index()], 0);
+    }
+
+    #[test]
+    fn dominance_frontier_of_diamond_arms_is_the_join() {
+        let f = diamond();
+        let dom = DomTree::compute(&f);
+        let df = dominance_frontiers(&f, &dom);
+        // Arms t (bb1) and e (bb2) stop dominating at the join (bb3).
+        assert_eq!(df[1], vec![BlockId(3)]);
+        assert_eq!(df[2], vec![BlockId(3)]);
+        // Entry dominates everything: empty frontier.
+        assert!(df[0].is_empty());
+        assert!(df[3].is_empty());
+    }
+
+    #[test]
+    fn loop_header_is_in_its_own_frontier() {
+        let mut b = FunctionBuilder::new("l", vec![Ty::I64], Ty::Void, FunctionKind::Normal);
+        b.counted_loop(iconst(0), b.arg(0), iconst(1), |_, _| {});
+        b.ret(None);
+        let f = b.finish();
+        let dom = DomTree::compute(&f);
+        let df = dominance_frontiers(&f, &dom);
+        let header = BlockId(1);
+        assert!(df[header.index()].contains(&header), "back edge puts the header in its own DF");
+    }
+
+    #[test]
+    fn dom_tree_children_cover_reachable_blocks() {
+        let f = diamond();
+        let dom = DomTree::compute(&f);
+        let ch = dom.children();
+        assert_eq!(ch[0].len(), 3, "entry immediately dominates t, e, join");
+        let total: usize = ch.iter().map(Vec::len).sum();
+        assert_eq!(total, 3, "every non-entry reachable block appears once");
+    }
+
+    #[test]
+    fn predecessors_are_exact() {
+        let f = diamond();
+        let p = predecessors(&f);
+        assert_eq!(p[3], vec![BlockId(1), BlockId(2)]);
+        assert!(p[0].is_empty());
+    }
+}

@@ -1,0 +1,386 @@
+//! Ergonomic construction of functions.
+//!
+//! The workload suite (`irnuma-workloads`) emits dozens of OpenMP-region
+//! bodies; [`FunctionBuilder`] keeps that code readable: it tracks a current
+//! insertion block, offers one helper per opcode, and provides a
+//! [`FunctionBuilder::counted_loop`] combinator that builds the canonical
+//! `for (i = lo; i < hi; i += step)` CFG with its induction phi — the same
+//! shape Clang emits for OpenMP worksharing loops.
+
+use crate::function::{BlockId, Function, FunctionKind};
+use crate::instr::{CastKind, FloatPred, Instr, InstrId, IntPred, Opcode, Operand, RmwOp};
+use crate::module::GlobalId;
+use crate::types::Ty;
+
+/// Builder for a single [`Function`].
+///
+/// ```
+/// use irnuma_ir::builder::{iconst, FunctionBuilder};
+/// use irnuma_ir::{verify_function, FunctionKind, Ty};
+///
+/// let mut b = FunctionBuilder::new("double_sum", vec![Ty::I64], Ty::I64, FunctionKind::Normal);
+/// let acc = b.alloca(Ty::I64, 1);
+/// b.store(iconst(0), acc);
+/// b.counted_loop(iconst(0), b.arg(0), iconst(1), |b, i| {
+///     let cur = b.load(Ty::I64, acc);
+///     let next = b.add(Ty::I64, cur, i);
+///     b.store(next, acc);
+/// });
+/// let total = b.load(Ty::I64, acc);
+/// let doubled = b.mul(Ty::I64, total, iconst(2));
+/// b.ret(Some(doubled));
+/// let f = b.finish();
+/// verify_function(&f).unwrap();
+/// ```
+pub struct FunctionBuilder {
+    func: Function,
+    cur: BlockId,
+}
+
+impl FunctionBuilder {
+    /// Start building a function of the given kind. The insertion point is
+    /// the entry block.
+    pub fn new(name: impl Into<String>, params: Vec<Ty>, ret: Ty, kind: FunctionKind) -> Self {
+        assert_ne!(kind, FunctionKind::Declaration, "declarations have no body to build");
+        let func = Function::new(name, params, ret, kind);
+        let cur = func.entry();
+        FunctionBuilder { func, cur }
+    }
+
+    /// The `i`-th parameter as an operand.
+    pub fn arg(&self, i: usize) -> Operand {
+        assert!(i < self.func.params.len(), "argument index out of range");
+        Operand::Arg(i as u32)
+    }
+
+    /// Create a new block (does not move the insertion point).
+    pub fn new_block(&mut self) -> BlockId {
+        self.func.add_block()
+    }
+
+    /// Move the insertion point.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+    }
+
+    /// Current insertion block.
+    pub fn current(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Append a raw instruction at the insertion point.
+    pub fn push(&mut self, instr: Instr) -> InstrId {
+        self.func.push_instr(self.cur, instr)
+    }
+
+    fn value(&mut self, op: Opcode, ty: Ty, operands: Vec<Operand>) -> Operand {
+        Operand::Instr(self.push(Instr::new(op, ty, operands)))
+    }
+
+    // ---- arithmetic -----------------------------------------------------
+
+    pub fn binop(&mut self, op: Opcode, ty: Ty, a: Operand, b: Operand) -> Operand {
+        assert!(op.is_binary(), "binop requires a binary opcode, got {op}");
+        self.value(op, ty, vec![a, b])
+    }
+
+    pub fn add(&mut self, ty: Ty, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::Add, ty, a, b)
+    }
+
+    pub fn sub(&mut self, ty: Ty, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::Sub, ty, a, b)
+    }
+
+    pub fn mul(&mut self, ty: Ty, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::Mul, ty, a, b)
+    }
+
+    pub fn sdiv(&mut self, ty: Ty, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::SDiv, ty, a, b)
+    }
+
+    pub fn srem(&mut self, ty: Ty, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::SRem, ty, a, b)
+    }
+
+    pub fn fadd(&mut self, ty: Ty, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::FAdd, ty, a, b)
+    }
+
+    pub fn fsub(&mut self, ty: Ty, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::FSub, ty, a, b)
+    }
+
+    pub fn fmul(&mut self, ty: Ty, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::FMul, ty, a, b)
+    }
+
+    pub fn fdiv(&mut self, ty: Ty, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::FDiv, ty, a, b)
+    }
+
+    pub fn and(&mut self, ty: Ty, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::And, ty, a, b)
+    }
+
+    pub fn xor(&mut self, ty: Ty, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::Xor, ty, a, b)
+    }
+
+    pub fn shl(&mut self, ty: Ty, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::Shl, ty, a, b)
+    }
+
+    pub fn lshr(&mut self, ty: Ty, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::LShr, ty, a, b)
+    }
+
+    /// Fused multiply-add `a*b + c`.
+    pub fn fmuladd(&mut self, ty: Ty, a: Operand, b: Operand, c: Operand) -> Operand {
+        self.value(Opcode::FMulAdd, ty, vec![a, b, c])
+    }
+
+    pub fn icmp(&mut self, pred: IntPred, a: Operand, b: Operand) -> Operand {
+        self.value(Opcode::Icmp(pred), Ty::I1, vec![a, b])
+    }
+
+    pub fn fcmp(&mut self, pred: FloatPred, a: Operand, b: Operand) -> Operand {
+        self.value(Opcode::Fcmp(pred), Ty::I1, vec![a, b])
+    }
+
+    pub fn select(&mut self, ty: Ty, cond: Operand, a: Operand, b: Operand) -> Operand {
+        self.value(Opcode::Select, ty, vec![cond, a, b])
+    }
+
+    pub fn cast(&mut self, kind: CastKind, to: Ty, v: Operand) -> Operand {
+        self.value(Opcode::Cast(kind), to, vec![v])
+    }
+
+    // ---- memory ---------------------------------------------------------
+
+    pub fn alloca(&mut self, elem: Ty, count: u64) -> Operand {
+        self.value(Opcode::Alloca { elem, count }, Ty::Ptr, vec![])
+    }
+
+    /// Address of a global.
+    pub fn global(&self, id: GlobalId) -> Operand {
+        Operand::Global(id)
+    }
+
+    /// `base + index * size_of(elem)`.
+    pub fn gep(&mut self, elem: Ty, base: Operand, index: Operand) -> Operand {
+        self.value(Opcode::Gep { elem_size: elem.size_bytes() }, Ty::Ptr, vec![base, index])
+    }
+
+    pub fn load(&mut self, ty: Ty, ptr: Operand) -> Operand {
+        self.value(Opcode::Load, ty, vec![ptr])
+    }
+
+    pub fn store(&mut self, val: Operand, ptr: Operand) {
+        self.push(Instr::new(Opcode::Store, Ty::Void, vec![val, ptr]));
+    }
+
+    pub fn atomic_rmw(&mut self, op: RmwOp, ty: Ty, ptr: Operand, val: Operand) -> Operand {
+        self.value(Opcode::AtomicRmw(op), ty, vec![ptr, val])
+    }
+
+    // ---- calls & control flow -------------------------------------------
+
+    pub fn call(&mut self, callee: impl Into<String>, ret: Ty, args: Vec<Operand>) -> Operand {
+        self.value(Opcode::Call { callee: callee.into() }, ret, args)
+    }
+
+    /// Void call (no usable result).
+    pub fn call_void(&mut self, callee: impl Into<String>, args: Vec<Operand>) {
+        self.push(Instr::new(Opcode::Call { callee: callee.into() }, Ty::Void, args));
+    }
+
+    pub fn br(&mut self, target: BlockId) {
+        self.push(Instr::new(Opcode::Br, Ty::Void, vec![Operand::Block(target)]));
+    }
+
+    pub fn cond_br(&mut self, cond: Operand, then_b: BlockId, else_b: BlockId) {
+        self.push(Instr::new(
+            Opcode::CondBr,
+            Ty::Void,
+            vec![cond, Operand::Block(then_b), Operand::Block(else_b)],
+        ));
+    }
+
+    pub fn ret(&mut self, v: Option<Operand>) {
+        let ops = v.into_iter().collect();
+        self.push(Instr::new(Opcode::Ret, Ty::Void, ops));
+    }
+
+    /// Insert a phi at the *front* of the current block (phis must precede
+    /// non-phi instructions). `incomings` are `(pred_block, value)` pairs.
+    pub fn phi(&mut self, ty: Ty, incomings: &[(BlockId, Operand)]) -> Operand {
+        let mut ops = Vec::with_capacity(incomings.len() * 2);
+        for &(b, v) in incomings {
+            ops.push(Operand::Block(b));
+            ops.push(v);
+        }
+        let id = self.func.alloc_instr(Instr::new(Opcode::Phi, ty, ops));
+        // Place after any existing phis but before the first non-phi.
+        let pos = {
+            let blk = &self.func.blocks[self.cur.index()];
+            blk.instrs
+                .iter()
+                .position(|&i| !matches!(self.func.instrs[i.index()].op, Opcode::Phi))
+                .unwrap_or(blk.instrs.len())
+        };
+        self.func.blocks[self.cur.index()].instrs.insert(pos, id);
+        Operand::Instr(id)
+    }
+
+    /// Add an incoming `(block, value)` pair to an existing phi.
+    pub fn phi_add_incoming(&mut self, phi: Operand, block: BlockId, v: Operand) {
+        let id = phi.as_instr().expect("phi operand must be an instruction");
+        let instr = self.func.instr_mut(id);
+        assert!(matches!(instr.op, Opcode::Phi), "not a phi");
+        instr.operands.push(Operand::Block(block));
+        instr.operands.push(v);
+    }
+
+    /// Build a canonical counted loop:
+    ///
+    /// ```text
+    ///   <current>: br header
+    ///   header:   i = phi [lo, <current>], [i.next, latch*]
+    ///             c = icmp slt i, hi
+    ///             condbr c, body, exit
+    ///   body:     ... emitted by `body(b, i)`; must NOT terminate ...
+    ///   (latch)   i.next = add i, step
+    ///             br header
+    ///   exit:     <- insertion point on return
+    /// ```
+    ///
+    /// `body` may create extra blocks; whichever block is current when it
+    /// returns becomes the latch. Returns the induction variable.
+    pub fn counted_loop(
+        &mut self,
+        lo: Operand,
+        hi: Operand,
+        step: Operand,
+        body: impl FnOnce(&mut Self, Operand),
+    ) -> Operand {
+        let preheader = self.cur;
+        let header = self.new_block();
+        let body_b = self.new_block();
+        let exit = self.new_block();
+
+        self.br(header);
+        self.switch_to(header);
+        let iv = self.phi(Ty::I64, &[(preheader, lo)]);
+        let cond = self.icmp(IntPred::Slt, iv, hi);
+        self.cond_br(cond, body_b, exit);
+
+        self.switch_to(body_b);
+        body(self, iv);
+        let latch = self.cur;
+        let next = self.add(Ty::I64, iv, step);
+        self.br(header);
+        self.phi_add_incoming(iv, latch, next);
+
+        self.switch_to(exit);
+        iv
+    }
+
+    /// Finish and return the function.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+}
+
+/// Shorthand for an integer immediate operand.
+pub fn iconst(v: i64) -> Operand {
+    Operand::ConstInt(v)
+}
+
+/// Shorthand for a float immediate operand.
+pub fn fconst(v: f64) -> Operand {
+    Operand::float(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_function;
+
+    #[test]
+    fn straight_line_function_verifies() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64, Ty::I64], Ty::I64, FunctionKind::Normal);
+        let s = b.add(Ty::I64, b.arg(0), b.arg(1));
+        let m = b.mul(Ty::I64, s, iconst(3));
+        b.ret(Some(m));
+        let f = b.finish();
+        verify_function(&f).expect("verifies");
+        assert_eq!(f.num_attached(), 3);
+    }
+
+    #[test]
+    fn counted_loop_shape() {
+        let mut b = FunctionBuilder::new("loop", vec![Ty::Ptr, Ty::I64], Ty::Void, FunctionKind::OmpOutlined);
+        let base = b.arg(0);
+        let n = b.arg(1);
+        b.counted_loop(iconst(0), n, iconst(1), |b, i| {
+            let p = b.gep(Ty::F64, base, i);
+            let v = b.load(Ty::F64, p);
+            let v2 = b.fmul(Ty::F64, v, fconst(2.0));
+            b.store(v2, p);
+        });
+        b.ret(None);
+        let f = b.finish();
+        verify_function(&f).expect("loop verifies");
+        // entry + header + body + exit
+        assert_eq!(f.blocks.len(), 4);
+        // header has a phi with two incomings
+        let header = BlockId(1);
+        let phi_id = f.blocks[header.index()].instrs[0];
+        assert!(matches!(f.instr(phi_id).op, Opcode::Phi));
+        assert_eq!(f.instr(phi_id).phi_incomings().count(), 2);
+    }
+
+    #[test]
+    fn nested_loops_verify() {
+        let mut b = FunctionBuilder::new("nest", vec![Ty::Ptr], Ty::Void, FunctionKind::OmpOutlined);
+        let base = b.arg(0);
+        b.counted_loop(iconst(0), iconst(16), iconst(1), |b, i| {
+            b.counted_loop(iconst(0), iconst(16), iconst(1), |b, j| {
+                let idx = b.mul(Ty::I64, i, iconst(16));
+                let idx = b.add(Ty::I64, idx, j);
+                let p = b.gep(Ty::F64, base, idx);
+                let v = b.load(Ty::F64, p);
+                let v = b.fadd(Ty::F64, v, fconst(1.0));
+                b.store(v, p);
+            });
+        });
+        b.ret(None);
+        let f = b.finish();
+        verify_function(&f).expect("nested loops verify");
+        assert_eq!(f.blocks.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "binop requires a binary opcode")]
+    fn binop_rejects_non_binary() {
+        let mut b = FunctionBuilder::new("f", vec![], Ty::Void, FunctionKind::Normal);
+        b.binop(Opcode::Select, Ty::I64, iconst(0), iconst(1));
+    }
+
+    #[test]
+    fn phi_is_inserted_before_non_phis() {
+        let mut b = FunctionBuilder::new("f", vec![], Ty::I64, FunctionKind::Normal);
+        let e = b.current();
+        let x = b.add(Ty::I64, iconst(1), iconst(2));
+        let p = b.phi(Ty::I64, &[(e, x)]);
+        let f_ref = &b.func;
+        // The phi must sit at index 0 even though it was added after `x`...
+        // wait: a phi after an add in the same block is malformed SSA, but
+        // the builder's placement rule is what we test here.
+        let first = f_ref.blocks[e.index()].instrs[0];
+        assert!(matches!(f_ref.instr(first).op, Opcode::Phi));
+        let _ = p;
+    }
+}

@@ -1,0 +1,175 @@
+//! Region extraction — the `llvm-extract` equivalent (paper step B).
+//!
+//! The paper extracts each OpenMP outlined function into a small standalone
+//! IR file before graph construction, so that "analyzing unrelated
+//! instructions" does not add noise. [`extract_region`] does the same: it
+//! clones the named function, every function it (transitively) calls that is
+//! defined in the module, declarations for the rest, and every global any of
+//! them references — renumbering global ids for the new, smaller module.
+
+use crate::function::Function;
+use crate::instr::{Opcode, Operand};
+use crate::module::{GlobalId, Module};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Error returned when the requested region does not exist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownRegion(pub String);
+
+impl std::fmt::Display for UnknownRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no function named @{} in module", self.0)
+    }
+}
+
+impl std::error::Error for UnknownRegion {}
+
+/// Extract `region` (plus transitive callees and referenced globals) into a
+/// fresh standalone module named `<module>.<region>`.
+pub fn extract_region(m: &Module, region: &str) -> Result<Module, UnknownRegion> {
+    if m.function(region).is_none() {
+        return Err(UnknownRegion(region.to_string()));
+    }
+
+    // BFS over the call graph starting from the region.
+    let mut keep: BTreeSet<String> = BTreeSet::new();
+    let mut queue: VecDeque<String> = VecDeque::new();
+    keep.insert(region.to_string());
+    queue.push_back(region.to_string());
+    while let Some(name) = queue.pop_front() {
+        let Some(f) = m.function(&name) else { continue };
+        for (_, _, id) in f.iter_attached() {
+            if let Opcode::Call { callee } = &f.instr(id).op {
+                if keep.insert(callee.clone()) {
+                    queue.push_back(callee.clone());
+                }
+            }
+        }
+    }
+
+    // Collect referenced globals (in deterministic id order).
+    let mut used_globals: BTreeSet<GlobalId> = BTreeSet::new();
+    for name in &keep {
+        let Some(f) = m.function(name) else { continue };
+        for (_, _, id) in f.iter_attached() {
+            for op in &f.instr(id).operands {
+                if let Operand::Global(g) = *op {
+                    used_globals.insert(g);
+                }
+            }
+        }
+    }
+
+    let mut out = Module::new(format!("{}.{}", m.name, region));
+    let mut gmap: HashMap<GlobalId, GlobalId> = HashMap::new();
+    for g in &used_globals {
+        let old = m.global(*g);
+        let new = out.add_global(old.name.clone(), old.elem, old.count);
+        gmap.insert(*g, new);
+    }
+
+    // Clone kept functions in original module order (region first is not
+    // required; order follows the source module for determinism). Callees
+    // that exist in the source module are cloned; calls to runtime
+    // intrinsics need no definition.
+    for f in &m.functions {
+        if !keep.contains(&f.name) {
+            continue;
+        }
+        let mut nf: Function = f.clone();
+        for instr in &mut nf.instrs {
+            for op in &mut instr.operands {
+                if let Operand::Global(g) = *op {
+                    *op = Operand::Global(gmap[&g]);
+                }
+            }
+        }
+        out.add_function(nf);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{iconst, FunctionBuilder};
+    use crate::function::FunctionKind;
+    use crate::types::Ty;
+    use crate::verify::verify_module;
+
+    fn two_region_module() -> Module {
+        let mut m = Module::new("app");
+        let a = m.add_global("a", Ty::F64, 100);
+        let bglob = m.add_global("b", Ty::F64, 200);
+        let c = m.add_global("c", Ty::I32, 50);
+
+        // helper called by region 1 only
+        let mut h = FunctionBuilder::new("helper", vec![Ty::I64], Ty::F64, FunctionKind::Normal);
+        let p = h.gep(Ty::F64, Operand::Global(bglob), h.arg(0));
+        let v = h.load(Ty::F64, p);
+        h.ret(Some(v));
+        m.add_function(h.finish());
+
+        let mut r1 = FunctionBuilder::new(".omp_outlined.r1", vec![Ty::I64], Ty::Void, FunctionKind::OmpOutlined);
+        let x = r1.call("helper", Ty::F64, vec![r1.arg(0)]);
+        let pa = r1.gep(Ty::F64, Operand::Global(a), r1.arg(0));
+        r1.store(x, pa);
+        r1.ret(None);
+        m.add_function(r1.finish());
+
+        let mut r2 = FunctionBuilder::new(".omp_outlined.r2", vec![Ty::I64], Ty::Void, FunctionKind::OmpOutlined);
+        let pc = r2.gep(Ty::I32, Operand::Global(c), r2.arg(0));
+        let v = r2.load(Ty::I32, pc);
+        let v2 = r2.add(Ty::I32, v, iconst(1));
+        r2.store(v2, pc);
+        r2.ret(None);
+        m.add_function(r2.finish());
+        m
+    }
+
+    #[test]
+    fn extraction_pulls_transitive_callees_and_globals() {
+        let m = two_region_module();
+        let e = extract_region(&m, ".omp_outlined.r1").expect("exists");
+        verify_module(&e).expect("extracted module verifies");
+        assert!(e.function(".omp_outlined.r1").is_some());
+        assert!(e.function("helper").is_some(), "transitive callee kept");
+        assert!(e.function(".omp_outlined.r2").is_none(), "unrelated region dropped");
+        assert!(e.global_by_name("a").is_some());
+        assert!(e.global_by_name("b").is_some(), "global used by callee kept");
+        assert!(e.global_by_name("c").is_none(), "unused global dropped");
+        assert_eq!(e.name, "app..omp_outlined.r1");
+    }
+
+    #[test]
+    fn global_ids_are_remapped() {
+        let m = two_region_module();
+        let e = extract_region(&m, ".omp_outlined.r2").expect("exists");
+        verify_module(&e).expect("verifies");
+        // r2 only uses `c`, which was GlobalId(2) in the source and must be
+        // GlobalId(0) here; the gep must point at it.
+        assert_eq!(e.globals.len(), 1);
+        assert_eq!(e.globals[0].name, "c");
+        let f = e.function(".omp_outlined.r2").unwrap();
+        let uses_g0 = f
+            .iter_attached()
+            .any(|(_, _, id)| f.instr(id).operands.contains(&Operand::Global(GlobalId(0))));
+        assert!(uses_g0);
+    }
+
+    #[test]
+    fn unknown_region_errors() {
+        let m = two_region_module();
+        let err = extract_region(&m, "nope").unwrap_err();
+        assert_eq!(err.0, "nope");
+    }
+
+    #[test]
+    fn extraction_is_idempotent() {
+        let m = two_region_module();
+        let e1 = extract_region(&m, ".omp_outlined.r1").unwrap();
+        let e2 = extract_region(&e1, ".omp_outlined.r1").unwrap();
+        assert_eq!(e1.globals, e2.globals);
+        assert_eq!(e1.functions.len(), e2.functions.len());
+    }
+}

@@ -1,0 +1,738 @@
+//! A reference interpreter for the IR.
+//!
+//! Its purpose is *differential testing of the optimizer*: an IR module and
+//! its optimized form must produce identical observable behaviour (final
+//! global memory, return value) when executed under the same inputs. The
+//! pass pipeline is exercised this way in
+//! `crates/passes/tests/differential.rs`, the same technique compiler
+//! projects use against miscompilation.
+//!
+//! Semantics:
+//! * integers are two's-complement with wrapping arithmetic (as the folder
+//!   assumes); division by zero is a trap ([`TrapKind::DivByZero`]);
+//! * floats are IEEE-754 `f64`/`f32` with the host's operations —
+//!   identical to what constant folding computes, so optimized and
+//!   unoptimized runs agree bit-for-bit;
+//! * memory is byte-addressed per object (globals zero-initialized or
+//!   caller-seeded, allocas per activation); out-of-bounds accesses trap;
+//! * the OpenMP runtime surface is modeled for a single logical thread:
+//!   `omp_get_thread_num`/`omp_get_num_threads` return configured values,
+//!   barriers are no-ops, atomics execute non-atomically (one thread);
+//! * a configurable step limit bounds runaway loops ([`TrapKind::StepLimit`]).
+
+use crate::function::{BlockId, Function};
+use crate::instr::{CastKind, Opcode, Operand, RmwOp};
+use crate::module::{GlobalId, Module};
+use crate::types::Ty;
+use std::fmt;
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    I(i64),
+    F(f64),
+    /// Pointer: object handle + byte offset.
+    P(MemRef),
+}
+
+/// A pointer target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    pub object: ObjectId,
+    pub offset: i64,
+}
+
+/// Handle of a memory object (global or alloca).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjectId {
+    Global(u32),
+    Alloca(u32),
+}
+
+impl Value {
+    fn as_i(self) -> Result<i64, TrapKind> {
+        match self {
+            Value::I(v) => Ok(v),
+            _ => Err(TrapKind::TypeConfusion),
+        }
+    }
+
+    fn as_f(self) -> Result<f64, TrapKind> {
+        match self {
+            Value::F(v) => Ok(v),
+            _ => Err(TrapKind::TypeConfusion),
+        }
+    }
+
+    fn as_p(self) -> Result<MemRef, TrapKind> {
+        match self {
+            Value::P(p) => Ok(p),
+            _ => Err(TrapKind::TypeConfusion),
+        }
+    }
+
+    fn truthy(self) -> Result<bool, TrapKind> {
+        Ok(self.as_i()? != 0)
+    }
+}
+
+/// Why execution stopped abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrapKind {
+    DivByZero,
+    OutOfBounds,
+    StepLimit,
+    UnknownFunction(String),
+    TypeConfusion,
+    ShiftOutOfRange,
+}
+
+/// A trap with context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trap {
+    pub kind: TrapKind,
+    pub function: String,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trap in @{}: {:?}", self.function, self.kind)
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// Interpreter configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct InterpConfig {
+    /// Value returned by `omp_get_thread_num`.
+    pub thread_num: i64,
+    /// Value returned by `omp_get_num_threads`.
+    pub num_threads: i64,
+    /// Maximum executed instructions before [`TrapKind::StepLimit`].
+    pub step_limit: u64,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        InterpConfig { thread_num: 1, num_threads: 4, step_limit: 2_000_000 }
+    }
+}
+
+/// Result of a completed execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutcome {
+    pub ret: Option<Value>,
+    pub steps: u64,
+}
+
+/// The machine: module + memory.
+///
+/// ```
+/// use irnuma_ir::{parse_module, Interp, InterpConfig, Value};
+///
+/// let m = parse_module(
+///     "module \"demo\"\nfunc @inc(i64) -> i64 {\nbb0:\n  %0 = add i64 %a0, 1\n  ret %0\n}\n",
+/// ).unwrap();
+/// let mut interp = Interp::new(&m, InterpConfig::default());
+/// let out = interp.call("inc", &[Value::I(41)]).unwrap();
+/// assert_eq!(out.ret, Some(Value::I(42)));
+/// ```
+pub struct Interp<'m> {
+    module: &'m Module,
+    cfg: InterpConfig,
+    globals: Vec<Vec<u8>>,
+    allocas: Vec<Vec<u8>>,
+    steps: u64,
+}
+
+impl<'m> Interp<'m> {
+    /// Create an interpreter with zero-initialized globals.
+    pub fn new(module: &'m Module, cfg: InterpConfig) -> Interp<'m> {
+        let globals = module
+            .globals
+            .iter()
+            .map(|g| vec![0u8; g.size_bytes() as usize])
+            .collect();
+        Interp { module, cfg, globals, allocas: Vec::new(), steps: 0 }
+    }
+
+    /// Deterministically seed every global with a pattern derived from
+    /// `seed` (so loads observe non-trivial data). Integer-element globals
+    /// receive small non-negative values — safe as indices after masking.
+    pub fn seed_globals(&mut self, seed: u64) {
+        for (gi, g) in self.module.globals.iter().enumerate() {
+            let elem = g.elem;
+            let esz = elem.size_bytes() as usize;
+            if esz == 0 {
+                continue;
+            }
+            let n = self.globals[gi].len() / esz;
+            for e in 0..n {
+                let h = splitmix(seed ^ (gi as u64) << 32 ^ e as u64);
+                let bytes: Vec<u8> = match elem {
+                    Ty::F64 => {
+                        let v = (h % 1000) as f64 / 250.0 - 2.0;
+                        v.to_le_bytes().to_vec()
+                    }
+                    Ty::F32 => {
+                        let v = ((h % 1000) as f32 / 250.0) - 2.0;
+                        v.to_le_bytes().to_vec()
+                    }
+                    Ty::I64 | Ty::Ptr => ((h % 251) as i64).to_le_bytes().to_vec(),
+                    Ty::I32 => ((h % 251) as i32).to_le_bytes().to_vec(),
+                    Ty::I1 => vec![(h & 1) as u8],
+                    Ty::Void => unreachable!(),
+                };
+                let off = e * esz;
+                self.globals[gi][off..off + esz].copy_from_slice(&bytes);
+            }
+        }
+    }
+
+    /// A stable digest of all global memory (for differential comparison).
+    pub fn memory_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for g in &self.globals {
+            for &b in g {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        h
+    }
+
+    /// Execute `function` with `args`. Consumes interpreter steps; memory
+    /// persists across calls (run a region twice to model two invocations).
+    pub fn call(&mut self, function: &str, args: &[Value]) -> Result<ExecOutcome, Trap> {
+        let start_steps = self.steps;
+        let ret = self.exec_function(function, args).map_err(|kind| Trap {
+            kind,
+            function: function.to_string(),
+        })?;
+        Ok(ExecOutcome { ret, steps: self.steps - start_steps })
+    }
+
+    fn exec_function(&mut self, name: &str, args: &[Value]) -> Result<Option<Value>, TrapKind> {
+        if let Some(v) = self.try_intrinsic(name, args)? {
+            return Ok(v);
+        }
+        let f = self
+            .module
+            .function(name)
+            .ok_or_else(|| TrapKind::UnknownFunction(name.to_string()))?;
+        if f.is_declaration() {
+            return Err(TrapKind::UnknownFunction(name.to_string()));
+        }
+        // SSA register file for this activation (dense: InstrId-indexed).
+        let mut regs: Vec<Option<Value>> = vec![None; f.instrs.len()];
+        let mut block = f.entry();
+        let mut prev: Option<BlockId> = None;
+
+        'blocks: loop {
+            // Phis read their incoming values as a parallel copy.
+            let phi_ids: Vec<_> = f.blocks[block.index()]
+                .instrs
+                .iter()
+                .copied()
+                .take_while(|&i| matches!(f.instr(i).op, Opcode::Phi))
+                .collect();
+            if !phi_ids.is_empty() {
+                let pred = prev.ok_or(TrapKind::TypeConfusion)?;
+                let mut staged = Vec::with_capacity(phi_ids.len());
+                for &id in &phi_ids {
+                    let instr = f.instr(id);
+                    let mut found = None;
+                    for (b, v) in instr.phi_incomings() {
+                        if b == pred {
+                            found = Some(self.operand(f, &regs, v, args)?);
+                        }
+                    }
+                    staged.push((id.0, found.ok_or(TrapKind::TypeConfusion)?));
+                }
+                for (id, v) in staged {
+                    regs[id as usize] = Some(v);
+                }
+            }
+
+            for (pos, &id) in f.blocks[block.index()].instrs.iter().enumerate() {
+                let instr = f.instr(id);
+                if matches!(instr.op, Opcode::Phi) {
+                    continue; // handled above
+                }
+                self.steps += 1;
+                if self.steps > self.cfg.step_limit {
+                    return Err(TrapKind::StepLimit);
+                }
+                let _ = pos;
+                match &instr.op {
+                    Opcode::Br => {
+                        prev = Some(block);
+                        block = instr.operands[0].as_block().unwrap();
+                        continue 'blocks;
+                    }
+                    Opcode::CondBr => {
+                        let c = self.operand(f, &regs, instr.operands[0], args)?.truthy()?;
+                        prev = Some(block);
+                        block = instr.operands[1 + usize::from(!c)].as_block().unwrap();
+                        continue 'blocks;
+                    }
+                    Opcode::Ret => {
+                        return Ok(match instr.operands.first() {
+                            Some(&op) => Some(self.operand(f, &regs, op, args)?),
+                            None => None,
+                        });
+                    }
+                    _ => {
+                        let v = self.exec_instr(f, &regs, id.0, instr, args)?;
+                        if let Some(v) = v {
+                            regs[id.0 as usize] = Some(v);
+                        }
+                    }
+                }
+            }
+            // Verified functions always end blocks with terminators.
+            return Err(TrapKind::TypeConfusion);
+        }
+    }
+
+    fn operand(
+        &self,
+        f: &Function,
+        regs: &[Option<Value>],
+        op: Operand,
+        args: &[Value],
+    ) -> Result<Value, TrapKind> {
+        Ok(match op {
+            Operand::Instr(id) => regs
+                .get(id.0 as usize)
+                .copied()
+                .flatten()
+                .ok_or(TrapKind::TypeConfusion)?,
+            Operand::Arg(i) => *args.get(i as usize).ok_or(TrapKind::TypeConfusion)?,
+            Operand::ConstInt(v) => Value::I(v),
+            Operand::ConstFloat(bits) => Value::F(f64::from_bits(bits)),
+            Operand::Global(g) => Value::P(MemRef { object: ObjectId::Global(g.0), offset: 0 }),
+            Operand::Block(_) => return Err(TrapKind::TypeConfusion),
+        })
+        .map(|v| {
+            let _ = f;
+            v
+        })
+    }
+
+    fn exec_instr(
+        &mut self,
+        f: &Function,
+        regs: &[Option<Value>],
+        _id: u32,
+        instr: &crate::instr::Instr,
+        args: &[Value],
+    ) -> Result<Option<Value>, TrapKind> {
+        let op = |i: usize| self.operand(f, regs, instr.operands[i], args);
+        let v = match &instr.op {
+            Opcode::Add | Opcode::Sub | Opcode::Mul | Opcode::SDiv | Opcode::SRem
+            | Opcode::And | Opcode::Or | Opcode::Xor | Opcode::Shl | Opcode::LShr
+            | Opcode::AShr => {
+                let a = op(0)?.as_i()?;
+                let b = op(1)?.as_i()?;
+                Value::I(int_binop(&instr.op, a, b, instr.ty)?)
+            }
+            Opcode::FAdd | Opcode::FSub | Opcode::FMul | Opcode::FDiv => {
+                let a = op(0)?.as_f()?;
+                let b = op(1)?.as_f()?;
+                let r = match instr.op {
+                    Opcode::FAdd => a + b,
+                    Opcode::FSub => a - b,
+                    Opcode::FMul => a * b,
+                    _ => a / b,
+                };
+                Value::F(round_to(instr.ty, r))
+            }
+            Opcode::FMulAdd => {
+                let (a, b, c) = (op(0)?.as_f()?, op(1)?.as_f()?, op(2)?.as_f()?);
+                Value::F(round_to(instr.ty, a * b + c))
+            }
+            Opcode::Icmp(p) => Value::I(p.eval(op(0)?.as_i()?, op(1)?.as_i()?) as i64),
+            Opcode::Fcmp(p) => Value::I(p.eval(op(0)?.as_f()?, op(1)?.as_f()?) as i64),
+            Opcode::Select => {
+                if op(0)?.truthy()? {
+                    op(1)?
+                } else {
+                    op(2)?
+                }
+            }
+            Opcode::Cast(kind) => cast(*kind, instr.ty, op(0)?)?,
+            Opcode::Alloca { elem, count } => {
+                self.allocas.push(vec![0u8; (elem.size_bytes() * count) as usize]);
+                Value::P(MemRef {
+                    object: ObjectId::Alloca((self.allocas.len() - 1) as u32),
+                    offset: 0,
+                })
+            }
+            Opcode::Gep { elem_size } => {
+                let base = op(0)?.as_p()?;
+                let idx = op(1)?.as_i()?;
+                Value::P(MemRef {
+                    object: base.object,
+                    offset: base.offset + idx * *elem_size as i64,
+                })
+            }
+            Opcode::Load => {
+                let p = op(0)?.as_p()?;
+                self.load(p, instr.ty)?
+            }
+            Opcode::Store => {
+                let val = op(0)?;
+                let p = op(1)?.as_p()?;
+                self.store(p, val)?;
+                return Ok(None);
+            }
+            Opcode::AtomicRmw(rmw) => {
+                // Single-threaded semantics: read, modify, write; yields old.
+                let p = op(1 - 1)?.as_p()?; // operand 0 = ptr
+                let arg = op(1)?;
+                let old = self.load(p, instr.ty)?;
+                let new = match (rmw, old, arg) {
+                    (RmwOp::Add, Value::I(a), Value::I(b)) => Value::I(instr.ty.wrap_int(a as i128 + b as i128)),
+                    (RmwOp::Min, Value::I(a), Value::I(b)) => Value::I(a.min(b)),
+                    (RmwOp::Max, Value::I(a), Value::I(b)) => Value::I(a.max(b)),
+                    (RmwOp::Xchg, _, b) => b,
+                    _ => return Err(TrapKind::TypeConfusion),
+                };
+                self.store(p, new)?;
+                old
+            }
+            Opcode::Call { callee } => {
+                let mut vals = Vec::with_capacity(instr.operands.len());
+                for i in 0..instr.operands.len() {
+                    vals.push(op(i)?);
+                }
+                match self.exec_function(callee, &vals)? {
+                    Some(v) => v,
+                    None => return Ok(None),
+                }
+            }
+            Opcode::Phi | Opcode::Br | Opcode::CondBr | Opcode::Ret => unreachable!("handled by driver"),
+        };
+        Ok(Some(v))
+    }
+
+    fn try_intrinsic(&mut self, name: &str, args: &[Value]) -> Result<Option<Option<Value>>, TrapKind> {
+        // Only handle as intrinsic when the module does not define a body.
+        if self.module.function(name).is_some_and(|f| !f.is_declaration()) {
+            return Ok(None);
+        }
+        let one_f = |args: &[Value]| -> Result<f64, TrapKind> {
+            args.first().copied().ok_or(TrapKind::TypeConfusion)?.as_f()
+        };
+        let v: Option<Value> = match name {
+            "omp_get_thread_num" => Some(Value::I(self.cfg.thread_num)),
+            "omp_get_num_threads" => Some(Value::I(self.cfg.num_threads)),
+            "kmpc_barrier" | "kmpc_critical" | "kmpc_end_critical" | "kmpc_for_static_init"
+            | "kmpc_reduce" => None,
+            "sqrt" => Some(Value::F(one_f(args)?.sqrt())),
+            "fabs" => Some(Value::F(one_f(args)?.abs())),
+            "exp" => Some(Value::F(one_f(args)?.exp())),
+            "log" => Some(Value::F(one_f(args)?.ln())),
+            "pow" => {
+                let a = args.first().copied().ok_or(TrapKind::TypeConfusion)?.as_f()?;
+                let b = args.get(1).copied().ok_or(TrapKind::TypeConfusion)?.as_f()?;
+                Some(Value::F(a.powf(b)))
+            }
+            _ => return Ok(None),
+        };
+        self.steps += 1;
+        Ok(Some(v))
+    }
+
+    fn object(&self, id: ObjectId) -> Result<&Vec<u8>, TrapKind> {
+        match id {
+            ObjectId::Global(g) => self.globals.get(g as usize).ok_or(TrapKind::OutOfBounds),
+            ObjectId::Alloca(a) => self.allocas.get(a as usize).ok_or(TrapKind::OutOfBounds),
+        }
+    }
+
+    fn object_mut(&mut self, id: ObjectId) -> Result<&mut Vec<u8>, TrapKind> {
+        match id {
+            ObjectId::Global(g) => self.globals.get_mut(g as usize).ok_or(TrapKind::OutOfBounds),
+            ObjectId::Alloca(a) => self.allocas.get_mut(a as usize).ok_or(TrapKind::OutOfBounds),
+        }
+    }
+
+    fn load(&self, p: MemRef, ty: Ty) -> Result<Value, TrapKind> {
+        let buf = self.object(p.object)?;
+        let sz = ty.size_bytes() as usize;
+        let off = usize::try_from(p.offset).map_err(|_| TrapKind::OutOfBounds)?;
+        if off + sz > buf.len() {
+            return Err(TrapKind::OutOfBounds);
+        }
+        let b = &buf[off..off + sz];
+        Ok(match ty {
+            Ty::I1 => Value::I((b[0] & 1) as i64),
+            Ty::I32 => Value::I(i32::from_le_bytes(b.try_into().unwrap()) as i64),
+            Ty::I64 => Value::I(i64::from_le_bytes(b.try_into().unwrap())),
+            Ty::F32 => Value::F(f32::from_le_bytes(b.try_into().unwrap()) as f64),
+            Ty::F64 => Value::F(f64::from_le_bytes(b.try_into().unwrap())),
+            Ty::Ptr | Ty::Void => return Err(TrapKind::TypeConfusion),
+        })
+    }
+
+    fn store(&mut self, p: MemRef, v: Value) -> Result<(), TrapKind> {
+        let off = usize::try_from(p.offset).map_err(|_| TrapKind::OutOfBounds)?;
+        let bytes: Vec<u8> = match v {
+            Value::I(x) => x.to_le_bytes().to_vec(),
+            Value::F(x) => x.to_le_bytes().to_vec(),
+            Value::P(_) => return Err(TrapKind::TypeConfusion),
+        };
+        let buf = self.object_mut(p.object)?;
+        if off + bytes.len() > buf.len() {
+            // Allow narrower element stores (i32 array cells receive i64
+            // register values truncated to the element width).
+            let avail = buf.len().saturating_sub(off);
+            if avail >= 4 && matches!(v, Value::I(_)) {
+                buf[off..off + 4].copy_from_slice(&bytes[..4]);
+                return Ok(());
+            }
+            return Err(TrapKind::OutOfBounds);
+        }
+        buf[off..off + bytes.len()].copy_from_slice(&bytes);
+        Ok(())
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+fn round_to(ty: Ty, v: f64) -> f64 {
+    match ty {
+        Ty::F32 => v as f32 as f64,
+        _ => v,
+    }
+}
+
+fn int_binop(op: &Opcode, a: i64, b: i64, ty: Ty) -> Result<i64, TrapKind> {
+    let r: i128 = match op {
+        Opcode::Add => a as i128 + b as i128,
+        Opcode::Sub => a as i128 - b as i128,
+        Opcode::Mul => (a as i128).wrapping_mul(b as i128),
+        Opcode::SDiv => {
+            if b == 0 {
+                return Err(TrapKind::DivByZero);
+            }
+            (a as i128) / (b as i128)
+        }
+        Opcode::SRem => {
+            if b == 0 {
+                return Err(TrapKind::DivByZero);
+            }
+            (a as i128) % (b as i128)
+        }
+        Opcode::And => (a & b) as i128,
+        Opcode::Or => (a | b) as i128,
+        Opcode::Xor => (a ^ b) as i128,
+        Opcode::Shl => {
+            if !(0..64).contains(&b) {
+                return Err(TrapKind::ShiftOutOfRange);
+            }
+            (a as i128) << b
+        }
+        Opcode::LShr => {
+            if !(0..64).contains(&b) {
+                return Err(TrapKind::ShiftOutOfRange);
+            }
+            ((a as u64) >> b) as i128
+        }
+        Opcode::AShr => {
+            if !(0..64).contains(&b) {
+                return Err(TrapKind::ShiftOutOfRange);
+            }
+            (a >> b) as i128
+        }
+        _ => return Err(TrapKind::TypeConfusion),
+    };
+    Ok(ty.wrap_int(r))
+}
+
+fn cast(kind: CastKind, to: Ty, v: Value) -> Result<Value, TrapKind> {
+    Ok(match kind {
+        CastKind::Trunc | CastKind::Zext | CastKind::Sext => {
+            let x = v.as_i()?;
+            match kind {
+                CastKind::Trunc => Value::I(to.wrap_int(x as i128)),
+                CastKind::Zext => Value::I(match to {
+                    Ty::I64 => x,
+                    _ => to.wrap_int(x as i128),
+                }),
+                _ => Value::I(x),
+            }
+        }
+        CastKind::FpToSi => {
+            let x = v.as_f()?;
+            Value::I(to.wrap_int(if x.is_finite() { x as i64 as i128 } else { 0 }))
+        }
+        CastKind::SiToFp => Value::F(v.as_i()? as f64),
+        CastKind::FpCast => Value::F(round_to(to, v.as_f()?)),
+        CastKind::Bitcast => v,
+    })
+}
+
+/// The identifier of a global by name (convenience for tests).
+pub fn global_id(m: &Module, name: &str) -> Option<GlobalId> {
+    m.global_by_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{fconst, iconst, FunctionBuilder};
+    use crate::function::FunctionKind;
+
+    fn run(m: &Module, f: &str, args: &[Value]) -> (ExecOutcome, u64) {
+        let mut it = Interp::new(m, InterpConfig::default());
+        it.seed_globals(42);
+        let out = it.call(f, args).expect("executes");
+        (out, it.memory_digest())
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow() {
+        // sum of 0..n
+        let mut b = FunctionBuilder::new("sum", vec![Ty::I64], Ty::I64, FunctionKind::Normal);
+        let acc = b.alloca(Ty::I64, 1);
+        b.store(iconst(0), acc);
+        b.counted_loop(iconst(0), b.arg(0), iconst(1), |b, i| {
+            let cur = b.load(Ty::I64, acc);
+            let nv = b.add(Ty::I64, cur, i);
+            b.store(nv, acc);
+        });
+        let total = b.load(Ty::I64, acc);
+        b.ret(Some(total));
+        let mut m = Module::new("m");
+        m.add_function(b.finish());
+        let (out, _) = run(&m, "sum", &[Value::I(10)]);
+        assert_eq!(out.ret, Some(Value::I(45)));
+        assert!(out.steps > 30);
+    }
+
+    #[test]
+    fn float_math_and_intrinsics() {
+        let mut b = FunctionBuilder::new("f", vec![], Ty::F64, FunctionKind::Normal);
+        let x = b.fmuladd(Ty::F64, fconst(3.0), fconst(4.0), fconst(5.0));
+        let r = b.call("sqrt", Ty::F64, vec![x]);
+        b.ret(Some(r));
+        let mut m = Module::new("m");
+        m.add_function(b.finish());
+        let (out, _) = run(&m, "f", &[]);
+        assert_eq!(out.ret, Some(Value::F(17.0f64.sqrt())));
+    }
+
+    #[test]
+    fn memory_globals_and_gep() {
+        let mut m = Module::new("m");
+        let g = m.add_global("buf", Ty::F64, 8);
+        let mut b = FunctionBuilder::new("k", vec![Ty::I64], Ty::Void, FunctionKind::Normal);
+        let p = b.gep(Ty::F64, Operand::Global(g), b.arg(0));
+        let v = b.load(Ty::F64, p);
+        let w = b.fmul(Ty::F64, v, fconst(2.0));
+        b.store(w, p);
+        b.ret(None);
+        m.add_function(b.finish());
+        let mut it = Interp::new(&m, InterpConfig::default());
+        it.seed_globals(1);
+        let before = it.memory_digest();
+        it.call("k", &[Value::I(3)]).unwrap();
+        assert_ne!(it.memory_digest(), before, "store visible in the digest");
+        // A second call on the same cell doubles again — memory persists.
+        let after_one = it.memory_digest();
+        it.call("k", &[Value::I(3)]).unwrap();
+        assert_ne!(it.memory_digest(), after_one);
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let mut b = FunctionBuilder::new("d", vec![Ty::I64], Ty::I64, FunctionKind::Normal);
+        let q = b.sdiv(Ty::I64, iconst(10), b.arg(0));
+        b.ret(Some(q));
+        let mut m = Module::new("m");
+        m.add_function(b.finish());
+        let mut it = Interp::new(&m, InterpConfig::default());
+        let err = it.call("d", &[Value::I(0)]).unwrap_err();
+        assert_eq!(err.kind, TrapKind::DivByZero);
+        assert!(it.call("d", &[Value::I(2)]).is_ok());
+    }
+
+    #[test]
+    fn out_of_bounds_traps() {
+        let mut m = Module::new("m");
+        let g = m.add_global("small", Ty::I64, 2);
+        let mut b = FunctionBuilder::new("o", vec![Ty::I64], Ty::I64, FunctionKind::Normal);
+        let p = b.gep(Ty::I64, Operand::Global(g), b.arg(0));
+        let v = b.load(Ty::I64, p);
+        b.ret(Some(v));
+        m.add_function(b.finish());
+        let mut it = Interp::new(&m, InterpConfig::default());
+        assert!(it.call("o", &[Value::I(1)]).is_ok());
+        let err = it.call("o", &[Value::I(5)]).unwrap_err();
+        assert_eq!(err.kind, TrapKind::OutOfBounds);
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loops() {
+        let text = "module \"m\"\nfunc @spin() -> void {\nbb0:\n  br bb1\nbb1:\n  br bb1\n}\n";
+        let m = crate::parser::parse_module(text).unwrap();
+        let mut it = Interp::new(&m, InterpConfig { step_limit: 1000, ..Default::default() });
+        let err = it.call("spin", &[]).unwrap_err();
+        assert_eq!(err.kind, TrapKind::StepLimit);
+    }
+
+    #[test]
+    fn atomics_read_modify_write() {
+        let mut m = Module::new("m");
+        let g = m.add_global("ctr", Ty::I64, 1);
+        let mut b = FunctionBuilder::new("inc", vec![], Ty::I64, FunctionKind::Normal);
+        let p = b.gep(Ty::I64, Operand::Global(g), iconst(0));
+        let old = b.atomic_rmw(RmwOp::Add, Ty::I64, p, iconst(5));
+        b.ret(Some(old));
+        m.add_function(b.finish());
+        let mut it = Interp::new(&m, InterpConfig::default());
+        assert_eq!(it.call("inc", &[]).unwrap().ret, Some(Value::I(0)));
+        assert_eq!(it.call("inc", &[]).unwrap().ret, Some(Value::I(5)), "rmw yields the old value");
+    }
+
+    #[test]
+    fn phi_parallel_copy_semantics() {
+        // Fibonacci via two phis that must read each other's *old* values.
+        let text = "module \"m\"\n\
+            func @fib(i64) -> i64 {\n\
+            bb0:\n  br bb1\n\
+            bb1:\n  %0 = phi i64 bb0, 0, bb2, %1\n  %1 = phi i64 bb0, 1, bb2, %4\n  %2 = phi i64 bb0, 0, bb2, %5\n\
+              %3 = icmp.slt i1 %2, %a0\n  condbr %3, bb2, bb3\n\
+            bb2:\n  %4 = add i64 %0, %1\n  %5 = add i64 %2, 1\n  br bb1\n\
+            bb3:\n  ret %0\n}\n";
+        let m = crate::parser::parse_module(text).unwrap();
+        crate::verify::verify_module(&m).unwrap();
+        let mut it = Interp::new(&m, InterpConfig::default());
+        let out = it.call("fib", &[Value::I(10)]).unwrap();
+        assert_eq!(out.ret, Some(Value::I(55)), "fib(10)");
+    }
+
+    #[test]
+    fn omp_intrinsics_are_configurable() {
+        let mut b = FunctionBuilder::new("t", vec![], Ty::I64, FunctionKind::Normal);
+        let tid = b.call("omp_get_thread_num", Ty::I32, vec![]);
+        let nth = b.call("omp_get_num_threads", Ty::I32, vec![]);
+        let t64 = b.cast(CastKind::Sext, Ty::I64, tid);
+        let n64 = b.cast(CastKind::Sext, Ty::I64, nth);
+        let r = b.mul(Ty::I64, t64, n64);
+        b.ret(Some(r));
+        let mut m = Module::new("m");
+        m.add_function(b.finish());
+        let mut it = Interp::new(&m, InterpConfig { thread_num: 3, num_threads: 8, ..Default::default() });
+        assert_eq!(it.call("t", &[]).unwrap().ret, Some(Value::I(24)));
+    }
+}

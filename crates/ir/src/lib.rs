@@ -1,0 +1,50 @@
+//! # irnuma-ir — a miniature SSA intermediate representation
+//!
+//! This crate is the IR substrate for the IPDPS'22 reproduction
+//! *"Learning Intermediate Representations using Graph Neural Networks for
+//! NUMA and Prefetchers Optimization"*. The paper consumes LLVM IR; this
+//! crate provides a self-contained, LLVM-shaped SSA IR with everything the
+//! rest of the workspace needs:
+//!
+//! * typed instructions grouped into basic blocks inside functions inside
+//!   modules ([`Module`], [`Function`], [`Block`], [`Instr`]);
+//! * a [`builder::FunctionBuilder`] used by the synthetic workload suite to
+//!   emit OpenMP-outlined region bodies;
+//! * a textual format with a printer ([`printer`]) and parser ([`parser`])
+//!   that round-trip (`parse(print(m)) == m` modulo value numbering);
+//! * a structural [`verify`]er (SSA dominance, terminator discipline,
+//!   operand typing);
+//! * CFG analyses ([`analysis`]): successors/predecessors, reverse postorder,
+//!   dominator tree, and natural-loop detection — shared by the optimization
+//!   passes in `irnuma-passes`;
+//! * [`extract`]: the `llvm-extract` equivalent that pulls one outlined
+//!   region (plus transitive callees and referenced globals) into a
+//!   standalone module (paper step B).
+//!
+//! The IR is deliberately small but not toy-shaped: it has integer and float
+//! arithmetic, memory (alloca/load/store/GEP), atomics, calls, phis, casts
+//! and compares — enough for the middle-end passes in `irnuma-passes` to be
+//! real transformations whose effect depends on code properties, which is the
+//! core mechanism the paper's data augmentation exploits.
+
+pub mod analysis;
+pub mod builder;
+pub mod extract;
+pub mod interp;
+pub mod function;
+pub mod instr;
+pub mod module;
+pub mod parser;
+pub mod printer;
+pub mod types;
+pub mod verify;
+
+pub use builder::FunctionBuilder;
+pub use function::{Block, BlockId, Function, FunctionKind};
+pub use instr::{CastKind, FloatPred, Instr, InstrId, IntPred, Opcode, Operand, RmwOp};
+pub use module::{Global, GlobalId, Module};
+pub use parser::{parse_module, ParseError};
+pub use printer::print_module;
+pub use types::Ty;
+pub use interp::{ExecOutcome, Interp, InterpConfig, Trap, TrapKind, Value};
+pub use verify::{verify_function, verify_module, VerifyError};

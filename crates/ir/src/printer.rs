@@ -1,0 +1,247 @@
+//! Textual form of the IR.
+//!
+//! The format is line-oriented and fully uniform so that
+//! [`crate::parser::parse_module`] round-trips it exactly:
+//!
+//! ```text
+//! module "ep"
+//! global @data f64 x 1048576
+//! declare @omp_get_thread_num() -> i32
+//! func @.omp_outlined.ep(ptr, i64) -> void outlined {
+//! bb0:
+//!   %0 = add i64 %a1, 4
+//!   %1 = gep.8 ptr @data, %0
+//!   %2 = load f64 %1
+//!   store %2, %1
+//!   br bb1
+//! ...
+//! }
+//! ```
+//!
+//! Value numbers (`%N`) are assigned to value-producing instructions in
+//! layout order at print time; instructions without results (stores,
+//! branches) have no number. Float immediates print as `0f`+16 hex digits so
+//! round-trips are bit-exact.
+
+use crate::function::{Function, FunctionKind};
+use crate::instr::{Opcode, Operand};
+use crate::module::Module;
+use crate::types::Ty;
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Render a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    writeln!(out, "module \"{}\"", m.name).unwrap();
+    for g in &m.globals {
+        writeln!(out, "global @{} {} x {}", g.name, g.elem, g.count).unwrap();
+    }
+    for f in &m.functions {
+        out.push('\n');
+        print_function(&mut out, m, f);
+    }
+    out
+}
+
+/// Render one function into `out`.
+pub fn print_function(out: &mut String, m: &Module, f: &Function) {
+    let params = f
+        .params
+        .iter()
+        .map(|t| t.keyword())
+        .collect::<Vec<_>>()
+        .join(", ");
+    if f.is_declaration() {
+        writeln!(out, "declare @{}({}) -> {}", f.name, params, f.ret).unwrap();
+        return;
+    }
+    let kind = match f.kind {
+        FunctionKind::Normal => "",
+        FunctionKind::OmpOutlined => " outlined",
+        FunctionKind::Declaration => unreachable!(),
+    };
+    writeln!(out, "func @{}({}) -> {}{} {{", f.name, params, f.ret, kind).unwrap();
+
+    // Number the value-producing instructions in layout order.
+    let mut numbers: HashMap<crate::instr::InstrId, usize> = HashMap::new();
+    for (_, _, id) in f.iter_attached() {
+        if f.instr(id).ty.is_first_class() {
+            let n = numbers.len();
+            numbers.insert(id, n);
+        }
+    }
+
+    let operand_str = |op: &Operand| -> String {
+        match *op {
+            Operand::Instr(id) => match numbers.get(&id) {
+                Some(n) => format!("%{n}"),
+                None => "%?".into(), // reference to a detached/void instr: malformed
+            },
+            Operand::Arg(i) => format!("%a{i}"),
+            Operand::ConstInt(v) => format!("{v}"),
+            Operand::ConstFloat(bits) => format!("0f{bits:016x}"),
+            Operand::Global(g) => format!("@{}", m.global(g).name),
+            Operand::Block(b) => format!("bb{}", b.0),
+        }
+    };
+
+    for (bid, block) in f.iter_blocks() {
+        writeln!(out, "bb{}:", bid.0).unwrap();
+        for &id in &block.instrs {
+            let instr = f.instr(id);
+            let ops = instr
+                .operands
+                .iter()
+                .map(operand_str)
+                .collect::<Vec<_>>()
+                .join(", ");
+            let mn = full_mnemonic(&instr.op);
+            out.push_str("  ");
+            if instr.ty.is_first_class() {
+                write!(out, "%{} = ", numbers[&id]).unwrap();
+            }
+            // Type is printed for value-producing instructions; void ones
+            // (store/br/ret/...) omit it.
+            if instr.ty.is_first_class() {
+                write!(out, "{} {}", mn, instr.ty).unwrap();
+                if !ops.is_empty() {
+                    write!(out, " {ops}").unwrap();
+                }
+            } else {
+                write!(out, "{mn}").unwrap();
+                if !ops.is_empty() {
+                    write!(out, " {ops}").unwrap();
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out.push_str("}\n");
+}
+
+/// The parseable mnemonic, including structural payloads.
+pub(crate) fn full_mnemonic(op: &Opcode) -> String {
+    match op {
+        Opcode::Gep { elem_size } => format!("gep.{elem_size}"),
+        Opcode::Alloca { elem, count } => format!("alloca.{}.{}", elem.keyword(), count),
+        Opcode::Call { callee } => format!("call.@{callee}"),
+        other => other.mnemonic(),
+    }
+}
+
+/// Parse a full mnemonic back into an opcode; inverse of [`full_mnemonic`].
+pub(crate) fn opcode_from_mnemonic(s: &str) -> Option<Opcode> {
+    use crate::instr::{CastKind, FloatPred, IntPred, RmwOp};
+    if let Some(rest) = s.strip_prefix("gep.") {
+        return rest.parse::<u64>().ok().map(|elem_size| Opcode::Gep { elem_size });
+    }
+    if let Some(rest) = s.strip_prefix("alloca.") {
+        let (ty, count) = rest.split_once('.')?;
+        return Some(Opcode::Alloca { elem: Ty::from_keyword(ty)?, count: count.parse().ok()? });
+    }
+    if let Some(rest) = s.strip_prefix("call.@") {
+        return Some(Opcode::Call { callee: rest.to_string() });
+    }
+    if let Some(rest) = s.strip_prefix("icmp.") {
+        return IntPred::from_keyword(rest).map(Opcode::Icmp);
+    }
+    if let Some(rest) = s.strip_prefix("fcmp.") {
+        return FloatPred::from_keyword(rest).map(Opcode::Fcmp);
+    }
+    if let Some(rest) = s.strip_prefix("atomicrmw.") {
+        return RmwOp::from_keyword(rest).map(Opcode::AtomicRmw);
+    }
+    if let Some(k) = CastKind::from_keyword(s) {
+        return Some(Opcode::Cast(k));
+    }
+    Some(match s {
+        "add" => Opcode::Add,
+        "sub" => Opcode::Sub,
+        "mul" => Opcode::Mul,
+        "sdiv" => Opcode::SDiv,
+        "srem" => Opcode::SRem,
+        "fadd" => Opcode::FAdd,
+        "fsub" => Opcode::FSub,
+        "fmul" => Opcode::FMul,
+        "fdiv" => Opcode::FDiv,
+        "and" => Opcode::And,
+        "or" => Opcode::Or,
+        "xor" => Opcode::Xor,
+        "shl" => Opcode::Shl,
+        "lshr" => Opcode::LShr,
+        "ashr" => Opcode::AShr,
+        "fmuladd" => Opcode::FMulAdd,
+        "load" => Opcode::Load,
+        "store" => Opcode::Store,
+        "br" => Opcode::Br,
+        "condbr" => Opcode::CondBr,
+        "ret" => Opcode::Ret,
+        "phi" => Opcode::Phi,
+        "select" => Opcode::Select,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{fconst, iconst, FunctionBuilder};
+    use crate::instr::{CastKind, FloatPred, IntPred, RmwOp};
+
+    #[test]
+    fn mnemonic_round_trips_for_payload_opcodes() {
+        let cases = vec![
+            Opcode::Gep { elem_size: 8 },
+            Opcode::Alloca { elem: Ty::F32, count: 64 },
+            Opcode::Call { callee: "omp_get_thread_num".into() },
+            Opcode::Icmp(IntPred::Sge),
+            Opcode::Fcmp(FloatPred::Ole),
+            Opcode::AtomicRmw(RmwOp::Max),
+            Opcode::Cast(CastKind::SiToFp),
+            Opcode::FMulAdd,
+            Opcode::Phi,
+        ];
+        for op in cases {
+            let mn = full_mnemonic(&op);
+            assert_eq!(opcode_from_mnemonic(&mn), Some(op), "{mn}");
+        }
+        assert_eq!(opcode_from_mnemonic("bogus"), None);
+        assert_eq!(opcode_from_mnemonic("gep.x"), None);
+    }
+
+    #[test]
+    fn printed_module_contains_expected_lines() {
+        let mut m = Module::new("demo");
+        let g = m.add_global("buf", Ty::F64, 128);
+        let mut b = FunctionBuilder::new("k", vec![Ty::I64], Ty::Void, FunctionKind::OmpOutlined);
+        let p = b.gep(Ty::F64, Operand::Global(g), b.arg(0));
+        let v = b.load(Ty::F64, p);
+        let v2 = b.fmul(Ty::F64, v, fconst(0.5));
+        b.store(v2, p);
+        b.ret(None);
+        m.add_function(b.finish());
+
+        let text = print_module(&m);
+        assert!(text.contains("module \"demo\""));
+        assert!(text.contains("global @buf f64 x 128"));
+        assert!(text.contains("func @k(i64) -> void outlined {"));
+        assert!(text.contains("%0 = gep.8 ptr @buf, %a0"));
+        assert!(text.contains("%1 = load f64 %0"));
+        assert!(text.contains("store %2, %0"));
+        assert!(text.contains("0f3fe0000000000000"), "0.5 printed as hex bits");
+    }
+
+    #[test]
+    fn void_instrs_are_unnumbered() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![], Ty::Void, FunctionKind::Normal);
+        let x = b.add(Ty::I64, iconst(1), iconst(2));
+        let _ = x;
+        b.ret(None);
+        m.add_function(b.finish());
+        let text = print_module(&m);
+        assert!(text.contains("%0 = add i64 1, 2"));
+        assert!(text.contains("\n  ret\n"));
+    }
+}

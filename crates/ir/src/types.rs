@@ -1,0 +1,159 @@
+//! Scalar type system of the IR.
+//!
+//! The paper operates on LLVM IR; we keep the subset of LLVM's first-class
+//! types that the synthetic OpenMP kernels actually produce. Pointers are
+//! opaque (as in modern LLVM): element types live on the instructions that
+//! use them (e.g. [`crate::Opcode::Gep`] carries an element size).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A first-class scalar type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Ty {
+    /// 1-bit boolean, result of comparisons.
+    I1,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer (also used for indices and sizes).
+    I64,
+    /// 32-bit IEEE-754 float.
+    F32,
+    /// 64-bit IEEE-754 float.
+    F64,
+    /// Opaque pointer.
+    Ptr,
+    /// Absence of a value (stores, branches, void calls).
+    Void,
+}
+
+impl Ty {
+    /// Whether this is an integer type (including `i1`).
+    pub fn is_int(self) -> bool {
+        matches!(self, Ty::I1 | Ty::I32 | Ty::I64)
+    }
+
+    /// Whether this is a floating-point type.
+    pub fn is_float(self) -> bool {
+        matches!(self, Ty::F32 | Ty::F64)
+    }
+
+    /// Whether a value of this type can be produced by an instruction.
+    pub fn is_first_class(self) -> bool {
+        !matches!(self, Ty::Void)
+    }
+
+    /// Size of the type in bytes as laid out by the simulated target
+    /// (x86-64 data layout). `Void` has size zero.
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            Ty::I1 => 1,
+            Ty::I32 | Ty::F32 => 4,
+            Ty::I64 | Ty::F64 | Ty::Ptr => 8,
+            Ty::Void => 0,
+        }
+    }
+
+    /// Bit width for integer types; `None` otherwise.
+    pub fn int_bits(self) -> Option<u32> {
+        match self {
+            Ty::I1 => Some(1),
+            Ty::I32 => Some(32),
+            Ty::I64 => Some(64),
+            _ => None,
+        }
+    }
+
+    /// Textual keyword used by the printer/parser.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Ty::I1 => "i1",
+            Ty::I32 => "i32",
+            Ty::I64 => "i64",
+            Ty::F32 => "f32",
+            Ty::F64 => "f64",
+            Ty::Ptr => "ptr",
+            Ty::Void => "void",
+        }
+    }
+
+    /// Parse a type keyword; inverse of [`Ty::keyword`].
+    pub fn from_keyword(s: &str) -> Option<Ty> {
+        Some(match s {
+            "i1" => Ty::I1,
+            "i32" => Ty::I32,
+            "i64" => Ty::I64,
+            "f32" => Ty::F32,
+            "f64" => Ty::F64,
+            "ptr" => Ty::Ptr,
+            "void" => Ty::Void,
+            _ => return None,
+        })
+    }
+
+    /// Wrap an integer value to the representable range of this integer
+    /// type (two's-complement truncation). Panics on non-integer types.
+    pub fn wrap_int(self, v: i128) -> i64 {
+        match self {
+            Ty::I1 => (v & 1) as i64,
+            Ty::I32 => v as i32 as i64,
+            Ty::I64 => v as i64,
+            _ => panic!("wrap_int on non-integer type {self}"),
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Ty; 7] = [Ty::I1, Ty::I32, Ty::I64, Ty::F32, Ty::F64, Ty::Ptr, Ty::Void];
+
+    #[test]
+    fn keyword_round_trips() {
+        for ty in ALL {
+            assert_eq!(Ty::from_keyword(ty.keyword()), Some(ty));
+        }
+        assert_eq!(Ty::from_keyword("i128"), None);
+    }
+
+    #[test]
+    fn classification_is_disjoint() {
+        for ty in ALL {
+            assert!(!(ty.is_int() && ty.is_float()), "{ty} both int and float");
+        }
+        assert!(Ty::I1.is_int());
+        assert!(Ty::F64.is_float());
+        assert!(!Ty::Ptr.is_int());
+        assert!(!Ty::Void.is_first_class());
+        assert!(Ty::Ptr.is_first_class());
+    }
+
+    #[test]
+    fn sizes_match_x86_64() {
+        assert_eq!(Ty::I32.size_bytes(), 4);
+        assert_eq!(Ty::F64.size_bytes(), 8);
+        assert_eq!(Ty::Ptr.size_bytes(), 8);
+        assert_eq!(Ty::Void.size_bytes(), 0);
+    }
+
+    #[test]
+    fn wrap_int_truncates_two_complement() {
+        assert_eq!(Ty::I32.wrap_int(i128::from(i64::MAX)), -1);
+        assert_eq!(Ty::I32.wrap_int(1 << 31), i64::from(i32::MIN));
+        assert_eq!(Ty::I1.wrap_int(3), 1);
+        assert_eq!(Ty::I64.wrap_int(-5), -5);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrap_int on non-integer")]
+    fn wrap_int_rejects_floats() {
+        Ty::F32.wrap_int(0);
+    }
+}

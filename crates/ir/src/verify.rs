@@ -1,0 +1,381 @@
+//! Structural and SSA verification.
+//!
+//! `verify_function` checks the invariants every pass must preserve:
+//!
+//! 1. every reachable block ends with exactly one terminator, and no
+//!    terminator appears mid-block;
+//! 2. phis appear only at the head of a block, have one incoming per
+//!    CFG predecessor, and no duplicates;
+//! 3. every instruction operand refers to an attached instruction whose
+//!    definition dominates the use (for phis: dominates the incoming edge's
+//!    predecessor);
+//! 4. operand references (args, blocks, globals) are in range;
+//! 5. simple type sanity (terminators/stores are `Void`, compares are `i1`,
+//!    value-producing instructions are first-class).
+
+use crate::analysis::{predecessors, reachable, DomTree};
+use crate::function::{BlockId, Function};
+use crate::instr::{InstrId, Opcode, Operand};
+use crate::module::Module;
+use crate::types::Ty;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    pub function: String,
+    pub msg: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verify error in @{}: {}", self.function, self.msg)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+fn fail<T>(f: &Function, msg: impl Into<String>) -> Result<T, VerifyError> {
+    Err(VerifyError { function: f.name.clone(), msg: msg.into() })
+}
+
+/// Verify every function of a module and that call targets exist.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    let names: HashSet<&str> = m.functions.iter().map(|f| f.name.as_str()).collect();
+    for f in &m.functions {
+        verify_function(f)?;
+        for (_, _, id) in f.iter_attached() {
+            if let Opcode::Call { callee } = &f.instr(id).op {
+                if !names.contains(callee.as_str()) && !is_runtime_intrinsic(callee) {
+                    return fail(f, format!("call to undefined function @{callee}"));
+                }
+            }
+            for op in &f.instr(id).operands {
+                if let Operand::Global(g) = op {
+                    if g.index() >= m.globals.len() {
+                        return fail(f, format!("global id {} out of range", g.0));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runtime functions that may be called without a module-level declaration
+/// (the OpenMP runtime surface the workloads use).
+pub fn is_runtime_intrinsic(name: &str) -> bool {
+    matches!(
+        name,
+        "omp_get_thread_num"
+            | "omp_get_num_threads"
+            | "kmpc_barrier"
+            | "kmpc_reduce"
+            | "kmpc_for_static_init"
+            | "kmpc_critical"
+            | "kmpc_end_critical"
+            | "sqrt"
+            | "fabs"
+            | "exp"
+            | "log"
+            | "pow"
+            | "rand_r"
+    )
+}
+
+/// Verify a single function (see module docs for the checked invariants).
+pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
+    if f.is_declaration() {
+        if !f.blocks.is_empty() {
+            return fail(f, "declaration with a body");
+        }
+        return Ok(());
+    }
+    if f.blocks.is_empty() {
+        return fail(f, "function with no blocks");
+    }
+
+    let reach = reachable(f);
+    let preds = predecessors(f);
+    let dom = DomTree::compute(f);
+
+    // Map each attached instruction to (block, position); reject sharing.
+    let mut location: HashMap<InstrId, (BlockId, usize)> = HashMap::new();
+    for (bid, pos, id) in f.iter_attached() {
+        if location.insert(id, (bid, pos)).is_some() {
+            return fail(f, format!("instruction {id:?} attached more than once"));
+        }
+    }
+
+    for (bid, block) in f.iter_blocks() {
+        if !reach[bid.index()] {
+            continue; // unreachable blocks are tolerated (passes clean them up)
+        }
+        let n = block.instrs.len();
+        if n == 0 {
+            return fail(f, format!("reachable block bb{} is empty", bid.0));
+        }
+        let mut seen_non_phi = false;
+        for (pos, &id) in block.instrs.iter().enumerate() {
+            let instr = f.instr(id);
+            let is_term = instr.op.is_terminator();
+            if is_term && pos + 1 != n {
+                return fail(f, format!("terminator mid-block in bb{}", bid.0));
+            }
+            if pos + 1 == n && !is_term {
+                return fail(f, format!("bb{} does not end with a terminator", bid.0));
+            }
+            match instr.op {
+                Opcode::Phi => {
+                    if seen_non_phi {
+                        return fail(f, format!("phi after non-phi in bb{}", bid.0));
+                    }
+                    verify_phi(f, bid, id, &preds[bid.index()])?;
+                }
+                _ => seen_non_phi = true,
+            }
+            verify_types(f, id)?;
+            verify_operands(f, bid, id, &location, &dom, &reach)?;
+        }
+    }
+    Ok(())
+}
+
+fn verify_phi(f: &Function, bid: BlockId, id: InstrId, preds: &[BlockId]) -> Result<(), VerifyError> {
+    let instr = f.instr(id);
+    if instr.operands.len() % 2 != 0 {
+        return fail(f, format!("phi in bb{} has odd operand count", bid.0));
+    }
+    let mut incoming: HashSet<BlockId> = HashSet::new();
+    for (b, _) in instr.phi_incomings() {
+        if !incoming.insert(b) {
+            return fail(f, format!("phi in bb{} has duplicate incoming bb{}", bid.0, b.0));
+        }
+    }
+    let pred_set: HashSet<BlockId> = preds.iter().copied().collect();
+    if incoming != pred_set {
+        return fail(
+            f,
+            format!(
+                "phi in bb{} incomings {:?} do not match predecessors {:?}",
+                bid.0,
+                incoming.iter().map(|b| b.0).collect::<Vec<_>>(),
+                pred_set.iter().map(|b| b.0).collect::<Vec<_>>()
+            ),
+        );
+    }
+    Ok(())
+}
+
+fn verify_types(f: &Function, id: InstrId) -> Result<(), VerifyError> {
+    let instr = f.instr(id);
+    match &instr.op {
+        op if op.is_terminator() => {
+            if instr.ty != Ty::Void {
+                return fail(f, "terminator with non-void type");
+            }
+        }
+        Opcode::Store => {
+            if instr.ty != Ty::Void {
+                return fail(f, "store with non-void type");
+            }
+            if instr.operands.len() != 2 {
+                return fail(f, "store needs exactly (value, pointer)");
+            }
+        }
+        Opcode::Icmp(_) | Opcode::Fcmp(_) => {
+            if instr.ty != Ty::I1 {
+                return fail(f, "compare must have type i1");
+            }
+        }
+        Opcode::Load => {
+            if !instr.ty.is_first_class() {
+                return fail(f, "load must produce a value");
+            }
+            if instr.operands.len() != 1 {
+                return fail(f, "load takes exactly one pointer operand");
+            }
+        }
+        Opcode::Gep { .. } => {
+            if instr.ty != Ty::Ptr {
+                return fail(f, "gep must produce ptr");
+            }
+        }
+        Opcode::Alloca { .. } => {
+            if instr.ty != Ty::Ptr {
+                return fail(f, "alloca must produce ptr");
+            }
+        }
+        op if op.is_binary() => {
+            if instr.operands.len() != 2 {
+                return fail(f, format!("{op} needs two operands"));
+            }
+            if !instr.ty.is_first_class() {
+                return fail(f, "binary op must produce a value");
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+fn verify_operands(
+    f: &Function,
+    bid: BlockId,
+    id: InstrId,
+    location: &HashMap<InstrId, (BlockId, usize)>,
+    dom: &DomTree,
+    reach: &[bool],
+) -> Result<(), VerifyError> {
+    let instr = f.instr(id);
+    let is_phi = matches!(instr.op, Opcode::Phi);
+    let use_loc = location[&id];
+
+    for (opi, op) in instr.operands.iter().enumerate() {
+        match *op {
+            Operand::Arg(i) => {
+                if i as usize >= f.params.len() {
+                    return fail(f, format!("arg %a{i} out of range"));
+                }
+            }
+            Operand::Block(b) => {
+                if b.index() >= f.blocks.len() {
+                    return fail(f, format!("block ref bb{} out of range", b.0));
+                }
+            }
+            Operand::Instr(def) => {
+                let Some(&(def_b, def_pos)) = location.get(&def) else {
+                    return fail(f, format!("use of detached instruction {def:?}"));
+                };
+                if !f.instr(def).ty.is_first_class() {
+                    return fail(f, "use of a void instruction result");
+                }
+                if !reach[def_b.index()] {
+                    // Defs in unreachable code only used from unreachable code.
+                    if reach[bid.index()] {
+                        return fail(f, "reachable use of unreachable definition");
+                    }
+                    continue;
+                }
+                if is_phi {
+                    // The def must dominate the incoming edge's predecessor.
+                    let pred = instr.operands[opi - 1]
+                        .as_block()
+                        .expect("phi operand layout: (block, value)*");
+                    if !(dom.dominates(def_b, pred)) {
+                        return fail(
+                            f,
+                            format!("phi incoming value {def:?} does not dominate edge bb{}", pred.0),
+                        );
+                    }
+                } else if def_b == bid {
+                    if def_pos >= use_loc.1 {
+                        return fail(f, format!("def {def:?} does not precede its use in bb{}", bid.0));
+                    }
+                } else if !dom.dominates(def_b, bid) {
+                    return fail(f, format!("def in bb{} does not dominate use in bb{}", def_b.0, bid.0));
+                }
+            }
+            Operand::ConstInt(_) | Operand::ConstFloat(_) | Operand::Global(_) => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{iconst, FunctionBuilder};
+    use crate::function::FunctionKind;
+    use crate::instr::{Instr, IntPred};
+
+    #[test]
+    fn missing_terminator_is_rejected() {
+        let mut f = Function::new("f", vec![], Ty::Void, FunctionKind::Normal);
+        let e = f.entry();
+        f.push_instr(e, Instr::new(Opcode::Add, Ty::I64, vec![Operand::ConstInt(1), Operand::ConstInt(2)]));
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.msg.contains("terminator"), "{err}");
+    }
+
+    #[test]
+    fn terminator_mid_block_is_rejected() {
+        let mut f = Function::new("f", vec![], Ty::Void, FunctionKind::Normal);
+        let e = f.entry();
+        f.push_instr(e, Instr::new(Opcode::Ret, Ty::Void, vec![]));
+        f.push_instr(e, Instr::new(Opcode::Ret, Ty::Void, vec![]));
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.msg.contains("mid-block"), "{err}");
+    }
+
+    #[test]
+    fn use_before_def_in_same_block_is_rejected() {
+        let mut f = Function::new("f", vec![], Ty::Void, FunctionKind::Normal);
+        let e = f.entry();
+        // alloc the add first but attach it after its user
+        let a = f.alloc_instr(Instr::new(Opcode::Add, Ty::I64, vec![Operand::ConstInt(1), Operand::ConstInt(2)]));
+        let u = f.alloc_instr(Instr::new(Opcode::Mul, Ty::I64, vec![Operand::Instr(a), Operand::ConstInt(3)]));
+        f.blocks[e.index()].instrs.push(u);
+        f.blocks[e.index()].instrs.push(a);
+        let r = f.alloc_instr(Instr::new(Opcode::Ret, Ty::Void, vec![]));
+        f.blocks[e.index()].instrs.push(r);
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.msg.contains("precede"), "{err}");
+    }
+
+    #[test]
+    fn cross_block_dominance_is_enforced() {
+        // entry -> {a, b} -> join; def in a used in join (not dominated).
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64, FunctionKind::Normal);
+        let ba = b.new_block();
+        let bb = b.new_block();
+        let j = b.new_block();
+        let c = b.icmp(IntPred::Slt, b.arg(0), iconst(0));
+        b.cond_br(c, ba, bb);
+        b.switch_to(ba);
+        let v = b.add(Ty::I64, b.arg(0), iconst(1));
+        b.br(j);
+        b.switch_to(bb);
+        b.br(j);
+        b.switch_to(j);
+        b.ret(Some(v)); // v does not dominate join
+        let f = b.finish();
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.msg.contains("dominate"), "{err}");
+    }
+
+    #[test]
+    fn phi_incoming_mismatch_is_rejected() {
+        let text = "module \"m\"\nfunc @f() -> void {\nbb0:\n  br bb1\nbb1:\n  %0 = phi i64 bb0, 1, bb2, 2\n  ret\nbb2:\n  br bb1\n}\n";
+        // bb2 is unreachable, so bb1's only *actual* predecessor is bb0 —
+        // but wait: predecessors() is computed over all blocks including
+        // unreachable ones, so bb2 IS a predecessor edge. This phi matches.
+        let m = crate::parser::parse_module(text).unwrap();
+        verify_module(&m).expect("phi matches CFG predecessors");
+
+        let bad = "module \"m\"\nfunc @f() -> void {\nbb0:\n  br bb1\nbb1:\n  %0 = phi i64 bb0, 1, bb0, 2\n  ret\n}\n";
+        let m = crate::parser::parse_module(bad).unwrap();
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.msg.contains("duplicate incoming"), "{err}");
+    }
+
+    #[test]
+    fn unknown_callee_is_rejected_but_runtime_is_allowed() {
+        let ok = "module \"m\"\nfunc @f() -> void {\nbb0:\n  %0 = call.@omp_get_thread_num i32\n  ret\n}\n";
+        verify_module(&crate::parser::parse_module(ok).unwrap()).expect("runtime intrinsic ok");
+        let bad = "module \"m\"\nfunc @f() -> void {\nbb0:\n  %0 = call.@missing i32\n  ret\n}\n";
+        let err = verify_module(&crate::parser::parse_module(bad).unwrap()).unwrap_err();
+        assert!(err.msg.contains("undefined function"), "{err}");
+    }
+
+    #[test]
+    fn compare_must_be_i1() {
+        let mut f = Function::new("f", vec![], Ty::Void, FunctionKind::Normal);
+        let e = f.entry();
+        f.push_instr(e, Instr::new(Opcode::Icmp(IntPred::Eq), Ty::I64, vec![Operand::ConstInt(0), Operand::ConstInt(0)]));
+        f.push_instr(e, Instr::new(Opcode::Ret, Ty::Void, vec![]));
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.msg.contains("i1"), "{err}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the IR: randomly generated (but valid-by-
+//! construction) functions must verify, print, re-parse to an equal module,
+//! and survive compaction.
+
+use irnuma_ir::builder::{fconst, iconst, FunctionBuilder};
+use irnuma_ir::{
+    parse_module, print_module, verify_module, FunctionKind, Module, Operand, Ty,
+};
+use proptest::prelude::*;
+
+/// A tiny recipe language for generating valid straight-line/loop kernels.
+#[derive(Debug, Clone)]
+enum Step {
+    IntArith(u8, i64),
+    FloatArith(u8, f64),
+    LoadStore(u8),
+    AtomicAdd,
+    CallRt,
+    Loop(Vec<Step>),
+}
+
+fn step_strategy(depth: u32) -> impl Strategy<Value = Step> {
+    let leaf = prop_oneof![
+        (0u8..6, -100i64..100).prop_map(|(k, v)| Step::IntArith(k, v)),
+        (0u8..4, -1e3..1e3).prop_map(|(k, v)| Step::FloatArith(k, v)),
+        (0u8..3).prop_map(Step::LoadStore),
+        Just(Step::AtomicAdd),
+        Just(Step::CallRt),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        prop::collection::vec(inner, 1..4).prop_map(Step::Loop)
+    })
+}
+
+fn emit(b: &mut FunctionBuilder, base: Operand, cursor: &mut Operand, steps: &[Step]) {
+    for s in steps {
+        match s {
+            Step::IntArith(k, v) => {
+                let c = iconst(*v);
+                *cursor = match k % 6 {
+                    0 => b.add(Ty::I64, *cursor, c),
+                    1 => b.sub(Ty::I64, *cursor, c),
+                    2 => b.mul(Ty::I64, *cursor, iconst((*v).rem_euclid(7) + 1)),
+                    3 => b.and(Ty::I64, *cursor, iconst(0xffff)),
+                    4 => b.xor(Ty::I64, *cursor, c),
+                    _ => b.shl(Ty::I64, *cursor, iconst((v.unsigned_abs() % 8) as i64)),
+                };
+            }
+            Step::FloatArith(k, v) => {
+                let idx = b.and(Ty::I64, *cursor, iconst(255));
+                let p = b.gep(Ty::F64, base, idx);
+                let x = b.load(Ty::F64, p);
+                let y = match k % 4 {
+                    0 => b.fadd(Ty::F64, x, fconst(*v)),
+                    1 => b.fmul(Ty::F64, x, fconst(*v)),
+                    2 => b.fsub(Ty::F64, x, fconst(*v)),
+                    _ => b.fmuladd(Ty::F64, x, fconst(*v), fconst(1.0)),
+                };
+                b.store(y, p);
+            }
+            Step::LoadStore(k) => {
+                let idx = b.and(Ty::I64, *cursor, iconst(127));
+                let p = b.gep(Ty::I64, base, idx);
+                match k % 3 {
+                    0 => {
+                        let v = b.load(Ty::I64, p);
+                        *cursor = b.add(Ty::I64, *cursor, v);
+                    }
+                    1 => b.store(*cursor, p),
+                    _ => {
+                        let v = b.load(Ty::I64, p);
+                        b.store(v, p);
+                    }
+                }
+            }
+            Step::AtomicAdd => {
+                let idx = b.and(Ty::I64, *cursor, iconst(63));
+                let p = b.gep(Ty::I64, base, idx);
+                b.atomic_rmw(irnuma_ir::RmwOp::Add, Ty::I64, p, iconst(1));
+            }
+            Step::CallRt => {
+                let t = b.call("omp_get_thread_num", Ty::I32, vec![]);
+                let t64 = b.cast(irnuma_ir::CastKind::Sext, Ty::I64, t);
+                *cursor = b.add(Ty::I64, *cursor, t64);
+            }
+            Step::Loop(body) => {
+                let hi = b.and(Ty::I64, *cursor, iconst(15));
+                b.counted_loop(iconst(0), hi, iconst(1), |b, i| {
+                    let mut inner = i;
+                    emit(b, base, &mut inner, body);
+                });
+            }
+        }
+    }
+}
+
+fn build_module(steps: &[Step]) -> Module {
+    let mut m = Module::new("prop");
+    let g = m.add_global("data", Ty::F64, 4096);
+    let mut b = FunctionBuilder::new(
+        ".omp_outlined.prop",
+        vec![Ty::I64, Ty::I64],
+        Ty::Void,
+        FunctionKind::OmpOutlined,
+    );
+    let base = b.global(g);
+    let mut cursor = b.arg(0);
+    emit(&mut b, base, &mut cursor, steps);
+    b.ret(None);
+    m.add_function(b.finish());
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_functions_verify(steps in prop::collection::vec(step_strategy(3), 1..8)) {
+        let m = build_module(&steps);
+        verify_module(&m).expect("builder output must verify");
+    }
+
+    #[test]
+    fn print_parse_roundtrip_is_fixpoint(steps in prop::collection::vec(step_strategy(3), 1..8)) {
+        let m = build_module(&steps);
+        let t1 = print_module(&m);
+        let parsed = parse_module(&t1).expect("printed modules parse");
+        verify_module(&parsed).expect("parsed modules verify");
+        let t2 = print_module(&parsed);
+        prop_assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn compaction_preserves_text(steps in prop::collection::vec(step_strategy(2), 1..6)) {
+        let m = build_module(&steps);
+        let before = print_module(&m);
+        let mut m2 = m.clone();
+        for f in &mut m2.functions {
+            f.compact();
+        }
+        verify_module(&m2).expect("compacted module verifies");
+        prop_assert_eq!(before, print_module(&m2));
+    }
+
+    #[test]
+    fn extraction_keeps_region_text_stable(steps in prop::collection::vec(step_strategy(2), 1..6)) {
+        let m = build_module(&steps);
+        let e = irnuma_ir::extract::extract_region(&m, ".omp_outlined.prop").expect("region exists");
+        verify_module(&e).expect("extracted verifies");
+        // The single-function module's body must be unchanged by extraction.
+        let f_before = m.function(".omp_outlined.prop").unwrap();
+        let f_after = e.function(".omp_outlined.prop").unwrap();
+        prop_assert_eq!(f_before.num_attached(), f_after.num_attached());
+    }
+}

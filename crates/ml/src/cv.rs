@@ -1,0 +1,71 @@
+//! Deterministic k-fold cross-validation splits (paper: 10 folds over the
+//! 56 regions, each validation fold ≈ 5 unseen programs).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Split `n` items into `k` folds: returns per-fold index lists.
+/// Items are shuffled with `seed`, then dealt round-robin so fold sizes
+/// differ by at most one.
+pub fn kfold(n: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k >= 2, "need at least two folds");
+    assert!(n >= k, "more folds than items");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
+    let mut folds = vec![Vec::with_capacity(n / k + 1); k];
+    for (i, v) in idx.into_iter().enumerate() {
+        folds[i % k].push(v);
+    }
+    folds
+}
+
+/// Complement of a fold: the training indices.
+pub fn train_indices(folds: &[Vec<usize>], validation_fold: usize) -> Vec<usize> {
+    folds
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != validation_fold)
+        .flat_map(|(_, f)| f.iter().copied())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn folds_partition_the_items() {
+        let folds = kfold(56, 10, 42);
+        assert_eq!(folds.len(), 10);
+        let all: HashSet<usize> = folds.iter().flatten().copied().collect();
+        assert_eq!(all.len(), 56);
+        let sizes: Vec<usize> = folds.iter().map(Vec::len).collect();
+        assert!(sizes.iter().all(|&s| s == 5 || s == 6), "{sizes:?}");
+    }
+
+    #[test]
+    fn train_indices_complement_validation() {
+        let folds = kfold(20, 4, 1);
+        for v in 0..4 {
+            let train = train_indices(&folds, v);
+            assert_eq!(train.len(), 15);
+            for i in &folds[v] {
+                assert!(!train.contains(i));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(kfold(30, 5, 7), kfold(30, 5, 7));
+        assert_ne!(kfold(30, 5, 7), kfold(30, 5, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "more folds than items")]
+    fn too_many_folds_panics() {
+        kfold(3, 10, 0);
+    }
+}

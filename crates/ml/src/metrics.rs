@@ -1,0 +1,65 @@
+//! Evaluation metrics used throughout the experiments.
+
+/// The paper's prediction-error metric: the relative difference between two
+/// times — absolute difference divided by the maximum absolute value.
+/// Symmetric, in [0, 1] for same-sign values; 0 when equal.
+pub fn relative_difference(a: f64, b: f64) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    let denom = a.abs().max(b.abs());
+    if denom == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / denom
+    }
+}
+
+/// Arithmetic-mean speedup of `predicted` times against `baseline` times
+/// (the paper's headline aggregate).
+pub fn mean_speedup(baseline: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(baseline.len(), predicted.len());
+    assert!(!baseline.is_empty());
+    baseline
+        .iter()
+        .zip(predicted)
+        .map(|(&b, &p)| b / p)
+        .sum::<f64>()
+        / baseline.len() as f64
+}
+
+/// Classification accuracy.
+pub fn accuracy(truth: &[usize], pred: &[usize]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    if truth.is_empty() {
+        return 1.0;
+    }
+    truth.iter().zip(pred).filter(|(a, b)| a == b).count() as f64 / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_difference_properties() {
+        assert_eq!(relative_difference(2.0, 2.0), 0.0);
+        assert!((relative_difference(1.0, 2.0) - 0.5).abs() < 1e-12);
+        assert_eq!(relative_difference(1.0, 2.0), relative_difference(2.0, 1.0), "symmetric");
+        assert_eq!(relative_difference(0.0, 0.0), 0.0);
+        assert!((relative_difference(0.0, 3.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_speedup_is_arithmetic() {
+        let base = vec![4.0, 9.0];
+        let pred = vec![2.0, 3.0];
+        assert!((mean_speedup(&base, &pred) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 0, 3]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 1.0);
+    }
+}

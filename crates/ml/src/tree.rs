@@ -1,0 +1,268 @@
+//! CART decision tree with Gini impurity (scikit-learn default setup).
+
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters; defaults mirror `sklearn.tree.DecisionTreeClassifier`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TreeParams {
+    pub max_depth: Option<usize>,
+    pub min_samples_split: usize,
+    pub min_samples_leaf: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: None, min_samples_split: 2, min_samples_leaf: 1 }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf { class: usize },
+    Split { feat: usize, thresh: f32, left: usize, right: usize },
+}
+
+/// A fitted CART classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    params: TreeParams,
+    n_features: usize,
+}
+
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / t).powi(2)).sum::<f64>()
+}
+
+fn majority(ys: &[usize], n_classes: usize) -> usize {
+    let mut counts = vec![0usize; n_classes];
+    for &y in ys {
+        counts[y] += 1;
+    }
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+impl DecisionTree {
+    /// Fit on row-major features `x` (all rows same length) and labels `y`.
+    pub fn fit(x: &[Vec<f32>], y: &[usize], params: TreeParams) -> DecisionTree {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty(), "empty training set");
+        let n_features = x[0].len();
+        let n_classes = y.iter().copied().max().unwrap_or(0) + 1;
+        let mut tree = DecisionTree { nodes: Vec::new(), params, n_features };
+        let idx: Vec<usize> = (0..x.len()).collect();
+        tree.build(x, y, &idx, n_classes, 0);
+        tree
+    }
+
+    fn build(&mut self, x: &[Vec<f32>], y: &[usize], idx: &[usize], n_classes: usize, depth: usize) -> usize {
+        let ys: Vec<usize> = idx.iter().map(|&i| y[i]).collect();
+        let pure = ys.iter().all(|&v| v == ys[0]);
+        let depth_stop = self.params.max_depth.is_some_and(|d| depth >= d);
+        if pure || idx.len() < self.params.min_samples_split || depth_stop {
+            let class = majority(&ys, n_classes);
+            self.nodes.push(Node::Leaf { class });
+            return self.nodes.len() - 1;
+        }
+
+        match self.best_split(x, y, idx, n_classes) {
+            None => {
+                let class = majority(&ys, n_classes);
+                self.nodes.push(Node::Leaf { class });
+                self.nodes.len() - 1
+            }
+            Some((feat, thresh, left_idx, right_idx)) => {
+                // Reserve our slot, then recurse.
+                self.nodes.push(Node::Leaf { class: 0 });
+                let me = self.nodes.len() - 1;
+                let left = self.build(x, y, &left_idx, n_classes, depth + 1);
+                let right = self.build(x, y, &right_idx, n_classes, depth + 1);
+                self.nodes[me] = Node::Split { feat, thresh, left, right };
+                me
+            }
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn best_split(
+        &self,
+        x: &[Vec<f32>],
+        y: &[usize],
+        idx: &[usize],
+        n_classes: usize,
+    ) -> Option<(usize, f32, Vec<usize>, Vec<usize>)> {
+        let total = idx.len();
+        let mut best: Option<(f64, usize, f32)> = None;
+        let parent_counts = {
+            let mut c = vec![0usize; n_classes];
+            for &i in idx {
+                c[y[i]] += 1;
+            }
+            c
+        };
+        let parent_gini = gini(&parent_counts, total);
+
+        for feat in 0..self.n_features {
+            // Sort sample indices by feature value.
+            let mut order: Vec<usize> = idx.to_vec();
+            order.sort_by(|&a, &b| x[a][feat].total_cmp(&x[b][feat]).then(a.cmp(&b)));
+            let mut left_counts = vec![0usize; n_classes];
+            let mut right_counts = parent_counts.clone();
+            for k in 0..total - 1 {
+                let i = order[k];
+                left_counts[y[i]] += 1;
+                right_counts[y[i]] -= 1;
+                let (va, vb) = (x[order[k]][feat], x[order[k + 1]][feat]);
+                if va == vb {
+                    continue; // not a valid threshold position
+                }
+                let nl = k + 1;
+                let nr = total - nl;
+                if nl < self.params.min_samples_leaf || nr < self.params.min_samples_leaf {
+                    continue;
+                }
+                let score = (nl as f64 * gini(&left_counts, nl)
+                    + nr as f64 * gini(&right_counts, nr))
+                    / total as f64;
+                let thresh = (va + vb) * 0.5;
+                if best.is_none() || score < best.unwrap().0 - 1e-12 {
+                    best = Some((score, feat, thresh));
+                }
+            }
+        }
+
+        let (score, feat, thresh) = best?;
+        if score >= parent_gini - 1e-12 {
+            return None; // no impurity decrease
+        }
+        let (mut l, mut r) = (Vec::new(), Vec::new());
+        for &i in idx {
+            if x[i][feat] <= thresh {
+                l.push(i);
+            } else {
+                r.push(i);
+            }
+        }
+        if l.is_empty() || r.is_empty() {
+            return None;
+        }
+        Some((feat, thresh, l, r))
+    }
+
+    pub fn predict(&self, features: &[f32]) -> usize {
+        assert_eq!(features.len(), self.n_features, "feature dimension mismatch");
+        let mut cur = 0usize;
+        loop {
+            match &self.nodes[cur] {
+                Node::Leaf { class } => return *class,
+                Node::Split { feat, thresh, left, right } => {
+                    cur = if features[*feat] <= *thresh { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    pub fn depth(&self) -> usize {
+        fn d(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(nodes, *left).max(d(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            d(&self.nodes, 0)
+        }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xy() -> (Vec<Vec<f32>>, Vec<usize>) {
+        // Two features; class = (f0 > 0.5) XOR-free simple AND structure.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let a = i as f32 / 20.0;
+            for j in 0..20 {
+                let b = j as f32 / 20.0;
+                x.push(vec![a, b]);
+                y.push(usize::from(a > 0.5 && b > 0.3));
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn fits_axis_aligned_concept_perfectly() {
+        let (x, y) = xy();
+        let t = DecisionTree::fit(&x, &y, TreeParams::default());
+        let correct = x.iter().zip(&y).filter(|(f, &l)| t.predict(f) == l).count();
+        assert_eq!(correct, x.len(), "training accuracy must be 100%");
+        assert!(t.depth() >= 2, "needs two splits");
+    }
+
+    #[test]
+    fn generalizes_to_new_points() {
+        let (x, y) = xy();
+        let t = DecisionTree::fit(&x, &y, TreeParams::default());
+        assert_eq!(t.predict(&[0.9, 0.9]), 1);
+        assert_eq!(t.predict(&[0.9, 0.1]), 0);
+        assert_eq!(t.predict(&[0.1, 0.9]), 0);
+    }
+
+    #[test]
+    fn max_depth_limits_the_tree() {
+        let (x, y) = xy();
+        let t = DecisionTree::fit(&x, &y, TreeParams { max_depth: Some(1), ..Default::default() });
+        assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn constant_features_yield_single_leaf() {
+        let x = vec![vec![1.0, 1.0]; 10];
+        let y = vec![0, 1, 0, 1, 0, 1, 0, 1, 0, 0];
+        let t = DecisionTree::fit(&x, &y, TreeParams::default());
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.predict(&[1.0, 1.0]), 0, "majority class");
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let (x, y) = xy();
+        let a = DecisionTree::fit(&x, &y, TreeParams::default());
+        let b = DecisionTree::fit(&x, &y, TreeParams::default());
+        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+    }
+
+    #[test]
+    fn multiclass_works() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60 {
+            let v = i as f32 / 60.0;
+            x.push(vec![v]);
+            y.push(if v < 0.33 { 0 } else if v < 0.66 { 1 } else { 2 });
+        }
+        let t = DecisionTree::fit(&x, &y, TreeParams::default());
+        assert_eq!(t.predict(&[0.1]), 0);
+        assert_eq!(t.predict(&[0.5]), 1);
+        assert_eq!(t.predict(&[0.9]), 2);
+    }
+}

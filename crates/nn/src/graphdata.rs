@@ -1,0 +1,93 @@
+//! Conversion of `irnuma-graph` graphs into the arrays the GNN consumes:
+//! node text ids, per-relation edge lists, and the `1/c_{i,r}` normalization
+//! constants of the paper's Eq. 1 (per-destination in-degree within each
+//! relation).
+
+use irnuma_graph::Graph;
+use serde::{Deserialize, Serialize};
+use std::rc::Rc;
+
+/// Number of edge relations (control, data, call).
+pub const NUM_RELATIONS: usize = 3;
+
+/// A GNN-ready graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GraphData {
+    /// Vocabulary index per node.
+    pub node_text: Vec<u32>,
+    /// Per relation: edge list as `(src, dst)`.
+    pub edges: [Vec<(u32, u32)>; NUM_RELATIONS],
+    /// Per relation: `1/c_{dst,r}` per edge, aligned with `edges`.
+    pub norm: [Vec<f32>; NUM_RELATIONS],
+}
+
+impl GraphData {
+    pub fn from_graph(g: &Graph) -> GraphData {
+        let node_text = g.nodes.iter().map(|n| n.text_id).collect();
+        let edges = g.edges_by_relation();
+        let mut norm: [Vec<f32>; NUM_RELATIONS] = Default::default();
+        for (r, rel_edges) in edges.iter().enumerate() {
+            let mut indeg = vec![0u32; g.num_nodes()];
+            for &(_, d) in rel_edges {
+                indeg[d as usize] += 1;
+            }
+            norm[r] = rel_edges
+                .iter()
+                .map(|&(_, d)| 1.0 / indeg[d as usize].max(1) as f32)
+                .collect();
+        }
+        GraphData { node_text, edges, norm }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.node_text.len()
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Rc-wrapped edges/norms for cheap tape capture.
+    pub fn relation(&self, r: usize) -> (Rc<Vec<(u32, u32)>>, Rc<Vec<f32>>) {
+        (Rc::new(self.edges[r].clone()), Rc::new(self.norm[r].clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irnuma_graph::{EdgeKind, Graph, NodeKind};
+
+    fn toy() -> Graph {
+        let mut g = Graph::default();
+        let a = g.add_node(NodeKind::Instruction, 3);
+        let b = g.add_node(NodeKind::Instruction, 5);
+        let v = g.add_node(NodeKind::Variable, 9);
+        g.add_edge(a, b, EdgeKind::Control, 0);
+        g.add_edge(a, v, EdgeKind::Data, 0);
+        g.add_edge(v, b, EdgeKind::Data, 0);
+        g.add_edge(b, v, EdgeKind::Data, 1); // v has in-degree 2 in Data
+        g
+    }
+
+    #[test]
+    fn norms_are_inverse_indegree_per_relation() {
+        let d = GraphData::from_graph(&toy());
+        assert_eq!(d.node_text, vec![3, 5, 9]);
+        let data_r = EdgeKind::Data.index();
+        // edges: (a,v), (v,b), (b,v); in-degree of v within Data is 2.
+        for (i, &(_, dst)) in d.edges[data_r].iter().enumerate() {
+            let expect = if dst == 2 { 0.5 } else { 1.0 };
+            assert_eq!(d.norm[data_r][i], expect);
+        }
+        assert_eq!(d.num_edges(), 4);
+        assert_eq!(d.num_nodes(), 3);
+    }
+
+    #[test]
+    fn empty_relations_are_fine() {
+        let d = GraphData::from_graph(&toy());
+        assert!(d.edges[EdgeKind::Call.index()].is_empty());
+        assert!(d.norm[EdgeKind::Call.index()].is_empty());
+    }
+}

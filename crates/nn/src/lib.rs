@@ -1,0 +1,24 @@
+//! # irnuma-nn — the deep-learning substrate
+//!
+//! A self-contained neural-network stack sufficient for the paper's model
+//! (Fig. 2): dense f32 tensors ([`tensor::Tensor`]), a reverse-mode autograd
+//! tape ([`autograd`]) with the ops a relational GCN needs (matmul, bias
+//! add, relu, sparse typed-edge message passing, mean pooling, residual
+//! add, layer norm, softmax cross-entropy), the RGCN graph classifier
+//! ([`model::GnnModel`]) implementing the paper's Eq. 1, and an Adam trainer
+//! ([`train`]) with rayon map-reduce gradient accumulation over minibatches.
+//!
+//! Everything is seeded and deterministic: `GnnClassifier::fit` with the
+//! same seed and data reproduces identical weights bit-for-bit (per-graph
+//! gradients are summed in a canonical order after the parallel map).
+
+pub mod autograd;
+pub mod graphdata;
+pub mod model;
+pub mod tensor;
+pub mod train;
+
+pub use graphdata::GraphData;
+pub use model::{GnnConfig, GnnModel};
+pub use tensor::Tensor;
+pub use train::{GnnClassifier, TrainParams};

@@ -1,0 +1,308 @@
+//! The paper's prediction architecture (Fig. 2): embedding → RGCN layers →
+//! residual + layer norm → mean pooling → fully-connected head.
+//!
+//! The RGCN update is Eq. 1 of the paper:
+//!
+//! ```text
+//! h_i^{l+1} = σ( W_0^l h_i^l + Σ_{r∈R} Σ_{j∈N_i^r} (1/c_{i,r}) W_r^l h_j^l + b^l )
+//! ```
+//!
+//! with one weight matrix per relation (control/data/call), per-destination
+//! normalization `1/c_{i,r}`, and σ = ReLU.
+
+use crate::autograd::{Tape, Var};
+use crate::graphdata::{GraphData, NUM_RELATIONS};
+use crate::tensor::Tensor;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::rc::Rc;
+
+/// Model hyper-parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GnnConfig {
+    pub vocab_size: usize,
+    /// Embedding/hidden width (the paper uses 256; tests use less).
+    pub hidden: usize,
+    /// Number of output classes (13/6/2 configuration labels).
+    pub classes: usize,
+    /// RGCN layers (paper-style: 2).
+    pub layers: usize,
+    pub seed: u64,
+}
+
+impl GnnConfig {
+    pub fn new(vocab_size: usize, hidden: usize, classes: usize) -> GnnConfig {
+        GnnConfig { vocab_size, hidden, classes, layers: 2, seed: 0xC0FFEE }
+    }
+}
+
+/// Parameter store. Weights live here between steps; each forward pass
+/// copies them onto a fresh tape as leaves.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GnnModel {
+    pub cfg: GnnConfig,
+    pub params: Vec<Tensor>,
+    names: Vec<String>,
+}
+
+/// Indices of a forward pass's interesting nodes on the tape.
+pub struct Forward {
+    pub tape: Tape,
+    /// Tape var per parameter, aligned with `GnnModel::params`.
+    pub param_vars: Vec<Var>,
+    /// The pooled graph embedding (`1×hidden`) — the "vector" of Fig. 2
+    /// consumed by the FCNN head, the hybrid model, and the flag model.
+    pub pooled: Var,
+    /// Class logits (`1×classes`).
+    pub logits: Var,
+}
+
+impl GnnModel {
+    pub fn new(cfg: GnnConfig) -> GnnModel {
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let d = cfg.hidden;
+        let mut params = Vec::new();
+        let mut names = Vec::new();
+        let push = |p: Tensor, n: String, params: &mut Vec<Tensor>, names: &mut Vec<String>| {
+            params.push(p);
+            names.push(n);
+        };
+        push(Tensor::glorot(cfg.vocab_size, d, &mut rng), "embed".into(), &mut params, &mut names);
+        for l in 0..cfg.layers {
+            push(Tensor::glorot(d, d, &mut rng), format!("l{l}.w_self"), &mut params, &mut names);
+            for r in 0..NUM_RELATIONS {
+                push(Tensor::glorot(d, d, &mut rng), format!("l{l}.w_rel{r}"), &mut params, &mut names);
+            }
+            push(Tensor::zeros(1, d), format!("l{l}.bias"), &mut params, &mut names);
+        }
+        let mut gamma = Tensor::zeros(1, d);
+        gamma.data.fill(1.0);
+        push(gamma, "ln.gamma".into(), &mut params, &mut names);
+        push(Tensor::zeros(1, d), "ln.beta".into(), &mut params, &mut names);
+        push(Tensor::glorot(d, d, &mut rng), "fc1.w".into(), &mut params, &mut names);
+        push(Tensor::zeros(1, d), "fc1.b".into(), &mut params, &mut names);
+        push(Tensor::glorot(d, cfg.classes, &mut rng), "fc2.w".into(), &mut params, &mut names);
+        push(Tensor::zeros(1, cfg.classes), "fc2.b".into(), &mut params, &mut names);
+        GnnModel { cfg, params, names }
+    }
+
+    pub fn param_name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    pub fn num_params(&self) -> usize {
+        self.params.iter().map(|p| p.data.len()).sum()
+    }
+
+    /// Build the forward graph for one program graph.
+    pub fn forward(&self, g: &GraphData) -> Forward {
+        let mut tape = Tape::new();
+        let param_vars: Vec<Var> = self.params.iter().map(|p| tape.leaf(p.clone())).collect();
+        let d = self.cfg.hidden;
+        let _ = d;
+
+        let mut idx = 0usize;
+        let mut next = || {
+            let v = param_vars[idx];
+            idx += 1;
+            v
+        };
+        let embed = next();
+
+        let ids = Rc::new(g.node_text.clone());
+        let mut h = tape.gather(embed, ids);
+        let mut first_layer_out = None;
+
+        for _l in 0..self.cfg.layers {
+            let w_self = next();
+            let self_term = tape.matmul(h, w_self);
+            let mut acc = self_term;
+            for r in 0..NUM_RELATIONS {
+                let w_r = next();
+                if g.edges[r].is_empty() {
+                    continue; // no messages along this relation
+                }
+                let (edges, norm) = g.relation(r);
+                let msgs = tape.spmm(h, edges, norm);
+                let term = tape.matmul(msgs, w_r);
+                acc = tape.add(acc, term);
+            }
+            let bias = next();
+            let pre = tape.add_bias(acc, bias);
+            h = tape.relu(pre);
+            if first_layer_out.is_none() {
+                first_layer_out = Some(h);
+            }
+        }
+
+        // Residual connection around the deeper layers, then normalization.
+        let res = match first_layer_out {
+            Some(h1) if self.cfg.layers > 1 => tape.add(h1, h),
+            _ => h,
+        };
+        let gamma = next();
+        let beta = next();
+        let normed = tape.layer_norm(res, gamma, beta);
+        let pooled = tape.mean_pool(normed);
+
+        let fc1 = next();
+        let b1 = next();
+        let z = tape.matmul(pooled, fc1);
+        let z = tape.add_bias(z, b1);
+        let z = tape.relu(z);
+        let fc2 = next();
+        let b2 = next();
+        let logits = tape.matmul(z, fc2);
+        let logits = tape.add_bias(logits, b2);
+
+        debug_assert_eq!(idx, param_vars.len(), "all parameters consumed");
+        Forward { tape, param_vars, pooled, logits }
+    }
+
+    /// Class prediction for one graph.
+    pub fn predict(&self, g: &GraphData) -> usize {
+        let f = self.forward(g);
+        let l = f.tape.value(f.logits);
+        l.data
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("non-empty logits")
+    }
+
+    /// The pooled graph embedding (paper's 256-d "vector").
+    pub fn embedding(&self, g: &GraphData) -> Vec<f32> {
+        let f = self.forward(g);
+        f.tape.value(f.pooled).data.clone()
+    }
+
+    /// Embedding concatenated with the softmax class distribution and the
+    /// top-1 margin — the feature vector of the hybrid router (the model's
+    /// own confidence is the strongest "will I be wrong?" signal).
+    pub fn embedding_with_confidence(&self, g: &GraphData) -> Vec<f32> {
+        let f = self.forward(g);
+        let mut out = f.tape.value(f.pooled).data.clone();
+        let logits = f.tape.value(f.logits);
+        let max = logits.data.iter().cloned().fold(f32::MIN, f32::max);
+        let exps: Vec<f32> = logits.data.iter().map(|v| (v - max).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        let probs: Vec<f32> = exps.iter().map(|e| e / z).collect();
+        let mut sorted = probs.clone();
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        let margin = sorted[0] - sorted.get(1).copied().unwrap_or(0.0);
+        out.extend_from_slice(&probs);
+        out.push(margin);
+        out
+    }
+
+    /// Loss and parameter gradients for one labeled graph.
+    pub fn loss_and_grads(&self, g: &GraphData, label: usize) -> (f64, Vec<Tensor>) {
+        let mut f = self.forward(g);
+        let loss = f.tape.softmax_ce(f.logits, label);
+        let loss_val = f.tape.value(loss).data[0] as f64;
+        let grads = f.tape.backward(loss);
+        let out = f
+            .param_vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                grads[v.index()]
+                    .clone()
+                    .unwrap_or_else(|| Tensor::zeros(self.params[i].rows, self.params[i].cols))
+            })
+            .collect();
+        (loss_val, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irnuma_graph::{EdgeKind, Graph, NodeKind};
+
+    fn toy_graph(seed: u32) -> GraphData {
+        let mut g = Graph::default();
+        let n = 6 + (seed % 3);
+        let mut prev = None;
+        for i in 0..n {
+            let node = g.add_node(NodeKind::Instruction, (seed + i) % 20);
+            if let Some(p) = prev {
+                g.add_edge(p, node, EdgeKind::Control, 0);
+                g.add_edge(node, p, EdgeKind::Data, 0);
+            }
+            prev = Some(node);
+        }
+        GraphData::from_graph(&g)
+    }
+
+    fn cfg() -> GnnConfig {
+        GnnConfig { vocab_size: 24, hidden: 8, classes: 4, layers: 2, seed: 9 }
+    }
+
+    #[test]
+    fn forward_shapes_are_right() {
+        let m = GnnModel::new(cfg());
+        let g = toy_graph(0);
+        let f = m.forward(&g);
+        assert_eq!(f.tape.value(f.pooled).cols, 8);
+        assert_eq!(f.tape.value(f.pooled).rows, 1);
+        assert_eq!(f.tape.value(f.logits).cols, 4);
+        assert!(m.num_params() > 24 * 8);
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let m = GnnModel::new(cfg());
+        let g = toy_graph(1);
+        assert_eq!(m.embedding(&g), m.embedding(&g));
+        assert_eq!(m.predict(&g), m.predict(&g));
+    }
+
+    #[test]
+    fn different_graphs_embed_differently() {
+        let m = GnnModel::new(cfg());
+        assert_ne!(m.embedding(&toy_graph(0)), m.embedding(&toy_graph(7)));
+    }
+
+    #[test]
+    fn gradients_cover_all_parameters() {
+        let m = GnnModel::new(cfg());
+        let g = toy_graph(2);
+        let (loss, grads) = m.loss_and_grads(&g, 1);
+        assert!(loss > 0.0);
+        assert_eq!(grads.len(), m.params.len());
+        for (i, gr) in grads.iter().enumerate() {
+            assert!(
+                gr.same_shape(&m.params[i]),
+                "grad {} shape mismatch ({})",
+                i,
+                m.param_name(i)
+            );
+        }
+        // At least embed, one relation weight and the head must receive
+        // non-zero gradient.
+        let nonzero: Vec<&str> = grads
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.norm() > 0.0)
+            .map(|(i, _)| m.param_name(i))
+            .collect();
+        assert!(nonzero.contains(&"embed"), "{nonzero:?}");
+        assert!(nonzero.contains(&"fc2.w"), "{nonzero:?}");
+        assert!(nonzero.iter().any(|n| n.contains("w_rel")), "{nonzero:?}");
+    }
+
+    #[test]
+    fn one_gradient_step_reduces_loss() {
+        let mut m = GnnModel::new(cfg());
+        let g = toy_graph(3);
+        let (l0, grads) = m.loss_and_grads(&g, 2);
+        for (p, gr) in m.params.iter_mut().zip(&grads) {
+            p.axpy(-0.1, gr);
+        }
+        let (l1, _) = m.loss_and_grads(&g, 2);
+        assert!(l1 < l0, "loss {l0} -> {l1}");
+    }
+}

@@ -1,0 +1,102 @@
+//! Dead code elimination: removes attached, value-producing instructions
+//! whose results are never used and whose execution has no side effects.
+//! Runs to a fixpoint so chains of dead computations disappear in one pass.
+
+use crate::pass::Pass;
+use crate::passes::util::for_each_function;
+use irnuma_ir::{Function, Module, Opcode, Operand};
+
+pub struct Dce;
+
+impl Pass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&self, m: &mut Module) -> bool {
+        for_each_function(m, run_function)
+    }
+}
+
+fn run_function(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let mut uses = vec![0usize; f.instrs.len()];
+        for (_, _, id) in f.iter_attached() {
+            for op in &f.instr(id).operands {
+                if let Operand::Instr(d) = op {
+                    uses[d.index()] += 1;
+                }
+            }
+        }
+        let dead: Vec<_> = f
+            .iter_attached()
+            .filter(|&(_, _, id)| {
+                let i = f.instr(id);
+                i.ty.is_first_class()
+                    && uses[id.index()] == 0
+                    && !i.op.has_side_effects()
+                    // An unused load or alloca is removable; phis too.
+                    && !matches!(i.op, Opcode::Store)
+            })
+            .map(|(_, _, id)| id)
+            .collect();
+        if dead.is_empty() {
+            return changed;
+        }
+        for id in dead {
+            f.detach(id);
+            changed = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irnuma_ir::builder::{iconst, FunctionBuilder};
+    use irnuma_ir::{verify_function, FunctionKind, Ty};
+
+    #[test]
+    fn removes_dead_chain_in_one_run() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64, FunctionKind::Normal);
+        let live = b.add(Ty::I64, b.arg(0), iconst(1));
+        let d1 = b.mul(Ty::I64, b.arg(0), iconst(7));
+        let _d2 = b.add(Ty::I64, d1, iconst(3)); // uses d1; both dead
+        b.ret(Some(live));
+        let mut f = b.finish();
+        assert!(run_function(&mut f));
+        verify_function(&f).unwrap();
+        assert_eq!(f.num_attached(), 2, "only the live add and the ret remain");
+        assert!(!run_function(&mut f), "second run is a no-op");
+    }
+
+    #[test]
+    fn keeps_side_effecting_instructions() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::Ptr], Ty::Void, FunctionKind::Normal);
+        let unused_call = b.call("omp_get_thread_num", Ty::I32, vec![]);
+        let _ = unused_call;
+        b.store(iconst(1), b.arg(0));
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(!run_function(&mut f), "call result unused but call has effects");
+        assert_eq!(f.num_attached(), 3);
+    }
+
+    #[test]
+    fn removes_unused_loads_and_allocas() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::Ptr], Ty::Void, FunctionKind::Normal);
+        let a = b.alloca(Ty::F64, 8);
+        let _v = b.load(Ty::F64, b.arg(0));
+        let _ = a;
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(run_function(&mut f));
+        assert_eq!(f.num_attached(), 1, "only ret remains");
+    }
+
+    #[test]
+    fn pass_object_reports_name() {
+        assert_eq!(Dce.name(), "dce");
+    }
+}

@@ -1,0 +1,165 @@
+//! Global value numbering (dominance-based CSE): two pure instructions with
+//! the same opcode and operands compute the same value; the dominated one is
+//! replaced by the dominating one. Commutative operands are normalized
+//! before hashing.
+
+use crate::pass::Pass;
+use crate::passes::util::for_each_function;
+use irnuma_ir::analysis::{reverse_postorder, DomTree};
+use irnuma_ir::{Function, InstrId, Module, Opcode, Operand};
+use std::collections::HashMap;
+
+pub struct Gvn;
+
+impl Pass for Gvn {
+    fn name(&self) -> &'static str {
+        "gvn"
+    }
+
+    fn run(&self, m: &mut Module) -> bool {
+        for_each_function(m, run_function)
+    }
+}
+
+#[derive(PartialEq, Eq, Hash)]
+struct Key {
+    op: Opcode,
+    ty: irnuma_ir::Ty,
+    operands: Vec<Operand>,
+}
+
+fn key_of(instr: &irnuma_ir::Instr) -> Key {
+    let mut operands = instr.operands.clone();
+    if instr.op.is_commutative() {
+        // Operand has a total order via its derive of Hash/Eq; sort by a
+        // stable serialized form.
+        operands.sort_by_key(|o| format!("{o:?}"));
+    }
+    Key { op: instr.op.clone(), ty: instr.ty, operands }
+}
+
+fn run_function(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let dom = DomTree::compute(f);
+        let rpo = reverse_postorder(f);
+        let mut table: HashMap<Key, Vec<(irnuma_ir::BlockId, usize, InstrId)>> = HashMap::new();
+        let mut replacements: Vec<(InstrId, InstrId)> = Vec::new();
+
+        for &bid in &rpo {
+            let ids: Vec<_> = f.blocks[bid.index()].instrs.clone();
+            for (pos, id) in ids.into_iter().enumerate() {
+                let instr = f.instr(id);
+                if !instr.op.is_pure() || !instr.ty.is_first_class() {
+                    continue;
+                }
+                let key = key_of(instr);
+                let entry = table.entry(key).or_default();
+                let found = entry.iter().find(|&&(db, dpos, _)| {
+                    if db == bid {
+                        dpos < pos
+                    } else {
+                        dom.dominates(db, bid)
+                    }
+                });
+                match found {
+                    Some(&(_, _, leader)) => replacements.push((id, leader)),
+                    None => entry.push((bid, pos, id)),
+                }
+            }
+        }
+
+        if replacements.is_empty() {
+            return changed;
+        }
+        for (dup, leader) in replacements {
+            f.replace_all_uses(dup, Operand::Instr(leader));
+            f.detach(dup);
+        }
+        changed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irnuma_ir::builder::{iconst, FunctionBuilder};
+    use irnuma_ir::{verify_function, FunctionKind, IntPred, Ty};
+
+    #[test]
+    fn duplicate_pure_ops_in_block_are_merged() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64, FunctionKind::Normal);
+        let a = b.add(Ty::I64, b.arg(0), iconst(1));
+        let c = b.add(Ty::I64, b.arg(0), iconst(1));
+        let s = b.mul(Ty::I64, a, c);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        assert!(run_function(&mut f));
+        verify_function(&f).unwrap();
+        assert_eq!(f.num_attached(), 3, "one add + mul + ret");
+    }
+
+    #[test]
+    fn commutative_operands_are_normalized() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64, Ty::I64], Ty::I64, FunctionKind::Normal);
+        let a = b.add(Ty::I64, b.arg(0), b.arg(1));
+        let c = b.add(Ty::I64, b.arg(1), b.arg(0));
+        let s = b.mul(Ty::I64, a, c);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        assert!(run_function(&mut f), "a+b equals b+a");
+        assert_eq!(f.num_attached(), 3);
+    }
+
+    #[test]
+    fn dominating_def_replaces_dominated_duplicate() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64, FunctionKind::Normal);
+        let t = b.new_block();
+        let e = b.new_block();
+        let early = b.add(Ty::I64, b.arg(0), iconst(7));
+        let c = b.icmp(IntPred::Slt, early, iconst(0));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        let dup = b.add(Ty::I64, b.arg(0), iconst(7)); // same value, dominated
+        b.ret(Some(dup));
+        b.switch_to(e);
+        b.ret(Some(early));
+        let mut f = b.finish();
+        assert!(run_function(&mut f));
+        verify_function(&f).unwrap();
+        // The duplicate in `t` is gone; its ret uses `early`.
+        let rt = f.terminator(irnuma_ir::BlockId(1)).unwrap();
+        assert_eq!(f.instr(rt).operands[0].as_instr(), Some(irnuma_ir::InstrId(0)));
+    }
+
+    #[test]
+    fn sibling_blocks_do_not_merge() {
+        // Same expression in two arms that don't dominate each other.
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64, FunctionKind::Normal);
+        let t = b.new_block();
+        let e = b.new_block();
+        let c = b.icmp(IntPred::Slt, b.arg(0), iconst(0));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        let x = b.add(Ty::I64, b.arg(0), iconst(1));
+        b.ret(Some(x));
+        b.switch_to(e);
+        let y = b.add(Ty::I64, b.arg(0), iconst(1));
+        b.ret(Some(y));
+        let mut f = b.finish();
+        assert!(!run_function(&mut f), "no dominance, no merge");
+    }
+
+    #[test]
+    fn loads_and_calls_are_never_merged() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::Ptr], Ty::I64, FunctionKind::Normal);
+        let v1 = b.load(Ty::I64, b.arg(0));
+        b.store(iconst(9), b.arg(0));
+        let v2 = b.load(Ty::I64, b.arg(0)); // intervening store: must stay
+        let s = b.add(Ty::I64, v1, v2);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        assert!(!run_function(&mut f));
+        assert_eq!(f.num_attached(), 5);
+    }
+}

@@ -1,0 +1,225 @@
+//! Instruction combining: algebraic identities and strength reduction.
+//! Rewrites are purely local (in place), so iteration order is irrelevant.
+//!
+//! Implemented rules (x is any operand, c a constant):
+//! * `x + 0`, `0 + x`, `x - 0`, `x * 1`, `1 * x`, `x / 1`, `x << 0` → `x`
+//! * `x * 0`, `0 * x` → `0`; `x - x` → `0`; `x ^ x` → `0`
+//! * `x & x`, `x | x` → `x`; `x & 0` → `0`; `x | 0` → `x`
+//! * `x * 2^k` → `x << k` (strength reduction)
+//! * `fadd x, 0.0`, `fsub x, 0.0`, `fmul x, 1.0`, `fdiv x, 1.0` → `x`
+//! * `icmp eq/sle/sge x, x` → true, `icmp ne/slt/sgt x, x` → false
+//! * `select c, x, x` → `x`
+
+use crate::pass::Pass;
+use crate::passes::util::for_each_function;
+use irnuma_ir::{Function, IntPred, Module, Opcode, Operand};
+
+pub struct InstCombine;
+
+impl Pass for InstCombine {
+    fn name(&self) -> &'static str {
+        "instcombine"
+    }
+
+    fn run(&self, m: &mut Module) -> bool {
+        for_each_function(m, run_function)
+    }
+}
+
+/// What a rule decided to do with an instruction.
+enum Rewrite {
+    /// Replace all uses with this operand and detach.
+    Value(Operand),
+    /// Mutate in place to `(opcode, operands)`.
+    Replace(Opcode, Vec<Operand>),
+}
+
+fn simplify(instr: &irnuma_ir::Instr) -> Option<Rewrite> {
+    use Rewrite::*;
+    let ops = &instr.operands;
+    let ty = instr.ty;
+    let int0 = Operand::ConstInt(0);
+    match instr.op {
+        Opcode::Add => match (ops[0], ops[1]) {
+            (x, Operand::ConstInt(0)) | (Operand::ConstInt(0), x) => Some(Value(x)),
+            _ => None,
+        },
+        Opcode::Sub => match (ops[0], ops[1]) {
+            (x, Operand::ConstInt(0)) => Some(Value(x)),
+            (a, b) if a == b && !a.is_const() => Some(Value(int0)),
+            _ => None,
+        },
+        Opcode::Mul => match (ops[0], ops[1]) {
+            (x, Operand::ConstInt(1)) | (Operand::ConstInt(1), x) => Some(Value(x)),
+            (_, Operand::ConstInt(0)) | (Operand::ConstInt(0), _) => Some(Value(int0)),
+            (x, Operand::ConstInt(c)) | (Operand::ConstInt(c), x)
+                if c > 1 && (c as u64).is_power_of_two() =>
+            {
+                Some(Replace(Opcode::Shl, vec![x, Operand::ConstInt(c.trailing_zeros() as i64)]))
+            }
+            _ => None,
+        },
+        Opcode::SDiv => match (ops[0], ops[1]) {
+            (x, Operand::ConstInt(1)) => Some(Value(x)),
+            _ => None,
+        },
+        Opcode::Shl | Opcode::LShr | Opcode::AShr => match ops[1] {
+            Operand::ConstInt(0) => Some(Value(ops[0])),
+            _ => None,
+        },
+        Opcode::And => match (ops[0], ops[1]) {
+            (a, b) if a == b => Some(Value(a)),
+            (_, Operand::ConstInt(0)) | (Operand::ConstInt(0), _) => Some(Value(int0)),
+            _ => None,
+        },
+        Opcode::Or => match (ops[0], ops[1]) {
+            (a, b) if a == b => Some(Value(a)),
+            (x, Operand::ConstInt(0)) | (Operand::ConstInt(0), x) => Some(Value(x)),
+            _ => None,
+        },
+        Opcode::Xor => match (ops[0], ops[1]) {
+            (a, b) if a == b && !a.is_const() => Some(Value(int0)),
+            (x, Operand::ConstInt(0)) | (Operand::ConstInt(0), x) => Some(Value(x)),
+            _ => None,
+        },
+        // IEEE-exact zero identities: `x + (-0.0) == x` and `x - (+0.0) ==
+        // x` hold for every x including -0.0; the opposite signs do not.
+        Opcode::FAdd => match ops[1] {
+            Operand::ConstFloat(bits) if bits == (-0.0f64).to_bits() => Some(Value(ops[0])),
+            _ => None,
+        },
+        Opcode::FSub => match ops[1] {
+            Operand::ConstFloat(bits) if bits == 0.0f64.to_bits() => Some(Value(ops[0])),
+            _ => None,
+        },
+        Opcode::FMul | Opcode::FDiv => match ops[1] {
+            Operand::ConstFloat(bits) if f64::from_bits(bits) == 1.0 => Some(Value(ops[0])),
+            _ => None,
+        },
+        Opcode::Icmp(p) if ops[0] == ops[1] && !ops[0].is_const() => {
+            let v = matches!(p, IntPred::Eq | IntPred::Sle | IntPred::Sge);
+            Some(Value(Operand::ConstInt(v as i64)))
+        }
+        Opcode::Select if ops[1] == ops[2] => Some(Value(ops[1])),
+        _ => {
+            let _ = ty;
+            None
+        }
+    }
+}
+
+fn run_function(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let mut any = false;
+        let attached: Vec<_> = f.iter_attached().map(|(_, _, id)| id).collect();
+        for id in attached {
+            let instr = f.instr(id);
+            if !instr.ty.is_first_class() {
+                continue;
+            }
+            match simplify(instr) {
+                Some(Rewrite::Value(v)) => {
+                    // Guard: never replace an instruction with itself.
+                    if v == Operand::Instr(id) {
+                        continue;
+                    }
+                    f.replace_all_uses(id, v);
+                    f.detach(id);
+                    any = true;
+                }
+                Some(Rewrite::Replace(op, operands)) => {
+                    let i = f.instr_mut(id);
+                    i.op = op;
+                    i.operands = operands;
+                    any = true;
+                }
+                None => {}
+            }
+        }
+        changed |= any;
+        if !any {
+            return changed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irnuma_ir::builder::{fconst, iconst, FunctionBuilder};
+    use irnuma_ir::{verify_function, FunctionKind, Ty};
+
+    fn optimize(build: impl FnOnce(&mut FunctionBuilder) -> Operand, params: Vec<Ty>, ret: Ty) -> Function {
+        let mut b = FunctionBuilder::new("f", params, ret, FunctionKind::Normal);
+        let out = build(&mut b);
+        b.ret(Some(out));
+        let mut f = b.finish();
+        run_function(&mut f);
+        verify_function(&f).unwrap();
+        f
+    }
+
+    fn ret_operand(f: &Function) -> Operand {
+        let t = f.terminator(f.entry()).unwrap();
+        f.instr(t).operands[0]
+    }
+
+    #[test]
+    fn add_zero_is_identity() {
+        let f = optimize(|b| b.add(Ty::I64, b.arg(0), iconst(0)), vec![Ty::I64], Ty::I64);
+        assert_eq!(ret_operand(&f), Operand::Arg(0));
+        assert_eq!(f.num_attached(), 1);
+    }
+
+    #[test]
+    fn mul_power_of_two_becomes_shift() {
+        let f = optimize(|b| b.mul(Ty::I64, b.arg(0), iconst(8)), vec![Ty::I64], Ty::I64);
+        let shl = f.blocks[0].instrs[0];
+        assert_eq!(f.instr(shl).op, Opcode::Shl);
+        assert_eq!(f.instr(shl).operands[1], Operand::ConstInt(3));
+    }
+
+    #[test]
+    fn x_minus_x_is_zero() {
+        let f = optimize(|b| b.sub(Ty::I64, b.arg(0), b.arg(0)), vec![Ty::I64], Ty::I64);
+        assert_eq!(ret_operand(&f), Operand::ConstInt(0));
+    }
+
+    #[test]
+    fn icmp_x_x_folds_by_predicate() {
+        let f = optimize(|b| b.icmp(IntPred::Sle, b.arg(0), b.arg(0)), vec![Ty::I64], Ty::I1);
+        assert_eq!(ret_operand(&f), Operand::ConstInt(1));
+        let f = optimize(|b| b.icmp(IntPred::Slt, b.arg(0), b.arg(0)), vec![Ty::I64], Ty::I1);
+        assert_eq!(ret_operand(&f), Operand::ConstInt(0));
+    }
+
+    #[test]
+    fn float_identities_respect_ieee() {
+        // fadd x, -0.0 → x is the exact identity (x + +0.0 breaks for
+        // x = -0.0); fsub x, +0.0 → x likewise; fmul x, 0.0 must NOT fold.
+        let f = optimize(|b| b.fadd(Ty::F64, b.arg(0), fconst(-0.0)), vec![Ty::F64], Ty::F64);
+        assert_eq!(ret_operand(&f), Operand::Arg(0));
+        let f = optimize(|b| b.fadd(Ty::F64, b.arg(0), fconst(0.0)), vec![Ty::F64], Ty::F64);
+        assert_ne!(ret_operand(&f), Operand::Arg(0), "x + +0.0 is not an identity for -0.0");
+        let f = optimize(|b| b.fsub(Ty::F64, b.arg(0), fconst(0.0)), vec![Ty::F64], Ty::F64);
+        assert_eq!(ret_operand(&f), Operand::Arg(0));
+        let f = optimize(|b| b.fmul(Ty::F64, b.arg(0), fconst(0.0)), vec![Ty::F64], Ty::F64);
+        assert_ne!(ret_operand(&f), Operand::float(0.0), "fmul by 0 must not fold");
+    }
+
+    #[test]
+    fn chains_simplify_to_fixpoint() {
+        // ((x*1) + 0) ^ ((x*1) + 0) → 0 in a single run.
+        let f = optimize(
+            |b| {
+                let a = b.mul(Ty::I64, b.arg(0), iconst(1));
+                let c = b.add(Ty::I64, a, iconst(0));
+                b.xor(Ty::I64, c, c)
+            },
+            vec![Ty::I64],
+            Ty::I64,
+        );
+        assert_eq!(ret_operand(&f), Operand::ConstInt(0));
+    }
+}

@@ -1,0 +1,235 @@
+//! Loop-invariant code motion: hoists pure, loop-invariant instructions to
+//! the loop preheader. Loads are hoisted only from loops that contain no
+//! writes at all (stores, atomics, calls), since we have no deeper alias
+//! analysis. Loops without a canonical preheader (a unique outside
+//! predecessor ending in an unconditional branch to the header) are skipped.
+
+use crate::pass::Pass;
+use crate::passes::util::for_each_function;
+use irnuma_ir::analysis::{natural_loops, predecessors, NaturalLoop};
+use irnuma_ir::{Function, InstrId, Module, Opcode, Operand};
+use std::collections::HashSet;
+
+pub struct Licm;
+
+impl Pass for Licm {
+    fn name(&self) -> &'static str {
+        "licm"
+    }
+
+    fn run(&self, m: &mut Module) -> bool {
+        for_each_function(m, run_function)
+    }
+}
+
+fn preheader(f: &Function, l: &NaturalLoop) -> Option<irnuma_ir::BlockId> {
+    let preds = predecessors(f);
+    let outside: Vec<_> = preds[l.header.index()]
+        .iter()
+        .copied()
+        .filter(|p| !l.contains(*p))
+        .collect();
+    if outside.len() != 1 {
+        return None;
+    }
+    let p = outside[0];
+    let t = f.terminator(p)?;
+    matches!(f.instr(t).op, Opcode::Br).then_some(p)
+}
+
+fn run_function(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let loops = natural_loops(f);
+        let mut moved = false;
+        for l in &loops {
+            let Some(ph) = preheader(f, l) else { continue };
+
+            // Does the loop write memory anywhere?
+            let loop_writes = l.blocks.iter().any(|b| {
+                f.blocks[b.index()].instrs.iter().any(|&id| {
+                    matches!(
+                        f.instr(id).op,
+                        Opcode::Store | Opcode::AtomicRmw(_) | Opcode::Call { .. }
+                    )
+                })
+            });
+
+            // Defs inside the loop (anything else is invariant by default).
+            let mut inside: HashSet<InstrId> = HashSet::new();
+            for b in &l.blocks {
+                inside.extend(f.blocks[b.index()].instrs.iter().copied());
+            }
+
+            // Iterate blocks in id order; within a pass over the loop, an
+            // instruction is invariant if pure (or a load in a write-free
+            // loop) and none of its operands are defined inside the loop.
+            let mut hoist: Vec<InstrId> = Vec::new();
+            let mut hoisted: HashSet<InstrId> = HashSet::new();
+            let mut progress = true;
+            while progress {
+                progress = false;
+                for b in &l.blocks {
+                    for &id in &f.blocks[b.index()].instrs {
+                        if hoisted.contains(&id) {
+                            continue;
+                        }
+                        let instr = f.instr(id);
+                        // Speculation safety: hoisting executes the
+                        // instruction even when the loop body would not
+                        // have run; division may not trap on a path that
+                        // never executed.
+                        let spec_safe = match instr.op {
+                            Opcode::SDiv | Opcode::SRem => {
+                                matches!(instr.operands[1], irnuma_ir::Operand::ConstInt(c) if c != 0)
+                            }
+                            _ => true,
+                        };
+                        let movable = (instr.op.is_pure() && spec_safe)
+                            || (matches!(instr.op, Opcode::Load) && !loop_writes);
+                        if !movable || !instr.ty.is_first_class() {
+                            continue;
+                        }
+                        let invariant = instr.operands.iter().all(|op| match op {
+                            Operand::Instr(d) => !inside.contains(d) || hoisted.contains(d),
+                            _ => true,
+                        });
+                        if invariant {
+                            hoist.push(id);
+                            hoisted.insert(id);
+                            progress = true;
+                        }
+                    }
+                }
+            }
+
+            if hoist.is_empty() {
+                continue;
+            }
+            // Move each hoisted instruction before the preheader terminator,
+            // preserving their relative (dependency-respecting) order.
+            for id in hoist {
+                f.detach(id);
+                let term_pos = f.blocks[ph.index()].instrs.len() - 1;
+                f.blocks[ph.index()].instrs.insert(term_pos, id);
+            }
+            moved = true;
+            break; // loop sets changed; recompute analyses
+        }
+        changed |= moved;
+        if !moved {
+            return changed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irnuma_ir::builder::{fconst, iconst, FunctionBuilder};
+    use irnuma_ir::{verify_function, BlockId, FunctionKind, Ty};
+
+    #[test]
+    fn invariant_arithmetic_hoists_to_preheader() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64, Ty::I64], Ty::Void, FunctionKind::Normal);
+        b.counted_loop(iconst(0), b.arg(0), iconst(1), |b, _i| {
+            let inv = b.mul(Ty::I64, b.arg(1), iconst(100)); // invariant
+            let _ = b.add(Ty::I64, inv, iconst(5)); // depends on inv: also invariant
+        });
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(run_function(&mut f));
+        verify_function(&f).unwrap();
+        // entry is the preheader (it branches to the header).
+        let entry_ops: Vec<_> = f.blocks[0].instrs.iter().map(|&i| f.instr(i).op.clone()).collect();
+        assert!(entry_ops.iter().any(|o| matches!(o, Opcode::Mul)));
+        assert!(entry_ops.iter().any(|o| matches!(o, Opcode::Add)));
+        // After DCE nothing remains in the body but the induction update.
+    }
+
+    #[test]
+    fn variant_computation_stays() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64], Ty::Void, FunctionKind::Normal);
+        b.counted_loop(iconst(0), b.arg(0), iconst(1), |b, i| {
+            let _ = b.mul(Ty::I64, i, iconst(3)); // depends on induction var
+        });
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(!run_function(&mut f));
+    }
+
+    #[test]
+    fn loads_hoist_only_from_write_free_loops() {
+        // Loop with a store: the load of an invariant address must stay.
+        let mut b = FunctionBuilder::new("f", vec![Ty::Ptr, Ty::I64], Ty::Void, FunctionKind::Normal);
+        b.counted_loop(iconst(0), b.arg(1), iconst(1), |b, i| {
+            let v = b.load(Ty::F64, b.arg(0));
+            let p = b.gep(Ty::F64, b.arg(0), i);
+            b.store(v, p);
+        });
+        b.ret(None);
+        let mut f = b.finish();
+        run_function(&mut f);
+        verify_function(&f).unwrap();
+        let entry_has_load = f.blocks[0].instrs.iter().any(|&i| matches!(f.instr(i).op, Opcode::Load));
+        assert!(!entry_has_load, "load must not be hoisted past a looped store");
+
+        // Write-free loop: load of loop-invariant pointer hoists.
+        let mut b = FunctionBuilder::new("g", vec![Ty::Ptr, Ty::I64], Ty::F64, FunctionKind::Normal);
+        let acc = b.alloca(Ty::F64, 1);
+        let _ = acc;
+        b.counted_loop(iconst(0), b.arg(1), iconst(1), |b, _i| {
+            let _v = b.load(Ty::F64, b.arg(0)); // invariant address, no writes
+        });
+        let z = b.load(Ty::F64, b.arg(0));
+        b.ret(Some(z));
+        let mut f = b.finish();
+        assert!(run_function(&mut f));
+        verify_function(&f).unwrap();
+        let entry_has_load = f.blocks[0].instrs.iter().any(|&i| matches!(f.instr(i).op, Opcode::Load));
+        assert!(entry_has_load);
+    }
+
+    #[test]
+    fn hoisted_values_keep_dependency_order() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64, Ty::I64], Ty::I64, FunctionKind::Normal);
+        b.counted_loop(iconst(0), b.arg(0), iconst(1), |b, _| {
+            let a = b.mul(Ty::I64, b.arg(1), iconst(7));
+            let c = b.add(Ty::I64, a, iconst(1));
+            let _ = b.shl(Ty::I64, c, iconst(2));
+        });
+        b.ret(Some(iconst(0)));
+        let mut f = b.finish();
+        assert!(run_function(&mut f));
+        verify_function(&f).expect("dependencies stay ordered after hoisting");
+    }
+
+    #[test]
+    fn loop_with_float_reduction_keeps_phi() {
+        // fadd chain through a phi is loop-variant; nothing to hoist except
+        // nothing — the pass must report no change.
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64], Ty::F64, FunctionKind::Normal);
+        let pre = b.current();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let iv = b.phi(Ty::I64, &[(pre, iconst(0))]);
+        let acc = b.phi(Ty::F64, &[(pre, fconst(0.0))]);
+        let c = b.icmp(irnuma_ir::IntPred::Slt, iv, b.arg(0));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let acc2 = b.fadd(Ty::F64, acc, fconst(1.0));
+        let iv2 = b.add(Ty::I64, iv, iconst(1));
+        b.br(header);
+        b.phi_add_incoming(iv, body, iv2);
+        b.phi_add_incoming(acc, body, acc2);
+        b.switch_to(exit);
+        b.ret(Some(acc));
+        let mut f = b.finish();
+        verify_function(&f).unwrap();
+        assert!(!run_function(&mut f));
+        let _ = BlockId(0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Local memory optimizations with syntactic (exact-pointer) aliasing:
+//!
+//! * [`StoreForward`] — forwards a stored value to later loads of the *same
+//!   pointer operand* within a block, and merges redundant repeated loads.
+//!   Any intervening store to a *different* pointer, call, or atomic kills
+//!   all knowledge (two syntactically different pointers may alias).
+//! * [`Dse`] — deletes a store that is overwritten by a later store to the
+//!   same pointer operand with no potential read in between.
+//!
+//! Exact-operand equality is a sound (if conservative) may-alias oracle:
+//! identical SSA operands are *must*-alias; anything else is treated as
+//! may-alias.
+
+use crate::pass::Pass;
+use crate::passes::util::for_each_function;
+use irnuma_ir::{Function, InstrId, Module, Opcode, Operand};
+use std::collections::HashMap;
+
+pub struct StoreForward;
+
+impl Pass for StoreForward {
+    fn name(&self) -> &'static str {
+        "store-forward"
+    }
+
+    fn run(&self, m: &mut Module) -> bool {
+        for_each_function(m, forward_function)
+    }
+}
+
+fn forward_function(f: &mut Function) -> bool {
+    let mut changed = false;
+    for b in 0..f.blocks.len() {
+        // pointer operand -> known value at this point
+        let mut known: HashMap<Operand, Operand> = HashMap::new();
+        let ids: Vec<InstrId> = f.blocks[b].instrs.clone();
+        let mut kill: Vec<InstrId> = Vec::new();
+        for id in ids {
+            let instr = f.instr(id).clone();
+            match instr.op {
+                Opcode::Store => {
+                    let (val, ptr) = (instr.operands[0], instr.operands[1]);
+                    // A store to ptr invalidates every other pointer.
+                    known.retain(|p, _| *p == ptr);
+                    known.insert(ptr, val);
+                }
+                Opcode::Load => {
+                    let ptr = instr.operands[0];
+                    match known.get(&ptr) {
+                        Some(&v) if v != Operand::Instr(id) => {
+                            f.replace_all_uses(id, v);
+                            kill.push(id);
+                            changed = true;
+                        }
+                        Some(_) => {}
+                        None => {
+                            // remember the loaded value for later identical loads
+                            known.insert(ptr, Operand::Instr(id));
+                        }
+                    }
+                }
+                Opcode::AtomicRmw(_) | Opcode::Call { .. } => known.clear(),
+                _ => {}
+            }
+        }
+        for id in kill {
+            f.detach(id);
+        }
+    }
+    changed
+}
+
+pub struct Dse;
+
+impl Pass for Dse {
+    fn name(&self) -> &'static str {
+        "dse"
+    }
+
+    fn run(&self, m: &mut Module) -> bool {
+        for_each_function(m, dse_function)
+    }
+}
+
+fn dse_function(f: &mut Function) -> bool {
+    let mut changed = false;
+    for b in 0..f.blocks.len() {
+        // pointer -> pending (not-yet-read) store id
+        let mut pending: HashMap<Operand, InstrId> = HashMap::new();
+        let ids: Vec<InstrId> = f.blocks[b].instrs.clone();
+        let mut kill: Vec<InstrId> = Vec::new();
+        for id in ids {
+            let instr = f.instr(id);
+            match &instr.op {
+                Opcode::Store => {
+                    let ptr = instr.operands[1];
+                    if let Some(prev) = pending.insert(ptr, id) {
+                        kill.push(prev);
+                        changed = true;
+                    }
+                }
+                // Any load, call or atomic may read any pending store.
+                Opcode::Load | Opcode::AtomicRmw(_) | Opcode::Call { .. } => pending.clear(),
+                _ => {}
+            }
+        }
+        for id in kill {
+            f.detach(id);
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irnuma_ir::builder::{iconst, FunctionBuilder};
+    use irnuma_ir::{verify_function, FunctionKind, Ty};
+
+    #[test]
+    fn store_forwards_to_load() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::Ptr], Ty::I64, FunctionKind::Normal);
+        b.store(iconst(42), b.arg(0));
+        let v = b.load(Ty::I64, b.arg(0));
+        b.ret(Some(v));
+        let mut f = b.finish();
+        assert!(forward_function(&mut f));
+        verify_function(&f).unwrap();
+        let rt = f.terminator(f.entry()).unwrap();
+        assert_eq!(f.instr(rt).operands[0], Operand::ConstInt(42));
+        assert_eq!(f.num_attached(), 2, "load removed");
+    }
+
+    #[test]
+    fn intervening_unrelated_store_blocks_forwarding() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::Ptr, Ty::Ptr], Ty::I64, FunctionKind::Normal);
+        b.store(iconst(1), b.arg(0));
+        b.store(iconst(2), b.arg(1)); // may alias arg0
+        let v = b.load(Ty::I64, b.arg(0));
+        b.ret(Some(v));
+        let mut f = b.finish();
+        assert!(!forward_function(&mut f), "conservative: p1 may alias p0");
+    }
+
+    #[test]
+    fn repeated_loads_merge() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::Ptr], Ty::I64, FunctionKind::Normal);
+        let v1 = b.load(Ty::I64, b.arg(0));
+        let v2 = b.load(Ty::I64, b.arg(0));
+        let s = b.add(Ty::I64, v1, v2);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        assert!(forward_function(&mut f));
+        verify_function(&f).unwrap();
+        assert_eq!(f.num_attached(), 3);
+    }
+
+    #[test]
+    fn call_kills_knowledge() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::Ptr], Ty::I64, FunctionKind::Normal);
+        b.store(iconst(1), b.arg(0));
+        b.call_void("kmpc_barrier", vec![]);
+        let v = b.load(Ty::I64, b.arg(0));
+        b.ret(Some(v));
+        let mut f = b.finish();
+        assert!(!forward_function(&mut f));
+    }
+
+    #[test]
+    fn dead_store_is_removed() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::Ptr], Ty::Void, FunctionKind::Normal);
+        b.store(iconst(1), b.arg(0));
+        b.store(iconst(2), b.arg(0));
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(dse_function(&mut f));
+        verify_function(&f).unwrap();
+        assert_eq!(f.num_attached(), 2);
+        // The survivor must be the *second* store.
+        let s = f.blocks[0].instrs[0];
+        assert_eq!(f.instr(s).operands[0], Operand::ConstInt(2));
+    }
+
+    #[test]
+    fn read_in_between_protects_store() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::Ptr, Ty::Ptr], Ty::I64, FunctionKind::Normal);
+        b.store(iconst(1), b.arg(0));
+        let v = b.load(Ty::I64, b.arg(1)); // may read arg0
+        b.store(iconst(2), b.arg(0));
+        b.ret(Some(v));
+        let mut f = b.finish();
+        assert!(!dse_function(&mut f));
+        assert_eq!(f.num_attached(), 4);
+    }
+}

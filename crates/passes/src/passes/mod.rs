@@ -1,0 +1,31 @@
+//! The individual middle-end passes. Each file holds one pass plus its unit
+//! tests; [`crate::pass::registry`] wires them to flag names.
+
+mod constprop;
+mod dce;
+mod gvn;
+mod inline;
+mod instcombine;
+mod licm;
+mod mem2reg;
+mod memopt;
+mod phisimplify;
+mod reassociate;
+mod simplifycfg;
+mod sink;
+mod unroll;
+pub(crate) mod util;
+
+pub use constprop::ConstProp;
+pub use dce::Dce;
+pub use gvn::Gvn;
+pub use inline::Inline;
+pub use instcombine::InstCombine;
+pub use licm::Licm;
+pub use mem2reg::Mem2Reg;
+pub use memopt::{Dse, StoreForward};
+pub use phisimplify::PhiSimplify;
+pub use reassociate::Reassociate;
+pub use simplifycfg::SimplifyCfg;
+pub use sink::Sink;
+pub use unroll::LoopUnroll;

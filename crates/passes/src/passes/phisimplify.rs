@@ -1,0 +1,115 @@
+//! Phi simplification: phis whose incoming values are all identical (or
+//! identical modulo self-references) are replaced by that value.
+
+use crate::pass::Pass;
+use crate::passes::util::for_each_function;
+use irnuma_ir::{Function, Module, Opcode, Operand};
+
+pub struct PhiSimplify;
+
+impl Pass for PhiSimplify {
+    fn name(&self) -> &'static str {
+        "phi-simplify"
+    }
+
+    fn run(&self, m: &mut Module) -> bool {
+        for_each_function(m, run_function)
+    }
+}
+
+fn run_function(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let mut any = false;
+        let attached: Vec<_> = f.iter_attached().map(|(_, _, id)| id).collect();
+        for id in attached {
+            let instr = f.instr(id);
+            if !matches!(instr.op, Opcode::Phi) {
+                continue;
+            }
+            // Collect distinct incoming values, ignoring self-references.
+            let me = Operand::Instr(id);
+            let mut unique: Option<Operand> = None;
+            let mut ok = true;
+            for (_, v) in instr.phi_incomings() {
+                if v == me {
+                    continue;
+                }
+                match unique {
+                    None => unique = Some(v),
+                    Some(u) if u == v => {}
+                    Some(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let Some(v) = unique else { continue }; // all-self phi: degenerate, skip
+            f.replace_all_uses(id, v);
+            f.detach(id);
+            any = true;
+        }
+        changed |= any;
+        if !any {
+            return changed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irnuma_ir::builder::{iconst, FunctionBuilder};
+    use irnuma_ir::{verify_function, BlockId, FunctionKind, IntPred, Ty};
+
+    #[test]
+    fn identical_incomings_collapse() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64, FunctionKind::Normal);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let c = b.icmp(IntPred::Slt, b.arg(0), iconst(0));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        let p = b.phi(Ty::I64, &[(t, b.arg(0)), (e, b.arg(0))]);
+        b.ret(Some(p));
+        let mut f = b.finish();
+        assert!(run_function(&mut f));
+        verify_function(&f).unwrap();
+        let rt = f.terminator(BlockId(3)).unwrap();
+        assert_eq!(f.instr(rt).operands[0], Operand::Arg(0));
+    }
+
+    #[test]
+    fn loop_phi_with_self_reference_collapses() {
+        // p = phi [x, pre], [p, latch] — the value never changes: p == x.
+        let text = "module \"m\"\n\
+            func @f(i64) -> i64 {\n\
+            bb0:\n  br bb1\n\
+            bb1:\n  %0 = phi i64 bb0, %a0, bb2, %0\n  %1 = icmp.slt i1 %0, 100\n  condbr %1, bb2, bb3\n\
+            bb2:\n  br bb1\n\
+            bb3:\n  ret %0\n}\n";
+        let m = irnuma_ir::parse_module(text).unwrap();
+        let mut f = m.function("f").unwrap().clone();
+        assert!(run_function(&mut f));
+        verify_function(&f).unwrap();
+        let rt = f.terminator(BlockId(3)).unwrap();
+        assert_eq!(f.instr(rt).operands[0], Operand::Arg(0));
+    }
+
+    #[test]
+    fn real_loop_phi_survives() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64], Ty::Void, FunctionKind::Normal);
+        b.counted_loop(iconst(0), b.arg(0), iconst(1), |_, _| {});
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(!run_function(&mut f), "induction phi has two distinct values");
+    }
+}

@@ -1,0 +1,130 @@
+//! Reassociation: canonicalizes commutative operations so constants sit on
+//! the right-hand side, and folds `(x ⊕ c1) ⊕ c2` into `x ⊕ (c1 ⊕ c2)` for
+//! associative integer ops. Canonicalization by itself enables more CSE.
+
+use crate::pass::Pass;
+use crate::passes::util::for_each_function;
+use irnuma_ir::{Function, Module, Opcode, Operand, Ty};
+
+pub struct Reassociate;
+
+impl Pass for Reassociate {
+    fn name(&self) -> &'static str {
+        "reassociate"
+    }
+
+    fn run(&self, m: &mut Module) -> bool {
+        for_each_function(m, run_function)
+    }
+}
+
+fn assoc_fold(op: &Opcode, a: i64, b: i64, ty: Ty) -> Option<i64> {
+    let r: i128 = match op {
+        Opcode::Add => a as i128 + b as i128,
+        Opcode::Mul => (a as i128).wrapping_mul(b as i128),
+        Opcode::And => (a & b) as i128,
+        Opcode::Or => (a | b) as i128,
+        Opcode::Xor => (a ^ b) as i128,
+        _ => return None,
+    };
+    Some(ty.wrap_int(r))
+}
+
+fn run_function(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let mut any = false;
+        let attached: Vec<_> = f.iter_attached().map(|(_, _, id)| id).collect();
+        for id in attached {
+            let instr = f.instr(id);
+            if !instr.op.is_commutative() || !instr.op.is_binary() {
+                continue;
+            }
+            // Canonicalize: constant to the RHS.
+            if instr.operands[0].is_const() && !instr.operands[1].is_const() {
+                let i = f.instr_mut(id);
+                i.operands.swap(0, 1);
+                any = true;
+                continue;
+            }
+            // (x op c1) op c2 → x op (c1 op c2), for integer associative ops.
+            if !instr.ty.is_int() {
+                continue;
+            }
+            let Some(c2) = instr.operands[1].as_int() else { continue };
+            let Some(inner_id) = instr.operands[0].as_instr() else { continue };
+            let inner = f.instr(inner_id);
+            if inner.op != instr.op {
+                continue;
+            }
+            let Some(c1) = inner.operands[1].as_int() else { continue };
+            let x = inner.operands[0];
+            if x.is_const() {
+                continue; // fully-constant chains are constprop's job
+            }
+            let Some(c) = assoc_fold(&instr.op, c1, c2, instr.ty) else { continue };
+            let i = f.instr_mut(id);
+            i.operands = vec![x, Operand::ConstInt(c)];
+            any = true;
+            // `inner` may become dead; DCE will clean it up.
+        }
+        changed |= any;
+        if !any {
+            return changed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irnuma_ir::builder::{iconst, FunctionBuilder};
+    use irnuma_ir::{verify_function, FunctionKind, Ty};
+
+    #[test]
+    fn constant_moves_to_rhs() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64, FunctionKind::Normal);
+        let x = b.add(Ty::I64, iconst(5), b.arg(0));
+        b.ret(Some(x));
+        let mut f = b.finish();
+        assert!(run_function(&mut f));
+        verify_function(&f).unwrap();
+        let add = f.blocks[0].instrs[0];
+        assert_eq!(f.instr(add).operands, vec![Operand::Arg(0), Operand::ConstInt(5)]);
+    }
+
+    #[test]
+    fn nested_constants_combine() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64, FunctionKind::Normal);
+        let a = b.add(Ty::I64, b.arg(0), iconst(3));
+        let c = b.add(Ty::I64, a, iconst(4));
+        b.ret(Some(c));
+        let mut f = b.finish();
+        assert!(run_function(&mut f));
+        verify_function(&f).unwrap();
+        let outer = f.blocks[0].instrs[1];
+        assert_eq!(f.instr(outer).operands, vec![Operand::Arg(0), Operand::ConstInt(7)]);
+    }
+
+    #[test]
+    fn non_commutative_ops_untouched() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64, FunctionKind::Normal);
+        let x = b.sub(Ty::I64, iconst(5), b.arg(0));
+        b.ret(Some(x));
+        let mut f = b.finish();
+        assert!(!run_function(&mut f));
+    }
+
+    #[test]
+    fn float_chains_are_not_reassociated() {
+        // FP reassociation changes rounding; must not fire without fast-math.
+        let mut b = FunctionBuilder::new("f", vec![Ty::F64], Ty::F64, FunctionKind::Normal);
+        let a = b.fadd(Ty::F64, b.arg(0), irnuma_ir::builder::fconst(0.1));
+        let c = b.fadd(Ty::F64, a, irnuma_ir::builder::fconst(0.2));
+        b.ret(Some(c));
+        let mut f = b.finish();
+        run_function(&mut f);
+        // Two fadds must survive.
+        assert_eq!(f.num_attached(), 3);
+    }
+}

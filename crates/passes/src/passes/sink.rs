@@ -1,0 +1,149 @@
+//! Sinking: moves a fully pure, single-use instruction into the block of its
+//! unique user when that block is different and dominated by the definition
+//! block. Shrinks live ranges and removes work from paths that don't use the
+//! value.
+
+use crate::pass::Pass;
+use crate::passes::util::for_each_function;
+use irnuma_ir::analysis::DomTree;
+use irnuma_ir::{Function, InstrId, Module, Opcode, Operand};
+
+pub struct Sink;
+
+impl Pass for Sink {
+    fn name(&self) -> &'static str {
+        "sink"
+    }
+
+    fn run(&self, m: &mut Module) -> bool {
+        for_each_function(m, run_function)
+    }
+}
+
+fn run_function(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let dom = DomTree::compute(f);
+        // Find (def, user) pairs where def is pure, has exactly one use, and
+        // the user lives in a different, dominated block.
+        let mut moves: Vec<(InstrId, InstrId)> = Vec::new();
+        let mut uses: Vec<Vec<InstrId>> = vec![Vec::new(); f.instrs.len()];
+        for (_, _, id) in f.iter_attached() {
+            for op in &f.instr(id).operands {
+                if let Operand::Instr(d) = op {
+                    uses[d.index()].push(id);
+                }
+            }
+        }
+        let mut loc = std::collections::HashMap::new();
+        for (b, pos, id) in f.iter_attached() {
+            loc.insert(id, (b, pos));
+        }
+        for (_, _, id) in f.iter_attached() {
+            let instr = f.instr(id);
+            // `is_pure` excludes loads, calls, phis, allocas; terminators too.
+            if !instr.op.is_pure() || !instr.ty.is_first_class() {
+                continue;
+            }
+            let u = &uses[id.index()];
+            if u.len() != 1 {
+                continue;
+            }
+            let user = u[0];
+            // Never sink into a phi: the value must be available on the edge.
+            if matches!(f.instr(user).op, Opcode::Phi) {
+                continue;
+            }
+            let (db, _) = loc[&id];
+            let Some(&(ub, _)) = loc.get(&user) else { continue };
+            if db == ub || !dom.dominates(db, ub) {
+                continue;
+            }
+            moves.push((id, user));
+        }
+
+        if moves.is_empty() {
+            return changed;
+        }
+        // Apply one move at a time (positions shift after each move).
+        let (id, user) = moves[0];
+        f.detach(id);
+        // Re-locate the user and insert right before it.
+        let (ub, upos) = f
+            .iter_attached()
+            .find(|&(_, _, i)| i == user)
+            .map(|(b, p, _)| (b, p))
+            .expect("user still attached");
+        f.blocks[ub.index()].instrs.insert(upos, id);
+        changed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irnuma_ir::builder::{iconst, FunctionBuilder};
+    use irnuma_ir::{verify_function, BlockId, FunctionKind, IntPred, Ty};
+
+    #[test]
+    fn single_use_value_sinks_into_branch_arm() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64, FunctionKind::Normal);
+        let t = b.new_block();
+        let e = b.new_block();
+        let expensive = b.mul(Ty::I64, b.arg(0), iconst(1234567)); // used only in t
+        let c = b.icmp(IntPred::Slt, b.arg(0), iconst(0));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        let r = b.add(Ty::I64, expensive, iconst(1));
+        b.ret(Some(r));
+        b.switch_to(e);
+        b.ret(Some(b.arg(0)));
+        let mut f = b.finish();
+        assert!(run_function(&mut f));
+        verify_function(&f).unwrap();
+        // The mul now lives in block t.
+        let mul = f
+            .iter_attached()
+            .find(|&(_, _, id)| matches!(f.instr(id).op, Opcode::Mul))
+            .unwrap();
+        assert_eq!(mul.0, BlockId(1));
+    }
+
+    #[test]
+    fn multi_use_values_stay() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64, FunctionKind::Normal);
+        let t = b.new_block();
+        let e = b.new_block();
+        let v = b.mul(Ty::I64, b.arg(0), iconst(3));
+        let c = b.icmp(IntPred::Slt, v, iconst(0));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.ret(Some(v));
+        b.switch_to(e);
+        b.ret(Some(v));
+        let mut f = b.finish();
+        assert!(!run_function(&mut f), "v has three uses");
+    }
+
+    #[test]
+    fn loads_never_sink() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::Ptr], Ty::I64, FunctionKind::Normal);
+        let t = b.new_block();
+        let e = b.new_block();
+        let v = b.load(Ty::I64, b.arg(0));
+        let c = b.icmp(IntPred::Slt, iconst(0), iconst(1));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.store(iconst(0), b.arg(0)); // sinking the load past this would be wrong
+        let r = b.add(Ty::I64, v, iconst(1));
+        b.ret(Some(r));
+        b.switch_to(e);
+        b.ret(Some(iconst(0)));
+        let mut f = b.finish();
+        // The add's operand load stays put; only the pure add itself could
+        // move, but it's already in its user's block.
+        let before: Vec<_> = f.blocks[0].instrs.clone();
+        run_function(&mut f);
+        assert_eq!(f.blocks[0].instrs, before);
+    }
+}

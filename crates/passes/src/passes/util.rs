@@ -1,0 +1,240 @@
+//! Shared helpers for the passes: constant evaluation and phi edge surgery.
+
+use irnuma_ir::{BlockId, Function, Instr, Module, Opcode, Operand, Ty};
+
+/// Apply `f` to every function with a body; returns whether any call
+/// reported a change.
+pub fn for_each_function(m: &mut Module, mut f: impl FnMut(&mut Function) -> bool) -> bool {
+    let mut changed = false;
+    for func in &mut m.functions {
+        if !func.is_declaration() {
+            changed |= f(func);
+        }
+    }
+    changed
+}
+
+/// Try to evaluate an instruction whose operands are all constants.
+/// Returns the folded operand, or `None` when the operation cannot be
+/// folded (not constant, division by zero, unsupported opcode, ...).
+pub fn fold_constant(instr: &Instr) -> Option<Operand> {
+    let ints: Option<Vec<i64>> = instr.operands.iter().map(|o| o.as_int()).collect();
+    let floats: Option<Vec<f64>> = instr.operands.iter().map(|o| o.as_float()).collect();
+
+    match (&instr.op, ints, floats) {
+        (op, Some(v), _) if op.is_binary() && instr.ty.is_int() && v.len() == 2 => {
+            let (a, b) = (v[0], v[1]);
+            let r: i128 = match op {
+                Opcode::Add => a as i128 + b as i128,
+                Opcode::Sub => a as i128 - b as i128,
+                Opcode::Mul => (a as i128).wrapping_mul(b as i128),
+                Opcode::SDiv => {
+                    if b == 0 {
+                        return None;
+                    }
+                    (a as i128) / (b as i128)
+                }
+                Opcode::SRem => {
+                    if b == 0 {
+                        return None;
+                    }
+                    (a as i128) % (b as i128)
+                }
+                Opcode::And => (a & b) as i128,
+                Opcode::Or => (a | b) as i128,
+                Opcode::Xor => (a ^ b) as i128,
+                Opcode::Shl => {
+                    if !(0..64).contains(&b) {
+                        return None;
+                    }
+                    (a as i128) << b
+                }
+                Opcode::LShr => {
+                    if !(0..64).contains(&b) {
+                        return None;
+                    }
+                    ((a as u64) >> b) as i128
+                }
+                Opcode::AShr => {
+                    if !(0..64).contains(&b) {
+                        return None;
+                    }
+                    (a >> b) as i128
+                }
+                _ => return None,
+            };
+            Some(Operand::ConstInt(instr.ty.wrap_int(r)))
+        }
+        (op, _, Some(v)) if op.is_binary() && instr.ty.is_float() && v.len() == 2 => {
+            let (a, b) = (v[0], v[1]);
+            let r = match op {
+                Opcode::FAdd => a + b,
+                Opcode::FSub => a - b,
+                Opcode::FMul => a * b,
+                Opcode::FDiv => a / b,
+                _ => return None,
+            };
+            Some(Operand::float(r))
+        }
+        (Opcode::FMulAdd, _, Some(v)) if v.len() == 3 => Some(Operand::float(v[0] * v[1] + v[2])),
+        (Opcode::Icmp(p), Some(v), _) if v.len() == 2 => {
+            Some(Operand::ConstInt(p.eval(v[0], v[1]) as i64))
+        }
+        (Opcode::Fcmp(p), _, Some(v)) if v.len() == 2 => {
+            Some(Operand::ConstInt(p.eval(v[0], v[1]) as i64))
+        }
+        (Opcode::Select, _, _) => {
+            let c = instr.operands[0].as_int()?;
+            Some(if c != 0 { instr.operands[1] } else { instr.operands[2] })
+        }
+        (Opcode::Cast(kind), _, _) => fold_cast(*kind, instr.ty, instr.operands[0]),
+        _ => None,
+    }
+}
+
+fn fold_cast(kind: irnuma_ir::CastKind, to: Ty, op: Operand) -> Option<Operand> {
+    use irnuma_ir::CastKind::*;
+    match kind {
+        Trunc | Zext | Sext => {
+            let v = op.as_int()?;
+            match kind {
+                Trunc => Some(Operand::ConstInt(to.wrap_int(v as i128))),
+                // We store i64 canonically; zext of a canonical non-negative
+                // small int is itself; of a negative i32 value it needs the
+                // unsigned reinterpretation.
+                Zext => Some(Operand::ConstInt(match to {
+                    Ty::I64 => v,
+                    _ => to.wrap_int(v as i128),
+                })),
+                Sext => Some(Operand::ConstInt(v)),
+                _ => unreachable!(),
+            }
+        }
+        FpToSi => {
+            let v = op.as_float()?;
+            if !v.is_finite() {
+                return None;
+            }
+            Some(Operand::ConstInt(to.wrap_int(v as i64 as i128)))
+        }
+        SiToFp => Some(Operand::float(op.as_int()? as f64)),
+        FpCast => {
+            let v = op.as_float()?;
+            Some(match to {
+                Ty::F32 => Operand::float(v as f32 as f64),
+                _ => Operand::float(v),
+            })
+        }
+        Bitcast => None,
+    }
+}
+
+/// Remove the incoming entries for predecessor `pred` from every phi in
+/// `block` (used after an edge `pred → block` is deleted).
+pub fn remove_phi_incomings_from(f: &mut Function, block: BlockId, pred: BlockId) {
+    let ids: Vec<_> = f.blocks[block.index()].instrs.clone();
+    for id in ids {
+        let instr = f.instr_mut(id);
+        if !matches!(instr.op, Opcode::Phi) {
+            continue;
+        }
+        let mut ops = Vec::with_capacity(instr.operands.len());
+        for pair in instr.operands.chunks(2) {
+            if pair[0] != Operand::Block(pred) {
+                ops.extend_from_slice(pair);
+            }
+        }
+        instr.operands = ops;
+    }
+}
+
+/// Rewrite phi incoming *labels* in `block` from `old_pred` to `new_pred`
+/// (used when an edge is redirected; branch targets are untouched).
+pub fn rename_phi_pred(f: &mut Function, block: BlockId, old_pred: BlockId, new_pred: BlockId) {
+    let ids: Vec<_> = f.blocks[block.index()].instrs.clone();
+    for id in ids {
+        let instr = f.instr_mut(id);
+        if !matches!(instr.op, Opcode::Phi) {
+            continue;
+        }
+        let mut i = 0;
+        while i + 1 < instr.operands.len() {
+            if instr.operands[i] == Operand::Block(old_pred) {
+                instr.operands[i] = Operand::Block(new_pred);
+            }
+            i += 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irnuma_ir::{IntPred, FloatPred, CastKind};
+
+    fn bin(op: Opcode, ty: Ty, a: Operand, b: Operand) -> Instr {
+        Instr::new(op, ty, vec![a, b])
+    }
+
+    #[test]
+    fn folds_integer_arithmetic_with_wrapping() {
+        let i = bin(Opcode::Add, Ty::I32, Operand::ConstInt(i32::MAX as i64), Operand::ConstInt(1));
+        assert_eq!(fold_constant(&i), Some(Operand::ConstInt(i32::MIN as i64)));
+        let i = bin(Opcode::Mul, Ty::I64, Operand::ConstInt(1 << 40), Operand::ConstInt(1 << 40));
+        assert!(fold_constant(&i).is_some(), "wrapping multiply folds");
+    }
+
+    #[test]
+    fn division_by_zero_does_not_fold() {
+        let i = bin(Opcode::SDiv, Ty::I64, Operand::ConstInt(4), Operand::ConstInt(0));
+        assert_eq!(fold_constant(&i), None);
+        let i = bin(Opcode::SRem, Ty::I64, Operand::ConstInt(4), Operand::ConstInt(0));
+        assert_eq!(fold_constant(&i), None);
+    }
+
+    #[test]
+    fn out_of_range_shifts_do_not_fold() {
+        let i = bin(Opcode::Shl, Ty::I64, Operand::ConstInt(1), Operand::ConstInt(64));
+        assert_eq!(fold_constant(&i), None);
+        let i = bin(Opcode::Shl, Ty::I64, Operand::ConstInt(1), Operand::ConstInt(-1));
+        assert_eq!(fold_constant(&i), None);
+    }
+
+    #[test]
+    fn folds_float_arithmetic_and_compares() {
+        let i = bin(Opcode::FMul, Ty::F64, Operand::float(1.5), Operand::float(2.0));
+        assert_eq!(fold_constant(&i), Some(Operand::float(3.0)));
+        let i = Instr::new(Opcode::Fcmp(FloatPred::Olt), Ty::I1, vec![Operand::float(1.0), Operand::float(2.0)]);
+        assert_eq!(fold_constant(&i), Some(Operand::ConstInt(1)));
+        let i = Instr::new(Opcode::Icmp(IntPred::Sge), Ty::I1, vec![Operand::ConstInt(1), Operand::ConstInt(2)]);
+        assert_eq!(fold_constant(&i), Some(Operand::ConstInt(0)));
+    }
+
+    #[test]
+    fn folds_select_and_casts() {
+        let i = Instr::new(Opcode::Select, Ty::I64, vec![Operand::ConstInt(1), Operand::ConstInt(10), Operand::ConstInt(20)]);
+        assert_eq!(fold_constant(&i), Some(Operand::ConstInt(10)));
+        let i = Instr::new(Opcode::Cast(CastKind::SiToFp), Ty::F64, vec![Operand::ConstInt(3)]);
+        assert_eq!(fold_constant(&i), Some(Operand::float(3.0)));
+        let i = Instr::new(Opcode::Cast(CastKind::Trunc), Ty::I32, vec![Operand::ConstInt(0x1_0000_0001)]);
+        assert_eq!(fold_constant(&i), Some(Operand::ConstInt(1)));
+        let i = Instr::new(Opcode::Cast(CastKind::FpToSi), Ty::I64, vec![Operand::float(f64::INFINITY)]);
+        assert_eq!(fold_constant(&i), None, "non-finite fptosi is UB; do not fold");
+    }
+
+    #[test]
+    fn fmuladd_folds() {
+        let i = Instr::new(
+            Opcode::FMulAdd,
+            Ty::F64,
+            vec![Operand::float(2.0), Operand::float(3.0), Operand::float(4.0)],
+        );
+        assert_eq!(fold_constant(&i), Some(Operand::float(10.0)));
+    }
+
+    #[test]
+    fn non_constant_operands_do_not_fold() {
+        let i = bin(Opcode::Add, Ty::I64, Operand::Arg(0), Operand::ConstInt(1));
+        assert_eq!(fold_constant(&i), None);
+    }
+}

@@ -1,0 +1,123 @@
+//! Differential testing of the optimizer: for every benchmark region and a
+//! set of sampled flag sequences, the optimized module must behave exactly
+//! like the original under the reference interpreter — same return values,
+//! same final global memory, for several (thread, size) execution contexts.
+//!
+//! This is the standard anti-miscompilation harness (à la Csmith/Alive):
+//! any pass that changes observable semantics fails here with the region,
+//! sequence, and context that exposed it.
+
+use irnuma_ir::{Interp, InterpConfig, Module, Value};
+use irnuma_passes::{o3_sequence, sample_sequences, PassManager, SampleParams};
+use irnuma_workloads::{all_regions, RegionSpec};
+
+/// Differential-test module of a region: same kernel shape, but with a tiny
+/// working set (256 KiB) so interpretation stays fast — the *semantics*
+/// being checked do not depend on array sizes.
+fn small_module(r: &RegionSpec) -> Module {
+    r.shape.gen_ir(&r.name, r.variant, 1 << 18)
+}
+
+/// Run `function(n)` in a fixed context; returns (ret, memory digest, steps).
+fn execute(m: &Module, function: &str, n: i64, tid: i64, nth: i64) -> (Option<Value>, u64) {
+    let mut it = Interp::new(
+        m,
+        InterpConfig { thread_num: tid, num_threads: nth, step_limit: 4_000_000 },
+    );
+    it.seed_globals(0xD1FF);
+    let out = it
+        .call(function, &[Value::I(n)])
+        .unwrap_or_else(|e| panic!("@{function}(n={n},tid={tid}): {e}"));
+    (out.ret, it.memory_digest())
+}
+
+fn check_equivalent(original: &Module, optimized: &Module, function: &str, label: &str) {
+    for (n, tid, nth) in [(64i64, 1i64, 4i64), (48, 0, 4), (96, 3, 4)] {
+        let (r1, m1) = execute(original, function, n, tid, nth);
+        let (r2, m2) = execute(optimized, function, n, tid, nth);
+        assert_eq!(
+            r1, r2,
+            "{label}: return value differs for n={n} tid={tid}"
+        );
+        assert_eq!(
+            m1, m2,
+            "{label}: final memory differs for n={n} tid={tid}"
+        );
+    }
+}
+
+#[test]
+fn o3_preserves_semantics_on_every_region() {
+    let pm = PassManager::new(true);
+    let seq: Vec<String> = o3_sequence().iter().map(|s| s.to_string()).collect();
+    for r in all_regions() {
+        let original = small_module(&r);
+        let mut optimized = original.clone();
+        pm.run(&mut optimized, &seq).unwrap();
+        check_equivalent(&original, &optimized, &r.region_fn(), &format!("{} × O3", r.name));
+    }
+}
+
+#[test]
+fn sampled_sequences_preserve_semantics() {
+    let pm = PassManager::new(true);
+    let seqs = sample_sequences(4, 0xD1FF, SampleParams::default());
+    // A structurally diverse subset of regions (every shape family).
+    let names = [
+        "cg.axpy",
+        "mg.interp",
+        "hotspot.temp",
+        "cg.spmv",
+        "clomp.calc_zones",
+        "kmeans.update",
+        "cg.dot",
+        "is.full_verify",
+        "lud.perimeter",
+        "nw.fill",
+        "bfs.frontier",
+        "ft.fftx",
+        "is.rank",
+        "ep.gaussian",
+    ];
+    for name in names {
+        let r = all_regions().into_iter().find(|r| r.name == name).unwrap();
+        let original = small_module(&r);
+        for seq in &seqs {
+            let mut optimized = original.clone();
+            pm.run(&mut optimized, &seq.passes).unwrap();
+            check_equivalent(
+                &original,
+                &optimized,
+                &r.region_fn(),
+                &format!("{} × seq{}", r.name, seq.id),
+            );
+        }
+    }
+}
+
+#[test]
+fn individual_passes_preserve_semantics() {
+    // Each pass alone, on a region rich enough to trigger it.
+    let pm = PassManager::new(true);
+    let r = all_regions().into_iter().find(|r| r.name == "lulesh.calc_fb").unwrap();
+    let original = small_module(&r);
+    for pass in [
+        "simplifycfg",
+        "dce",
+        "constprop",
+        "instcombine",
+        "reassociate",
+        "gvn",
+        "store-forward",
+        "dse",
+        "phi-simplify",
+        "licm",
+        "loop-unroll",
+        "inline",
+        "sink",
+    ] {
+        let mut optimized = original.clone();
+        pm.run(&mut optimized, &[pass.to_string()]).unwrap();
+        check_equivalent(&original, &optimized, &r.region_fn(), &format!("{} × {pass}", r.name));
+    }
+}

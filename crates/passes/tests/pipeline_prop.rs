@@ -1,0 +1,169 @@
+//! Pipeline-level properties: any sampled flag sequence, applied to any of a
+//! set of representative kernels, must keep the module verifying after every
+//! single pass — and the full `-O3` pipeline must be idempotent-ish (a second
+//! run changes nothing).
+
+use irnuma_ir::builder::{fconst, iconst, FunctionBuilder};
+use irnuma_ir::{verify_module, FunctionKind, Module, Operand, Ty};
+use irnuma_passes::{o3_sequence, sample_sequences, PassManager, SampleParams};
+use proptest::prelude::*;
+
+/// A small zoo of kernels covering the pass-relevant shapes: dead code,
+/// constant loops, invariant expressions, helper calls, redundant memory ops.
+fn kernel_zoo() -> Vec<Module> {
+    let mut zoo = Vec::new();
+
+    // 1. Streaming triad with an invariant scale and dead code.
+    {
+        let mut m = Module::new("triad");
+        let a = m.add_global("a", Ty::F64, 8192);
+        let b_g = m.add_global("b", Ty::F64, 8192);
+        let mut b = FunctionBuilder::new(".omp_outlined.triad", vec![Ty::I64, Ty::I64], Ty::Void, FunctionKind::OmpOutlined);
+        let dead = b.mul(Ty::I64, b.arg(0), iconst(99));
+        let _ = dead;
+        let scale_base = b.fadd(Ty::F64, fconst(1.0), fconst(0.5)); // const-foldable
+        b.counted_loop(b.arg(0), b.arg(1), iconst(1), |b, i| {
+            let inv = b.fmul(Ty::F64, scale_base, fconst(2.0)); // LICM target
+            let pa = b.gep(Ty::F64, Operand::Global(a), i);
+            let pb = b.gep(Ty::F64, Operand::Global(b_g), i);
+            let v = b.load(Ty::F64, pb);
+            let w = b.fmuladd(Ty::F64, v, inv, fconst(0.0));
+            b.store(w, pa);
+        });
+        b.ret(None);
+        m.add_function(b.finish());
+        zoo.push(m);
+    }
+
+    // 2. Small constant stencil (unroll target) + helper call (inline target).
+    {
+        let mut m = Module::new("stencil");
+        let g = m.add_global("grid", Ty::F64, 4096);
+        let mut h = FunctionBuilder::new("weight", vec![Ty::I64], Ty::F64, FunctionKind::Normal);
+        let w = b_weight(&mut h);
+        h.ret(Some(w));
+        m.add_function(h.finish());
+        let mut b = FunctionBuilder::new(".omp_outlined.stencil", vec![Ty::I64], Ty::Void, FunctionKind::OmpOutlined);
+        b.counted_loop(iconst(0), iconst(5), iconst(1), |b, k| {
+            let wv = b.call("weight", Ty::F64, vec![k]);
+            let p = b.gep(Ty::F64, Operand::Global(g), k);
+            let v = b.load(Ty::F64, p);
+            let r = b.fmul(Ty::F64, v, wv);
+            b.store(r, p);
+        });
+        b.ret(None);
+        m.add_function(b.finish());
+        zoo.push(m);
+    }
+
+    // 3. Redundant memory traffic (store-forward/DSE targets) + branches.
+    {
+        let mut m = Module::new("redundant");
+        let g = m.add_global("buf", Ty::I64, 1024);
+        let mut b = FunctionBuilder::new(".omp_outlined.red", vec![Ty::I64], Ty::Void, FunctionKind::OmpOutlined);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let p = b.gep(Ty::I64, Operand::Global(g), b.arg(0));
+        b.store(iconst(1), p);
+        b.store(iconst(2), p); // dead store
+        let v = b.load(Ty::I64, p); // forwards to 2
+        let c = b.icmp(irnuma_ir::IntPred::Slt, v, iconst(0));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        let phi = b.phi(Ty::I64, &[(t, iconst(5)), (e, iconst(5))]); // collapsible
+        let q = b.gep(Ty::I64, Operand::Global(g), phi);
+        b.store(phi, q);
+        b.ret(None);
+        m.add_function(b.finish());
+        zoo.push(m);
+    }
+
+    zoo
+}
+
+fn b_weight(h: &mut FunctionBuilder) -> Operand {
+    let x = h.cast(irnuma_ir::CastKind::SiToFp, Ty::F64, h.arg(0));
+    h.fadd(Ty::F64, x, fconst(0.5))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_flag_sequence_preserves_validity(seed in 0u64..5000) {
+        let seqs = sample_sequences(2, seed, SampleParams::default());
+        let pm = PassManager::new(true); // verify after every pass
+        for mut m in kernel_zoo() {
+            for seq in &seqs {
+                pm.run(&mut m, &seq.passes).expect("sequence must keep module valid");
+            }
+            verify_module(&m).expect("final module verifies");
+        }
+    }
+
+    #[test]
+    fn pass_order_changes_results_but_not_validity(perm_seed in 0u64..1000) {
+        // Shuffle the O3 sequence arbitrarily; still must be safe.
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(perm_seed);
+        let mut seq: Vec<String> = o3_sequence().iter().map(|s| s.to_string()).collect();
+        seq.shuffle(&mut rng);
+        let pm = PassManager::new(true);
+        for mut m in kernel_zoo() {
+            pm.run(&mut m, &seq).expect("shuffled pipeline is safe");
+        }
+    }
+}
+
+#[test]
+fn o3_reaches_a_fixpoint_within_two_runs() {
+    // One run may leave late-phase exposures (inlining happens after the
+    // scalar passes), exactly like real pipelines; two runs must converge.
+    let pm = PassManager::new(true);
+    let seq: Vec<String> = o3_sequence().iter().map(|s| s.to_string()).collect();
+    for mut m in kernel_zoo() {
+        pm.run(&mut m, &seq).expect("first run");
+        pm.run(&mut m, &seq).expect("second run");
+        let after_two = irnuma_ir::print_module(&m);
+        pm.run(&mut m, &seq).expect("third run");
+        let after_three = irnuma_ir::print_module(&m);
+        assert_eq!(after_two, after_three, "O3 fixpoint after two runs on {}", m.name);
+    }
+}
+
+#[test]
+fn o3_actually_optimizes_the_zoo() {
+    let pm = PassManager::new(true);
+    let seq: Vec<String> = o3_sequence().iter().map(|s| s.to_string()).collect();
+    for mut m in kernel_zoo() {
+        let before = m.num_instrs();
+        pm.run(&mut m, &seq).expect("runs");
+        let after = m.num_instrs();
+        // Every zoo kernel contains *some* removable redundancy; unrolling
+        // may grow code, so only the non-stencil kernels must shrink.
+        if m.name != "stencil" {
+            assert!(after < before, "{}: {} -> {}", m.name, before, after);
+        }
+    }
+}
+
+#[test]
+fn different_sequences_produce_different_ir_forms() {
+    // The augmentation premise: distinct flag sequences expose distinct IR
+    // forms of the same kernel.
+    let seqs = sample_sequences(24, 123, SampleParams::default());
+    let pm = PassManager::new(true);
+    let mut forms = std::collections::HashSet::new();
+    for seq in &seqs {
+        let mut m = kernel_zoo().remove(0);
+        pm.run(&mut m, &seq.passes).unwrap();
+        forms.insert(irnuma_ir::print_module(&m));
+    }
+    assert!(forms.len() >= 4, "expected ≥4 distinct IR forms, got {}", forms.len());
+}

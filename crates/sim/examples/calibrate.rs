@@ -1,0 +1,54 @@
+//! Diagnostic dump used to calibrate the cost model: per-region default vs
+//! best times, winning configuration, and speedup distribution.
+
+use irnuma_sim::{config_space, default_config, simulate, sweep_region, Machine, MicroArch};
+use irnuma_workloads::{all_regions, InputSize};
+
+fn main() {
+    for arch in [MicroArch::Skylake, MicroArch::SandyBridge] {
+        let m = Machine::new(arch);
+        println!("==== {arch:?} (space={}) ====", config_space(&m).len());
+        let mut speedups = Vec::new();
+        for r in all_regions() {
+            let sweep = sweep_region(&r, &m, InputSize::Size1, 3);
+            let t_def = sweep
+                .iter()
+                .find(|(c, _)| *c == default_config(&m))
+                .map(|x| x.1)
+                .unwrap();
+            let (best, t_best) = sweep
+                .iter()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(c, t)| (*c, *t))
+                .unwrap();
+            let s = t_def / t_best;
+            speedups.push(s);
+            let eff = irnuma_sim::cost::effective_profile(&r.name, &r.profile);
+            println!(
+                "{:28} def={:9.4}ms best={:9.4}ms  x{:5.2}  {}  pat={:?}",
+                r.name,
+                t_def * 1e3,
+                t_best * 1e3,
+                s,
+                best.label(),
+                eff.pattern,
+            );
+        }
+        speedups.sort_by(f64::total_cmp);
+        let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        println!(
+            "mean speedup {:.3}  median {:.3}  max {:.3}\n",
+            mean,
+            speedups[speedups.len() / 2],
+            speedups.last().unwrap()
+        );
+        let _ = simulate(
+            "probe",
+            &all_regions()[0].profile,
+            &m,
+            &default_config(&m),
+            InputSize::Size1,
+            0,
+        );
+    }
+}

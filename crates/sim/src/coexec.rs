@@ -1,0 +1,204 @@
+//! Co-execution extension (paper §V): *"Co-executing applications will
+//! change their best configurations due to contention over shared
+//! resources. We can extend our method to support such environments by
+//! exploring the labels while co-executing the applications."*
+//!
+//! This module implements that exploration: two regions run side by side,
+//! each on a disjoint half of the machine's cores, while sharing the L3
+//! slices, memory controllers and links. The interference is modeled by
+//! scaling each region's effective cache capacity and bandwidth by the
+//! co-runner's demand — the same first-order contention model used by
+//! co-scheduling literature.
+
+use crate::config::{Config, PageMapping, ThreadMapping};
+use crate::cost::simulate;
+use crate::machine::Machine;
+use crate::prefetch::PrefetchMask;
+use irnuma_workloads::{InputSize, RegionSpec};
+use serde::{Deserialize, Serialize};
+
+/// A co-execution placement: each region gets a per-half configuration
+/// (threads are capped at half the machine).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoConfig {
+    pub a: Config,
+    pub b: Config,
+}
+
+/// Pressure a region puts on the shared resources under a config, in
+/// [0, 1]: the fraction of machine bandwidth its solo run consumes.
+fn pressure(r: &RegionSpec, m: &Machine, c: &Config, size: InputSize) -> f64 {
+    let meas = simulate(&r.name, &r.profile, m, c, size, 0);
+    // Pressure is measured against the co-runner's *fair share* (half the
+    // machine): a region using its whole share fully contends.
+    let fair_share_bw = m.node_bw_gibs * m.nodes as f64 * 0.5;
+    (meas.counters.dram_bw_gibs / fair_share_bw).min(1.0)
+}
+
+/// Simulated time of region `r` under config `c` while `other` co-runs:
+/// the region keeps its threads but sees shrunken shared resources.
+///
+/// First-order model: bandwidth and L3 available to `r` scale by
+/// `1 / (1 + co_pressure)`; we account for it by inflating the measured
+/// solo time by the contention factor on its memory-bound share.
+pub fn co_time(
+    r: &RegionSpec,
+    c: &Config,
+    other: &RegionSpec,
+    other_cfg: &Config,
+    m: &Machine,
+    size: InputSize,
+) -> f64 {
+    let solo = simulate(&r.name, &r.profile, m, c, size, 0);
+    let co_pressure = pressure(other, m, other_cfg, size);
+    // Memory-bound share of the solo run ≈ how much of its fair bandwidth
+    // share it consumes; bandwidth-saturated runs suffer contention fully.
+    let fair_share_bw = m.node_bw_gibs * m.nodes as f64 * 0.5;
+    let mem_share = (solo.counters.dram_bw_gibs / fair_share_bw).min(1.0);
+    let slowdown = 1.0 + co_pressure * (0.25 + 1.5 * mem_share);
+    solo.seconds * slowdown
+}
+
+/// The half-machine configuration sub-space for co-execution (each region
+/// owns `nodes/2` nodes — or shares a node's cores on 2-node machines).
+pub fn half_space(m: &Machine) -> Vec<Config> {
+    let mut out = Vec::new();
+    let half_nodes = (m.nodes / 2).max(1);
+    let threads_full = half_nodes * m.cores_per_node;
+    for threads in [threads_full, threads_full / 2] {
+        for pm in [PageMapping::Locality, PageMapping::Interleave] {
+            for pf in [PrefetchMask::ALL_ON, PrefetchMask::ALL_OFF, PrefetchMask(0b0111)] {
+                out.push(Config {
+                    threads,
+                    nodes: half_nodes,
+                    thread_map: ThreadMapping::Contiguous,
+                    page_map: pm,
+                    prefetch: pf,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Best co-configuration of a pair: minimizes the *combined* slowdown
+/// `t_a/t_a_solo_best + t_b/t_b_solo_best`. Returns the chosen configs and
+/// each region's best solo-vs-co times.
+pub fn best_pair(
+    a: &RegionSpec,
+    b: &RegionSpec,
+    m: &Machine,
+    size: InputSize,
+) -> (CoConfig, f64, f64) {
+    let space = half_space(m);
+    let solo_best = |r: &RegionSpec| -> f64 {
+        space
+            .iter()
+            .map(|c| simulate(&r.name, &r.profile, m, c, size, 0).seconds)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let sa = solo_best(a);
+    let sb = solo_best(b);
+    let mut best: Option<(f64, CoConfig, f64, f64)> = None;
+    for ca in &space {
+        for cb in &space {
+            let ta = co_time(a, ca, b, cb, m, size);
+            let tb = co_time(b, cb, a, ca, m, size);
+            let score = ta / sa + tb / sb;
+            if best.as_ref().is_none_or(|(s, _, _, _)| score < *s) {
+                best = Some((score, CoConfig { a: *ca, b: *cb }, ta, tb));
+            }
+        }
+    }
+    let (_, cfg, ta, tb) = best.expect("non-empty space");
+    (cfg, ta, tb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MicroArch;
+    use irnuma_workloads::all_regions;
+
+    fn region(name: &str) -> RegionSpec {
+        all_regions().into_iter().find(|r| r.name == name).unwrap()
+    }
+
+    #[test]
+    fn co_running_never_speeds_a_region_up() {
+        let m = Machine::new(MicroArch::SandyBridge);
+        let a = region("ft.evolve"); // bandwidth hungry
+        let b = region("cg.spmv");
+        for ca in half_space(&m).iter().take(4) {
+            let solo = simulate(&a.name, &a.profile, &m, ca, InputSize::Size1, 0).seconds;
+            let co = co_time(&a, ca, &b, ca, &m, InputSize::Size1);
+            assert!(co >= solo, "contention only hurts: {co} vs {solo}");
+        }
+    }
+
+    #[test]
+    fn bandwidth_hungry_corunner_hurts_more_than_compute_bound() {
+        let m = Machine::new(MicroArch::SandyBridge);
+        let victim = region("ft.evolve");
+        let heavy = region("mg.resid"); // big streaming footprint
+        let light = region("ep.gaussian"); // compute-bound, tiny ws
+        let c = half_space(&m)[0];
+        let with_heavy = co_time(&victim, &c, &heavy, &c, &m, InputSize::Size1);
+        let with_light = co_time(&victim, &c, &light, &c, &m, InputSize::Size1);
+        assert!(
+            with_heavy > with_light,
+            "heavy co-runner worse: {with_heavy} vs {with_light}"
+        );
+    }
+
+    #[test]
+    fn best_pair_beats_naive_default_placement() {
+        let m = Machine::new(MicroArch::SandyBridge);
+        let a = region("ft.evolve");
+        let b = region("is.full_verify");
+        let (cfg, ta, tb) = best_pair(&a, &b, &m, InputSize::Size1);
+        // The naive choice: both use the first (all-on, locality) config.
+        let naive = half_space(&m)[0];
+        let na = co_time(&a, &naive, &b, &naive, &m, InputSize::Size1);
+        let nb = co_time(&b, &naive, &a, &naive, &m, InputSize::Size1);
+        assert!(
+            ta / na + tb / nb <= 2.0 + 1e-9,
+            "joint optimization is no worse than naive: {ta}/{na} + {tb}/{nb}"
+        );
+        // And the chosen configs are within the half-machine space.
+        assert!(half_space(&m).contains(&cfg.a));
+        assert!(half_space(&m).contains(&cfg.b));
+    }
+
+    #[test]
+    fn best_configs_shift_under_coexecution_for_some_pairs() {
+        // The paper's §V observation: the solo-best configuration is not
+        // always the co-run-best one.
+        let m = Machine::new(MicroArch::SandyBridge);
+        let space = half_space(&m);
+        let mut shifted = 0;
+        let names = ["ft.evolve", "cg.spmv", "is.full_verify", "mg.resid"];
+        for va in names {
+            for vb in names {
+                if va == vb {
+                    continue;
+                }
+                let a = region(va);
+                let b = region(vb);
+                let solo_best_cfg = space
+                    .iter()
+                    .min_by(|x, y| {
+                        simulate(&a.name, &a.profile, &m, x, InputSize::Size1, 0)
+                            .seconds
+                            .total_cmp(&simulate(&a.name, &a.profile, &m, y, InputSize::Size1, 0).seconds)
+                    })
+                    .unwrap();
+                let (cfg, _, _) = best_pair(&a, &b, &m, InputSize::Size1);
+                if cfg.a != *solo_best_cfg {
+                    shifted += 1;
+                }
+            }
+        }
+        assert!(shifted > 0, "at least one pair changes its best config under co-execution");
+    }
+}

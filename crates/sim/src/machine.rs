@@ -1,0 +1,145 @@
+//! Machine models for the three evaluation platforms.
+
+use serde::{Deserialize, Serialize};
+
+/// The micro-architectures used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MicroArch {
+    /// Four-node Intel Sandy Bridge EP E5-4650 (4 × 8 cores).
+    SandyBridge,
+    /// Dual-node Intel Skylake Platinum 8168 (2 × 24 cores).
+    Skylake,
+    /// Dual-node Intel Xeon Gold 6130 (2 × 16 cores) — Grid'5000, used for
+    /// the input-size study (§IV-E).
+    XeonGold,
+}
+
+impl MicroArch {
+    pub const ALL: [MicroArch; 3] = [MicroArch::SandyBridge, MicroArch::Skylake, MicroArch::XeonGold];
+}
+
+/// A NUMA machine: topology plus the handful of parameters the cost model
+/// needs. Numbers are representative of the real parts (public spec sheets
+/// and STREAM-class measurements), not calibrated to any particular lab.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Machine {
+    pub arch: MicroArch,
+    pub nodes: u32,
+    pub cores_per_node: u32,
+    /// Per-core L2 capacity (KiB).
+    pub l2_kib: u32,
+    /// Per-node shared L3 capacity (MiB).
+    pub l3_mib_per_node: u32,
+    /// DRAM latency from a core to its local node (ns).
+    pub local_lat_ns: f64,
+    /// DRAM latency to a remote node (ns).
+    pub remote_lat_ns: f64,
+    /// Sustainable local memory bandwidth per node (GiB/s).
+    pub node_bw_gibs: f64,
+    /// Sustainable inter-node link bandwidth per direction (GiB/s).
+    pub link_bw_gibs: f64,
+    /// Core clock (GHz).
+    pub ghz: f64,
+    /// Peak double-precision FLOPs per core per cycle.
+    pub flops_per_cycle: f64,
+    /// Package TDP per node (W) — anchors the power counter.
+    pub tdp_w_per_node: f64,
+}
+
+impl Machine {
+    pub fn new(arch: MicroArch) -> Machine {
+        match arch {
+            MicroArch::SandyBridge => Machine {
+                arch,
+                nodes: 4,
+                cores_per_node: 8,
+                l2_kib: 256,
+                l3_mib_per_node: 20,
+                local_lat_ns: 80.0,
+                remote_lat_ns: 145.0,
+                node_bw_gibs: 38.0,
+                link_bw_gibs: 16.0,
+                ghz: 2.7,
+                flops_per_cycle: 8.0, // AVX
+                tdp_w_per_node: 130.0,
+            },
+            MicroArch::Skylake => Machine {
+                arch,
+                nodes: 2,
+                cores_per_node: 24,
+                l2_kib: 1024,
+                l3_mib_per_node: 33,
+                local_lat_ns: 72.0,
+                remote_lat_ns: 130.0,
+                node_bw_gibs: 105.0,
+                link_bw_gibs: 41.0,
+                ghz: 2.7,
+                flops_per_cycle: 16.0, // AVX-512
+                tdp_w_per_node: 205.0,
+            },
+            MicroArch::XeonGold => Machine {
+                arch,
+                nodes: 2,
+                cores_per_node: 16,
+                l2_kib: 1024,
+                l3_mib_per_node: 22,
+                local_lat_ns: 75.0,
+                remote_lat_ns: 135.0,
+                node_bw_gibs: 90.0,
+                link_bw_gibs: 41.0,
+                ghz: 2.1,
+                flops_per_cycle: 16.0,
+                tdp_w_per_node: 125.0,
+            },
+        }
+    }
+
+    pub fn total_cores(&self) -> u32 {
+        self.nodes * self.cores_per_node
+    }
+
+    /// Aggregate L3 capacity over `n` nodes, in bytes.
+    pub fn l3_bytes(&self, n: u32) -> u64 {
+        (self.l3_mib_per_node as u64) * 1024 * 1024 * n as u64
+    }
+
+    /// Saturation thread count reported in the paper: 32 on Sandy Bridge,
+    /// 48 on Skylake — equal to the core count here (no SMT modeled).
+    pub fn saturation_threads(&self) -> u32 {
+        self.total_cores()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topologies_match_the_paper() {
+        let snb = Machine::new(MicroArch::SandyBridge);
+        assert_eq!(snb.total_cores(), 32);
+        assert_eq!(snb.nodes, 4);
+        let skl = Machine::new(MicroArch::Skylake);
+        assert_eq!(skl.total_cores(), 48);
+        assert_eq!(skl.nodes, 2);
+        let xg = Machine::new(MicroArch::XeonGold);
+        assert_eq!(xg.total_cores(), 32);
+        assert_eq!(xg.nodes, 2);
+    }
+
+    #[test]
+    fn remote_latency_exceeds_local() {
+        for a in MicroArch::ALL {
+            let m = Machine::new(a);
+            assert!(m.remote_lat_ns > m.local_lat_ns, "{a:?}");
+            assert!(m.link_bw_gibs < m.node_bw_gibs, "{a:?}: link slower than local DRAM");
+        }
+    }
+
+    #[test]
+    fn l3_aggregation() {
+        let m = Machine::new(MicroArch::SandyBridge);
+        assert_eq!(m.l3_bytes(1), 20 << 20);
+        assert_eq!(m.l3_bytes(4), 80 << 20);
+    }
+}

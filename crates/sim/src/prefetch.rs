@@ -1,0 +1,188 @@
+//! The four Intel hardware prefetchers and their pattern-dependent behavior.
+//!
+//! MSR 0x1A4 semantics (as in the paper and Intel's documentation): bit set
+//! = prefetcher **disabled**. Bit 0: L2 streamer, bit 1: L2 adjacent cache
+//! line, bit 2: DCU next-line, bit 3: DCU IP-correlated.
+//!
+//! Effect model per prefetcher and access pattern:
+//! * **coverage** — fraction of demand misses whose latency the prefetcher
+//!   hides when the pattern suits it;
+//! * **overfetch** — useless extra bandwidth it consumes when the pattern
+//!   does *not* suit it (wasted lines);
+//! * **pollution** — effective cache-capacity loss from useless prefetches.
+
+use irnuma_workloads::AccessPattern;
+use serde::{Deserialize, Serialize};
+
+/// One of the four prefetchers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Prefetcher {
+    L2Streamer,
+    L2Adjacent,
+    DcuNextLine,
+    DcuIp,
+}
+
+impl Prefetcher {
+    pub const ALL: [Prefetcher; 4] = [
+        Prefetcher::L2Streamer,
+        Prefetcher::L2Adjacent,
+        Prefetcher::DcuNextLine,
+        Prefetcher::DcuIp,
+    ];
+
+    /// MSR 0x1A4 disable-bit of this prefetcher.
+    pub fn msr_bit(self) -> u8 {
+        match self {
+            Prefetcher::L2Streamer => 0,
+            Prefetcher::L2Adjacent => 1,
+            Prefetcher::DcuNextLine => 2,
+            Prefetcher::DcuIp => 3,
+        }
+    }
+
+    /// `(coverage, overfetch, pollution)` of this prefetcher on a pattern.
+    pub fn effect(self, pattern: AccessPattern) -> PrefetchEffect {
+        use AccessPattern::*;
+        let (cov, over, pol) = match (self, pattern) {
+            (Prefetcher::L2Streamer, Streaming) => (0.82, 0.04, 0.01),
+            (Prefetcher::L2Streamer, Stencil) => (0.70, 0.08, 0.02),
+            (Prefetcher::L2Streamer, Strided) => (0.38, 0.30, 0.08),
+            (Prefetcher::L2Streamer, Gather) => (0.10, 0.45, 0.15),
+            (Prefetcher::L2Streamer, PointerChase) => (0.02, 0.50, 0.22),
+            (Prefetcher::L2Streamer, Reduction) => (0.30, 0.12, 0.04),
+
+            (Prefetcher::L2Adjacent, Streaming) => (0.10, 0.06, 0.02),
+            (Prefetcher::L2Adjacent, Stencil) => (0.28, 0.08, 0.02),
+            (Prefetcher::L2Adjacent, Strided) => (0.06, 0.35, 0.10),
+            (Prefetcher::L2Adjacent, Gather) => (0.04, 0.40, 0.12),
+            (Prefetcher::L2Adjacent, PointerChase) => (0.01, 0.45, 0.15),
+            (Prefetcher::L2Adjacent, Reduction) => (0.05, 0.15, 0.05),
+
+            (Prefetcher::DcuNextLine, Streaming) => (0.18, 0.03, 0.01),
+            (Prefetcher::DcuNextLine, Stencil) => (0.15, 0.05, 0.01),
+            (Prefetcher::DcuNextLine, Strided) => (0.05, 0.20, 0.05),
+            (Prefetcher::DcuNextLine, Gather) => (0.03, 0.25, 0.08),
+            (Prefetcher::DcuNextLine, PointerChase) => (0.01, 0.30, 0.10),
+            (Prefetcher::DcuNextLine, Reduction) => (0.06, 0.08, 0.02),
+
+            (Prefetcher::DcuIp, Streaming) => (0.12, 0.02, 0.01),
+            (Prefetcher::DcuIp, Stencil) => (0.20, 0.04, 0.01),
+            (Prefetcher::DcuIp, Strided) => (0.55, 0.05, 0.02),
+            (Prefetcher::DcuIp, Gather) => (0.22, 0.10, 0.04),
+            (Prefetcher::DcuIp, PointerChase) => (0.03, 0.12, 0.05),
+            (Prefetcher::DcuIp, Reduction) => (0.10, 0.05, 0.02),
+        };
+        PrefetchEffect { coverage: cov, overfetch: over, pollution: pol }
+    }
+}
+
+/// See [`Prefetcher::effect`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefetchEffect {
+    pub coverage: f64,
+    pub overfetch: f64,
+    pub pollution: f64,
+}
+
+/// A 4-bit prefetcher configuration (MSR 0x1A4 low nibble; bit set =
+/// disabled). `PrefetchMask(0)` = everything on (the machine default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PrefetchMask(pub u8);
+
+impl PrefetchMask {
+    /// All prefetchers enabled (default BIOS setting).
+    pub const ALL_ON: PrefetchMask = PrefetchMask(0);
+    /// All prefetchers disabled.
+    pub const ALL_OFF: PrefetchMask = PrefetchMask(0xF);
+
+    /// All 16 combinations, in MSR order.
+    pub fn all_combinations() -> Vec<PrefetchMask> {
+        (0u8..16).map(PrefetchMask).collect()
+    }
+
+    pub fn is_enabled(self, p: Prefetcher) -> bool {
+        self.0 & (1 << p.msr_bit()) == 0
+    }
+
+    pub fn enabled(self) -> impl Iterator<Item = Prefetcher> {
+        Prefetcher::ALL.into_iter().filter(move |p| self.is_enabled(*p))
+    }
+
+    /// Aggregate `(coverage, overfetch, pollution)` of the enabled
+    /// prefetchers on a pattern. Coverages compose as independent filters
+    /// (`1 - Π(1-c)`); overfetch and pollution add.
+    pub fn aggregate(self, pattern: AccessPattern) -> PrefetchEffect {
+        let mut miss_left = 1.0;
+        let mut over = 0.0;
+        let mut pol = 0.0;
+        for p in self.enabled() {
+            let e = p.effect(pattern);
+            miss_left *= 1.0 - e.coverage;
+            over += e.overfetch;
+            pol += e.pollution;
+        }
+        PrefetchEffect { coverage: 1.0 - miss_left, overfetch: over, pollution: pol.min(0.45) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AccessPattern::*;
+
+    #[test]
+    fn msr_semantics_bit_set_means_disabled() {
+        assert!(PrefetchMask::ALL_ON.is_enabled(Prefetcher::L2Streamer));
+        assert!(!PrefetchMask::ALL_OFF.is_enabled(Prefetcher::L2Streamer));
+        let only_streamer_off = PrefetchMask(0b0001);
+        assert!(!only_streamer_off.is_enabled(Prefetcher::L2Streamer));
+        assert!(only_streamer_off.is_enabled(Prefetcher::DcuIp));
+    }
+
+    #[test]
+    fn sixteen_combinations() {
+        let all = PrefetchMask::all_combinations();
+        assert_eq!(all.len(), 16);
+        assert_eq!(all[0], PrefetchMask::ALL_ON);
+        assert_eq!(all[15], PrefetchMask::ALL_OFF);
+    }
+
+    #[test]
+    fn streaming_loves_the_streamer() {
+        let on = PrefetchMask::ALL_ON.aggregate(Streaming);
+        let off = PrefetchMask::ALL_OFF.aggregate(Streaming);
+        assert!(on.coverage > 0.8);
+        assert_eq!(off.coverage, 0.0);
+        assert_eq!(off.overfetch, 0.0);
+    }
+
+    #[test]
+    fn pointer_chase_gains_nothing_but_pollution() {
+        let e = PrefetchMask::ALL_ON.aggregate(PointerChase);
+        assert!(e.coverage < 0.1, "no prefetcher predicts dependent loads");
+        assert!(e.overfetch > 0.5, "but they waste plenty of bandwidth");
+    }
+
+    #[test]
+    fn dcu_ip_dominates_on_strided() {
+        let ip_only = PrefetchMask(0b0111); // everything off except DCU IP
+        assert!(ip_only.is_enabled(Prefetcher::DcuIp));
+        assert_eq!(ip_only.enabled().count(), 1);
+        let e = ip_only.aggregate(Strided);
+        assert!(e.coverage > 0.5);
+        let streamer_only = PrefetchMask(0b1110);
+        let s = streamer_only.aggregate(Strided);
+        assert!(e.coverage > s.coverage);
+        assert!(e.overfetch < s.overfetch);
+    }
+
+    #[test]
+    fn coverage_composes_submultiplicatively() {
+        let both = PrefetchMask(0b1100).aggregate(Streaming); // streamer + adjacent
+        let s = PrefetchMask(0b1110).aggregate(Streaming);
+        let a = PrefetchMask(0b1101).aggregate(Streaming);
+        assert!(both.coverage <= s.coverage + a.coverage);
+        assert!(both.coverage >= s.coverage.max(a.coverage));
+    }
+}

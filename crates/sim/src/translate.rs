@@ -1,0 +1,109 @@
+//! Cross-architecture configuration translation (paper §IV-D).
+//!
+//! Prefetch settings, thread mapping and page mapping transfer verbatim
+//! (Sandy Bridge and Skylake share them). Thread and node counts are scaled
+//! to the target machine ("a 48 threads configuration on Skylake is
+//! translated to a 32 threads configuration on Sandy Bridge and vice
+//! versa"), then snapped to the nearest point of the target's canonical
+//! space.
+
+use crate::config::{config_space, Config};
+use crate::machine::Machine;
+
+/// Translate `c` (valid on `from`) into the nearest valid configuration of
+/// `to`, preserving prefetchers and mapping policies, scaling threads/nodes.
+pub fn translate_config(c: &Config, from: &Machine, to: &Machine) -> Config {
+    let thread_frac = c.threads as f64 / from.total_cores() as f64;
+    let node_frac = c.nodes as f64 / from.nodes as f64;
+    let want_threads = (thread_frac * to.total_cores() as f64).round().max(1.0);
+    let want_nodes = (node_frac * to.nodes as f64).round().max(1.0);
+
+    // Snap to the nearest config in the target space that preserves the
+    // categorical dimensions; distance is relative thread+node mismatch.
+    let space = config_space(to);
+    let mut best: Option<(f64, Config)> = None;
+    for cand in space {
+        if cand.prefetch != c.prefetch {
+            continue;
+        }
+        let cat_penalty = (cand.thread_map != c.thread_map) as u32 as f64
+            + (cand.page_map != c.page_map) as u32 as f64;
+        let d_t = (cand.threads as f64 - want_threads).abs() / to.total_cores() as f64;
+        let d_n = (cand.nodes as f64 - want_nodes).abs() / to.nodes as f64;
+        let d = d_t + d_n + cat_penalty * 0.75;
+        if best.as_ref().is_none_or(|(bd, _)| d < *bd) {
+            best = Some((d, cand));
+        }
+    }
+    best.expect("target space is never empty").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{default_config, PageMapping, ThreadMapping};
+    use crate::machine::MicroArch;
+    use crate::prefetch::PrefetchMask;
+
+    #[test]
+    fn full_machine_maps_to_full_machine() {
+        let snb = Machine::new(MicroArch::SandyBridge);
+        let skl = Machine::new(MicroArch::Skylake);
+        let c = default_config(&snb); // 32t / 4n
+        let t = translate_config(&c, &snb, &skl);
+        assert_eq!(t.threads, 48, "saturation maps to saturation");
+        assert_eq!(t.nodes, 2);
+        assert_eq!(t.prefetch, c.prefetch);
+        assert_eq!(t.page_map, c.page_map);
+    }
+
+    #[test]
+    fn round_trip_preserves_shape() {
+        let snb = Machine::new(MicroArch::SandyBridge);
+        let skl = Machine::new(MicroArch::Skylake);
+        for c in config_space(&skl) {
+            let there = translate_config(&c, &skl, &snb);
+            assert!(config_space(&snb).contains(&there), "{} not valid", there.label());
+            let back = translate_config(&there, &snb, &skl);
+            // Round trips keep the prefetch mask and land near the origin.
+            assert_eq!(back.prefetch, c.prefetch);
+            let frac_orig = c.threads as f64 / skl.total_cores() as f64;
+            let frac_back = back.threads as f64 / skl.total_cores() as f64;
+            assert!((frac_orig - frac_back).abs() <= 0.51, "{} -> {}", c.label(), back.label());
+        }
+    }
+
+    #[test]
+    fn half_machine_maps_to_half_machine() {
+        let snb = Machine::new(MicroArch::SandyBridge);
+        let skl = Machine::new(MicroArch::Skylake);
+        let half = Config {
+            threads: 16,
+            nodes: 4,
+            thread_map: ThreadMapping::RoundRobin,
+            page_map: PageMapping::Interleave,
+            prefetch: PrefetchMask(0b0101),
+        };
+        let t = translate_config(&half, &snb, &skl);
+        assert_eq!(t.threads, 24);
+        assert_eq!(t.page_map, PageMapping::Interleave);
+        assert_eq!(t.prefetch, PrefetchMask(0b0101));
+    }
+
+    #[test]
+    fn translation_always_yields_valid_configs() {
+        for (a, b) in [
+            (MicroArch::SandyBridge, MicroArch::Skylake),
+            (MicroArch::Skylake, MicroArch::SandyBridge),
+            (MicroArch::Skylake, MicroArch::XeonGold),
+        ] {
+            let from = Machine::new(a);
+            let to = Machine::new(b);
+            let target_space = config_space(&to);
+            for c in config_space(&from) {
+                let t = translate_config(&c, &from, &to);
+                assert!(target_space.contains(&t), "{a:?}->{b:?}: {}", t.label());
+            }
+        }
+    }
+}

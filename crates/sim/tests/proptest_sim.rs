@@ -1,0 +1,125 @@
+//! Property tests for the simulator: physical sanity over randomized
+//! profiles and configurations.
+
+use irnuma_sim::{config_space, simulate, translate_config, Config, Machine, MicroArch};
+use irnuma_workloads::{AccessPattern, DynamicProfile, InputSize};
+use proptest::prelude::*;
+
+fn profile_strategy() -> impl Strategy<Value = DynamicProfile> {
+    (
+        20u64..32,            // log2 working set (1 MiB .. 4 GiB)
+        0.0f64..4.0,          // flops/byte
+        0usize..6,            // pattern index
+        0.0f64..1.0,          // write ratio
+        0.0f64..1.0,          // sharing
+        0.5f64..1.0,          // parallel fraction
+        0.0f64..100.0,        // atomics per kacc
+        0.0f64..0.6,          // branch entropy
+    )
+        .prop_map(|(ws, fpb, pat, wr, sh, pf, at, be)| DynamicProfile {
+            working_set_bytes: 1 << ws,
+            flops_per_byte: fpb,
+            pattern: AccessPattern::ALL[pat],
+            write_ratio: wr,
+            sharing: sh,
+            parallel_fraction: pf,
+            atomic_per_kaccess: at,
+            branch_entropy: be,
+            dynamic_sensitivity: 0.0, // no hidden perturbation in these laws
+            calls_per_run: 10,
+        })
+}
+
+fn arch_strategy() -> impl Strategy<Value = MicroArch> {
+    prop::sample::select(vec![MicroArch::SandyBridge, MicroArch::Skylake, MicroArch::XeonGold])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn times_and_counters_are_physical(
+        p in profile_strategy(),
+        arch in arch_strategy(),
+        cfg_idx in 0usize..288,
+        call in 0u32..8,
+    ) {
+        let m = Machine::new(arch);
+        let space = config_space(&m);
+        let c = space[cfg_idx % space.len()];
+        for size in [InputSize::Size1, InputSize::Size2] {
+            let meas = simulate("prop-region", &p, &m, &c, size, call);
+            prop_assert!(meas.seconds.is_finite() && meas.seconds > 0.0);
+            prop_assert!((0.0..=1.0).contains(&meas.counters.l3_miss_ratio));
+            prop_assert!((0.0..=1.0).contains(&meas.counters.remote_access_ratio));
+            prop_assert!(meas.counters.package_power_w > 0.0);
+            prop_assert!(meas.counters.package_power_w < 2000.0, "no kilowatt sockets");
+            prop_assert!(meas.counters.dram_bw_gibs >= 0.0);
+            prop_assert!(meas.counters.ipc >= 0.0 && meas.counters.ipc <= 4.0);
+        }
+    }
+
+    #[test]
+    fn bigger_inputs_never_run_faster(
+        p in profile_strategy(),
+        arch in arch_strategy(),
+        cfg_idx in 0usize..288,
+    ) {
+        let m = Machine::new(arch);
+        let space = config_space(&m);
+        let c = space[cfg_idx % space.len()];
+        let t1 = simulate("r", &p, &m, &c, InputSize::Size1, 0).seconds;
+        let t2 = simulate("r", &p, &m, &c, InputSize::Size2, 0).seconds;
+        // Allow the ±2% noise band.
+        prop_assert!(t2 > t1 * 0.95, "size2 {t2} vs size1 {t1}");
+    }
+
+    #[test]
+    fn determinism_holds_everywhere(
+        p in profile_strategy(),
+        arch in arch_strategy(),
+        cfg_idx in 0usize..288,
+        call in 0u32..8,
+    ) {
+        let m = Machine::new(arch);
+        let space = config_space(&m);
+        let c = space[cfg_idx % space.len()];
+        let a = simulate("det", &p, &m, &c, InputSize::Size1, call);
+        let b = simulate("det", &p, &m, &c, InputSize::Size1, call);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn translation_is_total_and_valid(
+        arch_pair in (arch_strategy(), arch_strategy()),
+        cfg_idx in 0usize..320,
+    ) {
+        let (a, b) = arch_pair;
+        let from = Machine::new(a);
+        let to = Machine::new(b);
+        let space = config_space(&from);
+        let c: Config = space[cfg_idx % space.len()];
+        let t = translate_config(&c, &from, &to);
+        prop_assert!(config_space(&to).contains(&t), "{} -> {}", c.label(), t.label());
+        prop_assert_eq!(t.prefetch, c.prefetch, "prefetch mask transfers verbatim");
+    }
+
+    #[test]
+    fn single_thread_is_never_faster_than_the_best_config(
+        p in profile_strategy(),
+        arch in arch_strategy(),
+    ) {
+        // The best configuration of the space must beat a crippled
+        // 1-thread variant of the default for parallel-friendly profiles.
+        prop_assume!(p.parallel_fraction > 0.8);
+        let m = Machine::new(arch);
+        let space = config_space(&m);
+        let best = space
+            .iter()
+            .map(|c| simulate("s", &p, &m, c, InputSize::Size1, 0).seconds)
+            .fold(f64::INFINITY, f64::min);
+        let one = Config { threads: 1, ..irnuma_sim::default_config(&m) };
+        let t_one = simulate("s", &p, &m, &one, InputSize::Size1, 0).seconds;
+        prop_assert!(best <= t_one * 1.05, "best {best} vs 1-thread {t_one}");
+    }
+}

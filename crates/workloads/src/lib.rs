@@ -1,0 +1,32 @@
+//! # irnuma-workloads — the synthetic OpenMP region suite
+//!
+//! The paper evaluates on 56 OpenMP parallel regions from the NAS C Parallel
+//! Benchmarks, Rodinia, LULESH and CLOMP. Those sources (and the machines to
+//! run them on) are not available here, so this crate provides a synthetic
+//! equivalent designed to preserve what the experiments actually exercise:
+//!
+//! * each region is a [`RegionSpec`] with a **kernel shape** (streaming
+//!   triad, stencil, SpMV, pointer chase, atomic histogram, wavefront sweep,
+//!   …) that generates a real IR module via `irnuma-ir`'s builder — so the
+//!   *static* path (flag augmentation → extraction → ProGraML graph → GNN)
+//!   runs on structurally faithful code;
+//! * each region carries a [`DynamicProfile`] per input size — working set,
+//!   arithmetic intensity, access pattern, sharing, parallel fraction — the
+//!   *dynamic* ground truth the NUMA/prefetch simulator consumes;
+//! * a controlled minority of regions have high
+//!   [`DynamicProfile::dynamic_sensitivity`]: behaviour that exists only in
+//!   the profile, invisible in the IR. These become the static model's
+//!   misprediction tail (paper Fig. 3/12) and give the hybrid model its job.
+//!
+//! The catalog ([`catalog::all_regions`]) lists all 56 regions with names
+//! matching the original suites (`cg.spmv`, `hotspot.kernel`, `lulesh.calc_fb`…).
+
+pub mod catalog;
+pub mod profile;
+pub mod shapes;
+pub mod source;
+
+pub use catalog::{all_regions, RegionSpec, Suite};
+pub use profile::{AccessPattern, DynamicProfile, InputSize};
+pub use shapes::KernelShape;
+pub use source::pseudo_source;

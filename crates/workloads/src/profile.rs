@@ -1,0 +1,151 @@
+//! Dynamic region profiles — the ground truth the simulator executes.
+//!
+//! A [`DynamicProfile`] is what a perfect profiler would know about a region.
+//! The simulator derives execution time under any NUMA/prefetch
+//! configuration from it; the GNN never sees it (only the IR graphs), which
+//! is exactly the paper's static-vs-dynamic information asymmetry.
+
+use serde::{Deserialize, Serialize};
+
+/// Input size classes, mirroring the paper's size-1 (NAS CLASS A / Rodinia
+/// small) and size-2 (CLASS B / largest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InputSize {
+    Size1,
+    Size2,
+}
+
+impl InputSize {
+    /// Multiplier applied to the base working set.
+    pub fn scale(self) -> f64 {
+        match self {
+            InputSize::Size1 => 1.0,
+            InputSize::Size2 => 4.0,
+        }
+    }
+}
+
+/// Dominant memory access pattern of a region. Determines how well each
+/// hardware prefetcher works and how page placement matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Unit-stride sequential sweeps (triad, axpy): streamer heaven.
+    Streaming,
+    /// Constant non-unit stride (transposes, FFT butterflies).
+    Strided,
+    /// Small-neighborhood stencils: streaming plus adjacent-line reuse.
+    Stencil,
+    /// Index-driven gathers (SpMV, bfs): IP-correlated prefetch helps some.
+    Gather,
+    /// Dependent loads (linked structures): no prefetcher helps.
+    PointerChase,
+    /// Tight read-modify-write reductions with inter-thread contention.
+    Reduction,
+}
+
+impl AccessPattern {
+    pub const ALL: [AccessPattern; 6] = [
+        AccessPattern::Streaming,
+        AccessPattern::Strided,
+        AccessPattern::Stencil,
+        AccessPattern::Gather,
+        AccessPattern::PointerChase,
+        AccessPattern::Reduction,
+    ];
+}
+
+/// Everything the simulator needs to execute a region under a configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicProfile {
+    /// Bytes touched per invocation (size-1; scaled by [`InputSize::scale`]).
+    pub working_set_bytes: u64,
+    /// Useful floating-point work per byte moved (arithmetic intensity).
+    pub flops_per_byte: f64,
+    pub pattern: AccessPattern,
+    /// Fraction of accesses that are writes.
+    pub write_ratio: f64,
+    /// Inter-thread data sharing (0 = perfectly partitioned, 1 = all-shared).
+    pub sharing: f64,
+    /// Fraction of the region that parallelizes (Amdahl).
+    pub parallel_fraction: f64,
+    /// Atomic operations per thousand accesses.
+    pub atomic_per_kaccess: f64,
+    /// Branch irregularity (0 = perfectly predictable loops).
+    pub branch_entropy: f64,
+    /// How much of the region's best-configuration signal exists *only* at
+    /// runtime (0 = fully static; 1 = static code says nothing). Drives the
+    /// simulator's profile perturbation that the IR graph cannot encode.
+    pub dynamic_sensitivity: f64,
+    /// Times the region is invoked per benchmark run (paper samples ~10).
+    pub calls_per_run: u32,
+}
+
+impl DynamicProfile {
+    /// Working set for a given input size, in bytes.
+    pub fn working_set(&self, size: InputSize) -> u64 {
+        (self.working_set_bytes as f64 * size.scale()) as u64
+    }
+
+    /// Clamp-normalize fields into their documented ranges; used by tests
+    /// and by the catalog's debug assertions.
+    pub fn is_sane(&self) -> bool {
+        self.working_set_bytes > 0
+            && self.flops_per_byte >= 0.0
+            && (0.0..=1.0).contains(&self.write_ratio)
+            && (0.0..=1.0).contains(&self.sharing)
+            && (0.05..=1.0).contains(&self.parallel_fraction)
+            && self.atomic_per_kaccess >= 0.0
+            && (0.0..=1.0).contains(&self.branch_entropy)
+            && (0.0..=1.0).contains(&self.dynamic_sensitivity)
+            && self.calls_per_run > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DynamicProfile {
+        DynamicProfile {
+            working_set_bytes: 64 << 20,
+            flops_per_byte: 0.5,
+            pattern: AccessPattern::Streaming,
+            write_ratio: 0.33,
+            sharing: 0.1,
+            parallel_fraction: 0.98,
+            atomic_per_kaccess: 0.0,
+            branch_entropy: 0.05,
+            dynamic_sensitivity: 0.1,
+            calls_per_run: 10,
+        }
+    }
+
+    #[test]
+    fn size2_scales_working_set() {
+        let p = sample();
+        assert_eq!(p.working_set(InputSize::Size1), 64 << 20);
+        assert_eq!(p.working_set(InputSize::Size2), 256 << 20);
+    }
+
+    #[test]
+    fn sanity_check_catches_bad_fields() {
+        let mut p = sample();
+        assert!(p.is_sane());
+        p.write_ratio = 1.5;
+        assert!(!p.is_sane());
+        let mut p = sample();
+        p.working_set_bytes = 0;
+        assert!(!p.is_sane());
+        let mut p = sample();
+        p.parallel_fraction = 0.0;
+        assert!(!p.is_sane());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = sample();
+        let s = serde_json::to_string(&p).unwrap();
+        let q: DynamicProfile = serde_json::from_str(&s).unwrap();
+        assert_eq!(p, q);
+    }
+}

@@ -1,0 +1,580 @@
+//! Kernel shapes and their IR generation.
+//!
+//! A [`KernelShape`] is the structural skeleton of a region: what loop nest
+//! it runs, how it indexes memory, whether it reduces atomically, calls
+//! helpers, or branches on data. [`KernelShape::gen_ir`] emits a faithful
+//! IR module for the shape — the same module family Clang would produce for
+//! the corresponding OpenMP C source (an outlined region function computing
+//! thread-local bounds from `omp_get_thread_num`, loops over global arrays).
+//!
+//! The `variant` parameter perturbs constants, loop factors and helper
+//! structure so that two regions sharing a shape still produce visibly
+//! different graphs (as two real benchmarks sharing an idiom would).
+
+use irnuma_ir::builder::{fconst, iconst, FunctionBuilder};
+use irnuma_ir::{CastKind, FunctionKind, IntPred, Module, Operand, RmwOp, Ty};
+use serde::{Deserialize, Serialize};
+
+/// Structural kernel families. See module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KernelShape {
+    /// `a[i] = b[i] * s + c[i]` over `arrays` arrays with an FMA chain of
+    /// depth `fma_depth`.
+    StreamTriad { arrays: u8, fma_depth: u8 },
+    /// Fixed non-unit stride sweep (`stride` elements).
+    Strided { stride: u32 },
+    /// `points`-point stencil with constant-bound inner loops.
+    Stencil { points: u8, compute_depth: u8 },
+    /// Sparse matrix-vector: indirection through an index array.
+    Spmv,
+    /// Dependent-load chains (`chains` independent walkers).
+    PointerChase { chains: u8 },
+    /// Global accumulation with atomics.
+    ReductionAtomic { ops: u8 },
+    /// Privatized reduction (tree merge at the end).
+    ReductionPrivate { ops: u8 },
+    /// Atomic histogram over `1 << bins_log2` bins.
+    Histogram { bins_log2: u8 },
+    /// Blocked matrix transpose (strided writes).
+    Transpose,
+    /// Wavefront sweep with loop-carried dependence (LU/NW style).
+    Wavefront { depth: u8 },
+    /// Data-dependent branching over the values loaded.
+    BranchHeavy { levels: u8 },
+    /// FFT-style butterflies: stride doubles per stage.
+    FftButterfly { stages: u8 },
+    /// Counting/bucket sort phases (IS style): histogram + scatter.
+    BucketSort,
+    /// Compute-dominated Monte-Carlo style kernel (EP): long FLOP chains,
+    /// tiny working set.
+    MonteCarlo { depth: u8 },
+}
+
+impl KernelShape {
+    /// Generate the IR module of a region with this shape.
+    ///
+    /// The module contains the outlined region `.omp_outlined.<name>`,
+    /// any helper functions, and the globals it touches. `variant` perturbs
+    /// structure deterministically. `ws_bytes` sizes the global arrays so
+    /// the static IR advertises the region's real footprint, exactly as the
+    /// statically-sized arrays of NAS/Rodinia benchmarks do.
+    pub fn gen_ir(&self, name: &str, variant: u64, ws_bytes: u64) -> Module {
+        let mut m = Module::new(name.to_string());
+        let fname = format!(".omp_outlined.{name}");
+        let budget = ws_bytes.max(4096);
+        match *self {
+            KernelShape::StreamTriad { arrays, fma_depth } => {
+                triad(&mut m, &fname, arrays.max(2), fma_depth.max(1), variant, budget)
+            }
+            KernelShape::Strided { stride } => strided(&mut m, &fname, stride.max(2), variant, budget),
+            KernelShape::Stencil { points, compute_depth } => {
+                stencil(&mut m, &fname, points.clamp(3, 9), compute_depth.max(1), variant, budget)
+            }
+            KernelShape::Spmv => spmv(&mut m, &fname, variant, budget),
+            KernelShape::PointerChase { chains } => chase(&mut m, &fname, chains.max(1), variant, budget),
+            KernelShape::ReductionAtomic { ops } => {
+                reduction(&mut m, &fname, ops.max(1), true, variant, budget)
+            }
+            KernelShape::ReductionPrivate { ops } => {
+                reduction(&mut m, &fname, ops.max(1), false, variant, budget)
+            }
+            KernelShape::Histogram { bins_log2 } => {
+                histogram(&mut m, &fname, bins_log2.clamp(4, 20), variant, budget)
+            }
+            KernelShape::Transpose => transpose(&mut m, &fname, variant, budget),
+            KernelShape::Wavefront { depth } => wavefront(&mut m, &fname, depth.max(1), variant, budget),
+            KernelShape::BranchHeavy { levels } => branchy(&mut m, &fname, levels.clamp(1, 4), variant, budget),
+            KernelShape::FftButterfly { stages } => fft(&mut m, &fname, stages.clamp(2, 6), variant, budget),
+            KernelShape::BucketSort => bucket_sort(&mut m, &fname, variant, budget),
+            KernelShape::MonteCarlo { depth } => monte_carlo(&mut m, &fname, depth.max(4), variant, budget),
+        }
+        m
+    }
+}
+
+/// Emit the canonical OpenMP worksharing prologue: compute `[lo, hi)` for
+/// this thread from `omp_get_thread_num`/`omp_get_num_threads` and the
+/// region arguments `(%a0 = n)`.
+fn omp_bounds(b: &mut FunctionBuilder) -> (Operand, Operand) {
+    let n = b.arg(0);
+    let tid32 = b.call("omp_get_thread_num", Ty::I32, vec![]);
+    let nth32 = b.call("omp_get_num_threads", Ty::I32, vec![]);
+    let tid = b.cast(CastKind::Sext, Ty::I64, tid32);
+    let nth = b.cast(CastKind::Sext, Ty::I64, nth32);
+    let chunk = b.sdiv(Ty::I64, n, nth);
+    let lo = b.mul(Ty::I64, tid, chunk);
+    let hi = b.add(Ty::I64, lo, chunk);
+    (lo, hi)
+}
+
+/// Largest power of two `n` with `n * bytes_per_elem <= budget` (min 16).
+fn pow2_elems(budget: u64, bytes_per_elem: u64) -> u64 {
+    let raw = (budget / bytes_per_elem).max(16);
+    1u64 << raw.ilog2()
+}
+
+/// Power-of-two matrix dimension with `dim * dim * bytes_per_elem <= budget`.
+fn pow2_dim(budget: u64, bytes_per_elem: u64) -> u64 {
+    let raw = (budget / bytes_per_elem).max(256);
+    1u64 << (raw.ilog2() / 2)
+}
+
+fn new_region(name: &str) -> FunctionBuilder {
+    // %a0 = element count n.
+    FunctionBuilder::new(name, vec![Ty::I64], Ty::Void, FunctionKind::OmpOutlined)
+}
+
+fn triad(m: &mut Module, fname: &str, arrays: u8, fma_depth: u8, variant: u64, budget: u64) {
+    let n = pow2_elems(budget, arrays as u64 * 8);
+    let globals: Vec<_> = (0..arrays)
+        .map(|i| m.add_global(format!("arr{i}"), Ty::F64, n))
+        .collect();
+    let mut b = new_region(fname);
+    let (lo, hi) = omp_bounds(&mut b);
+    let scale = fconst(1.0 + (variant % 7) as f64 * 0.25);
+    b.counted_loop(lo, hi, iconst(1), |b, i| {
+        let mut acc = fconst(0.0);
+        for (k, g) in globals.iter().skip(1).enumerate() {
+            let p = b.gep(Ty::F64, Operand::Global(*g), i);
+            let v = b.load(Ty::F64, p);
+            acc = if k == 0 { v } else { b.fadd(Ty::F64, acc, v) };
+        }
+        for _ in 0..fma_depth {
+            acc = b.fmuladd(Ty::F64, acc, scale, fconst(0.5));
+        }
+        let p0 = b.gep(Ty::F64, Operand::Global(globals[0]), i);
+        b.store(acc, p0);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+}
+
+fn strided(m: &mut Module, fname: &str, stride: u32, variant: u64, budget: u64) {
+    let n = pow2_elems(budget, 16);
+    let _ = variant;
+    let src = m.add_global("src", Ty::F64, n);
+    let dst = m.add_global("dst", Ty::F64, n);
+    let mut b = new_region(fname);
+    let (lo, hi) = omp_bounds(&mut b);
+    b.counted_loop(lo, hi, iconst(1), |b, i| {
+        let idx = b.mul(Ty::I64, i, iconst(stride as i64));
+        let wrapped = b.and(Ty::I64, idx, iconst((n - 1) as i64));
+        let ps = b.gep(Ty::F64, Operand::Global(src), wrapped);
+        let v = b.load(Ty::F64, ps);
+        let w = b.fmul(Ty::F64, v, fconst(0.99));
+        let pd = b.gep(Ty::F64, Operand::Global(dst), i);
+        b.store(w, pd);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+}
+
+fn stencil(m: &mut Module, fname: &str, points: u8, depth: u8, variant: u64, budget: u64) {
+    let n = pow2_elems(budget, 16);
+    let src = m.add_global("grid_in", Ty::F64, n);
+    let dst = m.add_global("grid_out", Ty::F64, n);
+    let coef = m.add_global("coef", Ty::F64, points as u64);
+    let mut b = new_region(fname);
+    let (lo, hi) = omp_bounds(&mut b);
+    let half = (points / 2) as i64;
+    b.counted_loop(lo, hi, iconst(1), |b, i| {
+        // Constant-trip inner loop over the stencil points: unroll target.
+        let acc_slot = b.alloca(Ty::F64, 1);
+        b.store(fconst(0.0), acc_slot);
+        b.counted_loop(iconst(0), iconst(points as i64), iconst(1), |b, k| {
+            let off = b.add(Ty::I64, i, k);
+            let off = b.sub(Ty::I64, off, iconst(half));
+            let clamped = b.and(Ty::I64, off, iconst((n - 1) as i64));
+            let pv = b.gep(Ty::F64, Operand::Global(src), clamped);
+            let v = b.load(Ty::F64, pv);
+            let pc = b.gep(Ty::F64, Operand::Global(coef), k);
+            let c = b.load(Ty::F64, pc);
+            let cur = b.load(Ty::F64, acc_slot);
+            let nv = b.fmuladd(Ty::F64, v, c, cur);
+            b.store(nv, acc_slot);
+        });
+        let mut acc = b.load(Ty::F64, acc_slot);
+        for d in 0..depth {
+            acc = b.fmul(Ty::F64, acc, fconst(1.0 - 1e-6 * (d as f64 + variant as f64 % 5.0)));
+        }
+        let pd = b.gep(Ty::F64, Operand::Global(dst), i);
+        b.store(acc, pd);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+}
+
+fn spmv(m: &mut Module, fname: &str, variant: u64, budget: u64) {
+    let k = 4 + variant % 4;
+    let rows = pow2_elems(budget, 16 * k + 24);
+    let nnz = rows * k;
+    let vals = m.add_global("vals", Ty::F64, nnz);
+    let cols = m.add_global("cols", Ty::I64, nnz);
+    let rowptr = m.add_global("rowptr", Ty::I64, rows + 1);
+    let x = m.add_global("x", Ty::F64, rows);
+    let y = m.add_global("y", Ty::F64, rows);
+    let mut b = new_region(fname);
+    let (lo, hi) = omp_bounds(&mut b);
+    b.counted_loop(lo, hi, iconst(1), |b, row| {
+        let pr0 = b.gep(Ty::I64, Operand::Global(rowptr), row);
+        let start = b.load(Ty::I64, pr0);
+        let row1 = b.add(Ty::I64, row, iconst(1));
+        let pr1 = b.gep(Ty::I64, Operand::Global(rowptr), row1);
+        let end = b.load(Ty::I64, pr1);
+        let acc_slot = b.alloca(Ty::F64, 1);
+        b.store(fconst(0.0), acc_slot);
+        b.counted_loop(start, end, iconst(1), |b, k| {
+            let pv = b.gep(Ty::F64, Operand::Global(vals), k);
+            let v = b.load(Ty::F64, pv);
+            let pc = b.gep(Ty::I64, Operand::Global(cols), k);
+            let c = b.load(Ty::I64, pc); // indirection
+            let px = b.gep(Ty::F64, Operand::Global(x), c);
+            let xv = b.load(Ty::F64, px);
+            let cur = b.load(Ty::F64, acc_slot);
+            let nv = b.fmuladd(Ty::F64, v, xv, cur);
+            b.store(nv, acc_slot);
+        });
+        let acc = b.load(Ty::F64, acc_slot);
+        let py = b.gep(Ty::F64, Operand::Global(y), row);
+        b.store(acc, py);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+}
+
+fn chase(m: &mut Module, fname: &str, chains: u8, variant: u64, budget: u64) {
+    let n = pow2_elems(budget, 16);
+    let _ = variant;
+    let next = m.add_global("next", Ty::I64, n);
+    let data = m.add_global("data", Ty::F64, n);
+    let mut b = new_region(fname);
+    let (lo, _hi) = omp_bounds(&mut b);
+    let steps = 1 << 10;
+    for c in 0..chains {
+        let cur_slot = b.alloca(Ty::I64, 1);
+        let start = b.add(Ty::I64, lo, iconst(c as i64));
+        b.store(start, cur_slot);
+        b.counted_loop(iconst(0), iconst(steps), iconst(1), |b, _| {
+            let cur = b.load(Ty::I64, cur_slot);
+            let pn = b.gep(Ty::I64, Operand::Global(next), cur);
+            let nxt = b.load(Ty::I64, pn); // dependent load: the chase
+            let pd = b.gep(Ty::F64, Operand::Global(data), nxt);
+            let v = b.load(Ty::F64, pd);
+            let w = b.fadd(Ty::F64, v, fconst(1.0));
+            b.store(w, pd);
+            b.store(nxt, cur_slot);
+        });
+    }
+    b.ret(None);
+    m.add_function(b.finish());
+}
+
+fn reduction(m: &mut Module, fname: &str, ops: u8, atomic: bool, variant: u64, budget: u64) {
+    let n = pow2_elems(budget, 8);
+    let data = m.add_global("data", Ty::F64, n);
+    let accum = m.add_global("accum", Ty::I64, 64);
+    let mut b = new_region(fname);
+    let (lo, hi) = omp_bounds(&mut b);
+    if atomic {
+        b.counted_loop(lo, hi, iconst(1), |b, i| {
+            let p = b.gep(Ty::F64, Operand::Global(data), i);
+            let mut v = b.load(Ty::F64, p);
+            for _ in 0..ops {
+                v = b.fmul(Ty::F64, v, fconst(1.0000001));
+            }
+            let as_int = b.cast(CastKind::FpToSi, Ty::I64, v);
+            let slot = b.and(Ty::I64, i, iconst(63 & (variant as i64 | 1)));
+            let pa = b.gep(Ty::I64, Operand::Global(accum), slot);
+            b.atomic_rmw(RmwOp::Add, Ty::I64, pa, as_int);
+        });
+    } else {
+        // Privatized: accumulate locally, one atomic merge at the end.
+        let local = b.alloca(Ty::F64, 1);
+        b.store(fconst(0.0), local);
+        b.counted_loop(lo, hi, iconst(1), |b, i| {
+            let p = b.gep(Ty::F64, Operand::Global(data), i);
+            let mut v = b.load(Ty::F64, p);
+            for _ in 0..ops {
+                v = b.fmuladd(Ty::F64, v, fconst(0.999), fconst(0.001));
+            }
+            let cur = b.load(Ty::F64, local);
+            let nv = b.fadd(Ty::F64, cur, v);
+            b.store(nv, local);
+        });
+        let total = b.load(Ty::F64, local);
+        let as_int = b.cast(CastKind::FpToSi, Ty::I64, total);
+        let pa = b.gep(Ty::I64, Operand::Global(accum), iconst(0));
+        b.atomic_rmw(RmwOp::Add, Ty::I64, pa, as_int);
+    }
+    b.ret(None);
+    m.add_function(b.finish());
+}
+
+fn histogram(m: &mut Module, fname: &str, bins_log2: u8, _variant: u64, budget: u64) {
+    let n = pow2_elems(budget, 8);
+    let keys = m.add_global("keys", Ty::I64, n);
+    let bins = m.add_global("bins", Ty::I64, 1 << bins_log2);
+    let mask = (1i64 << bins_log2) - 1;
+    let mut b = new_region(fname);
+    let (lo, hi) = omp_bounds(&mut b);
+    b.counted_loop(lo, hi, iconst(1), |b, i| {
+        let pk = b.gep(Ty::I64, Operand::Global(keys), i);
+        let k = b.load(Ty::I64, pk);
+        let h = b.xor(Ty::I64, k, iconst(0x9e37));
+        let idx = b.and(Ty::I64, h, iconst(mask));
+        let pb = b.gep(Ty::I64, Operand::Global(bins), idx);
+        b.atomic_rmw(RmwOp::Add, Ty::I64, pb, iconst(1));
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+}
+
+fn transpose(m: &mut Module, fname: &str, variant: u64, budget: u64) {
+    let dim = pow2_dim(budget, 16);
+    let _ = variant;
+    let src = m.add_global("mat_in", Ty::F64, dim * dim);
+    let dst = m.add_global("mat_out", Ty::F64, dim * dim);
+    let mut b = new_region(fname);
+    let (lo, hi) = omp_bounds(&mut b);
+    b.counted_loop(lo, hi, iconst(1), |b, row| {
+        b.counted_loop(iconst(0), iconst(dim as i64), iconst(1), |b, col| {
+            let rin = b.mul(Ty::I64, row, iconst(dim as i64));
+            let iin = b.add(Ty::I64, rin, col);
+            let cout = b.mul(Ty::I64, col, iconst(dim as i64));
+            let iout = b.add(Ty::I64, cout, row);
+            let ps = b.gep(Ty::F64, Operand::Global(src), iin);
+            let v = b.load(Ty::F64, ps);
+            let pd = b.gep(Ty::F64, Operand::Global(dst), iout);
+            b.store(v, pd);
+        });
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+}
+
+fn wavefront(m: &mut Module, fname: &str, depth: u8, _variant: u64, budget: u64) {
+    let dim = pow2_dim(budget, 8);
+    let grid = m.add_global("wave", Ty::F64, dim * dim);
+    let mut b = new_region(fname);
+    let (lo, hi) = omp_bounds(&mut b);
+    b.counted_loop(lo, hi, iconst(1), |b, i| {
+        // Loop-carried: cell (i, j) needs (i-1, j) and (i, j-1).
+        b.counted_loop(iconst(1), iconst(dim as i64), iconst(1), |b, j| {
+            let row = b.mul(Ty::I64, i, iconst(dim as i64));
+            let here = b.add(Ty::I64, row, j);
+            let left = b.sub(Ty::I64, here, iconst(1));
+            let up = b.sub(Ty::I64, here, iconst(dim as i64));
+            let upw = b.and(Ty::I64, up, iconst((dim * dim - 1) as i64));
+            let pl = b.gep(Ty::F64, Operand::Global(grid), left);
+            let vl = b.load(Ty::F64, pl);
+            let pu = b.gep(Ty::F64, Operand::Global(grid), upw);
+            let vu = b.load(Ty::F64, pu);
+            let mut v = b.fadd(Ty::F64, vl, vu);
+            for _ in 0..depth {
+                v = b.fmul(Ty::F64, v, fconst(0.5));
+            }
+            let ph = b.gep(Ty::F64, Operand::Global(grid), here);
+            b.store(v, ph);
+        });
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+}
+
+fn branchy(m: &mut Module, fname: &str, levels: u8, variant: u64, budget: u64) {
+    let n = pow2_elems(budget, 16);
+    let data = m.add_global("vals", Ty::F64, n);
+    let flags = m.add_global("flags", Ty::I64, n);
+    let mut b = new_region(fname);
+    let (lo, hi) = omp_bounds(&mut b);
+    b.counted_loop(lo, hi, iconst(1), |b, i| {
+        let pf = b.gep(Ty::I64, Operand::Global(flags), i);
+        let fval = b.load(Ty::I64, pf);
+        let pd = b.gep(Ty::F64, Operand::Global(data), i);
+        let v = b.load(Ty::F64, pd);
+        // Nested data-dependent diamonds.
+        let mut cur = v;
+        for lvl in 0..levels {
+            let tb = b.new_block();
+            let eb = b.new_block();
+            let jb = b.new_block();
+            let bit = b.and(Ty::I64, fval, iconst(1 << lvl));
+            let c = b.icmp(IntPred::Ne, bit, iconst(0));
+            b.cond_br(c, tb, eb);
+            b.switch_to(tb);
+            let a = b.fmul(Ty::F64, cur, fconst(1.25 + variant as f64 % 3.0));
+            b.br(jb);
+            b.switch_to(eb);
+            let d = b.fadd(Ty::F64, cur, fconst(-0.75));
+            b.br(jb);
+            b.switch_to(jb);
+            cur = b.phi(Ty::F64, &[(tb, a), (eb, d)]);
+        }
+        b.store(cur, pd);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+}
+
+fn fft(m: &mut Module, fname: &str, stages: u8, _variant: u64, budget: u64) {
+    let n = pow2_elems(budget, 16);
+    let re = m.add_global("re", Ty::F64, n);
+    let im = m.add_global("im", Ty::F64, n);
+    let mut b = new_region(fname);
+    let (lo, hi) = omp_bounds(&mut b);
+    b.counted_loop(lo, hi, iconst(1), |b, i| {
+        for s in 0..stages {
+            let stride = 1i64 << (s + 1);
+            let j = b.add(Ty::I64, i, iconst(stride));
+            let jw = b.and(Ty::I64, j, iconst((n - 1) as i64));
+            let pr1 = b.gep(Ty::F64, Operand::Global(re), i);
+            let pr2 = b.gep(Ty::F64, Operand::Global(re), jw);
+            let a = b.load(Ty::F64, pr1);
+            let c = b.load(Ty::F64, pr2);
+            let sum = b.fadd(Ty::F64, a, c);
+            let dif = b.fsub(Ty::F64, a, c);
+            b.store(sum, pr1);
+            b.store(dif, pr2);
+            let pi1 = b.gep(Ty::F64, Operand::Global(im), i);
+            let e = b.load(Ty::F64, pi1);
+            let tw = b.fmul(Ty::F64, e, fconst(0.7071067811865476));
+            b.store(tw, pi1);
+        }
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+}
+
+fn bucket_sort(m: &mut Module, fname: &str, variant: u64, budget: u64) {
+    let n = pow2_elems(budget, 16);
+    let keys = m.add_global("keys", Ty::I64, n);
+    let counts = m.add_global("counts", Ty::I64, 1 << 10);
+    let out = m.add_global("sorted", Ty::I64, n);
+    let mut b = new_region(fname);
+    let (lo, hi) = omp_bounds(&mut b);
+    // Phase 1: count.
+    b.counted_loop(lo, hi, iconst(1), |b, i| {
+        let pk = b.gep(Ty::I64, Operand::Global(keys), i);
+        let k = b.load(Ty::I64, pk);
+        let bucket = b.lshr(Ty::I64, k, iconst(54 - (variant % 3) as i64));
+        let bmask = b.and(Ty::I64, bucket, iconst(1023));
+        let pc = b.gep(Ty::I64, Operand::Global(counts), bmask);
+        b.atomic_rmw(RmwOp::Add, Ty::I64, pc, iconst(1));
+    });
+    // Phase 2: scatter.
+    b.counted_loop(lo, hi, iconst(1), |b, i| {
+        let pk = b.gep(Ty::I64, Operand::Global(keys), i);
+        let k = b.load(Ty::I64, pk);
+        let h = b.xor(Ty::I64, k, i);
+        let idx = b.and(Ty::I64, h, iconst((n - 1) as i64));
+        let po = b.gep(Ty::I64, Operand::Global(out), idx);
+        b.store(k, po);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+}
+
+fn monte_carlo(m: &mut Module, fname: &str, depth: u8, variant: u64, budget: u64) {
+    let accum = m.add_global("counts", Ty::I64, pow2_elems(budget, 8));
+    let mut b = new_region(fname);
+    let (lo, hi) = omp_bounds(&mut b);
+    b.counted_loop(lo, hi, iconst(1), |b, i| {
+        // LCG "random" pair, then a long transcendental-ish chain.
+        let seed = b.mul(Ty::I64, i, iconst(6364136223846793005));
+        let seed = b.add(Ty::I64, seed, iconst(1442695040888963407 ^ variant as i64));
+        let hi_bits = b.lshr(Ty::I64, seed, iconst(33));
+        let xf = b.cast(CastKind::SiToFp, Ty::F64, hi_bits);
+        let mut x = b.fmul(Ty::F64, xf, fconst(1.0 / (1u64 << 31) as f64));
+        for _ in 0..depth {
+            // x = x*x*0.5 + 0.25 — FLOP-dense, no memory.
+            let sq = b.fmul(Ty::F64, x, x);
+            x = b.fmuladd(Ty::F64, sq, fconst(0.5), fconst(0.25));
+        }
+        let c = b.fcmp(irnuma_ir::FloatPred::Olt, x, fconst(0.5));
+        let one_or_zero = b.select(Ty::I64, c, iconst(1), iconst(0));
+        let slot = b.and(Ty::I64, i, iconst(15));
+        let pa = b.gep(Ty::I64, Operand::Global(accum), slot);
+        b.atomic_rmw(RmwOp::Add, Ty::I64, pa, one_or_zero);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irnuma_ir::verify_module;
+
+    fn all_shapes() -> Vec<KernelShape> {
+        vec![
+            KernelShape::StreamTriad { arrays: 3, fma_depth: 2 },
+            KernelShape::Strided { stride: 8 },
+            KernelShape::Stencil { points: 5, compute_depth: 2 },
+            KernelShape::Spmv,
+            KernelShape::PointerChase { chains: 2 },
+            KernelShape::ReductionAtomic { ops: 3 },
+            KernelShape::ReductionPrivate { ops: 3 },
+            KernelShape::Histogram { bins_log2: 10 },
+            KernelShape::Transpose,
+            KernelShape::Wavefront { depth: 2 },
+            KernelShape::BranchHeavy { levels: 3 },
+            KernelShape::FftButterfly { stages: 3 },
+            KernelShape::BucketSort,
+            KernelShape::MonteCarlo { depth: 8 },
+        ]
+    }
+
+    #[test]
+    fn every_shape_generates_verified_ir() {
+        for (i, s) in all_shapes().into_iter().enumerate() {
+            let m = s.gen_ir(&format!("k{i}"), i as u64, 32 << 20);
+            verify_module(&m).unwrap_or_else(|e| panic!("{s:?}: {e}"));
+            assert_eq!(m.outlined_regions().len(), 1, "{s:?}");
+            assert!(m.num_instrs() > 10, "{s:?} too trivial");
+        }
+    }
+
+    #[test]
+    fn variants_change_structure_or_constants() {
+        let s = KernelShape::StreamTriad { arrays: 3, fma_depth: 2 };
+        let a = irnuma_ir::print_module(&s.gen_ir("k", 0, 32 << 20));
+        let b = irnuma_ir::print_module(&s.gen_ir("k", 1, 32 << 20));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = KernelShape::Spmv;
+        let a = irnuma_ir::print_module(&s.gen_ir("k", 7, 32 << 20));
+        let b = irnuma_ir::print_module(&s.gen_ir("k", 7, 32 << 20));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shapes_are_structurally_distinguishable() {
+        let mut texts = std::collections::HashSet::new();
+        for (i, s) in all_shapes().into_iter().enumerate() {
+            texts.insert(irnuma_ir::print_module(&s.gen_ir("same_name", i as u64, 32 << 20)));
+        }
+        assert_eq!(texts.len(), 14, "all shapes yield distinct IR");
+    }
+
+    #[test]
+    fn atomic_shapes_contain_atomics_and_chase_contains_dependent_loads() {
+        let m = KernelShape::Histogram { bins_log2: 8 }.gen_ir("h", 0, 32 << 20);
+        let f = m.function(".omp_outlined.h").unwrap();
+        let atomics = f
+            .iter_attached()
+            .filter(|&(_, _, id)| matches!(f.instr(id).op, irnuma_ir::Opcode::AtomicRmw(_)))
+            .count();
+        assert!(atomics >= 1);
+
+        let m = KernelShape::StreamTriad { arrays: 2, fma_depth: 1 }.gen_ir("t", 0, 32 << 20);
+        let f = m.function(".omp_outlined.t").unwrap();
+        let atomics = f
+            .iter_attached()
+            .filter(|&(_, _, id)| matches!(f.instr(id).op, irnuma_ir::Opcode::AtomicRmw(_)))
+            .count();
+        assert_eq!(atomics, 0, "streaming kernels have no atomics");
+    }
+}

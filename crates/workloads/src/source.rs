@@ -1,0 +1,165 @@
+//! Pseudo-C source views of the kernels — what the OpenMP region would look
+//! like in the original benchmark. Purely documentary (the IR generator in
+//! [`crate::shapes`] is the ground truth), used by the `irnuma show-source`
+//! CLI and by people reading the suite.
+
+use crate::shapes::KernelShape;
+
+/// Render an OpenMP-style pseudo-C sketch of a kernel shape.
+pub fn pseudo_source(shape: &KernelShape) -> String {
+    match *shape {
+        KernelShape::StreamTriad { arrays, fma_depth } => format!(
+            "#pragma omp parallel for\n\
+             for (i = lo; i < hi; i++) {{\n\
+             \x20   double acc = {};\n\
+             \x20   // {fma_depth} fused multiply-add(s)\n\
+             \x20   acc = fma(acc, scale, 0.5);   // x{fma_depth}\n\
+             \x20   arr0[i] = acc;\n\
+             }}",
+            (1..arrays.max(2))
+                .map(|k| format!("arr{k}[i]"))
+                .collect::<Vec<_>>()
+                .join(" + ")
+        ),
+        KernelShape::Strided { stride } => format!(
+            "#pragma omp parallel for\n\
+             for (i = lo; i < hi; i++)\n\
+             \x20   dst[i] = 0.99 * src[(i * {stride}) & (N-1)];"
+        ),
+        KernelShape::Stencil { points, compute_depth } => format!(
+            "#pragma omp parallel for\n\
+             for (i = lo; i < hi; i++) {{\n\
+             \x20   double acc = 0;\n\
+             \x20   for (k = 0; k < {points}; k++)          // constant trip\n\
+             \x20       acc = fma(in[clamp(i+k-{})], coef[k], acc);\n\
+             \x20   /* {compute_depth} extra flops */\n\
+             \x20   out[i] = acc;\n\
+             }}",
+            points / 2
+        ),
+        KernelShape::Spmv => "#pragma omp parallel for\n\
+             for (row = lo; row < hi; row++) {\n\
+             \x20   double acc = 0;\n\
+             \x20   for (k = rowptr[row]; k < rowptr[row+1]; k++)\n\
+             \x20       acc = fma(vals[k], x[cols[k]], acc);   // indirection\n\
+             \x20   y[row] = acc;\n\
+             }"
+        .into(),
+        KernelShape::PointerChase { chains } => format!(
+            "#pragma omp parallel\n\
+             {{   // {chains} independent walker(s)\n\
+             \x20   long cur = lo + chain_id;\n\
+             \x20   for (s = 0; s < STEPS; s++) {{\n\
+             \x20       cur = next[cur];          // dependent load\n\
+             \x20       data[cur] += 1.0;\n\
+             \x20   }}\n\
+             }}"
+        ),
+        KernelShape::ReductionAtomic { ops } => format!(
+            "#pragma omp parallel for\n\
+             for (i = lo; i < hi; i++) {{\n\
+             \x20   double v = data[i];           // {ops} flop(s) on v\n\
+             \x20   #pragma omp atomic\n\
+             \x20   accum[i & MASK] += (long)v;\n\
+             }}"
+        ),
+        KernelShape::ReductionPrivate { ops } => format!(
+            "#pragma omp parallel for reduction(+:total)\n\
+             for (i = lo; i < hi; i++) {{\n\
+             \x20   double v = data[i];           // {ops} flop(s) on v\n\
+             \x20   total += v;                    // privatized\n\
+             }}"
+        ),
+        KernelShape::Histogram { bins_log2 } => format!(
+            "#pragma omp parallel for\n\
+             for (i = lo; i < hi; i++) {{\n\
+             \x20   long b = hash(keys[i]) & ((1<<{bins_log2})-1);\n\
+             \x20   #pragma omp atomic\n\
+             \x20   bins[b]++;\n\
+             }}"
+        ),
+        KernelShape::Transpose => "#pragma omp parallel for\n\
+             for (row = lo; row < hi; row++)\n\
+             \x20   for (col = 0; col < DIM; col++)\n\
+             \x20       out[col*DIM + row] = in[row*DIM + col];   // strided write"
+        .into(),
+        KernelShape::Wavefront { depth } => format!(
+            "#pragma omp parallel for\n\
+             for (i = lo; i < hi; i++)\n\
+             \x20   for (j = 1; j < DIM; j++)   // carried dependence\n\
+             \x20       grid[i][j] = f(grid[i][j-1], grid[i-1][j]);  /* depth {depth} */"
+        ),
+        KernelShape::BranchHeavy { levels } => format!(
+            "#pragma omp parallel for\n\
+             for (i = lo; i < hi; i++) {{\n\
+             \x20   double v = vals[i];\n\
+             \x20   // {levels} data-dependent branch level(s)\n\
+             \x20   if (flags[i] & 1) v *= a; else v += b;   // x{levels}\n\
+             \x20   vals[i] = v;\n\
+             }}"
+        ),
+        KernelShape::FftButterfly { stages } => format!(
+            "#pragma omp parallel for\n\
+             for (i = lo; i < hi; i++)\n\
+             \x20   for (s = 0; s < {stages}; s++) {{       // stride doubles per stage\n\
+             \x20       j = (i + (1<<(s+1))) & (N-1);\n\
+             \x20       butterfly(&re[i], &re[j], &im[i]);\n\
+             \x20   }}"
+        ),
+        KernelShape::BucketSort => "#pragma omp parallel for   // phase 1: count\n\
+             for (i = lo; i < hi; i++) {\n\
+             \x20   #pragma omp atomic\n\
+             \x20   counts[keys[i] >> SHIFT]++;\n\
+             }\n\
+             #pragma omp parallel for   // phase 2: scatter\n\
+             for (i = lo; i < hi; i++)\n\
+             \x20   sorted[hash(keys[i], i) & (N-1)] = keys[i];"
+        .into(),
+        KernelShape::MonteCarlo { depth } => format!(
+            "#pragma omp parallel for\n\
+             for (i = lo; i < hi; i++) {{\n\
+             \x20   double x = lcg(i);             // tiny working set\n\
+             \x20   for (d = 0; d < {depth}; d++) x = fma(x*x, 0.5, 0.25);\n\
+             \x20   #pragma omp atomic\n\
+             \x20   counts[i & 15] += (x < 0.5);\n\
+             }}"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::all_regions;
+
+    #[test]
+    fn every_region_has_a_source_sketch() {
+        for r in all_regions() {
+            let src = pseudo_source(&r.shape);
+            assert!(src.contains("#pragma omp"), "{}: {src}", r.name);
+            assert!(src.len() > 60, "{}: too thin", r.name);
+        }
+    }
+
+    #[test]
+    fn sketches_reflect_shape_parameters() {
+        let src = pseudo_source(&KernelShape::Histogram { bins_log2: 12 });
+        assert!(src.contains("1<<12"));
+        let src = pseudo_source(&KernelShape::FftButterfly { stages: 5 });
+        assert!(src.contains("s < 5"));
+        let src = pseudo_source(&KernelShape::PointerChase { chains: 3 });
+        assert!(src.contains("3 independent"));
+    }
+
+    #[test]
+    fn atomic_shapes_mention_atomics() {
+        for shape in [
+            KernelShape::ReductionAtomic { ops: 1 },
+            KernelShape::Histogram { bins_log2: 8 },
+            KernelShape::BucketSort,
+        ] {
+            assert!(pseudo_source(&shape).contains("omp atomic"), "{shape:?}");
+        }
+        assert!(!pseudo_source(&KernelShape::Transpose).contains("omp atomic"));
+    }
+}

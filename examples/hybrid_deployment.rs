@@ -1,0 +1,62 @@
+//! Hybrid deployment (paper §III-D.2 / §IV-F): predict statically, profile
+//! only the regions the router flags, and compare the cost/benefit against
+//! always-profiling.
+//!
+//! ```text
+//! cargo run --release -p irnuma-core --example hybrid_deployment
+//! ```
+
+use irnuma_core::dataset::{build_dataset, DatasetParams};
+use irnuma_core::models::hybrid::HybridParams;
+use irnuma_core::models::static_gnn::StaticParams;
+use irnuma_core::models::{DynamicModel, HybridModel, StaticModel};
+use irnuma_ml::kfold;
+use irnuma_sim::MicroArch;
+
+fn main() {
+    let params = DatasetParams { num_sequences: 12, calls: 4, ..Default::default() };
+    println!("building Skylake dataset…");
+    let ds = build_dataset(MicroArch::Skylake, &params);
+
+    let folds = kfold(ds.regions.len(), 10, 5);
+    let train: Vec<usize> = irnuma_ml::cv::train_indices(&folds, 0);
+    let sp = StaticParams { epochs: 10, train_sequences: 6, ..Default::default() };
+    println!("training static model + dynamic baseline + hybrid router…\n");
+    let sm = StaticModel::train(&ds, &train, sp);
+    let dm = DynamicModel::train(&ds, &train);
+    let hm = HybridModel::train(&ds, &sm, &train, HybridParams::default(), sp);
+
+    println!(
+        "{:<28} {:>8} {:>10} {:>10}",
+        "held-out region", "route", "hybrid", "best-of-13"
+    );
+    let mut profiled = 0usize;
+    let mut hybrid_gain = 0.0;
+    let mut dynamic_gain = 0.0;
+    for &r in &folds[0] {
+        let to_dynamic = hm.route_to_dynamic(&ds, &sm, r);
+        let label = if to_dynamic { dm.predict(&ds, r) } else { sm.predict(&ds, r) };
+        let t = ds.label_time(r, label);
+        let t_dyn = ds.label_time(r, dm.predict(&ds, r));
+        profiled += to_dynamic as usize;
+        hybrid_gain += ds.regions[r].default_time / t;
+        dynamic_gain += ds.regions[r].default_time / t_dyn;
+        println!(
+            "{:<28} {:>8} {:>9.3}ms {:>9.3}ms",
+            ds.regions[r].spec.name,
+            if to_dynamic { "PROFILE" } else { "static" },
+            t * 1e3,
+            ds.oracle_time(r) * 1e3,
+        );
+    }
+    let n = folds[0].len() as f64;
+    println!(
+        "\nhybrid gain {:.2}x vs always-profile {:.2}x — while profiling {} of {} regions",
+        hybrid_gain / n,
+        dynamic_gain / n,
+        profiled,
+        folds[0].len()
+    );
+    println!("profiling cost saved: {:.0}% of the benchmark runs (the paper profiles ~30%)",
+        (1.0 - profiled as f64 / n) * 100.0);
+}

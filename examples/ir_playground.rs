@@ -1,0 +1,65 @@
+//! IR playground: watch the augmentation substrate at work on one region.
+//!
+//! ```text
+//! cargo run --release -p irnuma-core --example ir_playground
+//! ```
+//!
+//! Takes a benchmark region, prints its IR, runs three different flag
+//! sequences over it, and shows how the IR (and therefore the ProGraML
+//! graph the GNN sees) changes — the mechanism behind the paper's data
+//! augmentation (step A).
+
+use irnuma_graph::{build_module_graph, EdgeKind, NodeKind, Vocab};
+use irnuma_ir::extract::extract_region;
+use irnuma_ir::print_module;
+use irnuma_passes::{o3_sequence, run_sequence, sample_sequences, SampleParams};
+use irnuma_workloads::all_regions;
+
+fn main() {
+    let region = all_regions()
+        .into_iter()
+        .find(|r| r.name == "hotspot.temp")
+        .expect("region exists");
+    println!("=== region: {} (shape {:?}) ===\n", region.name, region.shape);
+
+    let base = region.module();
+    println!("--- unoptimized IR ({} instructions) ---", base.num_instrs());
+    println!("{}", print_module(&base));
+
+    let vocab = Vocab::full();
+    let show = |label: &str, seq: &[&str]| {
+        let mut m = base.clone();
+        run_sequence(&mut m, seq).expect("passes run");
+        let extracted = extract_region(&m, &region.region_fn()).expect("region survives");
+        let g = build_module_graph(&extracted, &vocab);
+        println!(
+            "{label:<26} {:>4} instrs → graph: {:>4} nodes ({} instr / {} var / {} const), {:>4} edges ({} ctrl / {} data / {} call)",
+            m.num_instrs(),
+            g.num_nodes(),
+            g.count_nodes(NodeKind::Instruction),
+            g.count_nodes(NodeKind::Variable),
+            g.count_nodes(NodeKind::Constant),
+            g.num_edges(),
+            g.count_edges(EdgeKind::Control),
+            g.count_edges(EdgeKind::Data),
+            g.count_edges(EdgeKind::Call),
+        );
+    };
+
+    println!("--- flag sequences expose different properties ---");
+    show("none", &[]);
+    show("dce only", &["dce"]);
+    show("unroll+fold", &["loop-unroll", "constprop", "dce", "simplifycfg"]);
+    show("full -O3", &o3_sequence());
+
+    println!("\n--- three sampled sequences (paper's down-sampling of -O3) ---");
+    for seq in sample_sequences(3, 2026, SampleParams::default()) {
+        let names: Vec<&str> = seq.passes.iter().map(String::as_str).collect();
+        show(&format!("seq{} ({} passes)", seq.id, names.len()), &names);
+    }
+
+    println!("\n--- the -O3 form, printed ---");
+    let mut opt = base.clone();
+    run_sequence(&mut opt, &o3_sequence()).unwrap();
+    println!("{}", print_module(&opt));
+}

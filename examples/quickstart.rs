@@ -1,0 +1,83 @@
+//! Quickstart: the paper's pipeline on one region, end to end.
+//!
+//! ```text
+//! cargo run --release -p irnuma-core --example quickstart
+//! ```
+//!
+//! Builds the 56-region dataset for Skylake (steps A–C), trains the static
+//! RGCN model on 9 of 10 folds (step D), and predicts a NUMA/prefetcher
+//! configuration for a held-out region — comparing it against the default,
+//! the dynamic baseline, and full exploration.
+
+use irnuma_core::dataset::{build_dataset, DatasetParams};
+use irnuma_core::models::static_gnn::StaticParams;
+use irnuma_core::models::{DynamicModel, StaticModel};
+use irnuma_ml::kfold;
+use irnuma_sim::MicroArch;
+
+fn main() {
+    println!("irnuma quickstart — static NUMA/prefetch tuning from IR graphs\n");
+
+    // Steps A–C: flag-sequence augmentation, region graphs, configuration
+    // sweep, 13-label reduction. (Scaled down from the paper's 1000
+    // sequences so the example runs in seconds.)
+    let params = DatasetParams { num_sequences: 12, calls: 4, ..Default::default() };
+    println!("building dataset (56 regions × {} flag sequences)…", params.num_sequences);
+    let ds = build_dataset(MicroArch::Skylake, &params);
+    println!(
+        "  machine: Skylake ({} configs), label set: {} configs covering {:.1}% of full-space gains\n",
+        ds.configs.len(),
+        ds.chosen_configs.len(),
+        ds.label_coverage() * 100.0
+    );
+
+    // Step D: train the static model on folds 1..10, hold out fold 0.
+    let folds = kfold(ds.regions.len(), 10, 7);
+    let train: Vec<usize> = irnuma_ml::cv::train_indices(&folds, 0);
+    println!("training the RGCN static model on {} regions…", train.len());
+    let sm = StaticModel::train(
+        &ds,
+        &train,
+        StaticParams { epochs: 10, train_sequences: 6, ..Default::default() },
+    );
+    println!(
+        "  explored flag sequence: seq{} ({} passes)\n",
+        sm.explored_seq,
+        ds.sequences[sm.explored_seq].passes.len()
+    );
+    let dm = DynamicModel::train(&ds, &train);
+
+    // Predict every held-out region.
+    println!(
+        "{:<28} {:>10} {:>10} {:>10} {:>10}",
+        "held-out region", "default", "static", "dynamic", "best"
+    );
+    for &r in &folds[0] {
+        let static_label = sm.predict(&ds, r);
+        let dynamic_label = dm.predict(&ds, r);
+        let reg = &ds.regions[r];
+        println!(
+            "{:<28} {:>8.3}ms {:>8.3}ms {:>8.3}ms {:>8.3}ms",
+            reg.spec.name,
+            reg.default_time * 1e3,
+            ds.label_time(r, static_label) * 1e3,
+            ds.label_time(r, dynamic_label) * 1e3,
+            reg.full_best_time() * 1e3,
+        );
+    }
+
+    let speedup = |pick: &dyn Fn(usize) -> f64| {
+        folds[0]
+            .iter()
+            .map(|&r| ds.regions[r].default_time / pick(r))
+            .sum::<f64>()
+            / folds[0].len() as f64
+    };
+    let s_static = speedup(&|r| ds.label_time(r, sm.predict(&ds, r)));
+    let s_dynamic = speedup(&|r| ds.label_time(r, dm.predict(&ds, r)));
+    let s_full = speedup(&|r| ds.regions[r].full_best_time());
+    println!(
+        "\nmean speedup on held-out fold: static {s_static:.2}x · dynamic {s_dynamic:.2}x · full exploration {s_full:.2}x"
+    );
+    println!("(the paper's headline: static reaches ~80% of the dynamic gains, no profiling needed)");
+}

@@ -1,0 +1,72 @@
+//! Cross-crate dataset invariants: steps A–C glue every substrate together
+//! (workloads → passes → extraction → graphs; simulator → sweep → labels).
+
+use irnuma_core::dataset::{build_dataset, DatasetParams};
+use irnuma_sim::{default_config, MicroArch};
+
+fn tiny() -> DatasetParams {
+    DatasetParams { num_sequences: 3, calls: 2, ..Default::default() }
+}
+
+#[test]
+fn graphs_differ_across_flag_sequences_for_most_regions() {
+    let ds = build_dataset(MicroArch::Skylake, &tiny());
+    let mut with_distinct = 0;
+    for r in &ds.regions {
+        let mut forms = std::collections::HashSet::new();
+        for g in &r.graphs {
+            forms.insert((g.num_nodes(), g.num_edges(), g.node_text.clone()));
+        }
+        if forms.len() > 1 {
+            with_distinct += 1;
+        }
+    }
+    assert!(
+        with_distinct > 56 / 2,
+        "augmentation must produce distinct graph forms: {with_distinct}/56"
+    );
+}
+
+#[test]
+fn sweep_contains_the_default_and_label_times_are_consistent() {
+    let ds = build_dataset(MicroArch::SandyBridge, &tiny());
+    let def = default_config(&ds.machine);
+    let def_idx = ds.configs.iter().position(|c| *c == def).unwrap();
+    for (r, reg) in ds.regions.iter().enumerate() {
+        assert_eq!(reg.sweep[def_idx], reg.default_time);
+        // The region's label is the argmin over the chosen configs.
+        let label = ds.labels[r];
+        for l in 0..ds.chosen_configs.len() {
+            assert!(
+                ds.label_time(r, label) <= ds.label_time(r, l) + 1e-12,
+                "{}: label {label} beaten by {l}",
+                reg.spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn dynamic_features_are_the_papers_two_counters() {
+    let ds = build_dataset(MicroArch::Skylake, &tiny());
+    for reg in &ds.regions {
+        assert_eq!(reg.dynamic_features.len(), 2, "package power + L3 miss ratio");
+        let power = reg.dynamic_features[0];
+        let miss = reg.dynamic_features[1];
+        assert!(power > 50.0 && power < 1000.0, "{}: power {power}", reg.spec.name);
+        assert!((0.0..=1.0).contains(&miss), "{}: miss {miss}", reg.spec.name);
+    }
+}
+
+#[test]
+fn graph_population_is_nontrivial() {
+    let ds = build_dataset(MicroArch::Skylake, &tiny());
+    let total_nodes: usize = ds.regions.iter().flat_map(|r| &r.graphs).map(|g| g.num_nodes()).sum();
+    let total_graphs: usize = ds.regions.iter().map(|r| r.graphs.len()).sum();
+    assert_eq!(total_graphs, 56 * 3);
+    assert!(
+        total_nodes / total_graphs >= 40,
+        "graphs average ≥40 nodes, got {}",
+        total_nodes / total_graphs
+    );
+}

@@ -1,0 +1,140 @@
+//! Quantitative shape claims from the paper, checked at a reduced scale
+//! that still leaves the mechanisms intact. Thresholds are deliberately
+//! looser than the standard-scale results recorded in EXPERIMENTS.md
+//! (`cargo run -p irnuma-bench --release --bin figures -- all`), because
+//! the test-scale GNN is small; what is asserted here is the *ordering*
+//! structure the paper reports, not the exact magnitudes.
+
+use irnuma_core::dataset::{build_dataset, DatasetParams};
+use irnuma_core::evaluation::{evaluate, PipelineConfig};
+use irnuma_sim::MicroArch;
+use std::sync::OnceLock;
+
+fn eval_skl() -> &'static irnuma_core::evaluation::Evaluation {
+    static E: OnceLock<irnuma_core::evaluation::Evaluation> = OnceLock::new();
+    E.get_or_init(|| {
+        let mut cfg = PipelineConfig::fast(MicroArch::Skylake);
+        // Slightly above the smoke scale: enough for the orderings to hold.
+        cfg.dataset.num_sequences = 6;
+        cfg.static_params.epochs = 8;
+        cfg.static_params.train_sequences = 3;
+        evaluate(&cfg)
+    })
+}
+
+/// §II-C: the 13-configuration label set retains ~99% of the full space.
+#[test]
+fn claim_13_labels_cover_99_percent() {
+    for arch in [MicroArch::Skylake, MicroArch::SandyBridge] {
+        let ds = build_dataset(arch, &DatasetParams { num_sequences: 2, calls: 3, ..Default::default() });
+        let cov = ds.label_coverage();
+        assert!(cov > 0.97, "{arch:?}: coverage {cov}");
+    }
+}
+
+/// §II-C: full exploration beats the optimized default by a wide margin.
+#[test]
+fn claim_full_exploration_gains() {
+    let e = eval_skl();
+    let full = e.full_exploration_speedup();
+    assert!(full > 1.5, "Skylake full-space speedup {full}");
+}
+
+/// §IV-B: the static model recovers a large share of the dynamic model's
+/// gains without any profiling (paper: ~80%; ordering asserted here).
+#[test]
+fn claim_static_recovers_most_dynamic_gains() {
+    let e = eval_skl();
+    let s = e.static_speedup();
+    let d = e.dynamic_speedup();
+    assert!(s > 1.0, "static helps at all: {s}");
+    let ratio = (s - 1.0) / (d - 1.0).max(1e-9);
+    assert!(ratio > 0.5, "static gains are a substantial share of dynamic: {ratio:.2}");
+}
+
+/// §IV-F: the hybrid model approaches the dynamic model's gains while
+/// saving profiling runs. At this reduced test scale the static model is
+/// deliberately weak, so the honest router profiles *more* than the
+/// standard-scale 30% (EXPERIMENTS.md records 30% at standard scale) —
+/// asserted here: the router saves some profiling, and routing never
+/// costs meaningful performance.
+#[test]
+fn claim_hybrid_profiles_a_minority() {
+    let e = eval_skl();
+    let frac = e.profiled_fraction();
+    assert!(frac < 0.9, "the router saves some profiling: {frac}");
+    let h = e.hybrid_speedup();
+    let d = e.dynamic_speedup();
+    let s = e.static_speedup();
+    assert!(
+        h > 1.0 && h > d.min(s) * 0.95,
+        "hybrid at least as good as its weaker constituent: hybrid {h:.2}, static {s:.2}, dynamic {d:.2}"
+    );
+}
+
+/// §IV-B / Fig. 3: a large fraction of regions is (near-)perfectly
+/// optimized statically.
+#[test]
+fn claim_many_regions_perfect_statically() {
+    let e = eval_skl();
+    let perfect = e.outcomes.iter().filter(|o| o.static_error < 0.05).count();
+    assert!(perfect >= 20, "{perfect}/56 near-perfect (paper: ~half)");
+}
+
+/// Fig. 5: flag-sequence choice matters — gains vary across sequences.
+#[test]
+fn claim_flag_sequences_matter() {
+    let e = eval_skl();
+    let gains = irnuma_core::experiments::fig5::per_seq_gains(e);
+    let max = gains.iter().cloned().fold(f64::MIN, f64::max);
+    let min = gains.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(max > min, "sequence choice changes the outcome: {min:.3}..{max:.3}");
+}
+
+/// §IV-E: tuning on size-2 and deploying on size-1 loses a little, not a
+/// lot (paper: 1.51× → 1.46×).
+#[test]
+fn claim_input_size_transfer_loses_little() {
+    let f = irnuma_core::experiments::fig10::run(3);
+    assert!(f.mean_loss >= 0.0);
+    assert!(
+        f.mean_loss < 0.35 * (f.mean_native - 1.0).max(0.1),
+        "transfer keeps most gains: native {:.2} transferred {:.2}",
+        f.mean_native,
+        f.mean_transferred
+    );
+}
+
+/// §IV-D: translated cross-architecture configurations still help.
+#[test]
+fn claim_cross_architecture_translation_helps() {
+    // Oracle-level check (model-free): translate each region's Sandy Bridge
+    // best config to Skylake; the result must keep a real share of the
+    // native Skylake gains.
+    use irnuma_sim::{translate_config, Machine};
+    let p = DatasetParams { num_sequences: 2, calls: 3, ..Default::default() };
+    let snb = build_dataset(MicroArch::SandyBridge, &p);
+    let skl = build_dataset(MicroArch::Skylake, &p);
+    let (ma, mb) = (Machine::new(MicroArch::SandyBridge), Machine::new(MicroArch::Skylake));
+    let mut cross = 0.0;
+    let mut native = 0.0;
+    for r in 0..56 {
+        let best_idx = snb.regions[r]
+            .sweep
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        let t = translate_config(&snb.configs[best_idx], &ma, &mb);
+        let idx = skl.configs.iter().position(|c| *c == t).unwrap();
+        cross += skl.regions[r].default_time / skl.regions[r].sweep[idx];
+        native += skl.regions[r].default_time / skl.regions[r].full_best_time();
+    }
+    let (cross, native) = (cross / 56.0, native / 56.0);
+    assert!(cross > 1.0, "translation must not hurt on average: {cross:.2}");
+    assert!(
+        cross > 1.0 + 0.5 * (native - 1.0),
+        "translation keeps >50% of native gains: cross {cross:.2} native {native:.2}"
+    );
+}

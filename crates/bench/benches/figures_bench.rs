@@ -41,9 +41,7 @@ fn bench_fold(c: &mut Criterion) {
             )
         })
     });
-    g.bench_function("train_dynamic_one_fold", |b| {
-        b.iter(|| DynamicModel::train(&ds, &train))
-    });
+    g.bench_function("train_dynamic_one_fold", |b| b.iter(|| DynamicModel::train(&ds, &train)));
     g.finish();
 }
 

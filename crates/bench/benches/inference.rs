@@ -1,0 +1,111 @@
+//! The RGCN inference hot path at paper width (hidden = 256): tape-based
+//! forward (the old `predict` path) vs the tape-free engine, per graph and
+//! batched. Medians land in `BENCH_inference.json` at the repo root,
+//! including the headline `speedup_batch_vs_tape` ratio.
+
+use criterion::{black_box, Criterion};
+use irnuma_graph::{build_module_graph, Vocab};
+use irnuma_ir::extract::extract_region;
+use irnuma_nn::{GnnConfig, GnnModel, GraphData, Scratch};
+use irnuma_workloads::all_regions;
+
+fn region_graphs(vocab: &Vocab, count: usize) -> Vec<GraphData> {
+    all_regions()
+        .iter()
+        .take(count)
+        .map(|spec| {
+            let m = spec.module();
+            let e = extract_region(&m, &spec.region_fn()).unwrap();
+            GraphData::from_graph(&build_module_graph(&e, vocab))
+        })
+        .collect()
+}
+
+/// The pre-engine prediction path: full autograd tape per graph.
+fn tape_predict(model: &GnnModel, g: &GraphData) -> usize {
+    let f = model.forward(g);
+    let l = f.tape.value(f.logits);
+    l.data.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap()
+}
+
+/// What downstream callers actually paid per region before the engine:
+/// `predict` + `embedding` + `embedding_with_confidence`, each a separate
+/// tape forward (label, flag-model features, router features).
+fn tape_triple_forward(model: &GnnModel, g: &GraphData) -> (usize, Vec<f32>, Vec<f32>) {
+    let label = tape_predict(model, g);
+    let fe = model.forward(g);
+    let pooled = fe.tape.value(fe.pooled).data.clone();
+    let f = model.forward(g);
+    let logits = f.tape.value(f.logits);
+    let mut features = f.tape.value(f.pooled).data.clone();
+    let max = logits.data.iter().cloned().fold(f32::MIN, f32::max);
+    let exps: Vec<f32> = logits.data.iter().map(|v| (v - max).exp()).collect();
+    let z: f32 = exps.iter().sum();
+    let probs: Vec<f32> = exps.iter().map(|e| e / z).collect();
+    let mut sorted = probs.clone();
+    sorted.sort_by(|a, b| b.total_cmp(a));
+    features.extend_from_slice(&probs);
+    features.push(sorted[0] - sorted.get(1).copied().unwrap_or(0.0));
+    (label, pooled, features)
+}
+
+fn main() {
+    let vocab = Vocab::full();
+    let graphs = region_graphs(&vocab, 8);
+    let model = GnnModel::new(GnnConfig {
+        vocab_size: vocab.len(),
+        hidden: 256,
+        classes: 13,
+        layers: 2,
+        seed: 1,
+    });
+
+    let mut c = Criterion::default().configure_from_args();
+    {
+        let mut grp = c.benchmark_group("inference");
+        grp.sample_size(10);
+        grp.bench_function("tape_triple_forward_loop_8_graphs_h256", |b| {
+            b.iter(|| {
+                graphs.iter().map(|g| tape_triple_forward(&model, black_box(g)).0).sum::<usize>()
+            })
+        });
+        grp.bench_function("tape_single_forward_loop_8_graphs_h256", |b| {
+            b.iter(|| graphs.iter().map(|g| tape_predict(&model, black_box(g))).sum::<usize>())
+        });
+        grp.bench_function("infer_serial_loop_8_graphs_h256", |b| {
+            let mut scratch = Scratch::new();
+            b.iter(|| {
+                graphs
+                    .iter()
+                    .map(|g| model.infer_with(black_box(g), &mut scratch).label())
+                    .sum::<usize>()
+            })
+        });
+        grp.bench_function("infer_batch_8_graphs_h256", |b| {
+            b.iter(|| model.infer_batch(black_box(&graphs)).len())
+        });
+        grp.finish();
+    }
+
+    let medians = c.medians().to_vec();
+    let get = |id: &str| {
+        medians.iter().find(|(k, _)| k == id).map(|&(_, v)| v).expect("bench id present")
+    };
+    let triple = get("inference/tape_triple_forward_loop_8_graphs_h256");
+    let single = get("inference/tape_single_forward_loop_8_graphs_h256");
+    let serial = get("inference/infer_serial_loop_8_graphs_h256");
+    let batch = get("inference/infer_batch_8_graphs_h256");
+
+    let mut entries = medians.clone();
+    entries.push(("inference/speedup_batch_vs_tape_triple".into(), triple / batch));
+    entries.push(("inference/speedup_batch_vs_tape_single".into(), single / batch));
+    entries.push(("inference/speedup_serial_vs_tape_single".into(), single / serial));
+    let path = irnuma_bench::write_bench_json("inference", &entries).expect("write bench json");
+    println!(
+        "speedup vs triple-forward {:.2}x, vs single forward {:.2}x (serial {:.2}x) -> {}",
+        triple / batch,
+        single / batch,
+        single / serial,
+        path.display()
+    );
+}

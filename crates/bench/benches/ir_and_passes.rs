@@ -7,11 +7,7 @@ use irnuma_passes::{o3_sequence, sample_sequences, PassManager, SampleParams};
 use irnuma_workloads::all_regions;
 
 fn region_module(name: &str) -> irnuma_ir::Module {
-    all_regions()
-        .into_iter()
-        .find(|r| r.name == name)
-        .expect("region exists")
-        .module()
+    all_regions().into_iter().find(|r| r.name == name).expect("region exists").module()
 }
 
 fn bench_print_parse(c: &mut Criterion) {
@@ -27,7 +23,9 @@ fn bench_passes(c: &mut Criterion) {
     let m = region_module("lulesh.calc_fb");
     let pm = PassManager::new(false);
     let mut g = c.benchmark_group("passes");
-    for pass in ["dce", "constprop", "gvn", "instcombine", "simplifycfg", "licm", "loop-unroll", "inline"] {
+    for pass in
+        ["dce", "constprop", "gvn", "instcombine", "simplifycfg", "licm", "loop-unroll", "inline"]
+    {
         g.bench_function(pass, |b| {
             b.iter_batched(
                 || m.clone(),

@@ -2,7 +2,9 @@
 //! sweeps (288/320 configurations), and the exhaustive best search.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use irnuma_sim::{config_space, default_config, exhaustive_best, simulate, sweep_region, Machine, MicroArch};
+use irnuma_sim::{
+    config_space, default_config, exhaustive_best, simulate, sweep_region, Machine, MicroArch,
+};
 use irnuma_workloads::{all_regions, InputSize};
 
 fn bench_simulate(c: &mut Criterion) {
@@ -10,7 +12,9 @@ fn bench_simulate(c: &mut Criterion) {
     let cfg = default_config(&m);
     let r = all_regions().into_iter().find(|r| r.name == "cg.spmv").unwrap();
     c.bench_function("sim/one_call", |b| {
-        b.iter(|| simulate(&r.name, &r.profile, &m, std::hint::black_box(&cfg), InputSize::Size1, 0))
+        b.iter(|| {
+            simulate(&r.name, &r.profile, &m, std::hint::black_box(&cfg), InputSize::Size1, 0)
+        })
     });
 }
 

@@ -9,9 +9,9 @@
 //! ```
 
 use irnuma_bench::{paper_scale_config, smoke_config, standard_config};
+use irnuma_core::dataset::build_dataset;
 use irnuma_core::evaluation::{evaluate, evaluate_on, Evaluation, PipelineConfig};
 use irnuma_core::experiments::*;
-use irnuma_core::dataset::build_dataset;
 use irnuma_sim::MicroArch;
 use std::collections::HashSet;
 use std::path::Path;
@@ -85,7 +85,9 @@ fn main() {
     let out_dir = Path::new("results");
     let want = |f: &str| {
         let extension = matches!(f, "ablations" | "input-sensitivity" | "cost-comparison");
-        args.figs.contains(f) || (!extension && args.figs.contains("all")) || args.figs.contains("everything")
+        args.figs.contains(f)
+            || (!extension && args.figs.contains("all"))
+            || args.figs.contains("everything")
     };
 
     let t0 = Instant::now();
@@ -171,7 +173,10 @@ fn main() {
         eprintln!("[figures] input-sensitivity extension (Xeon Gold)…");
         let cfg = config_for(&args, MicroArch::Skylake);
         let ds = build_dataset(MicroArch::Skylake, &cfg.dataset);
-        emit(input_sensitivity::run(&ds, cfg.static_params, 0.05, if args.smoke { 3 } else { 8 }).report());
+        emit(
+            input_sensitivity::run(&ds, cfg.static_params, 0.05, if args.smoke { 3 } else { 8 })
+                .report(),
+        );
     }
 
     if want("summary") {
@@ -182,16 +187,62 @@ fn main() {
         );
         let (s, b) = (skl.as_ref().unwrap(), snb.as_ref().unwrap());
         let f = |v: f64| format!("{v:.3}");
-        r.push_row(vec!["full_exploration_speedup".into(), f(s.full_exploration_speedup()), f(b.full_exploration_speedup()), ">2x (avg)".into()]);
-        r.push_row(vec!["label_set_coverage".into(), f(s.dataset.label_coverage()), f(b.dataset.label_coverage()), "~99%".into()]);
-        r.push_row(vec!["static_speedup".into(), f(s.static_speedup()), f(b.static_speedup()), "~80% of dynamic".into()]);
-        r.push_row(vec!["dynamic_speedup".into(), f(s.dynamic_speedup()), f(b.dynamic_speedup()), "reference".into()]);
-        let ratio = |e: &Evaluation| (e.static_speedup() - 1.0) / (e.dynamic_speedup() - 1.0).max(1e-9);
-        r.push_row(vec!["static/dynamic gain ratio".into(), f(ratio(s)), f(ratio(b)), "~0.8".into()]);
-        r.push_row(vec!["hybrid_speedup".into(), f(s.hybrid_speedup()), f(b.hybrid_speedup()), "~dynamic".into()]);
-        r.push_row(vec!["profiled_fraction".into(), f(s.profiled_fraction()), f(b.profiled_fraction()), "~30%".into()]);
-        r.push_row(vec!["router_accuracy".into(), f(s.route_accuracy()), f(b.route_accuracy()), "~92%".into()]);
-        r.push_row(vec!["static_label_accuracy".into(), f(s.static_label_accuracy()), f(b.static_label_accuracy()), "(13 labels)".into()]);
+        r.push_row(vec![
+            "full_exploration_speedup".into(),
+            f(s.full_exploration_speedup()),
+            f(b.full_exploration_speedup()),
+            ">2x (avg)".into(),
+        ]);
+        r.push_row(vec![
+            "label_set_coverage".into(),
+            f(s.dataset.label_coverage()),
+            f(b.dataset.label_coverage()),
+            "~99%".into(),
+        ]);
+        r.push_row(vec![
+            "static_speedup".into(),
+            f(s.static_speedup()),
+            f(b.static_speedup()),
+            "~80% of dynamic".into(),
+        ]);
+        r.push_row(vec![
+            "dynamic_speedup".into(),
+            f(s.dynamic_speedup()),
+            f(b.dynamic_speedup()),
+            "reference".into(),
+        ]);
+        let ratio =
+            |e: &Evaluation| (e.static_speedup() - 1.0) / (e.dynamic_speedup() - 1.0).max(1e-9);
+        r.push_row(vec![
+            "static/dynamic gain ratio".into(),
+            f(ratio(s)),
+            f(ratio(b)),
+            "~0.8".into(),
+        ]);
+        r.push_row(vec![
+            "hybrid_speedup".into(),
+            f(s.hybrid_speedup()),
+            f(b.hybrid_speedup()),
+            "~dynamic".into(),
+        ]);
+        r.push_row(vec![
+            "profiled_fraction".into(),
+            f(s.profiled_fraction()),
+            f(b.profiled_fraction()),
+            "~30%".into(),
+        ]);
+        r.push_row(vec![
+            "router_accuracy".into(),
+            f(s.route_accuracy()),
+            f(b.route_accuracy()),
+            "~92%".into(),
+        ]);
+        r.push_row(vec![
+            "static_label_accuracy".into(),
+            f(s.static_label_accuracy()),
+            f(b.static_label_accuracy()),
+            "(13 labels)".into(),
+        ]);
         emit(r);
     }
 

@@ -38,10 +38,7 @@ fn main() {
             }
         }
         let count = needs.iter().filter(|&&n| n).count();
-        println!(
-            "seed {seed}: needs={count}/56, label acc={:.2}",
-            correct as f64 / 56.0
-        );
+        println!("seed {seed}: needs={count}/56, label acc={:.2}", correct as f64 / 56.0);
         sets.push(needs);
     }
     // Pairwise overlap.
@@ -55,7 +52,12 @@ fn main() {
     println!("always-needs regions:");
     for r in 0..ds.regions.len() {
         if sets.iter().all(|s| s[r]) {
-            println!("  {} (dyn_sens={:.2}, shape={:?})", ds.regions[r].spec.name, ds.regions[r].spec.profile.dynamic_sensitivity, ds.regions[r].spec.shape);
+            println!(
+                "  {} (dyn_sens={:.2}, shape={:?})",
+                ds.regions[r].spec.name,
+                ds.regions[r].spec.profile.dynamic_sensitivity,
+                ds.regions[r].spec.shape
+            );
         }
     }
     println!("sometimes-needs regions:");

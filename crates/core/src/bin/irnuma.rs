@@ -71,10 +71,7 @@ fn find_region(name: &str) -> Result<RegionSpec, String> {
 }
 
 fn opt_value<'a>(rest: &'a [String], flag: &str) -> Option<&'a str> {
-    rest.iter()
-        .position(|a| a == flag)
-        .and_then(|i| rest.get(i + 1))
-        .map(String::as_str)
+    rest.iter().position(|a| a == flag).and_then(|i| rest.get(i + 1)).map(String::as_str)
 }
 
 fn parse_arch(rest: &[String]) -> Result<MicroArch, String> {
@@ -192,7 +189,8 @@ fn interp(rest: &[String]) -> Result<(), String> {
 
 fn dataset(rest: &[String]) -> Result<(), String> {
     let arch = parse_arch(rest)?;
-    let seqs: usize = opt_value(rest, "--seqs").unwrap_or("12").parse().map_err(|_| "bad --seqs")?;
+    let seqs: usize =
+        opt_value(rest, "--seqs").unwrap_or("12").parse().map_err(|_| "bad --seqs")?;
     let out = opt_value(rest, "--out").ok_or("missing --out <file.json>")?;
     eprintln!("building dataset for {arch:?} ({seqs} sequences)…");
     let ds = build_dataset(arch, &DatasetParams { num_sequences: seqs, ..Default::default() });

@@ -3,8 +3,8 @@
 //! hybrid router, and flag model on 9 folds and scoring the held-out fold.
 
 use crate::dataset::{build_dataset, Dataset, DatasetParams};
-use crate::models::hybrid::{static_needs_profiling, HybridParams};
 use crate::models::flags::FlagParams;
+use crate::models::hybrid::{static_needs_profiling, HybridParams};
 use crate::models::{DynamicModel, FlagModel, HybridModel, StaticModel, StaticParams};
 use irnuma_ml::{kfold, relative_difference};
 use irnuma_sim::MicroArch;
@@ -130,10 +130,7 @@ pub struct Evaluation {
 
 impl Evaluation {
     pub fn mean_speedup(&self, pick: impl Fn(&RegionOutcome) -> f64) -> f64 {
-        self.outcomes
-            .iter()
-            .map(|o| o.default_time / pick(o))
-            .sum::<f64>()
+        self.outcomes.iter().map(|o| o.default_time / pick(o)).sum::<f64>()
             / self.outcomes.len() as f64
     }
 
@@ -201,17 +198,13 @@ pub fn evaluate_on(cfg: &PipelineConfig, dataset: Dataset) -> Evaluation {
             let static_time = dataset.label_time(r, static_label);
             let dynamic_label = dm.predict(&dataset, r);
             let dynamic_time = dataset.label_time(r, dynamic_label);
-            let route_dyn = hm
-                .as_ref()
-                .map(|h| h.route_to_dynamic(&dataset, &sm, r))
-                .unwrap_or(false);
+            let route_dyn =
+                hm.as_ref().map(|h| h.route_to_dynamic(&dataset, &sm, r)).unwrap_or(false);
             let hybrid_time = if route_dyn { dynamic_time } else { static_time };
             let needs = static_needs_profiling(&dataset, &sm, r, cfg.hybrid.error_threshold);
             let full = dataset.regions[r].full_best_time();
-            let pseq = fm
-                .as_ref()
-                .map(|f| f.predict_seq(&dataset, &sm, r))
-                .unwrap_or(sm.explored_seq);
+            let pseq =
+                fm.as_ref().map(|f| f.predict_seq(&dataset, &sm, r)).unwrap_or(sm.explored_seq);
             let plabel = sm.predict_with_seq(&dataset, r, pseq);
 
             outcomes[r] = Some(RegionOutcome {
@@ -235,12 +228,15 @@ pub fn evaluate_on(cfg: &PipelineConfig, dataset: Dataset) -> Evaluation {
                 predicted_seq_time: dataset.label_time(r, plabel),
             });
 
-            // Per-sequence prediction times (validation view).
-            pred_time_by_seq[r] = (0..dataset.sequences.len())
-                .map(|s| {
-                    let l = sm.predict_with_seq(&dataset, r, s);
-                    dataset.label_time(r, l)
-                })
+            // Per-sequence prediction times (validation view): the region's
+            // graphs are sequence-ordered, so one batched inference pass
+            // covers every sequence.
+            pred_time_by_seq[r] = sm
+                .clf
+                .model
+                .infer_batch(&dataset.regions[r].graphs)
+                .iter()
+                .map(|o| dataset.label_time(r, o.label()))
                 .collect();
         }
 

@@ -38,15 +38,18 @@ struct RelationMask {
 }
 
 fn mask_graph(g: &GraphData, m: RelationMask) -> GraphData {
-    let mut out = g.clone();
+    // Rebuilt via `from_parts` (not clone-and-mutate) so the masked graph
+    // starts with a fresh CSR adjacency cache.
     let keep = [m.control, m.data, m.call];
+    let mut edges = g.edges.clone();
+    let mut norm = g.norm.clone();
     for (r, k) in keep.iter().enumerate() {
         if !k {
-            out.edges[r].clear();
-            out.norm[r].clear();
+            edges[r].clear();
+            norm[r].clear();
         }
     }
-    out
+    GraphData::from_parts(g.node_text.clone(), edges, norm)
 }
 
 /// Train/evaluate the static classifier under 3-fold CV with a graph
@@ -113,7 +116,11 @@ pub fn run(ds: &Dataset, base: StaticParams) -> Ablations {
     for (name, m) in variants {
         let t = move |g: &GraphData| mask_graph(g, m);
         let (acc, gain) = run_variant(ds, base, base.train_sequences, &t);
-        points.push(AblationPoint { name: format!("relations/{name}"), label_accuracy: acc, mean_speedup: gain });
+        points.push(AblationPoint {
+            name: format!("relations/{name}"),
+            label_accuracy: acc,
+            mean_speedup: gain,
+        });
     }
 
     // Augmentation ablation: 1 sequence vs the configured count.
@@ -159,7 +166,9 @@ impl Ablations {
         }
         if let (Some(one), Some(many)) = (
             self.points.iter().find(|p| p.name == "augmentation/1-seqs"),
-            self.points.iter().find(|p| p.name.starts_with("augmentation/") && p.name != "augmentation/1-seqs"),
+            self.points
+                .iter()
+                .find(|p| p.name.starts_with("augmentation/") && p.name != "augmentation/1-seqs"),
         ) {
             r.note(format!(
                 "augmentation {} → {}: accuracy {:.2} → {:.2} (the paper's step A in isolation)",

@@ -42,7 +42,9 @@ pub fn run(calls: u32) -> Fig10 {
                     .iter()
                     .map(|c| {
                         (0..calls)
-                            .map(|k| irnuma_sim::simulate(&r.name, &r.profile, &m, c, size, k).seconds)
+                            .map(|k| {
+                                irnuma_sim::simulate(&r.name, &r.profile, &m, c, size, k).seconds
+                            })
                             .sum::<f64>()
                             / calls as f64
                     })
@@ -51,11 +53,7 @@ pub fn run(calls: u32) -> Fig10 {
             let s1 = sweep(InputSize::Size1);
             let s2 = sweep(InputSize::Size2);
             let best_idx = |v: &[f64]| {
-                v.iter()
-                    .enumerate()
-                    .min_by(|a, b| a.1.total_cmp(b.1))
-                    .map(|(i, _)| i)
-                    .unwrap()
+                v.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap()
             };
             let b1 = best_idx(&s1);
             let b2 = best_idx(&s2);

@@ -48,11 +48,8 @@ pub fn run(eval: &Evaluation, worst: usize, calls: u32) -> Fig12 {
         .map(|o| (o, variation_of(&o.name)))
         .collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(b.0.static_error.total_cmp(&a.0.static_error)));
-    let mut names: Vec<(String, bool)> = ranked
-        .iter()
-        .take(worst)
-        .map(|(o, _)| (o.name.clone(), true))
-        .collect();
+    let mut names: Vec<(String, bool)> =
+        ranked.iter().take(worst).map(|(o, _)| (o.name.clone(), true)).collect();
     // SP reference (stable region), as in the paper.
     let sp = "sp.compute_rhs";
     if !names.iter().any(|(n, _)| n == sp) {
@@ -75,7 +72,8 @@ pub fn run(eval: &Evaluation, worst: usize, calls: u32) -> Fig12 {
 
 impl Fig12 {
     pub fn report(&self) -> FigureReport {
-        let mut cols: Vec<String> = vec!["region".into(), "mispredicted".into(), "variation".into()];
+        let mut cols: Vec<String> =
+            vec!["region".into(), "mispredicted".into(), "variation".into()];
         for c in 0..self.calls {
             cols.push(format!("call{c}"));
         }
@@ -86,16 +84,14 @@ impl Fig12 {
             &col_refs,
         );
         for t in &self.traces {
-            let mut row = vec![
-                t.region.clone(),
-                t.mispredicted.to_string(),
-                format!("{:.2}", t.variation),
-            ];
+            let mut row =
+                vec![t.region.clone(), t.mispredicted.to_string(), format!("{:.2}", t.variation)];
             row.extend(t.cycles_per_call.iter().map(|c| format!("{c:.0}")));
             r.push_row(row);
         }
         let avg_mis: f64 = mean(self.traces.iter().filter(|t| t.mispredicted).map(|t| t.variation));
-        let avg_stable: f64 = mean(self.traces.iter().filter(|t| !t.mispredicted).map(|t| t.variation));
+        let avg_stable: f64 =
+            mean(self.traces.iter().filter(|t| !t.mispredicted).map(|t| t.variation));
         r.note(format!(
             "mispredicted regions vary {avg_mis:.2}x across calls vs {avg_stable:.2}x for the stable reference (paper: phase changes only in mispredicted regions)"
         ));

@@ -36,10 +36,7 @@ pub fn run(eval: &Evaluation) -> Fig3 {
     // Paper layout: worst static errors on the left, perfect on the right.
     rows.sort_by(|a, b| b.static_error.total_cmp(&a.static_error));
     let perfect = rows.iter().filter(|r| r.static_error < 0.02).count();
-    let beats = rows
-        .iter()
-        .filter(|r| r.static_error + 1e-9 < r.dynamic_error)
-        .count();
+    let beats = rows.iter().filter(|r| r.static_error + 1e-9 < r.dynamic_error).count();
     Fig3 {
         perfect_static_fraction: perfect as f64 / rows.len() as f64,
         static_beats_dynamic: beats,

@@ -21,17 +21,11 @@ pub fn run(eval: &Evaluation) -> Fig4 {
         sums[o.fold] += o.static_error;
         counts[o.fold] += 1;
     }
-    let fold_errors: Vec<f64> = sums
-        .iter()
-        .zip(&counts)
-        .map(|(s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
-        .collect();
+    let fold_errors: Vec<f64> =
+        sums.iter().zip(&counts).map(|(s, &c)| if c == 0 { 0.0 } else { s / c as f64 }).collect();
     let max = fold_errors.iter().cloned().fold(0.0, f64::max);
-    let min_nonzero = fold_errors
-        .iter()
-        .cloned()
-        .filter(|&v| v > 0.0)
-        .fold(f64::INFINITY, f64::min);
+    let min_nonzero =
+        fold_errors.iter().cloned().filter(|&v| v > 0.0).fold(f64::INFINITY, f64::min);
     Fig4 {
         max_over_min_spread: if min_nonzero.is_finite() { max / min_nonzero } else { 1.0 },
         fold_errors,

@@ -31,13 +31,8 @@ pub fn per_seq_gains(eval: &Evaluation) -> Vec<f64> {
 pub fn run(skylake: &Evaluation, sandy_bridge: &Evaluation) -> Fig5 {
     let skl = per_seq_gains(skylake);
     let snb = per_seq_gains(sandy_bridge);
-    let best = |v: &[f64]| {
-        v.iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .unwrap()
-    };
+    let best =
+        |v: &[f64]| v.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap();
     Fig5 { best_seq_differs: best(&skl) != best(&snb), skylake: skl, sandy_bridge: snb }
 }
 

@@ -70,7 +70,14 @@ impl Fig6 {
         let mut r = FigureReport::new(
             "fig6",
             &format!("Gains and accuracy vs number of labels ({})", self.arch),
-            &["labels", "explored_gain", "overall_gain", "label_oracle", "full_exploration", "accuracy"],
+            &[
+                "labels",
+                "explored_gain",
+                "overall_gain",
+                "label_oracle",
+                "full_exploration",
+                "accuracy",
+            ],
         );
         for p in &self.points {
             r.push_row(vec![

@@ -21,9 +21,8 @@ pub struct Fig7 {
 
 pub fn run(eval: &Evaluation) -> Fig7 {
     let k = eval.dataset.chosen_configs.len();
-    let mut rows: Vec<Fig7Row> = (0..k)
-        .map(|l| Fig7Row { label: l, oracle: 0, predicted: 0, correct: 0 })
-        .collect();
+    let mut rows: Vec<Fig7Row> =
+        (0..k).map(|l| Fig7Row { label: l, oracle: 0, predicted: 0, correct: 0 }).collect();
     for o in &eval.outcomes {
         rows[o.oracle_label].oracle += 1;
         rows[o.static_label].predicted += 1;
@@ -49,12 +48,8 @@ impl Fig7 {
                 row.correct.to_string(),
             ]);
         }
-        let rare: Vec<usize> = self
-            .rows
-            .iter()
-            .filter(|x| x.oracle <= 2 && x.oracle > 0)
-            .map(|x| x.label)
-            .collect();
+        let rare: Vec<usize> =
+            self.rows.iter().filter(|x| x.oracle <= 2 && x.oracle > 0).map(|x| x.label).collect();
         r.note(format!(
             "rare labels {rare:?} have ≤2 oracle instances (paper: rare labels are hard to learn)"
         ));

@@ -39,9 +39,8 @@ fn cross_dynamic_gain(source: &Evaluation, target: &Evaluation) -> f64 {
     for o in &target.outcomes {
         let r = o.region;
         let fold = &source.folds[source.outcomes[r].fold];
-        let label = fold
-            .dynamic_model
-            .predict_features(&target.dataset.regions[r].dynamic_features);
+        let label =
+            fold.dynamic_model.predict_features(&target.dataset.regions[r].dynamic_features);
         total += gain_of_translated(source, target, r, label);
     }
     total / target.outcomes.len() as f64
@@ -107,9 +106,7 @@ impl Fig8 {
         }
         let mean_cross =
             self.arches.iter().map(|a| a.cross_static).sum::<f64>() / self.arches.len() as f64;
-        r.note(format!(
-            "mean cross static gain {mean_cross:.2}x (paper: ~1.7x)"
-        ));
+        r.note(format!("mean cross static gain {mean_cross:.2}x (paper: ~1.7x)"));
         for a in &self.arches {
             r.note(format!(
                 "{}: native static {:.2}x vs cross dynamic {:.2}x (paper: on par)",

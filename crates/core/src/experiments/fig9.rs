@@ -54,7 +54,14 @@ impl Fig9 {
         let mut r = FigureReport::new(
             "fig9",
             "Per-region gains: hybrid vs dynamic vs full exploration",
-            &["region", "dynamic_gain", "hybrid_gain", "full_exploration", "profiled", "route_wrong"],
+            &[
+                "region",
+                "dynamic_gain",
+                "hybrid_gain",
+                "full_exploration",
+                "profiled",
+                "route_wrong",
+            ],
         );
         for row in &self.rows {
             r.push_row(vec![
@@ -74,10 +81,7 @@ impl Fig9 {
             self.rows.len(),
             100.0 * self.profiled_count as f64 / self.rows.len() as f64
         ));
-        r.note(format!(
-            "router accuracy {:.0}% (paper: 92%)",
-            self.route_accuracy * 100.0
-        ));
+        r.note(format!("router accuracy {:.0}% (paper: 92%)", self.route_accuracy * 100.0));
         r
     }
 }

@@ -41,7 +41,9 @@ fn transfer_losses(ds: &Dataset, calls: u32) -> Vec<f64> {
                     .iter()
                     .map(|c| {
                         (0..calls)
-                            .map(|k| simulate(&r.spec.name, &r.spec.profile, &m, c, size, k).seconds)
+                            .map(|k| {
+                                simulate(&r.spec.name, &r.spec.profile, &m, c, size, k).seconds
+                            })
                             .sum::<f64>()
                             / calls as f64
                     })
@@ -50,11 +52,7 @@ fn transfer_losses(ds: &Dataset, calls: u32) -> Vec<f64> {
             let s1 = sweep(InputSize::Size1);
             let s2 = sweep(InputSize::Size2);
             let best = |v: &[f64]| {
-                v.iter()
-                    .enumerate()
-                    .min_by(|a, b| a.1.total_cmp(b.1))
-                    .map(|(i, _)| i)
-                    .unwrap()
+                v.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap()
             };
             let b1 = best(&s1);
             let b2 = best(&s2);
@@ -65,7 +63,12 @@ fn transfer_losses(ds: &Dataset, calls: u32) -> Vec<f64> {
 
 /// Train and evaluate the input-sensitivity predictor with k-fold CV over
 /// the regions, using the static model of each fold for embeddings.
-pub fn run(ds: &Dataset, sm_params: crate::models::static_gnn::StaticParams, threshold: f64, calls: u32) -> InputSensitivity {
+pub fn run(
+    ds: &Dataset,
+    sm_params: crate::models::static_gnn::StaticParams,
+    threshold: f64,
+    calls: u32,
+) -> InputSensitivity {
     let losses = transfer_losses(ds, calls);
     let truth: Vec<bool> = losses.iter().map(|&l| l > threshold).collect();
 
@@ -76,7 +79,8 @@ pub fn run(ds: &Dataset, sm_params: crate::models::static_gnn::StaticParams, thr
         let sm = StaticModel::train(ds, &train, sm_params);
         let x: Vec<Vec<f32>> = train.iter().map(|&r| sm.embedding(ds, r)).collect();
         let y: Vec<usize> = train.iter().map(|&r| truth[r] as usize).collect();
-        let tree = DecisionTree::fit(&x, &y, TreeParams { max_depth: Some(3), ..Default::default() });
+        let tree =
+            DecisionTree::fit(&x, &y, TreeParams { max_depth: Some(3), ..Default::default() });
         for &r in validation {
             let pred = tree.predict(&sm.embedding(ds, r)) == 1;
             if pred == truth[r] {

@@ -14,10 +14,8 @@ pub struct DynamicModel {
 impl DynamicModel {
     /// Train on the counters of the given training regions.
     pub fn train(ds: &Dataset, train_idx: &[usize]) -> DynamicModel {
-        let x: Vec<Vec<f32>> = train_idx
-            .iter()
-            .map(|&r| ds.regions[r].dynamic_features.clone())
-            .collect();
+        let x: Vec<Vec<f32>> =
+            train_idx.iter().map(|&r| ds.regions[r].dynamic_features.clone()).collect();
         let y: Vec<usize> = train_idx.iter().map(|&r| ds.labels[r]).collect();
         DynamicModel { tree: DecisionTree::fit(&x, &y, TreeParams::default()) }
     }

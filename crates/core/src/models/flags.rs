@@ -8,6 +8,7 @@
 use crate::dataset::Dataset;
 use crate::models::static_gnn::StaticModel;
 use irnuma_ml::{DecisionTree, Ga, GaParams, TreeParams};
+use irnuma_nn::GraphData;
 use serde::{Deserialize, Serialize};
 
 /// Flag-model hyper-parameters.
@@ -43,12 +44,17 @@ pub struct FlagModel {
 /// Predicted-speedup matrix: `gains[i][s]` = speedup of training region
 /// `train_idx[i]` when the static model predicts with sequence `s`.
 pub fn gains_matrix(ds: &Dataset, sm: &StaticModel, idx: &[usize]) -> Vec<Vec<f64>> {
-    use rayon::prelude::*;
-    idx.par_iter()
-        .map(|&r| {
-            (0..ds.sequences.len())
+    let n_seq = ds.sequences.len();
+    // One batched inference pass over every (region × sequence) graph.
+    let refs: Vec<&GraphData> =
+        idx.iter().flat_map(|&r| (0..n_seq).map(move |s| &ds.regions[r].graphs[s])).collect();
+    let outputs = sm.clf.model.infer_batch_refs(&refs);
+    idx.iter()
+        .enumerate()
+        .map(|(i, &r)| {
+            (0..n_seq)
                 .map(|s| {
-                    let label = sm.predict_with_seq(ds, r, s);
+                    let label = outputs[i * n_seq + s].label();
                     ds.regions[r].default_time / ds.label_time(r, label)
                 })
                 .collect()
@@ -61,7 +67,8 @@ pub fn gains_matrix(ds: &Dataset, sm: &StaticModel, idx: &[usize]) -> Vec<Vec<f6
 fn select_candidates(gains: &[Vec<f64>], target: f64, cap: usize) -> Vec<usize> {
     let n_seq = gains[0].len();
     let oracle_mean: f64 =
-        gains.iter().map(|g| g.iter().cloned().fold(f64::MIN, f64::max)).sum::<f64>() / gains.len() as f64;
+        gains.iter().map(|g| g.iter().cloned().fold(f64::MIN, f64::max)).sum::<f64>()
+            / gains.len() as f64;
     let mut chosen: Vec<usize> = Vec::new();
     let mut best_per_region = vec![f64::MIN; gains.len()];
     while chosen.len() < cap.min(n_seq) {
@@ -71,11 +78,7 @@ fn select_candidates(gains: &[Vec<f64>], target: f64, cap: usize) -> Vec<usize> 
             if chosen.contains(&s) {
                 continue;
             }
-            let score: f64 = gains
-                .iter()
-                .zip(&best_per_region)
-                .map(|(g, &b)| b.max(g[s]))
-                .sum();
+            let score: f64 = gains.iter().zip(&best_per_region).map(|(g, &b)| b.max(g[s])).sum();
             if score > best_score {
                 best_score = score;
                 best = Some(s);
@@ -118,10 +121,8 @@ impl FlagModel {
         let k = p.feature_subset.min(dim);
 
         let fitness = |sel: &[usize]| -> f64 {
-            let xs: Vec<Vec<f32>> = embeddings
-                .iter()
-                .map(|e| sel.iter().map(|&d| e[d]).collect())
-                .collect();
+            let xs: Vec<Vec<f32>> =
+                embeddings.iter().map(|e| sel.iter().map(|&d| e[d]).collect()).collect();
             let mut correct = 0usize;
             for hold in 0..xs.len() {
                 let tx: Vec<Vec<f32>> = xs
@@ -130,12 +131,8 @@ impl FlagModel {
                     .filter(|&(i, _)| i != hold)
                     .map(|(_, v)| v.clone())
                     .collect();
-                let ty: Vec<usize> = y
-                    .iter()
-                    .enumerate()
-                    .filter(|&(i, _)| i != hold)
-                    .map(|(_, &v)| v)
-                    .collect();
+                let ty: Vec<usize> =
+                    y.iter().enumerate().filter(|&(i, _)| i != hold).map(|(_, &v)| v).collect();
                 let t = DecisionTree::fit(&tx, &ty, TreeParams::default());
                 if t.predict(&xs[hold]) == y[hold] {
                     correct += 1;
@@ -145,10 +142,8 @@ impl FlagModel {
         };
         let (selected_dims, _) = Ga::new(p.ga).select_features(dim, k, fitness);
 
-        let xs: Vec<Vec<f32>> = embeddings
-            .iter()
-            .map(|e| selected_dims.iter().map(|&d| e[d]).collect())
-            .collect();
+        let xs: Vec<Vec<f32>> =
+            embeddings.iter().map(|e| selected_dims.iter().map(|&d| e[d]).collect()).collect();
         let tree = DecisionTree::fit(&xs, &y, TreeParams::default());
         FlagModel { tree, selected_dims, candidates }
     }
@@ -169,11 +164,8 @@ mod tests {
     #[test]
     fn candidate_selection_reaches_target_or_cap() {
         // 3 regions × 4 sequences; region r peaks at sequence r.
-        let gains = vec![
-            vec![2.0, 1.0, 1.0, 1.5],
-            vec![1.0, 2.0, 1.0, 1.5],
-            vec![1.0, 1.0, 2.0, 1.5],
-        ];
+        let gains =
+            vec![vec![2.0, 1.0, 1.0, 1.5], vec![1.0, 2.0, 1.0, 1.5], vec![1.0, 1.0, 2.0, 1.5]];
         // Greedy starts with the best-average seq (3), then needs all three
         // peak sequences to reach the oracle.
         let full = select_candidates(&gains, 0.999, 4);

@@ -97,8 +97,8 @@ impl HybridModel {
         static_params: crate::models::static_gnn::StaticParams,
     ) -> HybridModel {
         let _ = sm; // features come from the inner models, see below
-        // Inner sub-models use two-thirds of the epochs: enough fidelity
-        // for honest labels at 40% less cost.
+                    // Inner sub-models use two-thirds of the epochs: enough fidelity
+                    // for honest labels at 40% less cost.
         let inner = crate::models::static_gnn::StaticParams {
             epochs: (static_params.epochs * 2 / 3).max(3),
             ..static_params
@@ -117,10 +117,8 @@ impl HybridModel {
         // pyeasyga; balancing matters because "needs profiling" is the
         // minority class).
         let fitness = |sel: &[usize]| -> f64 {
-            let xs: Vec<Vec<f32>> = embeddings
-                .iter()
-                .map(|e| sel.iter().map(|&d| e[d]).collect())
-                .collect();
+            let xs: Vec<Vec<f32>> =
+                embeddings.iter().map(|e| sel.iter().map(|&d| e[d]).collect()).collect();
             let mut hit = [0usize; 2];
             let mut tot = [0usize; 2];
             for hold in 0..xs.len() {
@@ -130,12 +128,8 @@ impl HybridModel {
                     .filter(|&(i, _)| i != hold)
                     .map(|(_, v)| v.clone())
                     .collect();
-                let ty: Vec<usize> = y
-                    .iter()
-                    .enumerate()
-                    .filter(|&(i, _)| i != hold)
-                    .map(|(_, &v)| v)
-                    .collect();
+                let ty: Vec<usize> =
+                    y.iter().enumerate().filter(|&(i, _)| i != hold).map(|(_, &v)| v).collect();
                 let t = DecisionTree::fit(&tx, &ty, tree_params);
                 tot[y[hold]] += 1;
                 if t.predict(&xs[hold]) == y[hold] {
@@ -153,10 +147,8 @@ impl HybridModel {
         };
         let (selected_dims, _) = Ga::new(p.ga).select_features(dim, k, fitness);
 
-        let xs: Vec<Vec<f32>> = embeddings
-            .iter()
-            .map(|e| selected_dims.iter().map(|&d| e[d]).collect())
-            .collect();
+        let xs: Vec<Vec<f32>> =
+            embeddings.iter().map(|e| selected_dims.iter().map(|&d| e[d]).collect()).collect();
         let tree = DecisionTree::fit(&xs, &y, tree_params);
         HybridModel { tree, selected_dims, params: p }
     }

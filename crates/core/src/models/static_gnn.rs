@@ -3,8 +3,7 @@
 
 use crate::dataset::Dataset;
 use irnuma_graph::Vocab;
-use irnuma_nn::{GnnClassifier, GnnConfig, TrainParams};
-use rayon::prelude::*;
+use irnuma_nn::{GnnClassifier, GnnConfig, GraphData, TrainParams};
 use serde::{Deserialize, Serialize};
 
 /// Static-model hyper-parameters.
@@ -74,14 +73,20 @@ impl StaticModel {
         );
 
         // Step E (explored): the sequence with the best average predicted
-        // speedup across the training regions.
+        // speedup across the training regions. One batched inference pass
+        // covers every (sequence × training region) graph.
+        let graph_refs: Vec<&GraphData> = (0..ds.sequences.len())
+            .flat_map(|s| train_idx.iter().map(move |&r| &ds.regions[r].graphs[s]))
+            .collect();
+        let outputs = clf.model.infer_batch_refs(&graph_refs);
         let explored_seq = (0..ds.sequences.len())
-            .into_par_iter()
             .map(|s| {
+                let base = s * train_idx.len();
                 let mean: f64 = train_idx
                     .iter()
-                    .map(|&r| {
-                        let label = clf.predict(&ds.regions[r].graphs[s]);
+                    .enumerate()
+                    .map(|(i, &r)| {
+                        let label = outputs[base + i].label();
                         ds.regions[r].default_time / ds.label_time(r, label)
                     })
                     .sum::<f64>()

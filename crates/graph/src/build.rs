@@ -46,7 +46,8 @@ pub fn build_module_graph(m: &Module, vocab: &Vocab) -> Graph {
     // Global variable nodes are shared across functions.
     let mut global_nodes: HashMap<u32, u32> = HashMap::new();
     for (gi, glob) in m.globals.iter().enumerate() {
-        let id = g.add_node(NodeKind::Variable, vocab.id(&global_text(glob.elem, glob.size_bytes())));
+        let id =
+            g.add_node(NodeKind::Variable, vocab.id(&global_text(glob.elem, glob.size_bytes())));
         global_nodes.insert(gi as u32, id);
     }
 
@@ -137,10 +138,7 @@ pub fn build_module_graph(m: &Module, vocab: &Vocab) -> Graph {
             }
         }
 
-        let entry_instr = f.blocks[f.entry().index()]
-            .instrs
-            .first()
-            .map(|i| instr_node[i]);
+        let entry_instr = f.blocks[f.entry().index()].instrs.first().map(|i| instr_node[i]);
         per_fn.insert(f.name.clone(), FnNodes { instr_node, entry_instr, ret_instrs });
     }
 
@@ -204,7 +202,12 @@ mod tests {
         let v = h.load(Ty::F64, p);
         h.ret(Some(v));
         m.add_function(h.finish());
-        let mut b = FunctionBuilder::new(".omp_outlined.k", vec![Ty::I64], Ty::Void, FunctionKind::OmpOutlined);
+        let mut b = FunctionBuilder::new(
+            ".omp_outlined.k",
+            vec![Ty::I64],
+            Ty::Void,
+            FunctionKind::OmpOutlined,
+        );
         b.counted_loop(iconst(0), b.arg(0), iconst(1), |b, i| {
             let x = b.call("helper", Ty::F64, vec![i]);
             let y = b.fmul(Ty::F64, x, fconst(2.0));
@@ -254,11 +257,8 @@ mod tests {
         let g = build_module_graph(&m, &Vocab::full());
         assert_eq!(g.count_nodes(NodeKind::Constant), 1, "all three 7s share a node");
         // ...but with three use edges.
-        let const_uses = g
-            .edges
-            .iter()
-            .filter(|e| g.nodes[e.src as usize].kind == NodeKind::Constant)
-            .count();
+        let const_uses =
+            g.edges.iter().filter(|e| g.nodes[e.src as usize].kind == NodeKind::Constant).count();
         assert_eq!(const_uses, 3);
     }
 
@@ -267,13 +267,8 @@ mod tests {
         let m = sample_module();
         let g = build_module_graph(&m, &Vocab::full());
         // The loop's condbr contributes two control edges with pos 0 and 1.
-        let max_pos = g
-            .edges
-            .iter()
-            .filter(|e| e.kind == EdgeKind::Control)
-            .map(|e| e.pos)
-            .max()
-            .unwrap();
+        let max_pos =
+            g.edges.iter().filter(|e| e.kind == EdgeKind::Control).map(|e| e.pos).max().unwrap();
         assert_eq!(max_pos, 1);
     }
 
@@ -282,7 +277,11 @@ mod tests {
         let m = sample_module();
         let g1 = build_module_graph(&m, &Vocab::full());
         let mut m2 = m.clone();
-        irnuma_passes::run_sequence(&mut m2, &["inline", "instcombine", "gvn", "dce", "simplifycfg"]).unwrap();
+        irnuma_passes::run_sequence(
+            &mut m2,
+            &["inline", "instcombine", "gvn", "dce", "simplifycfg"],
+        )
+        .unwrap();
         let g2 = build_module_graph(&m2, &Vocab::full());
         assert_ne!(g1, g2, "optimization visibly changes the graph");
     }

@@ -34,12 +34,8 @@ pub fn to_dot(g: &Graph, vocab: &Vocab) -> String {
             EdgeKind::Data => "dashed",
             EdgeKind::Call => "bold",
         };
-        writeln!(
-            out,
-            "  n{} -> n{} [style={}, label=\"{}\"];",
-            e.src, e.dst, style, e.pos
-        )
-        .unwrap();
+        writeln!(out, "  n{} -> n{} [style={}, label=\"{}\"];", e.src, e.dst, style, e.pos)
+            .unwrap();
     }
     out.push_str("}\n");
     out

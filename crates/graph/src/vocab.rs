@@ -17,17 +17,51 @@ const TYPES: [Ty; 7] = [Ty::I1, Ty::I32, Ty::I64, Ty::F32, Ty::F64, Ty::Ptr, Ty:
 /// Base mnemonics, *excluding* open payloads (callee names, GEP sizes,
 /// alloca shapes) so the vocabulary stays closed.
 const BASE_MNEMONICS: [&str; 40] = [
-    "add", "sub", "mul", "sdiv", "srem", "fadd", "fsub", "fmul", "fdiv", "and", "or", "xor",
-    "shl", "lshr", "ashr", "fmuladd", "icmp.eq", "icmp.ne", "icmp.slt", "icmp.sle", "icmp.sgt",
-    "icmp.sge", "fcmp.oeq", "fcmp.one", "fcmp.olt", "fcmp.ole", "fcmp.ogt", "fcmp.oge", "alloca",
-    "load", "store", "gep", "atomicrmw.add", "atomicrmw.min", "atomicrmw.max", "atomicrmw.xchg",
-    "br", "condbr", "ret", "phi",
+    "add",
+    "sub",
+    "mul",
+    "sdiv",
+    "srem",
+    "fadd",
+    "fsub",
+    "fmul",
+    "fdiv",
+    "and",
+    "or",
+    "xor",
+    "shl",
+    "lshr",
+    "ashr",
+    "fmuladd",
+    "icmp.eq",
+    "icmp.ne",
+    "icmp.slt",
+    "icmp.sle",
+    "icmp.sgt",
+    "icmp.sge",
+    "fcmp.oeq",
+    "fcmp.one",
+    "fcmp.olt",
+    "fcmp.ole",
+    "fcmp.ogt",
+    "fcmp.oge",
+    "alloca",
+    "load",
+    "store",
+    "gep",
+    "atomicrmw.add",
+    "atomicrmw.min",
+    "atomicrmw.max",
+    "atomicrmw.xchg",
+    "br",
+    "condbr",
+    "ret",
+    "phi",
 ];
 
 /// Mnemonics with open payloads are flattened to these.
-const EXTRA_MNEMONICS: [&str; 9] = [
-    "call", "select", "trunc", "zext", "sext", "fptosi", "sitofp", "fpcast", "bitcast",
-];
+const EXTRA_MNEMONICS: [&str; 9] =
+    ["call", "select", "trunc", "zext", "sext", "fptosi", "sitofp", "fpcast", "bitcast"];
 
 /// The canonical node text of an instruction: closed mnemonic + result type.
 pub fn instr_text(instr: &Instr) -> String {
@@ -89,22 +123,13 @@ impl Vocab {
     }
 
     fn from_texts(texts: Vec<String>) -> Vocab {
-        let index = texts
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (t.clone(), i as u32))
-            .collect();
+        let index = texts.iter().enumerate().map(|(i, t)| (t.clone(), i as u32)).collect();
         Vocab { texts, index }
     }
 
     /// Rebuild the lookup map (after deserialization).
     pub fn rebuild_index(&mut self) {
-        self.index = self
-            .texts
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (t.clone(), i as u32))
-            .collect();
+        self.index = self.texts.iter().enumerate().map(|(i, t)| (t.clone(), i as u32)).collect();
     }
 
     pub fn len(&self) -> usize {

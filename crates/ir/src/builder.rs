@@ -310,7 +310,8 @@ mod tests {
 
     #[test]
     fn straight_line_function_verifies() {
-        let mut b = FunctionBuilder::new("f", vec![Ty::I64, Ty::I64], Ty::I64, FunctionKind::Normal);
+        let mut b =
+            FunctionBuilder::new("f", vec![Ty::I64, Ty::I64], Ty::I64, FunctionKind::Normal);
         let s = b.add(Ty::I64, b.arg(0), b.arg(1));
         let m = b.mul(Ty::I64, s, iconst(3));
         b.ret(Some(m));
@@ -321,7 +322,12 @@ mod tests {
 
     #[test]
     fn counted_loop_shape() {
-        let mut b = FunctionBuilder::new("loop", vec![Ty::Ptr, Ty::I64], Ty::Void, FunctionKind::OmpOutlined);
+        let mut b = FunctionBuilder::new(
+            "loop",
+            vec![Ty::Ptr, Ty::I64],
+            Ty::Void,
+            FunctionKind::OmpOutlined,
+        );
         let base = b.arg(0);
         let n = b.arg(1);
         b.counted_loop(iconst(0), n, iconst(1), |b, i| {
@@ -344,7 +350,8 @@ mod tests {
 
     #[test]
     fn nested_loops_verify() {
-        let mut b = FunctionBuilder::new("nest", vec![Ty::Ptr], Ty::Void, FunctionKind::OmpOutlined);
+        let mut b =
+            FunctionBuilder::new("nest", vec![Ty::Ptr], Ty::Void, FunctionKind::OmpOutlined);
         let base = b.arg(0);
         b.counted_loop(iconst(0), iconst(16), iconst(1), |b, i| {
             b.counted_loop(iconst(0), iconst(16), iconst(1), |b, j| {

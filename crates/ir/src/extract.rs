@@ -110,14 +110,24 @@ mod tests {
         h.ret(Some(v));
         m.add_function(h.finish());
 
-        let mut r1 = FunctionBuilder::new(".omp_outlined.r1", vec![Ty::I64], Ty::Void, FunctionKind::OmpOutlined);
+        let mut r1 = FunctionBuilder::new(
+            ".omp_outlined.r1",
+            vec![Ty::I64],
+            Ty::Void,
+            FunctionKind::OmpOutlined,
+        );
         let x = r1.call("helper", Ty::F64, vec![r1.arg(0)]);
         let pa = r1.gep(Ty::F64, Operand::Global(a), r1.arg(0));
         r1.store(x, pa);
         r1.ret(None);
         m.add_function(r1.finish());
 
-        let mut r2 = FunctionBuilder::new(".omp_outlined.r2", vec![Ty::I64], Ty::Void, FunctionKind::OmpOutlined);
+        let mut r2 = FunctionBuilder::new(
+            ".omp_outlined.r2",
+            vec![Ty::I64],
+            Ty::Void,
+            FunctionKind::OmpOutlined,
+        );
         let pc = r2.gep(Ty::I32, Operand::Global(c), r2.arg(0));
         let v = r2.load(Ty::I32, pc);
         let v2 = r2.add(Ty::I32, v, iconst(1));

@@ -54,11 +54,8 @@ pub struct Function {
 impl Function {
     /// Create an empty function with one (empty) entry block.
     pub fn new(name: impl Into<String>, params: Vec<Ty>, ret: Ty, kind: FunctionKind) -> Self {
-        let blocks = if kind == FunctionKind::Declaration {
-            Vec::new()
-        } else {
-            vec![Block::default()]
-        };
+        let blocks =
+            if kind == FunctionKind::Declaration { Vec::new() } else { vec![Block::default()] };
         Function { name: name.into(), params, ret, kind, blocks, instrs: Vec::new() }
     }
 
@@ -160,11 +157,7 @@ impl Function {
     pub fn count_uses(&self, id: InstrId) -> usize {
         self.iter_attached()
             .map(|(_, _, i)| {
-                self.instr(i)
-                    .operands
-                    .iter()
-                    .filter(|o| **o == Operand::Instr(id))
-                    .count()
+                self.instr(i).operands.iter().filter(|o| **o == Operand::Instr(id)).count()
             })
             .sum()
     }
@@ -220,12 +213,8 @@ impl Function {
     /// still references a dropped block (true once unreachable blocks have
     /// been cleared and their phi incomings removed).
     pub fn compact_blocks(&mut self) {
-        let keep: Vec<bool> = self
-            .blocks
-            .iter()
-            .enumerate()
-            .map(|(i, b)| i == 0 || !b.instrs.is_empty())
-            .collect();
+        let keep: Vec<bool> =
+            self.blocks.iter().enumerate().map(|(i, b)| i == 0 || !b.instrs.is_empty()).collect();
         if keep.iter().all(|&k| k) {
             return;
         }
@@ -256,7 +245,10 @@ mod tests {
     use crate::instr::{Opcode, Operand};
 
     fn add_const(f: &mut Function, b: BlockId, a: i64, c: i64) -> InstrId {
-        f.push_instr(b, Instr::new(Opcode::Add, Ty::I64, vec![Operand::ConstInt(a), Operand::ConstInt(c)]))
+        f.push_instr(
+            b,
+            Instr::new(Opcode::Add, Ty::I64, vec![Operand::ConstInt(a), Operand::ConstInt(c)]),
+        )
     }
 
     #[test]
@@ -291,7 +283,10 @@ mod tests {
         let mut f = Function::new("f", vec![], Ty::Void, FunctionKind::Normal);
         let e = f.entry();
         let a = add_const(&mut f, e, 1, 2);
-        let b = f.push_instr(e, Instr::new(Opcode::Mul, Ty::I64, vec![Operand::Instr(a), Operand::Instr(a)]));
+        let b = f.push_instr(
+            e,
+            Instr::new(Opcode::Mul, Ty::I64, vec![Operand::Instr(a), Operand::Instr(a)]),
+        );
         assert_eq!(f.count_uses(a), 2);
         f.replace_all_uses(a, Operand::ConstInt(3));
         assert_eq!(f.count_uses(a), 0);
@@ -304,10 +299,21 @@ mod tests {
         let e = f.entry();
         let b1 = f.add_block();
         let b2 = f.add_block();
-        let cond = f.push_instr(e, Instr::new(Opcode::Icmp(crate::instr::IntPred::Eq), Ty::I1, vec![Operand::ConstInt(0), Operand::ConstInt(0)]));
+        let cond = f.push_instr(
+            e,
+            Instr::new(
+                Opcode::Icmp(crate::instr::IntPred::Eq),
+                Ty::I1,
+                vec![Operand::ConstInt(0), Operand::ConstInt(0)],
+            ),
+        );
         f.push_instr(
             e,
-            Instr::new(Opcode::CondBr, Ty::Void, vec![Operand::Instr(cond), Operand::Block(b1), Operand::Block(b2)]),
+            Instr::new(
+                Opcode::CondBr,
+                Ty::Void,
+                vec![Operand::Instr(cond), Operand::Block(b1), Operand::Block(b2)],
+            ),
         );
         f.push_instr(b1, Instr::new(Opcode::Ret, Ty::Void, vec![]));
         f.push_instr(b2, Instr::new(Opcode::Ret, Ty::Void, vec![]));
@@ -322,7 +328,10 @@ mod tests {
         let e = f.entry();
         let a = add_const(&mut f, e, 1, 2);
         let dead = add_const(&mut f, e, 9, 9);
-        let m = f.push_instr(e, Instr::new(Opcode::Mul, Ty::I64, vec![Operand::Instr(a), Operand::ConstInt(4)]));
+        let m = f.push_instr(
+            e,
+            Instr::new(Opcode::Mul, Ty::I64, vec![Operand::Instr(a), Operand::ConstInt(4)]),
+        );
         f.push_instr(e, Instr::new(Opcode::Ret, Ty::Void, vec![]));
         f.detach(dead);
         assert_eq!(f.instrs.len(), 4);

@@ -299,13 +299,18 @@ pub enum Opcode {
     /// Ordered float compare; result `i1`.
     Fcmp(FloatPred),
     /// Stack allocation of `count` elements of type `elem`; result `ptr`.
-    Alloca { elem: Ty, count: u64 },
+    Alloca {
+        elem: Ty,
+        count: u64,
+    },
     /// Load through operand 0 (a pointer); result type is the instr type.
     Load,
     /// Store operand 0 to pointer operand 1; no result.
     Store,
     /// Address arithmetic: `base + index * elem_size` (operands: base, index).
-    Gep { elem_size: u64 },
+    Gep {
+        elem_size: u64,
+    },
     /// Atomic read-modify-write on pointer operand 0 with operand 1.
     AtomicRmw(RmwOp),
     /// Unconditional branch to block operand 0.
@@ -317,7 +322,9 @@ pub enum Opcode {
     /// SSA phi: operands alternate (block, value) pairs.
     Phi,
     /// Direct call to a named function; operands are arguments.
-    Call { callee: String },
+    Call {
+        callee: String,
+    },
     /// `cond ? a : b` (operands: cond, a, b).
     Select,
     /// Type cast of operand 0.
@@ -334,10 +341,8 @@ impl Opcode {
     /// effects), i.e. must not be removed by DCE when its value is unused
     /// and must not be CSE'd / hoisted freely.
     pub fn has_side_effects(&self) -> bool {
-        matches!(
-            self,
-            Opcode::Store | Opcode::AtomicRmw(_) | Opcode::Call { .. }
-        ) || self.is_terminator()
+        matches!(self, Opcode::Store | Opcode::AtomicRmw(_) | Opcode::Call { .. })
+            || self.is_terminator()
     }
 
     /// Whether the instruction reads memory (loads are pure but
@@ -349,7 +354,9 @@ impl Opcode {
     /// Whether two instructions with this opcode and identical operands
     /// compute identical values (candidates for CSE / GVN).
     pub fn is_pure(&self) -> bool {
-        !self.has_side_effects() && !self.reads_memory() && !matches!(self, Opcode::Phi | Opcode::Alloca { .. })
+        !self.has_side_effects()
+            && !self.reads_memory()
+            && !matches!(self, Opcode::Phi | Opcode::Alloca { .. })
     }
 
     /// Whether the binary operation is commutative.
@@ -490,7 +497,8 @@ mod tests {
     #[test]
     fn swapped_predicate_is_consistent() {
         let pairs = [(3i64, 5i64), (5, 3), (4, 4), (-1, 1)];
-        for p in [IntPred::Eq, IntPred::Ne, IntPred::Slt, IntPred::Sle, IntPred::Sgt, IntPred::Sge] {
+        for p in [IntPred::Eq, IntPred::Ne, IntPred::Slt, IntPred::Sle, IntPred::Sgt, IntPred::Sge]
+        {
             for (a, b) in pairs {
                 assert_eq!(p.eval(a, b), p.swapped().eval(b, a), "{p:?} {a} {b}");
             }
@@ -535,16 +543,25 @@ mod tests {
             vec![Operand::ConstInt(1), Operand::Block(BlockId(1)), Operand::Block(BlockId(2))],
         );
         assert_eq!(cbr.successors(), vec![BlockId(1), BlockId(2)]);
-        let add = Instr::new(Opcode::Add, Ty::I64, vec![Operand::ConstInt(1), Operand::ConstInt(2)]);
+        let add =
+            Instr::new(Opcode::Add, Ty::I64, vec![Operand::ConstInt(1), Operand::ConstInt(2)]);
         assert!(add.successors().is_empty());
     }
 
     #[test]
     fn keyword_round_trips() {
-        for p in [IntPred::Eq, IntPred::Ne, IntPred::Slt, IntPred::Sle, IntPred::Sgt, IntPred::Sge] {
+        for p in [IntPred::Eq, IntPred::Ne, IntPred::Slt, IntPred::Sle, IntPred::Sgt, IntPred::Sge]
+        {
             assert_eq!(IntPred::from_keyword(p.keyword()), Some(p));
         }
-        for p in [FloatPred::Oeq, FloatPred::One, FloatPred::Olt, FloatPred::Ole, FloatPred::Ogt, FloatPred::Oge] {
+        for p in [
+            FloatPred::Oeq,
+            FloatPred::One,
+            FloatPred::Olt,
+            FloatPred::Ole,
+            FloatPred::Ogt,
+            FloatPred::Oge,
+        ] {
             assert_eq!(FloatPred::from_keyword(p.keyword()), Some(p));
         }
         for c in [

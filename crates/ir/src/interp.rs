@@ -149,11 +149,7 @@ pub struct Interp<'m> {
 impl<'m> Interp<'m> {
     /// Create an interpreter with zero-initialized globals.
     pub fn new(module: &'m Module, cfg: InterpConfig) -> Interp<'m> {
-        let globals = module
-            .globals
-            .iter()
-            .map(|g| vec![0u8; g.size_bytes() as usize])
-            .collect();
+        let globals = module.globals.iter().map(|g| vec![0u8; g.size_bytes() as usize]).collect();
         Interp { module, cfg, globals, allocas: Vec::new(), steps: 0 }
     }
 
@@ -206,10 +202,9 @@ impl<'m> Interp<'m> {
     /// persists across calls (run a region twice to model two invocations).
     pub fn call(&mut self, function: &str, args: &[Value]) -> Result<ExecOutcome, Trap> {
         let start_steps = self.steps;
-        let ret = self.exec_function(function, args).map_err(|kind| Trap {
-            kind,
-            function: function.to_string(),
-        })?;
+        let ret = self
+            .exec_function(function, args)
+            .map_err(|kind| Trap { kind, function: function.to_string() })?;
         Ok(ExecOutcome { ret, steps: self.steps - start_steps })
     }
 
@@ -298,26 +293,20 @@ impl<'m> Interp<'m> {
 
     fn operand(
         &self,
-        f: &Function,
+        _f: &Function,
         regs: &[Option<Value>],
         op: Operand,
         args: &[Value],
     ) -> Result<Value, TrapKind> {
         Ok(match op {
-            Operand::Instr(id) => regs
-                .get(id.0 as usize)
-                .copied()
-                .flatten()
-                .ok_or(TrapKind::TypeConfusion)?,
+            Operand::Instr(id) => {
+                regs.get(id.0 as usize).copied().flatten().ok_or(TrapKind::TypeConfusion)?
+            }
             Operand::Arg(i) => *args.get(i as usize).ok_or(TrapKind::TypeConfusion)?,
             Operand::ConstInt(v) => Value::I(v),
             Operand::ConstFloat(bits) => Value::F(f64::from_bits(bits)),
             Operand::Global(g) => Value::P(MemRef { object: ObjectId::Global(g.0), offset: 0 }),
             Operand::Block(_) => return Err(TrapKind::TypeConfusion),
-        })
-        .map(|v| {
-            let _ = f;
-            v
         })
     }
 
@@ -331,8 +320,16 @@ impl<'m> Interp<'m> {
     ) -> Result<Option<Value>, TrapKind> {
         let op = |i: usize| self.operand(f, regs, instr.operands[i], args);
         let v = match &instr.op {
-            Opcode::Add | Opcode::Sub | Opcode::Mul | Opcode::SDiv | Opcode::SRem
-            | Opcode::And | Opcode::Or | Opcode::Xor | Opcode::Shl | Opcode::LShr
+            Opcode::Add
+            | Opcode::Sub
+            | Opcode::Mul
+            | Opcode::SDiv
+            | Opcode::SRem
+            | Opcode::And
+            | Opcode::Or
+            | Opcode::Xor
+            | Opcode::Shl
+            | Opcode::LShr
             | Opcode::AShr => {
                 let a = op(0)?.as_i()?;
                 let b = op(1)?.as_i()?;
@@ -390,11 +387,13 @@ impl<'m> Interp<'m> {
             }
             Opcode::AtomicRmw(rmw) => {
                 // Single-threaded semantics: read, modify, write; yields old.
-                let p = op(1 - 1)?.as_p()?; // operand 0 = ptr
+                let p = op(0)?.as_p()?; // operand 0 = ptr
                 let arg = op(1)?;
                 let old = self.load(p, instr.ty)?;
                 let new = match (rmw, old, arg) {
-                    (RmwOp::Add, Value::I(a), Value::I(b)) => Value::I(instr.ty.wrap_int(a as i128 + b as i128)),
+                    (RmwOp::Add, Value::I(a), Value::I(b)) => {
+                        Value::I(instr.ty.wrap_int(a as i128 + b as i128))
+                    }
                     (RmwOp::Min, Value::I(a), Value::I(b)) => Value::I(a.min(b)),
                     (RmwOp::Max, Value::I(a), Value::I(b)) => Value::I(a.max(b)),
                     (RmwOp::Xchg, _, b) => b,
@@ -413,12 +412,18 @@ impl<'m> Interp<'m> {
                     None => return Ok(None),
                 }
             }
-            Opcode::Phi | Opcode::Br | Opcode::CondBr | Opcode::Ret => unreachable!("handled by driver"),
+            Opcode::Phi | Opcode::Br | Opcode::CondBr | Opcode::Ret => {
+                unreachable!("handled by driver")
+            }
         };
         Ok(Some(v))
     }
 
-    fn try_intrinsic(&mut self, name: &str, args: &[Value]) -> Result<Option<Option<Value>>, TrapKind> {
+    fn try_intrinsic(
+        &mut self,
+        name: &str,
+        args: &[Value],
+    ) -> Result<Option<Option<Value>>, TrapKind> {
         // Only handle as intrinsic when the module does not define a body.
         if self.module.function(name).is_some_and(|f| !f.is_declaration()) {
             return Ok(None);
@@ -429,7 +434,10 @@ impl<'m> Interp<'m> {
         let v: Option<Value> = match name {
             "omp_get_thread_num" => Some(Value::I(self.cfg.thread_num)),
             "omp_get_num_threads" => Some(Value::I(self.cfg.num_threads)),
-            "kmpc_barrier" | "kmpc_critical" | "kmpc_end_critical" | "kmpc_for_static_init"
+            "kmpc_barrier"
+            | "kmpc_critical"
+            | "kmpc_end_critical"
+            | "kmpc_for_static_init"
             | "kmpc_reduce" => None,
             "sqrt" => Some(Value::F(one_f(args)?.sqrt())),
             "fabs" => Some(Value::F(one_f(args)?.abs())),
@@ -732,7 +740,8 @@ mod tests {
         b.ret(Some(r));
         let mut m = Module::new("m");
         m.add_function(b.finish());
-        let mut it = Interp::new(&m, InterpConfig { thread_num: 3, num_threads: 8, ..Default::default() });
+        let mut it =
+            Interp::new(&m, InterpConfig { thread_num: 3, num_threads: 8, ..Default::default() });
         assert_eq!(it.call("t", &[]).unwrap().ret, Some(Value::I(24)));
     }
 }

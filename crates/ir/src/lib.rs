@@ -30,9 +30,9 @@
 pub mod analysis;
 pub mod builder;
 pub mod extract;
-pub mod interp;
 pub mod function;
 pub mod instr;
+pub mod interp;
 pub mod module;
 pub mod parser;
 pub mod printer;
@@ -42,9 +42,9 @@ pub mod verify;
 pub use builder::FunctionBuilder;
 pub use function::{Block, BlockId, Function, FunctionKind};
 pub use instr::{CastKind, FloatPred, Instr, InstrId, IntPred, Opcode, Operand, RmwOp};
+pub use interp::{ExecOutcome, Interp, InterpConfig, Trap, TrapKind, Value};
 pub use module::{Global, GlobalId, Module};
 pub use parser::{parse_module, ParseError};
 pub use printer::print_module;
 pub use types::Ty;
-pub use interp::{ExecOutcome, Interp, InterpConfig, Trap, TrapKind, Value};
 pub use verify::{verify_function, verify_module, VerifyError};

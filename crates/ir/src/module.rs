@@ -70,10 +70,7 @@ impl Module {
     }
 
     pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
-        self.globals
-            .iter()
-            .position(|g| g.name == name)
-            .map(|i| GlobalId(i as u32))
+        self.globals.iter().position(|g| g.name == name).map(|i| GlobalId(i as u32))
     }
 
     /// Names of all OpenMP-outlined regions in the module.
@@ -109,8 +106,18 @@ mod tests {
     fn outlined_regions_filter() {
         let mut m = Module::new("m");
         m.add_function(Function::new("main", vec![], Ty::Void, FunctionKind::Normal));
-        m.add_function(Function::new(".omp_outlined.k0", vec![], Ty::Void, FunctionKind::OmpOutlined));
-        m.add_function(Function::new("omp_get_thread_num", vec![], Ty::I32, FunctionKind::Declaration));
+        m.add_function(Function::new(
+            ".omp_outlined.k0",
+            vec![],
+            Ty::Void,
+            FunctionKind::OmpOutlined,
+        ));
+        m.add_function(Function::new(
+            "omp_get_thread_num",
+            vec![],
+            Ty::I32,
+            FunctionKind::Declaration,
+        ));
         assert_eq!(m.outlined_regions(), vec![".omp_outlined.k0"]);
         assert!(m.function("main").is_some());
         assert!(m.function_mut(".omp_outlined.k0").is_some());

@@ -50,10 +50,13 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
             }
             module = Some(Module::new(name));
         } else if let Some(rest) = line.strip_prefix("global @") {
-            let m = module.as_mut().ok_or(ParseError { line: lineno, msg: "global before module header".into() })?;
+            let m = module
+                .as_mut()
+                .ok_or(ParseError { line: lineno, msg: "global before module header".into() })?;
             // `name ty x count`
             let mut it = rest.split_whitespace();
-            let name = it.next().ok_or(ParseError { line: lineno, msg: "missing global name".into() })?;
+            let name =
+                it.next().ok_or(ParseError { line: lineno, msg: "missing global name".into() })?;
             let ty = it
                 .next()
                 .and_then(Ty::from_keyword)
@@ -67,15 +70,22 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
                 .ok_or(ParseError { line: lineno, msg: "bad global count".into() })?;
             m.add_global(name, ty, count);
         } else if let Some(rest) = line.strip_prefix("declare @") {
-            let m = module.as_mut().ok_or(ParseError { line: lineno, msg: "declare before module header".into() })?;
+            let m = module
+                .as_mut()
+                .ok_or(ParseError { line: lineno, msg: "declare before module header".into() })?;
             let (name, params, ret) = parse_signature(rest, lineno)?;
             m.add_function(Function::new(name, params, ret, FunctionKind::Declaration));
         } else if let Some(rest) = line.strip_prefix("func @") {
-            let m = module.as_mut().ok_or(ParseError { line: lineno, msg: "func before module header".into() })?;
+            let m = module
+                .as_mut()
+                .ok_or(ParseError { line: lineno, msg: "func before module header".into() })?;
             let body_open = rest.trim_end();
             let body_open = body_open
                 .strip_suffix('{')
-                .ok_or(ParseError { line: lineno, msg: "expected `{` at end of func header".into() })?
+                .ok_or(ParseError {
+                    line: lineno,
+                    msg: "expected `{` at end of func header".into(),
+                })?
                 .trim_end();
             let (sig, kind) = match body_open.strip_suffix("outlined") {
                 Some(s) => (s.trim_end(), FunctionKind::OmpOutlined),
@@ -124,13 +134,16 @@ fn parse_signature(s: &str, lineno: usize) -> Result<(String, Vec<Ty>, Ty), Pars
         .split(',')
         .map(str::trim)
         .filter(|p| !p.is_empty())
-        .map(|p| Ty::from_keyword(p).ok_or(ParseError { line: lineno, msg: format!("bad param type {p}") }))
+        .map(|p| {
+            Ty::from_keyword(p)
+                .ok_or(ParseError { line: lineno, msg: format!("bad param type {p}") })
+        })
         .collect::<Result<_, _>>()?;
-    let arrow = s[close..]
-        .find("->")
-        .ok_or(ParseError { line: lineno, msg: "missing `->`".into() })?;
+    let arrow =
+        s[close..].find("->").ok_or(ParseError { line: lineno, msg: "missing `->`".into() })?;
     let ret_str = s[close + arrow + 2..].trim();
-    let ret = Ty::from_keyword(ret_str).ok_or(ParseError { line: lineno, msg: format!("bad return type {ret_str}") })?;
+    let ret = Ty::from_keyword(ret_str)
+        .ok_or(ParseError { line: lineno, msg: format!("bad return type {ret_str}") })?;
     Ok((name, params, ret))
 }
 
@@ -168,12 +181,16 @@ fn parse_body(
             cur = Some(BlockId(n));
             continue;
         }
-        let cur_b = cur.ok_or(ParseError { line: lineno, msg: "instruction before first block label".into() })?;
+        let cur_b = cur.ok_or(ParseError {
+            line: lineno,
+            msg: "instruction before first block label".into(),
+        })?;
 
         // Optional `%N = ` prefix.
         let (num, rest) = match line.strip_prefix('%') {
             Some(r) if !r.starts_with('a') => {
-                let eq = r.find('=').ok_or(ParseError { line: lineno, msg: "missing `=`".into() })?;
+                let eq =
+                    r.find('=').ok_or(ParseError { line: lineno, msg: "missing `=`".into() })?;
                 let n: u32 = r[..eq]
                     .trim()
                     .parse()
@@ -193,19 +210,16 @@ fn parse_body(
         let ty = if num.is_some() {
             let mut it = rest2.splitn(2, ' ');
             let tk = it.next().unwrap_or_default();
-            let t = Ty::from_keyword(tk).ok_or(ParseError { line: lineno, msg: format!("bad type {tk}") })?;
+            let t = Ty::from_keyword(tk)
+                .ok_or(ParseError { line: lineno, msg: format!("bad type {tk}") })?;
             rest2 = it.next().unwrap_or("").trim();
             t
         } else {
             Ty::Void
         };
 
-        let tokens: Vec<String> = rest2
-            .split(',')
-            .map(str::trim)
-            .filter(|t| !t.is_empty())
-            .map(String::from)
-            .collect();
+        let tokens: Vec<String> =
+            rest2.split(',').map(str::trim).filter(|t| !t.is_empty()).map(String::from).collect();
 
         let id = f.push_instr(cur_b, Instr::new(op, ty, Vec::new()));
         if let Some(n) = num {
@@ -235,27 +249,23 @@ fn parse_operand(
     line: usize,
 ) -> Result<Operand, ParseError> {
     if let Some(rest) = t.strip_prefix("%a") {
-        let i: u32 = rest
-            .parse()
-            .map_err(|_| ParseError { line, msg: format!("bad arg {t}") })?;
+        let i: u32 = rest.parse().map_err(|_| ParseError { line, msg: format!("bad arg {t}") })?;
         if i as usize >= f.params.len() {
             return err(line, format!("arg index {i} out of range"));
         }
         return Ok(Operand::Arg(i));
     }
     if let Some(rest) = t.strip_prefix('%') {
-        let n: u32 = rest
-            .parse()
-            .map_err(|_| ParseError { line, msg: format!("bad value ref {t}") })?;
+        let n: u32 =
+            rest.parse().map_err(|_| ParseError { line, msg: format!("bad value ref {t}") })?;
         return numbers
             .get(&n)
             .map(|&id| Operand::Instr(id))
             .ok_or(ParseError { line, msg: format!("undefined value %{n}") });
     }
     if let Some(rest) = t.strip_prefix("bb") {
-        let n: u32 = rest
-            .parse()
-            .map_err(|_| ParseError { line, msg: format!("bad block ref {t}") })?;
+        let n: u32 =
+            rest.parse().map_err(|_| ParseError { line, msg: format!("bad block ref {t}") })?;
         if n as usize >= f.blocks.len() {
             return err(line, format!("block bb{n} out of range"));
         }
@@ -280,16 +290,26 @@ fn parse_operand(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::instr::Opcode;
     use crate::builder::{fconst, iconst, FunctionBuilder};
+    use crate::instr::Opcode;
     use crate::printer::print_module;
     use crate::verify::verify_module;
 
     fn sample_module() -> Module {
         let mut m = Module::new("sample");
         let g = m.add_global("data", Ty::F64, 4096);
-        m.add_function(Function::new("omp_get_thread_num", vec![], Ty::I32, FunctionKind::Declaration));
-        let mut b = FunctionBuilder::new(".omp_outlined.k", vec![Ty::I64, Ty::I64], Ty::Void, FunctionKind::OmpOutlined);
+        m.add_function(Function::new(
+            "omp_get_thread_num",
+            vec![],
+            Ty::I32,
+            FunctionKind::Declaration,
+        ));
+        let mut b = FunctionBuilder::new(
+            ".omp_outlined.k",
+            vec![Ty::I64, Ty::I64],
+            Ty::Void,
+            FunctionKind::OmpOutlined,
+        );
         let tid32 = b.call("omp_get_thread_num", Ty::I32, vec![]);
         let tid = b.cast(crate::instr::CastKind::Sext, Ty::I64, tid32);
         let lo = b.mul(Ty::I64, tid, b.arg(0));

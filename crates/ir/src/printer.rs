@@ -46,12 +46,7 @@ pub fn print_module(m: &Module) -> String {
 
 /// Render one function into `out`.
 pub fn print_function(out: &mut String, m: &Module, f: &Function) {
-    let params = f
-        .params
-        .iter()
-        .map(|t| t.keyword())
-        .collect::<Vec<_>>()
-        .join(", ");
+    let params = f.params.iter().map(|t| t.keyword()).collect::<Vec<_>>().join(", ");
     if f.is_declaration() {
         writeln!(out, "declare @{}({}) -> {}", f.name, params, f.ret).unwrap();
         return;
@@ -90,12 +85,7 @@ pub fn print_function(out: &mut String, m: &Module, f: &Function) {
         writeln!(out, "bb{}:", bid.0).unwrap();
         for &id in &block.instrs {
             let instr = f.instr(id);
-            let ops = instr
-                .operands
-                .iter()
-                .map(operand_str)
-                .collect::<Vec<_>>()
-                .join(", ");
+            let ops = instr.operands.iter().map(operand_str).collect::<Vec<_>>().join(", ");
             let mn = full_mnemonic(&instr.op);
             out.push_str("  ");
             if instr.ty.is_first_class() {

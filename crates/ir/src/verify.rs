@@ -142,7 +142,12 @@ pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
     Ok(())
 }
 
-fn verify_phi(f: &Function, bid: BlockId, id: InstrId, preds: &[BlockId]) -> Result<(), VerifyError> {
+fn verify_phi(
+    f: &Function,
+    bid: BlockId,
+    id: InstrId,
+    preds: &[BlockId],
+) -> Result<(), VerifyError> {
     let instr = f.instr(id);
     if instr.operands.len() % 2 != 0 {
         return fail(f, format!("phi in bb{} has odd operand count", bid.0));
@@ -171,10 +176,8 @@ fn verify_phi(f: &Function, bid: BlockId, id: InstrId, preds: &[BlockId]) -> Res
 fn verify_types(f: &Function, id: InstrId) -> Result<(), VerifyError> {
     let instr = f.instr(id);
     match &instr.op {
-        op if op.is_terminator() => {
-            if instr.ty != Ty::Void {
-                return fail(f, "terminator with non-void type");
-            }
+        op if op.is_terminator() && instr.ty != Ty::Void => {
+            return fail(f, "terminator with non-void type");
         }
         Opcode::Store => {
             if instr.ty != Ty::Void {
@@ -184,10 +187,8 @@ fn verify_types(f: &Function, id: InstrId) -> Result<(), VerifyError> {
                 return fail(f, "store needs exactly (value, pointer)");
             }
         }
-        Opcode::Icmp(_) | Opcode::Fcmp(_) => {
-            if instr.ty != Ty::I1 {
-                return fail(f, "compare must have type i1");
-            }
+        Opcode::Icmp(_) | Opcode::Fcmp(_) if instr.ty != Ty::I1 => {
+            return fail(f, "compare must have type i1");
         }
         Opcode::Load => {
             if !instr.ty.is_first_class() {
@@ -197,15 +198,11 @@ fn verify_types(f: &Function, id: InstrId) -> Result<(), VerifyError> {
                 return fail(f, "load takes exactly one pointer operand");
             }
         }
-        Opcode::Gep { .. } => {
-            if instr.ty != Ty::Ptr {
-                return fail(f, "gep must produce ptr");
-            }
+        Opcode::Gep { .. } if instr.ty != Ty::Ptr => {
+            return fail(f, "gep must produce ptr");
         }
-        Opcode::Alloca { .. } => {
-            if instr.ty != Ty::Ptr {
-                return fail(f, "alloca must produce ptr");
-            }
+        Opcode::Alloca { .. } if instr.ty != Ty::Ptr => {
+            return fail(f, "alloca must produce ptr");
         }
         op if op.is_binary() => {
             if instr.operands.len() != 2 {
@@ -266,15 +263,24 @@ fn verify_operands(
                     if !(dom.dominates(def_b, pred)) {
                         return fail(
                             f,
-                            format!("phi incoming value {def:?} does not dominate edge bb{}", pred.0),
+                            format!(
+                                "phi incoming value {def:?} does not dominate edge bb{}",
+                                pred.0
+                            ),
                         );
                     }
                 } else if def_b == bid {
                     if def_pos >= use_loc.1 {
-                        return fail(f, format!("def {def:?} does not precede its use in bb{}", bid.0));
+                        return fail(
+                            f,
+                            format!("def {def:?} does not precede its use in bb{}", bid.0),
+                        );
                     }
                 } else if !dom.dominates(def_b, bid) {
-                    return fail(f, format!("def in bb{} does not dominate use in bb{}", def_b.0, bid.0));
+                    return fail(
+                        f,
+                        format!("def in bb{} does not dominate use in bb{}", def_b.0, bid.0),
+                    );
                 }
             }
             Operand::ConstInt(_) | Operand::ConstFloat(_) | Operand::Global(_) => {}
@@ -294,7 +300,10 @@ mod tests {
     fn missing_terminator_is_rejected() {
         let mut f = Function::new("f", vec![], Ty::Void, FunctionKind::Normal);
         let e = f.entry();
-        f.push_instr(e, Instr::new(Opcode::Add, Ty::I64, vec![Operand::ConstInt(1), Operand::ConstInt(2)]));
+        f.push_instr(
+            e,
+            Instr::new(Opcode::Add, Ty::I64, vec![Operand::ConstInt(1), Operand::ConstInt(2)]),
+        );
         let err = verify_function(&f).unwrap_err();
         assert!(err.msg.contains("terminator"), "{err}");
     }
@@ -314,8 +323,16 @@ mod tests {
         let mut f = Function::new("f", vec![], Ty::Void, FunctionKind::Normal);
         let e = f.entry();
         // alloc the add first but attach it after its user
-        let a = f.alloc_instr(Instr::new(Opcode::Add, Ty::I64, vec![Operand::ConstInt(1), Operand::ConstInt(2)]));
-        let u = f.alloc_instr(Instr::new(Opcode::Mul, Ty::I64, vec![Operand::Instr(a), Operand::ConstInt(3)]));
+        let a = f.alloc_instr(Instr::new(
+            Opcode::Add,
+            Ty::I64,
+            vec![Operand::ConstInt(1), Operand::ConstInt(2)],
+        ));
+        let u = f.alloc_instr(Instr::new(
+            Opcode::Mul,
+            Ty::I64,
+            vec![Operand::Instr(a), Operand::ConstInt(3)],
+        ));
         f.blocks[e.index()].instrs.push(u);
         f.blocks[e.index()].instrs.push(a);
         let r = f.alloc_instr(Instr::new(Opcode::Ret, Ty::Void, vec![]));
@@ -373,7 +390,14 @@ mod tests {
     fn compare_must_be_i1() {
         let mut f = Function::new("f", vec![], Ty::Void, FunctionKind::Normal);
         let e = f.entry();
-        f.push_instr(e, Instr::new(Opcode::Icmp(IntPred::Eq), Ty::I64, vec![Operand::ConstInt(0), Operand::ConstInt(0)]));
+        f.push_instr(
+            e,
+            Instr::new(
+                Opcode::Icmp(IntPred::Eq),
+                Ty::I64,
+                vec![Operand::ConstInt(0), Operand::ConstInt(0)],
+            ),
+        );
         f.push_instr(e, Instr::new(Opcode::Ret, Ty::Void, vec![]));
         let err = verify_function(&f).unwrap_err();
         assert!(err.msg.contains("i1"), "{err}");

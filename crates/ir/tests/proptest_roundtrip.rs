@@ -3,9 +3,7 @@
 //! and survive compaction.
 
 use irnuma_ir::builder::{fconst, iconst, FunctionBuilder};
-use irnuma_ir::{
-    parse_module, print_module, verify_module, FunctionKind, Module, Operand, Ty,
-};
+use irnuma_ir::{parse_module, print_module, verify_module, FunctionKind, Module, Operand, Ty};
 use proptest::prelude::*;
 
 /// A tiny recipe language for generating valid straight-line/loop kernels.

@@ -21,7 +21,13 @@ pub struct GaParams {
 
 impl Default for GaParams {
     fn default() -> Self {
-        GaParams { population: 500, generations: 30, crossover_prob: 0.8, mutation_rate: 0.1, seed: 23 }
+        GaParams {
+            population: 500,
+            generations: 30,
+            crossover_prob: 0.8,
+            mutation_rate: 0.1,
+            seed: 23,
+        }
     }
 }
 
@@ -46,7 +52,13 @@ impl Ga {
         ind
     }
 
-    fn crossover(a: &Individual, b: &Individual, k: usize, n: usize, rng: &mut ChaCha8Rng) -> Individual {
+    fn crossover(
+        a: &Individual,
+        b: &Individual,
+        k: usize,
+        n: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Individual {
         let mut pool: BTreeSet<usize> = a.iter().chain(b.iter()).copied().collect();
         let mut merged: Vec<usize> = pool.iter().copied().collect();
         merged.shuffle(rng);
@@ -88,9 +100,8 @@ impl Ga {
         assert!(k <= n_features, "cannot select {k} of {n_features}");
         let p = self.params;
         let mut rng = ChaCha8Rng::seed_from_u64(p.seed);
-        let mut pop: Vec<Individual> = (0..p.population)
-            .map(|_| Self::random_individual(n_features, k, &mut rng))
-            .collect();
+        let mut pop: Vec<Individual> =
+            (0..p.population).map(|_| Self::random_individual(n_features, k, &mut rng)).collect();
 
         let eval = |pop: &[Individual]| -> Vec<f64> {
             use rayon::prelude::*;
@@ -134,11 +145,7 @@ impl Ga {
 }
 
 fn argmax(v: &[f64]) -> usize {
-    v.iter()
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(b.1))
-        .map(|(i, _)| i)
-        .expect("non-empty")
+    v.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).expect("non-empty")
 }
 
 #[cfg(test)]

@@ -58,10 +58,7 @@ pub fn coverage(times: &[Vec<f64>], baseline: &[f64], chosen: &[usize]) -> f64 {
     let mut full = 0.0;
     for (r, row) in times.iter().enumerate() {
         let best_all = row.iter().cloned().fold(f64::INFINITY, f64::min);
-        let best_set = chosen
-            .iter()
-            .map(|&c| row[c])
-            .fold(f64::INFINITY, f64::min);
+        let best_set = chosen.iter().map(|&c| row[c]).fold(f64::INFINITY, f64::min);
         got += baseline[r] / best_set;
         full += baseline[r] / best_all;
     }

@@ -20,12 +20,7 @@ pub fn relative_difference(a: f64, b: f64) -> f64 {
 pub fn mean_speedup(baseline: &[f64], predicted: &[f64]) -> f64 {
     assert_eq!(baseline.len(), predicted.len());
     assert!(!baseline.is_empty());
-    baseline
-        .iter()
-        .zip(predicted)
-        .map(|(&b, &p)| b / p)
-        .sum::<f64>()
-        / baseline.len() as f64
+    baseline.iter().zip(predicted).map(|(&b, &p)| b / p).sum::<f64>() / baseline.len() as f64
 }
 
 /// Classification accuracy.

@@ -64,7 +64,14 @@ impl DecisionTree {
         tree
     }
 
-    fn build(&mut self, x: &[Vec<f32>], y: &[usize], idx: &[usize], n_classes: usize, depth: usize) -> usize {
+    fn build(
+        &mut self,
+        x: &[Vec<f32>],
+        y: &[usize],
+        idx: &[usize],
+        n_classes: usize,
+        depth: usize,
+    ) -> usize {
         let ys: Vec<usize> = idx.iter().map(|&i| y[i]).collect();
         let pure = ys.iter().all(|&v| v == ys[0]);
         let depth_stop = self.params.max_depth.is_some_and(|d| depth >= d);
@@ -111,6 +118,10 @@ impl DecisionTree {
         };
         let parent_gini = gini(&parent_counts, total);
 
+        // `feat` indexes the inner (feature) dimension of `x`, whose outer
+        // length is n_samples — clippy's `x.iter().take(..)` suggestion
+        // would iterate the wrong axis.
+        #[allow(clippy::needless_range_loop)]
         for feat in 0..self.n_features {
             // Sort sample indices by feature value.
             let mut order: Vec<usize> = idx.to_vec();
@@ -258,7 +269,13 @@ mod tests {
         for i in 0..60 {
             let v = i as f32 / 60.0;
             x.push(vec![v]);
-            y.push(if v < 0.33 { 0 } else if v < 0.66 { 1 } else { 2 });
+            y.push(if v < 0.33 {
+                0
+            } else if v < 0.66 {
+                1
+            } else {
+                2
+            });
         }
         let t = DecisionTree::fit(&x, &y, TreeParams::default());
         assert_eq!(t.predict(&[0.1]), 0);

@@ -35,15 +35,31 @@ enum Op {
     Add(Var, Var),
     Relu(Var),
     /// rows of `table` selected by `ids`
-    Gather { table: Var, ids: Rc<Vec<u32>> },
+    Gather {
+        table: Var,
+        ids: Rc<Vec<u32>>,
+    },
     /// sparse message passing: `out[dst] += norm_e * x[src]` per edge
-    Spmm { x: Var, edges: Rc<Vec<(u32, u32)>>, norm: Rc<Vec<f32>> },
+    Spmm {
+        x: Var,
+        edges: Rc<Vec<(u32, u32)>>,
+        norm: Rc<Vec<f32>>,
+    },
     /// column-wise mean over rows: `n×d → 1×d`
     MeanPool(Var),
     /// row-wise layer norm with affine params (1×d each)
-    LayerNorm { x: Var, gamma: Var, beta: Var, eps: f32 },
+    LayerNorm {
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        eps: f32,
+    },
     /// scalar loss; caches the softmax distribution for the backward pass
-    SoftmaxCe { logits: Var, label: usize, probs: Tensor },
+    SoftmaxCe {
+        logits: Var,
+        label: usize,
+        probs: Tensor,
+    },
 }
 
 struct Node {
@@ -167,8 +183,8 @@ impl Tape {
             let mu: f32 = row.iter().sum::<f32>() / d as f32;
             let var: f32 = row.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
             let inv = 1.0 / (var + eps).sqrt();
-            for c in 0..d {
-                let xhat = (row[c] - mu) * inv;
+            for (c, &xc) in row.iter().enumerate() {
+                let xhat = (xc - mu) * inv;
                 *out.at_mut(r, c) = g.at(0, c) * xhat + b.at(0, c);
             }
         }
@@ -206,11 +222,9 @@ impl Tape {
         seed.data.fill(1.0);
         grads[root.0] = Some(seed);
 
-        let accum = |grads: &mut Vec<Option<Tensor>>, v: Var, g: Tensor| {
-            match &mut grads[v.0] {
-                Some(existing) => existing.add_assign(&g),
-                slot @ None => *slot = Some(g),
-            }
+        let accum = |grads: &mut Vec<Option<Tensor>>, v: Var, g: Tensor| match &mut grads[v.0] {
+            Some(existing) => existing.add_assign(&g),
+            slot @ None => *slot = Some(g),
         };
 
         for i in (0..self.nodes.len()).rev() {
@@ -293,7 +307,8 @@ impl Tape {
                     for r in 0..xv.rows {
                         let row = xv.row(r);
                         let mu: f32 = row.iter().sum::<f32>() / d as f32;
-                        let var: f32 = row.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
+                        let var: f32 =
+                            row.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
                         let inv = 1.0 / (var + eps).sqrt();
                         // dxhat, plus the two mean corrections.
                         let mut dxhat = vec![0.0f32; d];
@@ -312,7 +327,8 @@ impl Tape {
                         mean_dxhat_xhat /= d as f32;
                         for c in 0..d {
                             let xhat = (row[c] - mu) * inv;
-                            *gx.at_mut(r, c) = (dxhat[c] - mean_dxhat - xhat * mean_dxhat_xhat) * inv;
+                            *gx.at_mut(r, c) =
+                                (dxhat[c] - mean_dxhat - xhat * mean_dxhat_xhat) * inv;
                         }
                     }
                     accum(&mut grads, *x, gx);
@@ -337,10 +353,7 @@ mod tests {
     use super::*;
 
     /// Central-difference gradient check for a scalar-valued builder.
-    fn grad_check(
-        inputs: Vec<Tensor>,
-        build: impl Fn(&mut Tape, &[Var]) -> Var,
-    ) {
+    fn grad_check(inputs: Vec<Tensor>, build: impl Fn(&mut Tape, &[Var]) -> Var) {
         // Analytic gradients.
         let mut tape = Tape::new();
         let vars: Vec<Var> = inputs.iter().map(|t| tape.leaf(t.clone())).collect();
@@ -350,7 +363,8 @@ mod tests {
 
         let eps = 2e-2f32;
         for (vi, input) in inputs.iter().enumerate() {
-            let analytic = grads[vi].clone().unwrap_or_else(|| Tensor::zeros(input.rows, input.cols));
+            let analytic =
+                grads[vi].clone().unwrap_or_else(|| Tensor::zeros(input.rows, input.cols));
             for j in 0..input.data.len() {
                 let mut plus = inputs.clone();
                 plus[vi].data[j] += eps;
@@ -435,10 +449,7 @@ mod tests {
     fn gradcheck_gather() {
         let ids = Rc::new(vec![2u32, 0, 2]);
         grad_check(
-            vec![
-                t(3, 2, &[0.5, -0.2, 0.3, 0.8, -0.4, 0.6]),
-                t(2, 2, &[0.2, -0.3, 0.4, 0.1]),
-            ],
+            vec![t(3, 2, &[0.5, -0.2, 0.3, 0.8, -0.4, 0.6]), t(2, 2, &[0.2, -0.3, 0.4, 0.1])],
             move |tape, v| {
                 let rows = tape.gather(v[0], ids.clone());
                 let pooled = tape.mean_pool(rows);

@@ -6,9 +6,59 @@
 use irnuma_graph::Graph;
 use serde::{Deserialize, Serialize};
 use std::rc::Rc;
+use std::sync::OnceLock;
 
 /// Number of edge relations (control, data, call).
 pub const NUM_RELATIONS: usize = 3;
+
+/// One relation's `(edges, norms)`, Rc-wrapped so tape ops can capture them
+/// without copying.
+pub type RelationArrays = (Rc<Vec<(u32, u32)>>, Rc<Vec<f32>>);
+
+/// Compressed-sparse-row view of one relation's incoming edges, grouped by
+/// destination node. Slot order within a destination preserves the original
+/// edge order, so per-row accumulation visits the same summands in the same
+/// order as an edge-major sweep.
+#[derive(Debug, Clone, Default)]
+pub struct Csr {
+    /// `row_ptr[i]..row_ptr[i+1]` indexes the slots of destination `i`.
+    pub row_ptr: Vec<u32>,
+    /// Source node per slot.
+    pub src: Vec<u32>,
+    /// Edge weight (`1/c_{dst,r}`) per slot.
+    pub weight: Vec<f32>,
+}
+
+impl Csr {
+    /// Build from an edge list (stable counting sort by destination).
+    pub fn from_edges(num_nodes: usize, edges: &[(u32, u32)], norm: &[f32]) -> Csr {
+        assert_eq!(edges.len(), norm.len());
+        let mut row_ptr = vec![0u32; num_nodes + 1];
+        for &(_, d) in edges {
+            row_ptr[d as usize + 1] += 1;
+        }
+        for i in 0..num_nodes {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut cursor: Vec<u32> = row_ptr[..num_nodes].to_vec();
+        let mut src = vec![0u32; edges.len()];
+        let mut weight = vec![0f32; edges.len()];
+        for (e, &(s, d)) in edges.iter().enumerate() {
+            let slot = cursor[d as usize] as usize;
+            cursor[d as usize] += 1;
+            src[slot] = s;
+            weight[slot] = norm[e];
+        }
+        Csr { row_ptr, src, weight }
+    }
+
+    /// Slots of destination row `i` as `(sources, weights)`.
+    pub fn row(&self, i: usize) -> (&[u32], &[f32]) {
+        let lo = self.row_ptr[i] as usize;
+        let hi = self.row_ptr[i + 1] as usize;
+        (&self.src[lo..hi], &self.weight[lo..hi])
+    }
+}
 
 /// A GNN-ready graph.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -19,24 +69,40 @@ pub struct GraphData {
     pub edges: [Vec<(u32, u32)>; NUM_RELATIONS],
     /// Per relation: `1/c_{dst,r}` per edge, aligned with `edges`.
     pub norm: [Vec<f32>; NUM_RELATIONS],
+    /// Destination-grouped adjacency, built on first use by the inference
+    /// engine and reused across every later forward pass of this graph.
+    /// Skipped by serde and rebuilt lazily after deserialization. Code that
+    /// mutates `edges`/`norm` in place must construct a fresh `GraphData`
+    /// (see [`GraphData::from_parts`]) instead, or the cache goes stale.
+    #[serde(skip)]
+    csr: OnceLock<[Csr; NUM_RELATIONS]>,
 }
 
 impl GraphData {
     pub fn from_graph(g: &Graph) -> GraphData {
         let node_text = g.nodes.iter().map(|n| n.text_id).collect();
         let edges = g.edges_by_relation();
-        let mut norm: [Vec<f32>; NUM_RELATIONS] = Default::default();
-        for (r, rel_edges) in edges.iter().enumerate() {
-            let mut indeg = vec![0u32; g.num_nodes()];
-            for &(_, d) in rel_edges {
-                indeg[d as usize] += 1;
-            }
-            norm[r] = rel_edges
-                .iter()
-                .map(|&(_, d)| 1.0 / indeg[d as usize].max(1) as f32)
-                .collect();
-        }
-        GraphData { node_text, edges, norm }
+        let norm = compute_norms(g.num_nodes(), &edges);
+        GraphData { node_text, edges, norm, csr: OnceLock::new() }
+    }
+
+    /// Assemble from raw arrays (norms supplied by the caller).
+    pub fn from_parts(
+        node_text: Vec<u32>,
+        edges: [Vec<(u32, u32)>; NUM_RELATIONS],
+        norm: [Vec<f32>; NUM_RELATIONS],
+    ) -> GraphData {
+        GraphData { node_text, edges, norm, csr: OnceLock::new() }
+    }
+
+    /// Assemble from node ids and edge lists, computing the paper's
+    /// `1/c_{i,r}` normalization (inverse per-relation in-degree).
+    pub fn from_edge_lists(
+        node_text: Vec<u32>,
+        edges: [Vec<(u32, u32)>; NUM_RELATIONS],
+    ) -> GraphData {
+        let norm = compute_norms(node_text.len(), &edges);
+        GraphData::from_parts(node_text, edges, norm)
     }
 
     pub fn num_nodes(&self) -> usize {
@@ -48,9 +114,32 @@ impl GraphData {
     }
 
     /// Rc-wrapped edges/norms for cheap tape capture.
-    pub fn relation(&self, r: usize) -> (Rc<Vec<(u32, u32)>>, Rc<Vec<f32>>) {
+    pub fn relation(&self, r: usize) -> RelationArrays {
         (Rc::new(self.edges[r].clone()), Rc::new(self.norm[r].clone()))
     }
+
+    /// The cached CSR adjacency, one per relation (built on first call).
+    pub fn csr(&self) -> &[Csr; NUM_RELATIONS] {
+        self.csr.get_or_init(|| {
+            let n = self.num_nodes();
+            std::array::from_fn(|r| Csr::from_edges(n, &self.edges[r], &self.norm[r]))
+        })
+    }
+}
+
+fn compute_norms(
+    num_nodes: usize,
+    edges: &[Vec<(u32, u32)>; NUM_RELATIONS],
+) -> [Vec<f32>; NUM_RELATIONS] {
+    let mut norm: [Vec<f32>; NUM_RELATIONS] = Default::default();
+    for (r, rel_edges) in edges.iter().enumerate() {
+        let mut indeg = vec![0u32; num_nodes];
+        for &(_, d) in rel_edges {
+            indeg[d as usize] += 1;
+        }
+        norm[r] = rel_edges.iter().map(|&(_, d)| 1.0 / indeg[d as usize].max(1) as f32).collect();
+    }
+    norm
 }
 
 #[cfg(test)]
@@ -89,5 +178,39 @@ mod tests {
         let d = GraphData::from_graph(&toy());
         assert!(d.edges[EdgeKind::Call.index()].is_empty());
         assert!(d.norm[EdgeKind::Call.index()].is_empty());
+    }
+
+    #[test]
+    fn csr_groups_by_destination_preserving_edge_order() {
+        let d = GraphData::from_graph(&toy());
+        let r = EdgeKind::Data.index();
+        let csr = &d.csr()[r];
+        assert_eq!(csr.row_ptr.len(), d.num_nodes() + 1);
+        assert_eq!(csr.src.len(), d.edges[r].len());
+        // Expanding the rows back must reproduce each destination's incoming
+        // edges in their original edge-list order.
+        for i in 0..d.num_nodes() {
+            let (srcs, ws) = csr.row(i);
+            let expect: Vec<(u32, f32)> = d.edges[r]
+                .iter()
+                .zip(&d.norm[r])
+                .filter(|(&(_, dst), _)| dst as usize == i)
+                .map(|(&(s, _), &w)| (s, w))
+                .collect();
+            let got: Vec<(u32, f32)> = srcs.iter().copied().zip(ws.iter().copied()).collect();
+            assert_eq!(got, expect, "row {i}");
+        }
+    }
+
+    #[test]
+    fn csr_cache_survives_clone_and_is_rebuilt_after_serde() {
+        let d = GraphData::from_graph(&toy());
+        let _ = d.csr();
+        let cloned = d.clone();
+        assert_eq!(cloned.csr()[0].src, d.csr()[0].src);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: GraphData = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.csr()[1].src, d.csr()[1].src);
+        assert_eq!(back.node_text, d.node_text);
     }
 }

@@ -1,0 +1,341 @@
+//! Tape-free batched inference for the RGCN classifier.
+//!
+//! Training needs the autograd tape; prediction does not. This module runs
+//! the same forward computation as [`GnnModel::forward`] without recording
+//! ops, without cloning a single parameter tensor (weights are borrowed from
+//! the model), and with all activation buffers held in a reusable
+//! [`Scratch`] workspace so repeated calls allocate nothing once the
+//! high-water graph size has been seen.
+//!
+//! One pass produces everything the downstream models consume — logits,
+//! pooled embedding, softmax distribution, and top-1 margin — collapsing the
+//! old `predict` / `embedding` / `embedding_with_confidence` triple-forward
+//! into a single [`InferOutput`].
+//!
+//! Numerical equivalence with the tape is exact, not approximate: the dense
+//! kernels are shared ([`matmul_accumulate`]), message passing walks each
+//! destination's incoming edges in the same order the tape's edge-major
+//! sweep does (the CSR rows preserve edge order), and every elementwise op
+//! mirrors the tape's evaluation order. The `≤ 1e-4` bound the tests assert
+//! is a safety margin, not a budget.
+//!
+//! [`infer_batch`](GnnModel::infer_batch) fans graphs out across threads
+//! with one scratch workspace per thread; the per-destination row loop of
+//! the SpMM is independent per row, so the whole engine stays deterministic
+//! regardless of thread count.
+
+use crate::graphdata::GraphData;
+use crate::model::GnnModel;
+use crate::tensor::matmul_accumulate;
+use rayon::prelude::*;
+use std::cell::RefCell;
+
+/// Everything one forward pass yields.
+#[derive(Debug, Clone)]
+pub struct InferOutput {
+    /// Class logits (`classes` entries).
+    pub logits: Vec<f32>,
+    /// Pooled graph embedding (`hidden` entries) — the paper's "vector".
+    pub pooled: Vec<f32>,
+    /// Softmax distribution over classes.
+    pub probs: Vec<f32>,
+    /// Top-1 softmax probability minus top-2 (prediction confidence).
+    pub margin: f32,
+}
+
+impl InferOutput {
+    /// The predicted class (argmax of the logits).
+    pub fn label(&self) -> usize {
+        self.logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("non-empty logits")
+    }
+
+    /// Embedding ++ softmax ++ margin — the hybrid router's feature vector.
+    pub fn router_features(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.pooled.len() + self.probs.len() + 1);
+        out.extend_from_slice(&self.pooled);
+        out.extend_from_slice(&self.probs);
+        out.push(self.margin);
+        out
+    }
+}
+
+/// Reusable activation workspace. Buffers grow to the largest graph seen and
+/// are recycled across calls; a fresh `Scratch` is all-empty and valid.
+#[derive(Default)]
+pub struct Scratch {
+    /// Current node activations (`n×d`).
+    h: Vec<f32>,
+    /// Layer accumulator: self-term plus per-relation message terms.
+    acc: Vec<f32>,
+    /// SpMM output (aggregated messages) for one relation.
+    msgs: Vec<f32>,
+    /// One relation's `msgs @ w_r` product, added into `acc`.
+    term: Vec<f32>,
+    /// First-layer activations, kept for the residual connection.
+    h1: Vec<f32>,
+}
+
+impl Scratch {
+    pub fn new() -> Scratch {
+        Scratch::default()
+    }
+
+    fn reserve(&mut self, n: usize, d: usize) {
+        let len = n * d;
+        for buf in [&mut self.h, &mut self.acc, &mut self.msgs, &mut self.term, &mut self.h1] {
+            buf.clear();
+            buf.resize(len, 0.0);
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+impl GnnModel {
+    /// Tape-free forward pass using this thread's cached scratch workspace.
+    pub fn infer(&self, g: &GraphData) -> InferOutput {
+        SCRATCH.with(|s| self.infer_with(g, &mut s.borrow_mut()))
+    }
+
+    /// Tape-free forward pass into a caller-provided workspace.
+    pub fn infer_with(&self, g: &GraphData, scratch: &mut Scratch) -> InferOutput {
+        let d = self.cfg.hidden;
+        let n = g.num_nodes();
+        scratch.reserve(n, d);
+
+        let mut params = self.params.iter();
+        let mut next = || params.next().expect("parameter list matches architecture");
+
+        // Embedding gather.
+        let embed = next();
+        for (row, &id) in g.node_text.iter().enumerate() {
+            scratch.h[row * d..(row + 1) * d].copy_from_slice(embed.row(id as usize));
+        }
+
+        let csr = g.csr();
+        for layer in 0..self.cfg.layers {
+            let w_self = next();
+            scratch.acc.fill(0.0);
+            matmul_accumulate(&scratch.h, n, d, &w_self.data, d, &mut scratch.acc);
+
+            for (rel, edges) in csr.iter().zip(&g.edges) {
+                let w_r = next();
+                if edges.is_empty() {
+                    continue;
+                }
+                // Row-major SpMM over the CSR adjacency. Each destination row
+                // is independent (parallelizable); slot order matches the
+                // tape's edge order, so sums round identically.
+                for i in 0..n {
+                    let (srcs, ws) = rel.row(i);
+                    let row_range = i * d..(i + 1) * d;
+                    scratch.msgs[row_range.clone()].fill(0.0);
+                    for (&s, &w) in srcs.iter().zip(ws) {
+                        let src = &scratch.h[s as usize * d..(s as usize + 1) * d];
+                        for (o, &v) in scratch.msgs[row_range.clone()].iter_mut().zip(src) {
+                            *o += w * v;
+                        }
+                    }
+                }
+                // The tape materializes `msgs @ w_r` before adding, so the
+                // product goes through a zeroed buffer here too (summing
+                // directly into `acc` would regroup the additions).
+                scratch.term.fill(0.0);
+                matmul_accumulate(&scratch.msgs, n, d, &w_r.data, d, &mut scratch.term);
+                for (a, &t) in scratch.acc.iter_mut().zip(&scratch.term) {
+                    *a += t;
+                }
+            }
+
+            let bias = next();
+            for row in 0..n {
+                for c in 0..d {
+                    let pre = scratch.acc[row * d + c] + bias.data[c];
+                    scratch.h[row * d + c] = if pre < 0.0 { 0.0 } else { pre };
+                }
+            }
+            if layer == 0 {
+                scratch.h1.copy_from_slice(&scratch.h);
+            }
+        }
+
+        // Residual around the deeper layers (tape order: h1 + h).
+        if self.cfg.layers > 1 {
+            // f32 addition is commutative, so `h + h1` rounds identically to
+            // the tape's `h1 + h`.
+            for (hv, &h1v) in scratch.h.iter_mut().zip(&scratch.h1) {
+                *hv += h1v;
+            }
+        }
+
+        // Layer norm (into `acc`), then mean pooling.
+        let gamma = next();
+        let beta = next();
+        let eps = 1e-5f32;
+        for row in 0..n {
+            let x = &scratch.h[row * d..(row + 1) * d];
+            let mu: f32 = x.iter().sum::<f32>() / d as f32;
+            let var: f32 = x.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            let out = &mut scratch.acc[row * d..(row + 1) * d];
+            for (((o, &xc), &gc), &bc) in out.iter_mut().zip(x).zip(&gamma.data).zip(&beta.data) {
+                *o = gc * ((xc - mu) * inv) + bc;
+            }
+        }
+        let mut pooled = vec![0.0f32; d];
+        for row in 0..n {
+            for (p, &a) in pooled.iter_mut().zip(&scratch.acc[row * d..(row + 1) * d]) {
+                *p += a;
+            }
+        }
+        let inv_n = 1.0 / n.max(1) as f32;
+        for p in pooled.iter_mut() {
+            *p *= inv_n;
+        }
+
+        // FC head: z = relu(pooled @ fc1 + b1); logits = z @ fc2 + b2.
+        let fc1 = next();
+        let b1 = next();
+        let mut z = vec![0.0f32; d];
+        matmul_accumulate(&pooled, 1, d, &fc1.data, d, &mut z);
+        for (zv, &bv) in z.iter_mut().zip(&b1.data) {
+            let pre = *zv + bv;
+            *zv = if pre < 0.0 { 0.0 } else { pre };
+        }
+        let fc2 = next();
+        let b2 = next();
+        let classes = self.cfg.classes;
+        let mut logits = vec![0.0f32; classes];
+        matmul_accumulate(&z, 1, d, &fc2.data, classes, &mut logits);
+        for (lv, &bv) in logits.iter_mut().zip(&b2.data) {
+            *lv += bv;
+        }
+        debug_assert!(params.next().is_none(), "all parameters consumed");
+
+        // Softmax + confidence margin (same max-shift as the tape's loss).
+        let max = logits.iter().cloned().fold(f32::MIN, f32::max);
+        let exps: Vec<f32> = logits.iter().map(|v| (v - max).exp()).collect();
+        let zsum: f32 = exps.iter().sum();
+        let probs: Vec<f32> = exps.iter().map(|e| e / zsum).collect();
+        let mut sorted = probs.clone();
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        let margin = sorted[0] - sorted.get(1).copied().unwrap_or(0.0);
+
+        InferOutput { logits, pooled, probs, margin }
+    }
+
+    /// Batched inference: graphs fan out across threads, each thread reusing
+    /// its own scratch workspace. Output order matches input order.
+    pub fn infer_batch(&self, graphs: &[GraphData]) -> Vec<InferOutput> {
+        graphs.par_iter().map(|g| self.infer(g)).collect()
+    }
+
+    /// [`infer_batch`](GnnModel::infer_batch) over scattered graph
+    /// references (e.g. one graph per (region, sequence) pair).
+    pub fn infer_batch_refs(&self, graphs: &[&GraphData]) -> Vec<InferOutput> {
+        graphs.par_iter().map(|g| self.infer(g)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GnnConfig;
+    use irnuma_graph::{EdgeKind, Graph, NodeKind};
+
+    fn toy_graph(seed: u32) -> GraphData {
+        let mut g = Graph::default();
+        let n = 5 + (seed % 4);
+        let mut prev = None;
+        for i in 0..n {
+            let node = g.add_node(NodeKind::Instruction, (seed + i) % 20);
+            if let Some(p) = prev {
+                g.add_edge(p, node, EdgeKind::Control, 0);
+                g.add_edge(node, p, EdgeKind::Data, 0);
+            }
+            prev = Some(node);
+        }
+        GraphData::from_graph(&g)
+    }
+
+    fn model() -> GnnModel {
+        GnnModel::new(GnnConfig { vocab_size: 24, hidden: 8, classes: 4, layers: 2, seed: 9 })
+    }
+
+    #[test]
+    fn infer_matches_tape_exactly() {
+        let m = model();
+        for seed in 0..6 {
+            let g = toy_graph(seed);
+            let f = m.forward(&g);
+            let out = m.infer(&g);
+            assert_eq!(out.pooled, f.tape.value(f.pooled).data, "pooled, graph {seed}");
+            assert_eq!(out.logits, f.tape.value(f.logits).data, "logits, graph {seed}");
+        }
+    }
+
+    #[test]
+    fn scratch_recycles_across_different_sizes() {
+        let m = model();
+        let mut s = Scratch::new();
+        let big = toy_graph(3); // 8 nodes
+        let small = toy_graph(0); // 5 nodes
+        let fresh_big = m.infer_with(&big, &mut Scratch::new());
+        let fresh_small = m.infer_with(&small, &mut Scratch::new());
+        // big → small → big through one workspace must not leak state.
+        assert_eq!(m.infer_with(&big, &mut s).logits, fresh_big.logits);
+        assert_eq!(m.infer_with(&small, &mut s).logits, fresh_small.logits);
+        assert_eq!(m.infer_with(&big, &mut s).logits, fresh_big.logits);
+    }
+
+    #[test]
+    fn batch_matches_serial_and_preserves_order() {
+        let m = model();
+        let graphs: Vec<GraphData> = (0..17).map(toy_graph).collect();
+        let batch = m.infer_batch(&graphs);
+        for (g, out) in graphs.iter().zip(&batch) {
+            let serial = m.infer_with(g, &mut Scratch::new());
+            assert_eq!(out.logits, serial.logits);
+            assert_eq!(out.pooled, serial.pooled);
+        }
+        let refs: Vec<&GraphData> = graphs.iter().collect();
+        let by_ref = m.infer_batch_refs(&refs);
+        for (a, b) in batch.iter().zip(&by_ref) {
+            assert_eq!(a.logits, b.logits);
+        }
+    }
+
+    #[test]
+    fn probs_and_margin_are_consistent() {
+        let m = model();
+        let out = m.infer(&toy_graph(2));
+        let sum: f32 = out.probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(out.margin >= 0.0 && out.margin <= 1.0);
+        assert_eq!(
+            out.label(),
+            out.probs.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0
+        );
+        let rf = out.router_features();
+        assert_eq!(rf.len(), out.pooled.len() + out.probs.len() + 1);
+    }
+
+    #[test]
+    fn single_node_graph_and_empty_relations_work() {
+        let mut g = Graph::default();
+        g.add_node(NodeKind::Instruction, 7);
+        let gd = GraphData::from_graph(&g);
+        let m = model();
+        let f = m.forward(&gd);
+        let out = m.infer(&gd);
+        assert_eq!(out.logits, f.tape.value(f.logits).data);
+        assert_eq!(out.pooled, f.tape.value(f.pooled).data);
+    }
+}

@@ -8,17 +8,25 @@
 //! ([`model::GnnModel`]) implementing the paper's Eq. 1, and an Adam trainer
 //! ([`train`]) with rayon map-reduce gradient accumulation over minibatches.
 //!
+//! Inference goes through a separate tape-free engine ([`infer`]): one pass
+//! over a graph produces logits, pooled embedding, softmax probabilities and
+//! confidence margin ([`infer::InferOutput`]) using a reusable scratch
+//! workspace and the cached CSR adjacency — no tape, no parameter clones —
+//! while matching the tape forward bit-for-bit.
+//!
 //! Everything is seeded and deterministic: `GnnClassifier::fit` with the
 //! same seed and data reproduces identical weights bit-for-bit (per-graph
 //! gradients are summed in a canonical order after the parallel map).
 
 pub mod autograd;
 pub mod graphdata;
+pub mod infer;
 pub mod model;
 pub mod tensor;
 pub mod train;
 
-pub use graphdata::GraphData;
+pub use graphdata::{Csr, GraphData};
+pub use infer::{InferOutput, Scratch};
 pub use model::{GnnConfig, GnnModel};
 pub use tensor::Tensor;
 pub use train::{GnnClassifier, TrainParams};

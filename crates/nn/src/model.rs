@@ -72,7 +72,12 @@ impl GnnModel {
         for l in 0..cfg.layers {
             push(Tensor::glorot(d, d, &mut rng), format!("l{l}.w_self"), &mut params, &mut names);
             for r in 0..NUM_RELATIONS {
-                push(Tensor::glorot(d, d, &mut rng), format!("l{l}.w_rel{r}"), &mut params, &mut names);
+                push(
+                    Tensor::glorot(d, d, &mut rng),
+                    format!("l{l}.w_rel{r}"),
+                    &mut params,
+                    &mut names,
+                );
             }
             push(Tensor::zeros(1, d), format!("l{l}.bias"), &mut params, &mut names);
         }
@@ -160,41 +165,21 @@ impl GnnModel {
         Forward { tape, param_vars, pooled, logits }
     }
 
-    /// Class prediction for one graph.
+    /// Class prediction for one graph (tape-free, via [`GnnModel::infer`]).
     pub fn predict(&self, g: &GraphData) -> usize {
-        let f = self.forward(g);
-        let l = f.tape.value(f.logits);
-        l.data
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .expect("non-empty logits")
+        self.infer(g).label()
     }
 
     /// The pooled graph embedding (paper's 256-d "vector").
     pub fn embedding(&self, g: &GraphData) -> Vec<f32> {
-        let f = self.forward(g);
-        f.tape.value(f.pooled).data.clone()
+        self.infer(g).pooled
     }
 
     /// Embedding concatenated with the softmax class distribution and the
     /// top-1 margin — the feature vector of the hybrid router (the model's
     /// own confidence is the strongest "will I be wrong?" signal).
     pub fn embedding_with_confidence(&self, g: &GraphData) -> Vec<f32> {
-        let f = self.forward(g);
-        let mut out = f.tape.value(f.pooled).data.clone();
-        let logits = f.tape.value(f.logits);
-        let max = logits.data.iter().cloned().fold(f32::MIN, f32::max);
-        let exps: Vec<f32> = logits.data.iter().map(|v| (v - max).exp()).collect();
-        let z: f32 = exps.iter().sum();
-        let probs: Vec<f32> = exps.iter().map(|e| e / z).collect();
-        let mut sorted = probs.clone();
-        sorted.sort_by(|a, b| b.total_cmp(a));
-        let margin = sorted[0] - sorted.get(1).copied().unwrap_or(0.0);
-        out.extend_from_slice(&probs);
-        out.push(margin);
-        out
+        self.infer(g).router_features()
     }
 
     /// Loss and parameter gradients for one labeled graph.
@@ -274,12 +259,7 @@ mod tests {
         assert!(loss > 0.0);
         assert_eq!(grads.len(), m.params.len());
         for (i, gr) in grads.iter().enumerate() {
-            assert!(
-                gr.same_shape(&m.params[i]),
-                "grad {} shape mismatch ({})",
-                i,
-                m.param_name(i)
-            );
+            assert!(gr.same_shape(&m.params[i]), "grad {} shape mismatch ({})", i, m.param_name(i));
         }
         // At least embed, one relation weight and the head must receive
         // non-zero gradient.

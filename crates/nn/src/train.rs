@@ -13,6 +13,9 @@ use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+/// One tensor's `(m, v)` moments zipped with its parameter and gradient.
+type AdamSlot<'a> = (((&'a mut Tensor, &'a mut Tensor), &'a mut Tensor), &'a Tensor);
+
 /// Adam state per parameter tensor.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Adam {
@@ -42,17 +45,22 @@ impl Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for i in 0..params.len() {
-            let (m, v) = (&mut self.m[i], &mut self.v[i]);
-            for j in 0..params[i].data.len() {
-                let g = grads[i].data[j];
-                m.data[j] = self.beta1 * m.data[j] + (1.0 - self.beta1) * g;
-                v.data[j] = self.beta2 * v.data[j] + (1.0 - self.beta2) * g * g;
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        // Each parameter tensor's update is independent and every element's
+        // arithmetic is unchanged, so parallelizing across tensors keeps the
+        // step bit-for-bit deterministic.
+        let work: Vec<AdamSlot> =
+            self.m.iter_mut().zip(self.v.iter_mut()).zip(params.iter_mut()).zip(grads).collect();
+        work.into_par_iter().for_each(|(((m, v), p), g)| {
+            for j in 0..p.data.len() {
+                let gj = g.data[j];
+                m.data[j] = b1 * m.data[j] + (1.0 - b1) * gj;
+                v.data[j] = b2 * v.data[j] + (1.0 - b2) * gj * gj;
                 let mhat = m.data[j] / bc1;
                 let vhat = v.data[j] / bc2;
-                params[i].data[j] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+                p.data[j] -= lr * mhat / (vhat.sqrt() + eps);
             }
-        }
+        });
     }
 }
 
@@ -103,12 +111,8 @@ impl GnnClassifier {
                     .par_iter()
                     .map(|&i| self.model.loss_and_grads(&graphs[i], labels[i]))
                     .collect();
-                let mut total: Vec<Tensor> = self
-                    .model
-                    .params
-                    .iter()
-                    .map(|q| Tensor::zeros(q.rows, q.cols))
-                    .collect();
+                let mut total: Vec<Tensor> =
+                    self.model.params.iter().map(|q| Tensor::zeros(q.rows, q.cols)).collect();
                 let inv = 1.0 / chunk.len() as f32;
                 for (loss, grads) in results {
                     epoch_loss += loss;
@@ -150,13 +154,10 @@ impl GnnClassifier {
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 
-    /// Fraction of graphs classified correctly.
+    /// Fraction of graphs classified correctly (one batched inference pass).
     pub fn accuracy(&self, graphs: &[GraphData], labels: &[usize]) -> f64 {
-        let correct: usize = graphs
-            .par_iter()
-            .zip(labels.par_iter())
-            .filter(|(g, &l)| self.model.predict(g) == l)
-            .count();
+        let outputs = self.model.infer_batch(graphs);
+        let correct = outputs.iter().zip(labels).filter(|(o, &l)| o.label() == l).count();
         correct as f64 / graphs.len().max(1) as f64
     }
 }

@@ -68,7 +68,7 @@ pub struct PassManager {
 
 impl Default for PassManager {
     fn default() -> Self {
-        PassManager { verify_each: cfg!(debug_assertions) }
+        PassManager::new(cfg!(debug_assertions))
     }
 }
 
@@ -147,9 +147,7 @@ mod tests {
     #[test]
     fn unknown_pass_is_reported() {
         let mut m = Module::new("m");
-        let err = PassManager::new(true)
-            .run(&mut m, &["does-not-exist".to_string()])
-            .unwrap_err();
+        let err = PassManager::new(true).run(&mut m, &["does-not-exist".to_string()]).unwrap_err();
         assert!(matches!(err, PassError::UnknownPass(_)));
     }
 

@@ -55,13 +55,16 @@ fn run_function(f: &mut Function) -> bool {
                 }
                 let key = key_of(instr);
                 let entry = table.entry(key).or_default();
-                let found = entry.iter().find(|&&(db, dpos, _)| {
-                    if db == bid {
-                        dpos < pos
-                    } else {
-                        dom.dominates(db, bid)
-                    }
-                });
+                let found =
+                    entry.iter().find(
+                        |&&(db, dpos, _)| {
+                            if db == bid {
+                                dpos < pos
+                            } else {
+                                dom.dominates(db, bid)
+                            }
+                        },
+                    );
                 match found {
                     Some(&(_, _, leader)) => replacements.push((id, leader)),
                     None => entry.push((bid, pos, id)),
@@ -101,7 +104,8 @@ mod tests {
 
     #[test]
     fn commutative_operands_are_normalized() {
-        let mut b = FunctionBuilder::new("f", vec![Ty::I64, Ty::I64], Ty::I64, FunctionKind::Normal);
+        let mut b =
+            FunctionBuilder::new("f", vec![Ty::I64, Ty::I64], Ty::I64, FunctionKind::Normal);
         let a = b.add(Ty::I64, b.arg(0), b.arg(1));
         let c = b.add(Ty::I64, b.arg(1), b.arg(0));
         let s = b.mul(Ty::I64, a, c);

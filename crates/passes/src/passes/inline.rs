@@ -4,9 +4,7 @@
 //! values when the callee has several `ret`s.
 
 use crate::pass::Pass;
-use irnuma_ir::{
-    BlockId, Function, FunctionKind, Instr, InstrId, Module, Opcode, Operand, Ty,
-};
+use irnuma_ir::{BlockId, Function, FunctionKind, Instr, InstrId, Module, Opcode, Operand, Ty};
 use std::collections::HashMap;
 
 pub struct Inline {
@@ -40,11 +38,9 @@ impl Pass for Inline {
             if f.is_declaration() {
                 continue;
             }
-            loop {
-                let Some((bid, pos, call_id, callee_name)) = find_site(f, &snapshot, self.max_callee_instrs)
-                else {
-                    break;
-                };
+            while let Some((bid, pos, call_id, callee_name)) =
+                find_site(f, &snapshot, self.max_callee_instrs)
+            {
                 let callee = &snapshot[&callee_name];
                 inline_site(f, bid, pos, call_id, callee);
                 changed = true;
@@ -131,9 +127,9 @@ fn inline_site(f: &mut Function, bid: BlockId, pos: usize, call_id: InstrId, cal
         let mut instr = callee.instr(cid).clone();
         for op in &mut instr.operands {
             *op = match *op {
-                Operand::Instr(d) => Operand::Instr(
-                    *imap.get(&d).expect("callee operand defined in callee"),
-                ),
+                Operand::Instr(d) => {
+                    Operand::Instr(*imap.get(&d).expect("callee operand defined in callee"))
+                }
                 Operand::Arg(a) => call_args[a as usize],
                 Operand::Block(b) => Operand::Block(bmap[&b]),
                 other => other,
@@ -188,7 +184,12 @@ mod tests {
 
     fn module_with_helper(multi_ret: bool) -> Module {
         let mut m = Module::new("m");
-        let mut h = FunctionBuilder::new("square_plus", vec![Ty::I64, Ty::I64], Ty::I64, FunctionKind::Normal);
+        let mut h = FunctionBuilder::new(
+            "square_plus",
+            vec![Ty::I64, Ty::I64],
+            Ty::I64,
+            FunctionKind::Normal,
+        );
         if multi_ret {
             let neg = h.new_block();
             let nonneg = h.new_block();
@@ -266,7 +267,8 @@ mod tests {
     #[test]
     fn outlined_regions_are_not_inlined_into_callers() {
         let mut m = Module::new("m");
-        let mut region = FunctionBuilder::new(".omp_outlined.k", vec![], Ty::Void, FunctionKind::OmpOutlined);
+        let mut region =
+            FunctionBuilder::new(".omp_outlined.k", vec![], Ty::Void, FunctionKind::OmpOutlined);
         region.ret(None);
         m.add_function(region.finish());
         let mut main = FunctionBuilder::new("main", vec![], Ty::Void, FunctionKind::Normal);

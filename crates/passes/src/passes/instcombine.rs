@@ -150,7 +150,11 @@ mod tests {
     use irnuma_ir::builder::{fconst, iconst, FunctionBuilder};
     use irnuma_ir::{verify_function, FunctionKind, Ty};
 
-    fn optimize(build: impl FnOnce(&mut FunctionBuilder) -> Operand, params: Vec<Ty>, ret: Ty) -> Function {
+    fn optimize(
+        build: impl FnOnce(&mut FunctionBuilder) -> Operand,
+        params: Vec<Ty>,
+        ret: Ty,
+    ) -> Function {
         let mut b = FunctionBuilder::new("f", params, ret, FunctionKind::Normal);
         let out = build(&mut b);
         b.ret(Some(out));

@@ -24,11 +24,8 @@ impl Pass for Licm {
 
 fn preheader(f: &Function, l: &NaturalLoop) -> Option<irnuma_ir::BlockId> {
     let preds = predecessors(f);
-    let outside: Vec<_> = preds[l.header.index()]
-        .iter()
-        .copied()
-        .filter(|p| !l.contains(*p))
-        .collect();
+    let outside: Vec<_> =
+        preds[l.header.index()].iter().copied().filter(|p| !l.contains(*p)).collect();
     if outside.len() != 1 {
         return None;
     }
@@ -131,7 +128,8 @@ mod tests {
 
     #[test]
     fn invariant_arithmetic_hoists_to_preheader() {
-        let mut b = FunctionBuilder::new("f", vec![Ty::I64, Ty::I64], Ty::Void, FunctionKind::Normal);
+        let mut b =
+            FunctionBuilder::new("f", vec![Ty::I64, Ty::I64], Ty::Void, FunctionKind::Normal);
         b.counted_loop(iconst(0), b.arg(0), iconst(1), |b, _i| {
             let inv = b.mul(Ty::I64, b.arg(1), iconst(100)); // invariant
             let _ = b.add(Ty::I64, inv, iconst(5)); // depends on inv: also invariant
@@ -161,7 +159,8 @@ mod tests {
     #[test]
     fn loads_hoist_only_from_write_free_loops() {
         // Loop with a store: the load of an invariant address must stay.
-        let mut b = FunctionBuilder::new("f", vec![Ty::Ptr, Ty::I64], Ty::Void, FunctionKind::Normal);
+        let mut b =
+            FunctionBuilder::new("f", vec![Ty::Ptr, Ty::I64], Ty::Void, FunctionKind::Normal);
         b.counted_loop(iconst(0), b.arg(1), iconst(1), |b, i| {
             let v = b.load(Ty::F64, b.arg(0));
             let p = b.gep(Ty::F64, b.arg(0), i);
@@ -171,11 +170,13 @@ mod tests {
         let mut f = b.finish();
         run_function(&mut f);
         verify_function(&f).unwrap();
-        let entry_has_load = f.blocks[0].instrs.iter().any(|&i| matches!(f.instr(i).op, Opcode::Load));
+        let entry_has_load =
+            f.blocks[0].instrs.iter().any(|&i| matches!(f.instr(i).op, Opcode::Load));
         assert!(!entry_has_load, "load must not be hoisted past a looped store");
 
         // Write-free loop: load of loop-invariant pointer hoists.
-        let mut b = FunctionBuilder::new("g", vec![Ty::Ptr, Ty::I64], Ty::F64, FunctionKind::Normal);
+        let mut b =
+            FunctionBuilder::new("g", vec![Ty::Ptr, Ty::I64], Ty::F64, FunctionKind::Normal);
         let acc = b.alloca(Ty::F64, 1);
         let _ = acc;
         b.counted_loop(iconst(0), b.arg(1), iconst(1), |b, _i| {
@@ -186,13 +187,15 @@ mod tests {
         let mut f = b.finish();
         assert!(run_function(&mut f));
         verify_function(&f).unwrap();
-        let entry_has_load = f.blocks[0].instrs.iter().any(|&i| matches!(f.instr(i).op, Opcode::Load));
+        let entry_has_load =
+            f.blocks[0].instrs.iter().any(|&i| matches!(f.instr(i).op, Opcode::Load));
         assert!(entry_has_load);
     }
 
     #[test]
     fn hoisted_values_keep_dependency_order() {
-        let mut b = FunctionBuilder::new("f", vec![Ty::I64, Ty::I64], Ty::I64, FunctionKind::Normal);
+        let mut b =
+            FunctionBuilder::new("f", vec![Ty::I64, Ty::I64], Ty::I64, FunctionKind::Normal);
         b.counted_loop(iconst(0), b.arg(0), iconst(1), |b, _| {
             let a = b.mul(Ty::I64, b.arg(1), iconst(7));
             let c = b.add(Ty::I64, a, iconst(1));

@@ -88,11 +88,11 @@ fn run_function(f: &mut Function) -> bool {
         let mut def_blocks: Vec<BlockId> = Vec::new();
         for (b, _, id) in f.iter_attached() {
             let instr = f.instr(id);
-            if matches!(instr.op, Opcode::Store) && instr.operands[1] == Operand::Instr(alloca_id)
+            if matches!(instr.op, Opcode::Store)
+                && instr.operands[1] == Operand::Instr(alloca_id)
+                && !def_blocks.contains(&b)
             {
-                if !def_blocks.contains(&b) {
-                    def_blocks.push(b);
-                }
+                def_blocks.push(b);
             }
         }
 
@@ -141,9 +141,7 @@ fn run_function(f: &mut Function) -> bool {
                             self.f.replace_all_uses(id, incoming);
                             self.kills.push(id);
                         }
-                        Opcode::Store
-                            if instr.operands[1] == Operand::Instr(self.alloca) =>
-                        {
+                        Opcode::Store if instr.operands[1] == Operand::Instr(self.alloca) => {
                             incoming = instr.operands[0];
                             self.kills.push(id);
                         }
@@ -212,10 +210,8 @@ mod tests {
             .count();
         assert_eq!(mems, 0, "all alloca traffic promoted");
         // A second phi (the accumulator) joined the induction phi.
-        let phis = f
-            .iter_attached()
-            .filter(|&(_, _, id)| matches!(f.instr(id).op, Opcode::Phi))
-            .count();
+        let phis =
+            f.iter_attached().filter(|&(_, _, id)| matches!(f.instr(id).op, Opcode::Phi)).count();
         assert_eq!(phis, 2);
     }
 

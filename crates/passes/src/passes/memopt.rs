@@ -133,7 +133,8 @@ mod tests {
 
     #[test]
     fn intervening_unrelated_store_blocks_forwarding() {
-        let mut b = FunctionBuilder::new("f", vec![Ty::Ptr, Ty::Ptr], Ty::I64, FunctionKind::Normal);
+        let mut b =
+            FunctionBuilder::new("f", vec![Ty::Ptr, Ty::Ptr], Ty::I64, FunctionKind::Normal);
         b.store(iconst(1), b.arg(0));
         b.store(iconst(2), b.arg(1)); // may alias arg0
         let v = b.load(Ty::I64, b.arg(0));
@@ -183,7 +184,8 @@ mod tests {
 
     #[test]
     fn read_in_between_protects_store() {
-        let mut b = FunctionBuilder::new("f", vec![Ty::Ptr, Ty::Ptr], Ty::I64, FunctionKind::Normal);
+        let mut b =
+            FunctionBuilder::new("f", vec![Ty::Ptr, Ty::Ptr], Ty::I64, FunctionKind::Normal);
         b.store(iconst(1), b.arg(0));
         let v = b.load(Ty::I64, b.arg(1)); // may read arg0
         b.store(iconst(2), b.arg(0));

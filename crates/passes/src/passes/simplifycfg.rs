@@ -84,9 +84,9 @@ fn fold_same_target_condbr(f: &mut Function) -> bool {
 fn merge_straight_line(f: &mut Function) -> bool {
     let reach = reachable(f);
     let preds = predecessors(f);
-    for b in 0..f.blocks.len() {
+    for (b, &live) in reach.iter().enumerate() {
         let bid = BlockId(b as u32);
-        if !reach[b] {
+        if !live {
             continue;
         }
         let Some(t) = f.terminator(bid) else { continue };
@@ -146,10 +146,8 @@ fn remove_forwarding_blocks(f: &mut Function) -> bool {
             continue;
         }
         // Target must have no phis.
-        let target_has_phi = f.blocks[target.index()]
-            .instrs
-            .iter()
-            .any(|&i| matches!(f.instr(i).op, Opcode::Phi));
+        let target_has_phi =
+            f.blocks[target.index()].instrs.iter().any(|&i| matches!(f.instr(i).op, Opcode::Phi));
         if target_has_phi {
             continue;
         }

@@ -102,10 +102,8 @@ mod tests {
         assert!(run_function(&mut f));
         verify_function(&f).unwrap();
         // The mul now lives in block t.
-        let mul = f
-            .iter_attached()
-            .find(|&(_, _, id)| matches!(f.instr(id).op, Opcode::Mul))
-            .unwrap();
+        let mul =
+            f.iter_attached().find(|&(_, _, id)| matches!(f.instr(id).op, Opcode::Mul)).unwrap();
         assert_eq!(mul.0, BlockId(1));
     }
 

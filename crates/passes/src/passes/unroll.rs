@@ -201,7 +201,7 @@ fn unroll(f: &mut Function, c: &Candidate, trip: u64) {
 
     // Final values of iv and next after the loop.
     let final_iv = c.lo + (trip as i64 - 1) * c.step + c.step; // == value when cmp fails
-    // (uses of `next` outside the body see the same final value)
+                                                               // (uses of `next` outside the body see the same final value)
     f.replace_all_uses(c.iv, Operand::ConstInt(final_iv));
     f.replace_all_uses(c.next, Operand::ConstInt(final_iv));
     let _ = c.cmp; // becomes dead once header is rewritten
@@ -221,9 +221,9 @@ fn unroll(f: &mut Function, c: &Candidate, trip: u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use irnuma_ir::analysis::natural_loops;
     use irnuma_ir::builder::{iconst, FunctionBuilder};
     use irnuma_ir::{verify_function, FunctionKind};
-    use irnuma_ir::analysis::natural_loops;
 
     fn small_loop(n: i64) -> Function {
         let mut b = FunctionBuilder::new("f", vec![Ty::Ptr], Ty::Void, FunctionKind::Normal);
@@ -245,10 +245,8 @@ mod tests {
         verify_function(&f).unwrap();
         assert!(natural_loops(&f).is_empty(), "loop is gone");
         // 4 copies × 4 body instrs (gep/load/fmul/store + add clone) exist.
-        let stores = f
-            .iter_attached()
-            .filter(|&(_, _, id)| matches!(f.instr(id).op, Opcode::Store))
-            .count();
+        let stores =
+            f.iter_attached().filter(|&(_, _, id)| matches!(f.instr(id).op, Opcode::Store)).count();
         assert_eq!(stores, 4);
         // Each copy indexes a distinct constant 0..4.
         let geps: Vec<i64> = f
@@ -297,7 +295,8 @@ mod tests {
 
     #[test]
     fn nested_inner_loop_unrolls_outer_stays() {
-        let mut b = FunctionBuilder::new("f", vec![Ty::Ptr, Ty::I64], Ty::Void, FunctionKind::Normal);
+        let mut b =
+            FunctionBuilder::new("f", vec![Ty::Ptr, Ty::I64], Ty::Void, FunctionKind::Normal);
         b.counted_loop(iconst(0), b.arg(1), iconst(1), |b, i| {
             b.counted_loop(iconst(0), iconst(3), iconst(1), |b, j| {
                 let idx = b.add(Ty::I64, i, j);
@@ -310,10 +309,8 @@ mod tests {
         assert!(run_function(&mut f, 16, 256));
         verify_function(&f).unwrap();
         assert_eq!(natural_loops(&f).len(), 1, "outer dynamic loop remains");
-        let stores = f
-            .iter_attached()
-            .filter(|&(_, _, id)| matches!(f.instr(id).op, Opcode::Store))
-            .count();
+        let stores =
+            f.iter_attached().filter(|&(_, _, id)| matches!(f.instr(id).op, Opcode::Store)).count();
         assert_eq!(stores, 3);
     }
 }

@@ -170,7 +170,7 @@ pub fn rename_phi_pred(f: &mut Function, block: BlockId, old_pred: BlockId, new_
 #[cfg(test)]
 mod tests {
     use super::*;
-    use irnuma_ir::{IntPred, FloatPred, CastKind};
+    use irnuma_ir::{CastKind, FloatPred, IntPred};
 
     fn bin(op: Opcode, ty: Ty, a: Operand, b: Operand) -> Instr {
         Instr::new(op, ty, vec![a, b])
@@ -204,21 +204,41 @@ mod tests {
     fn folds_float_arithmetic_and_compares() {
         let i = bin(Opcode::FMul, Ty::F64, Operand::float(1.5), Operand::float(2.0));
         assert_eq!(fold_constant(&i), Some(Operand::float(3.0)));
-        let i = Instr::new(Opcode::Fcmp(FloatPred::Olt), Ty::I1, vec![Operand::float(1.0), Operand::float(2.0)]);
+        let i = Instr::new(
+            Opcode::Fcmp(FloatPred::Olt),
+            Ty::I1,
+            vec![Operand::float(1.0), Operand::float(2.0)],
+        );
         assert_eq!(fold_constant(&i), Some(Operand::ConstInt(1)));
-        let i = Instr::new(Opcode::Icmp(IntPred::Sge), Ty::I1, vec![Operand::ConstInt(1), Operand::ConstInt(2)]);
+        let i = Instr::new(
+            Opcode::Icmp(IntPred::Sge),
+            Ty::I1,
+            vec![Operand::ConstInt(1), Operand::ConstInt(2)],
+        );
         assert_eq!(fold_constant(&i), Some(Operand::ConstInt(0)));
     }
 
     #[test]
     fn folds_select_and_casts() {
-        let i = Instr::new(Opcode::Select, Ty::I64, vec![Operand::ConstInt(1), Operand::ConstInt(10), Operand::ConstInt(20)]);
+        let i = Instr::new(
+            Opcode::Select,
+            Ty::I64,
+            vec![Operand::ConstInt(1), Operand::ConstInt(10), Operand::ConstInt(20)],
+        );
         assert_eq!(fold_constant(&i), Some(Operand::ConstInt(10)));
         let i = Instr::new(Opcode::Cast(CastKind::SiToFp), Ty::F64, vec![Operand::ConstInt(3)]);
         assert_eq!(fold_constant(&i), Some(Operand::float(3.0)));
-        let i = Instr::new(Opcode::Cast(CastKind::Trunc), Ty::I32, vec![Operand::ConstInt(0x1_0000_0001)]);
+        let i = Instr::new(
+            Opcode::Cast(CastKind::Trunc),
+            Ty::I32,
+            vec![Operand::ConstInt(0x1_0000_0001)],
+        );
         assert_eq!(fold_constant(&i), Some(Operand::ConstInt(1)));
-        let i = Instr::new(Opcode::Cast(CastKind::FpToSi), Ty::I64, vec![Operand::float(f64::INFINITY)]);
+        let i = Instr::new(
+            Opcode::Cast(CastKind::FpToSi),
+            Ty::I64,
+            vec![Operand::float(f64::INFINITY)],
+        );
         assert_eq!(fold_constant(&i), None, "non-finite fptosi is UB; do not fold");
     }
 

@@ -20,10 +20,8 @@ fn small_module(r: &RegionSpec) -> Module {
 
 /// Run `function(n)` in a fixed context; returns (ret, memory digest, steps).
 fn execute(m: &Module, function: &str, n: i64, tid: i64, nth: i64) -> (Option<Value>, u64) {
-    let mut it = Interp::new(
-        m,
-        InterpConfig { thread_num: tid, num_threads: nth, step_limit: 4_000_000 },
-    );
+    let mut it =
+        Interp::new(m, InterpConfig { thread_num: tid, num_threads: nth, step_limit: 4_000_000 });
     it.seed_globals(0xD1FF);
     let out = it
         .call(function, &[Value::I(n)])
@@ -35,14 +33,8 @@ fn check_equivalent(original: &Module, optimized: &Module, function: &str, label
     for (n, tid, nth) in [(64i64, 1i64, 4i64), (48, 0, 4), (96, 3, 4)] {
         let (r1, m1) = execute(original, function, n, tid, nth);
         let (r2, m2) = execute(optimized, function, n, tid, nth);
-        assert_eq!(
-            r1, r2,
-            "{label}: return value differs for n={n} tid={tid}"
-        );
-        assert_eq!(
-            m1, m2,
-            "{label}: final memory differs for n={n} tid={tid}"
-        );
+        assert_eq!(r1, r2, "{label}: return value differs for n={n} tid={tid}");
+        assert_eq!(m1, m2, "{label}: final memory differs for n={n} tid={tid}");
     }
 }
 

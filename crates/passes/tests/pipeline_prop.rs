@@ -18,7 +18,12 @@ fn kernel_zoo() -> Vec<Module> {
         let mut m = Module::new("triad");
         let a = m.add_global("a", Ty::F64, 8192);
         let b_g = m.add_global("b", Ty::F64, 8192);
-        let mut b = FunctionBuilder::new(".omp_outlined.triad", vec![Ty::I64, Ty::I64], Ty::Void, FunctionKind::OmpOutlined);
+        let mut b = FunctionBuilder::new(
+            ".omp_outlined.triad",
+            vec![Ty::I64, Ty::I64],
+            Ty::Void,
+            FunctionKind::OmpOutlined,
+        );
         let dead = b.mul(Ty::I64, b.arg(0), iconst(99));
         let _ = dead;
         let scale_base = b.fadd(Ty::F64, fconst(1.0), fconst(0.5)); // const-foldable
@@ -43,7 +48,12 @@ fn kernel_zoo() -> Vec<Module> {
         let w = b_weight(&mut h);
         h.ret(Some(w));
         m.add_function(h.finish());
-        let mut b = FunctionBuilder::new(".omp_outlined.stencil", vec![Ty::I64], Ty::Void, FunctionKind::OmpOutlined);
+        let mut b = FunctionBuilder::new(
+            ".omp_outlined.stencil",
+            vec![Ty::I64],
+            Ty::Void,
+            FunctionKind::OmpOutlined,
+        );
         b.counted_loop(iconst(0), iconst(5), iconst(1), |b, k| {
             let wv = b.call("weight", Ty::F64, vec![k]);
             let p = b.gep(Ty::F64, Operand::Global(g), k);
@@ -60,7 +70,12 @@ fn kernel_zoo() -> Vec<Module> {
     {
         let mut m = Module::new("redundant");
         let g = m.add_global("buf", Ty::I64, 1024);
-        let mut b = FunctionBuilder::new(".omp_outlined.red", vec![Ty::I64], Ty::Void, FunctionKind::OmpOutlined);
+        let mut b = FunctionBuilder::new(
+            ".omp_outlined.red",
+            vec![Ty::I64],
+            Ty::Void,
+            FunctionKind::OmpOutlined,
+        );
         let t = b.new_block();
         let e = b.new_block();
         let j = b.new_block();

@@ -3,9 +3,7 @@
 //! promotion, for random inputs.
 
 use irnuma_ir::builder::{fconst, iconst, FunctionBuilder};
-use irnuma_ir::{
-    FunctionKind, Interp, InterpConfig, IntPred, Module, Operand, Ty, Value,
-};
+use irnuma_ir::{FunctionKind, IntPred, Interp, InterpConfig, Module, Operand, Ty, Value};
 use irnuma_passes::run_sequence;
 use proptest::prelude::*;
 

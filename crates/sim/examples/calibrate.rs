@@ -11,16 +11,9 @@ fn main() {
         let mut speedups = Vec::new();
         for r in all_regions() {
             let sweep = sweep_region(&r, &m, InputSize::Size1, 3);
-            let t_def = sweep
-                .iter()
-                .find(|(c, _)| *c == default_config(&m))
-                .map(|x| x.1)
-                .unwrap();
-            let (best, t_best) = sweep
-                .iter()
-                .min_by(|a, b| a.1.total_cmp(&b.1))
-                .map(|(c, t)| (*c, *t))
-                .unwrap();
+            let t_def = sweep.iter().find(|(c, _)| *c == default_config(&m)).map(|x| x.1).unwrap();
+            let (best, t_best) =
+                sweep.iter().min_by(|a, b| a.1.total_cmp(&b.1)).map(|(c, t)| (*c, *t)).unwrap();
             let s = t_def / t_best;
             speedups.push(s);
             let eff = irnuma_sim::cost::effective_profile(&r.name, &r.profile);

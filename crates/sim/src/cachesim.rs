@@ -9,9 +9,9 @@
 //! trace simulator (it would be orders of magnitude slower), but the
 //! analytic constants were sanity-checked against it.
 
+use irnuma_workloads::AccessPattern;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use irnuma_workloads::AccessPattern;
 
 /// One set-associative cache level with LRU replacement.
 #[derive(Debug, Clone)]
@@ -118,12 +118,7 @@ impl Hierarchy {
 /// Generate a synthetic byte-address trace for a pattern over `ws_bytes`.
 /// `rounds` full sweeps (or equivalent access counts for irregular
 /// patterns). Deterministic in `seed`.
-pub fn synth_trace(
-    pattern: AccessPattern,
-    ws_bytes: u64,
-    rounds: u32,
-    seed: u64,
-) -> Vec<u64> {
+pub fn synth_trace(pattern: AccessPattern, ws_bytes: u64, rounds: u32, seed: u64) -> Vec<u64> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let elems = (ws_bytes / 8).max(64);
     let n = (elems as usize) * rounds as usize;

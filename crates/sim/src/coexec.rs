@@ -145,10 +145,7 @@ mod tests {
         let c = half_space(&m)[0];
         let with_heavy = co_time(&victim, &c, &heavy, &c, &m, InputSize::Size1);
         let with_light = co_time(&victim, &c, &light, &c, &m, InputSize::Size1);
-        assert!(
-            with_heavy > with_light,
-            "heavy co-runner worse: {with_heavy} vs {with_light}"
-        );
+        assert!(with_heavy > with_light, "heavy co-runner worse: {with_heavy} vs {with_light}");
     }
 
     #[test]
@@ -188,9 +185,9 @@ mod tests {
                 let solo_best_cfg = space
                     .iter()
                     .min_by(|x, y| {
-                        simulate(&a.name, &a.profile, &m, x, InputSize::Size1, 0)
-                            .seconds
-                            .total_cmp(&simulate(&a.name, &a.profile, &m, y, InputSize::Size1, 0).seconds)
+                        simulate(&a.name, &a.profile, &m, x, InputSize::Size1, 0).seconds.total_cmp(
+                            &simulate(&a.name, &a.profile, &m, y, InputSize::Size1, 0).seconds,
+                        )
                     })
                     .unwrap();
                 let (cfg, _, _) = best_pair(&a, &b, &m, InputSize::Size1);

@@ -24,8 +24,8 @@
 
 use crate::config::{Config, PageMapping, ThreadMapping};
 use crate::machine::Machine;
-use serde::{Deserialize, Serialize};
 use irnuma_workloads::{AccessPattern, DynamicProfile, InputSize};
+use serde::{Deserialize, Serialize};
 
 /// Simulated performance counters — the dynamic features of the paper
 /// (Sánchez Barrera's best model uses package power + L3 miss ratio).
@@ -303,7 +303,12 @@ mod tests {
             for c in config_space(&m).iter().step_by(17) {
                 for size in [InputSize::Size1, InputSize::Size2] {
                     let meas = simulate(&r.name, &r.profile, &m, c, size, 0);
-                    assert!(meas.seconds.is_finite() && meas.seconds > 0.0, "{} {}", r.name, c.label());
+                    assert!(
+                        meas.seconds.is_finite() && meas.seconds > 0.0,
+                        "{} {}",
+                        r.name,
+                        c.label()
+                    );
                     assert!(meas.counters.package_power_w > 0.0);
                     assert!((0.0..=1.0).contains(&meas.counters.l3_miss_ratio));
                     assert!((0.0..=1.0).contains(&meas.counters.remote_access_ratio));
@@ -392,7 +397,8 @@ mod tests {
 
         let calm = region("cg.axpy"); // sensitivity 0.05
         let e = effective_profile(&calm.name, &calm.profile);
-        let drift = (e.working_set_bytes as f64 / calm.profile.working_set_bytes as f64 - 1.0).abs();
+        let drift =
+            (e.working_set_bytes as f64 / calm.profile.working_set_bytes as f64 - 1.0).abs();
         assert!(drift < 0.1, "calm region barely drifts, got {drift}");
     }
 

@@ -15,7 +15,8 @@ pub enum MicroArch {
 }
 
 impl MicroArch {
-    pub const ALL: [MicroArch; 3] = [MicroArch::SandyBridge, MicroArch::Skylake, MicroArch::XeonGold];
+    pub const ALL: [MicroArch; 3] =
+        [MicroArch::SandyBridge, MicroArch::Skylake, MicroArch::XeonGold];
 }
 
 /// A NUMA machine: topology plus the handful of parameters the cost model

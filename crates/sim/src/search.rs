@@ -10,16 +10,19 @@ use rayon::prelude::*;
 /// `calls` invocations (the paper's sampled exploration uses 10 calls).
 pub fn mean_time(r: &RegionSpec, m: &Machine, c: &Config, size: InputSize, calls: u32) -> f64 {
     let calls = calls.max(1);
-    let total: f64 = (0..calls)
-        .map(|k| simulate(&r.name, &r.profile, m, c, size, k).seconds)
-        .sum();
+    let total: f64 = (0..calls).map(|k| simulate(&r.name, &r.profile, m, c, size, k).seconds).sum();
     total / calls as f64
 }
 
 /// Sweep the full configuration space of a machine for one region.
 /// Returns `(config, mean_seconds)` in the space's canonical order.
 /// Parallelized with rayon (the sweep is the hot path of step C).
-pub fn sweep_region(r: &RegionSpec, m: &Machine, size: InputSize, calls: u32) -> Vec<(Config, f64)> {
+pub fn sweep_region(
+    r: &RegionSpec,
+    m: &Machine,
+    size: InputSize,
+    calls: u32,
+) -> Vec<(Config, f64)> {
     config_space(m)
         .into_par_iter()
         .map(|c| {
@@ -40,10 +43,14 @@ pub fn exhaustive_best(r: &RegionSpec, m: &Machine, size: InputSize, calls: u32)
 /// Per-call execution-time trace (paper Fig. 12): `calls` invocations under
 /// one configuration, in cycles of the machine's clock for fidelity with the
 /// paper's y-axis.
-pub fn per_call_trace(r: &RegionSpec, m: &Machine, c: &Config, size: InputSize, calls: u32) -> Vec<f64> {
-    (0..calls)
-        .map(|k| simulate(&r.name, &r.profile, m, c, size, k).seconds * m.ghz * 1e9)
-        .collect()
+pub fn per_call_trace(
+    r: &RegionSpec,
+    m: &Machine,
+    c: &Config,
+    size: InputSize,
+    calls: u32,
+) -> Vec<f64> {
+    (0..calls).map(|k| simulate(&r.name, &r.profile, m, c, size, k).seconds * m.ghz * 1e9).collect()
 }
 
 #[cfg(test)]
@@ -113,10 +120,7 @@ mod tests {
             let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
             means.push(mean);
             let floor = if arch == MicroArch::SandyBridge { 2.0 } else { 1.7 };
-            assert!(
-                mean > floor,
-                "{arch:?}: mean full-space speedup {mean:.2} (want > {floor})"
-            );
+            assert!(mean > floor, "{arch:?}: mean full-space speedup {mean:.2} (want > {floor})");
         }
         let overall = means.iter().sum::<f64>() / means.len() as f64;
         assert!(overall > 1.95, "cross-machine mean {overall:.2} (want > 1.95)");

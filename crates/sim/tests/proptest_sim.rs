@@ -7,14 +7,14 @@ use proptest::prelude::*;
 
 fn profile_strategy() -> impl Strategy<Value = DynamicProfile> {
     (
-        20u64..32,            // log2 working set (1 MiB .. 4 GiB)
-        0.0f64..4.0,          // flops/byte
-        0usize..6,            // pattern index
-        0.0f64..1.0,          // write ratio
-        0.0f64..1.0,          // sharing
-        0.5f64..1.0,          // parallel fraction
-        0.0f64..100.0,        // atomics per kacc
-        0.0f64..0.6,          // branch entropy
+        20u64..32,     // log2 working set (1 MiB .. 4 GiB)
+        0.0f64..4.0,   // flops/byte
+        0usize..6,     // pattern index
+        0.0f64..1.0,   // write ratio
+        0.0f64..1.0,   // sharing
+        0.5f64..1.0,   // parallel fraction
+        0.0f64..100.0, // atomics per kacc
+        0.0f64..0.6,   // branch entropy
     )
         .prop_map(|(ws, fpb, pat, wr, sh, pf, at, be)| DynamicProfile {
             working_set_bytes: 1 << ws,

@@ -118,6 +118,7 @@ struct Entry {
     calls: u32,
 }
 
+#[allow(clippy::too_many_arguments)] // mirrors the Entry field order, table-style
 const fn e(
     name: &'static str,
     suite: Suite,
@@ -276,10 +277,7 @@ mod tests {
     fn a_minority_of_regions_is_dynamically_sensitive() {
         let rs = all_regions();
         let sensitive = rs.iter().filter(|r| r.profile.dynamic_sensitivity > 0.3).count();
-        assert!(
-            (4..=12).contains(&sensitive),
-            "want a small misprediction tail, got {sensitive}"
-        );
+        assert!((4..=12).contains(&sensitive), "want a small misprediction tail, got {sensitive}");
     }
 
     #[test]
@@ -299,10 +297,7 @@ mod tests {
     fn pattern_diversity_covers_all_kinds() {
         let rs = all_regions();
         for p in AccessPattern::ALL {
-            assert!(
-                rs.iter().any(|r| r.profile.pattern == p),
-                "no region exercises {p:?}"
-            );
+            assert!(rs.iter().any(|r| r.profile.pattern == p), "no region exercises {p:?}");
         }
     }
 }

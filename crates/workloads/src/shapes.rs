@@ -66,12 +66,16 @@ impl KernelShape {
             KernelShape::StreamTriad { arrays, fma_depth } => {
                 triad(&mut m, &fname, arrays.max(2), fma_depth.max(1), variant, budget)
             }
-            KernelShape::Strided { stride } => strided(&mut m, &fname, stride.max(2), variant, budget),
+            KernelShape::Strided { stride } => {
+                strided(&mut m, &fname, stride.max(2), variant, budget)
+            }
             KernelShape::Stencil { points, compute_depth } => {
                 stencil(&mut m, &fname, points.clamp(3, 9), compute_depth.max(1), variant, budget)
             }
             KernelShape::Spmv => spmv(&mut m, &fname, variant, budget),
-            KernelShape::PointerChase { chains } => chase(&mut m, &fname, chains.max(1), variant, budget),
+            KernelShape::PointerChase { chains } => {
+                chase(&mut m, &fname, chains.max(1), variant, budget)
+            }
             KernelShape::ReductionAtomic { ops } => {
                 reduction(&mut m, &fname, ops.max(1), true, variant, budget)
             }
@@ -82,11 +86,19 @@ impl KernelShape {
                 histogram(&mut m, &fname, bins_log2.clamp(4, 20), variant, budget)
             }
             KernelShape::Transpose => transpose(&mut m, &fname, variant, budget),
-            KernelShape::Wavefront { depth } => wavefront(&mut m, &fname, depth.max(1), variant, budget),
-            KernelShape::BranchHeavy { levels } => branchy(&mut m, &fname, levels.clamp(1, 4), variant, budget),
-            KernelShape::FftButterfly { stages } => fft(&mut m, &fname, stages.clamp(2, 6), variant, budget),
+            KernelShape::Wavefront { depth } => {
+                wavefront(&mut m, &fname, depth.max(1), variant, budget)
+            }
+            KernelShape::BranchHeavy { levels } => {
+                branchy(&mut m, &fname, levels.clamp(1, 4), variant, budget)
+            }
+            KernelShape::FftButterfly { stages } => {
+                fft(&mut m, &fname, stages.clamp(2, 6), variant, budget)
+            }
             KernelShape::BucketSort => bucket_sort(&mut m, &fname, variant, budget),
-            KernelShape::MonteCarlo { depth } => monte_carlo(&mut m, &fname, depth.max(4), variant, budget),
+            KernelShape::MonteCarlo { depth } => {
+                monte_carlo(&mut m, &fname, depth.max(4), variant, budget)
+            }
         }
         m
     }
@@ -126,9 +138,8 @@ fn new_region(name: &str) -> FunctionBuilder {
 
 fn triad(m: &mut Module, fname: &str, arrays: u8, fma_depth: u8, variant: u64, budget: u64) {
     let n = pow2_elems(budget, arrays as u64 * 8);
-    let globals: Vec<_> = (0..arrays)
-        .map(|i| m.add_global(format!("arr{i}"), Ty::F64, n))
-        .collect();
+    let globals: Vec<_> =
+        (0..arrays).map(|i| m.add_global(format!("arr{i}"), Ty::F64, n)).collect();
     let mut b = new_region(fname);
     let (lo, hi) = omp_bounds(&mut b);
     let scale = fconst(1.0 + (variant % 7) as f64 * 0.25);
@@ -437,7 +448,7 @@ fn fft(m: &mut Module, fname: &str, stages: u8, _variant: u64, budget: u64) {
             b.store(dif, pr2);
             let pi1 = b.gep(Ty::F64, Operand::Global(im), i);
             let e = b.load(Ty::F64, pi1);
-            let tw = b.fmul(Ty::F64, e, fconst(0.7071067811865476));
+            let tw = b.fmul(Ty::F64, e, fconst(std::f64::consts::FRAC_1_SQRT_2));
             b.store(tw, pi1);
         }
     });

@@ -16,10 +16,7 @@ pub fn pseudo_source(shape: &KernelShape) -> String {
              \x20   acc = fma(acc, scale, 0.5);   // x{fma_depth}\n\
              \x20   arr0[i] = acc;\n\
              }}",
-            (1..arrays.max(2))
-                .map(|k| format!("arr{k}[i]"))
-                .collect::<Vec<_>>()
-                .join(" + ")
+            (1..arrays.max(2)).map(|k| format!("arr{k}[i]")).collect::<Vec<_>>().join(" + ")
         ),
         KernelShape::Strided { stride } => format!(
             "#pragma omp parallel for\n\
@@ -82,7 +79,7 @@ pub fn pseudo_source(shape: &KernelShape) -> String {
              for (row = lo; row < hi; row++)\n\
              \x20   for (col = 0; col < DIM; col++)\n\
              \x20       out[col*DIM + row] = in[row*DIM + col];   // strided write"
-        .into(),
+            .into(),
         KernelShape::Wavefront { depth } => format!(
             "#pragma omp parallel for\n\
              for (i = lo; i < hi; i++)\n\
@@ -114,7 +111,7 @@ pub fn pseudo_source(shape: &KernelShape) -> String {
              #pragma omp parallel for   // phase 2: scatter\n\
              for (i = lo; i < hi; i++)\n\
              \x20   sorted[hash(keys[i], i) & (N-1)] = keys[i];"
-        .into(),
+            .into(),
         KernelShape::MonteCarlo { depth } => format!(
             "#pragma omp parallel for\n\
              for (i = lo; i < hi; i++) {{\n\

@@ -18,8 +18,8 @@ fn all_regions_pass_the_static_pipeline() {
             let mut m = base.clone();
             pm.run(&mut m, &seq.passes)
                 .unwrap_or_else(|e| panic!("{} × seq{}: {e}", r.name, seq.id));
-            let extracted = extract_region(&m, &r.region_fn())
-                .unwrap_or_else(|e| panic!("{}: {e}", r.name));
+            let extracted =
+                extract_region(&m, &r.region_fn()).unwrap_or_else(|e| panic!("{}: {e}", r.name));
             verify_module(&extracted).unwrap();
             let g = build_module_graph(&extracted, &vocab);
             g.validate().unwrap();

@@ -10,16 +10,13 @@ use irnuma_workloads::{all_regions, InputSize};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "cg.spmv".to_string());
-    let region = all_regions()
-        .into_iter()
-        .find(|r| r.name == name)
-        .unwrap_or_else(|| {
-            eprintln!("unknown region `{name}`; available:");
-            for r in all_regions() {
-                eprintln!("  {}", r.name);
-            }
-            std::process::exit(1);
-        });
+    let region = all_regions().into_iter().find(|r| r.name == name).unwrap_or_else(|| {
+        eprintln!("unknown region `{name}`; available:");
+        for r in all_regions() {
+            eprintln!("  {}", r.name);
+        }
+        std::process::exit(1);
+    });
 
     println!("=== autotuning {} ===", region.name);
     println!("shape: {:?}", region.shape);

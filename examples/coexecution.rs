@@ -45,8 +45,18 @@ fn main() {
     let ta_naive = co_time(&a, &ca_solo, &b, &cb_solo, &m, InputSize::Size1);
     let tb_naive = co_time(&b, &cb_solo, &a, &ca_solo, &m, InputSize::Size1);
     println!("\nco-running with solo-tuned configs:");
-    println!("  {:<24} {:.3}ms  ({:.0}% slower than alone)", a.name, ta_naive * 1e3, (ta_naive / ta_solo - 1.0) * 100.0);
-    println!("  {:<24} {:.3}ms  ({:.0}% slower than alone)", b.name, tb_naive * 1e3, (tb_naive / tb_solo - 1.0) * 100.0);
+    println!(
+        "  {:<24} {:.3}ms  ({:.0}% slower than alone)",
+        a.name,
+        ta_naive * 1e3,
+        (ta_naive / ta_solo - 1.0) * 100.0
+    );
+    println!(
+        "  {:<24} {:.3}ms  ({:.0}% slower than alone)",
+        b.name,
+        tb_naive * 1e3,
+        (tb_naive / tb_solo - 1.0) * 100.0
+    );
 
     let (cfg, ta_joint, tb_joint) = best_pair(&a, &b, &m, InputSize::Size1);
     println!("\njointly-tuned configs (contention-aware):");

@@ -26,10 +26,7 @@ fn main() {
     let dm = DynamicModel::train(&ds, &train);
     let hm = HybridModel::train(&ds, &sm, &train, HybridParams::default(), sp);
 
-    println!(
-        "{:<28} {:>8} {:>10} {:>10}",
-        "held-out region", "route", "hybrid", "best-of-13"
-    );
+    println!("{:<28} {:>8} {:>10} {:>10}", "held-out region", "route", "hybrid", "best-of-13");
     let mut profiled = 0usize;
     let mut hybrid_gain = 0.0;
     let mut dynamic_gain = 0.0;
@@ -57,6 +54,8 @@ fn main() {
         profiled,
         folds[0].len()
     );
-    println!("profiling cost saved: {:.0}% of the benchmark runs (the paper profiles ~30%)",
-        (1.0 - profiled as f64 / n) * 100.0);
+    println!(
+        "profiling cost saved: {:.0}% of the benchmark runs (the paper profiles ~30%)",
+        (1.0 - profiled as f64 / n) * 100.0
+    );
 }

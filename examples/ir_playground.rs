@@ -16,10 +16,8 @@ use irnuma_passes::{o3_sequence, run_sequence, sample_sequences, SampleParams};
 use irnuma_workloads::all_regions;
 
 fn main() {
-    let region = all_regions()
-        .into_iter()
-        .find(|r| r.name == "hotspot.temp")
-        .expect("region exists");
+    let region =
+        all_regions().into_iter().find(|r| r.name == "hotspot.temp").expect("region exists");
     println!("=== region: {} (shape {:?}) ===\n", region.name, region.shape);
 
     let base = region.module();

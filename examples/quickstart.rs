@@ -67,10 +67,7 @@ fn main() {
     }
 
     let speedup = |pick: &dyn Fn(usize) -> f64| {
-        folds[0]
-            .iter()
-            .map(|&r| ds.regions[r].default_time / pick(r))
-            .sum::<f64>()
+        folds[0].iter().map(|&r| ds.regions[r].default_time / pick(r)).sum::<f64>()
             / folds[0].len() as f64
     };
     let s_static = speedup(&|r| ds.label_time(r, sm.predict(&ds, r)));
@@ -79,5 +76,7 @@ fn main() {
     println!(
         "\nmean speedup on held-out fold: static {s_static:.2}x · dynamic {s_dynamic:.2}x · full exploration {s_full:.2}x"
     );
-    println!("(the paper's headline: static reaches ~80% of the dynamic gains, no profiling needed)");
+    println!(
+        "(the paper's headline: static reaches ~80% of the dynamic gains, no profiling needed)"
+    );
 }

@@ -96,7 +96,9 @@ fn fig9_hybrid_per_region() {
     assert_eq!(f.rows.len(), 56);
     assert_eq!(f.profiled_count, f.rows.iter().filter(|r| r.profiled).count());
     for r in &f.rows {
-        assert!(r.full_gain + 1e-9 >= r.hybrid_gain.min(r.dynamic_gain) * 0.999 || r.full_gain > 0.0);
+        assert!(
+            r.full_gain + 1e-9 >= r.hybrid_gain.min(r.dynamic_gain) * 0.999 || r.full_gain > 0.0
+        );
     }
     let _ = f.report();
 }

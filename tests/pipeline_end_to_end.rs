@@ -37,7 +37,7 @@ fn full_pipeline_runs_and_is_coherent() {
 
     // Fold models exist and validation sets partition the regions.
     assert_eq!(eval.folds.len(), cfg.folds);
-    let mut seen = vec![false; 56];
+    let mut seen = [false; 56];
     for f in &eval.folds {
         for &r in &f.validation {
             assert!(!seen[r], "region {r} validated twice");

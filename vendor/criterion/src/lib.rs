@@ -1,0 +1,257 @@
+//! Offline vendored subset of `criterion`.
+//!
+//! Provides the API surface the workspace benches use — `Criterion`,
+//! `benchmark_group` / `bench_function`, `Bencher::iter` /
+//! `iter_batched`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple median-of-samples
+//! timer instead of upstream's full statistical pipeline.
+//!
+//! Each benchmark warms up briefly, sizes its per-sample iteration count
+//! to a time target, collects `sample_size` samples, and records the
+//! median nanoseconds-per-iteration. Results print to stdout and stay
+//! readable via [`Criterion::medians`], which bench binaries with a
+//! hand-written `main` use to emit machine-readable JSON.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized; accepted for API compatibility, the
+/// vendored harness treats every variant the same (one input per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Debug, Clone)]
+struct Sampling {
+    sample_size: usize,
+    /// Wall-clock target for one sample's worth of iterations.
+    sample_target: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Sampling {
+    fn default() -> Self {
+        Sampling {
+            sample_size: 20,
+            sample_target: Duration::from_millis(5),
+            warm_up: Duration::from_millis(50),
+        }
+    }
+}
+
+pub struct Criterion {
+    sampling: Sampling,
+    results: Vec<(String, f64)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sampling: Sampling::default(), results: Vec::new() }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI filters here; the vendored harness runs everything.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sampling: self.sampling.clone(), parent: self }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sampling = self.sampling.clone();
+        self.run_one(name.into(), &sampling, f);
+        self
+    }
+
+    /// `(benchmark id, median ns per iteration)` for every bench run so far.
+    pub fn medians(&self) -> &[(String, f64)] {
+        &self.results
+    }
+
+    fn run_one<F>(&mut self, id: String, sampling: &Sampling, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { sampling: sampling.clone(), median_ns: 0.0 };
+        f(&mut b);
+        println!("bench {id:<48} median {}", format_ns(b.median_ns));
+        self.results.push((id, b.median_ns));
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sampling: Sampling,
+    parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sampling.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.sampling.sample_target = d / self.sampling.sample_size.max(1) as u32;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name.into());
+        let sampling = self.sampling.clone();
+        self.parent.run_one(id, &sampling, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    sampling: Sampling,
+    median_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        self.measure(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            start.elapsed()
+        });
+    }
+
+    /// Setup runs outside the timed region, once per iteration.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.measure(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            total
+        });
+    }
+
+    /// Run `timed(iters)` repeatedly: warm up, pick an iteration count that
+    /// fills the per-sample time target, then take the median over samples.
+    fn measure<T>(&mut self, mut timed: T)
+    where
+        T: FnMut(u64) -> Duration,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut last = Duration::ZERO;
+        while warm_start.elapsed() < self.sampling.warm_up {
+            last = timed(1);
+            warm_iters += 1;
+            if last > self.sampling.warm_up {
+                break;
+            }
+        }
+        let est_ns = if warm_iters > 0 && last > Duration::ZERO {
+            last.as_nanos().max(1) as f64
+        } else {
+            1.0
+        };
+        let iters_per_sample = ((self.sampling.sample_target.as_nanos() as f64 / est_ns).ceil()
+            as u64)
+            .clamp(1, 1 << 24);
+
+        let mut samples: Vec<f64> = (0..self.sampling.sample_size)
+            .map(|_| timed(iters_per_sample).as_nanos() as f64 / iters_per_sample as f64)
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let mid = samples.len() / 2;
+        self.median_ns = if samples.len() % 2 == 0 {
+            (samples[mid - 1] + samples[mid]) / 2.0
+        } else {
+            samples[mid]
+        };
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a group runner: `criterion_group!(benches, f1, f2)` makes a
+/// `fn benches()` that runs each target against one shared `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_positive_median() {
+        let mut c = Criterion::default();
+        let mut grp = c.benchmark_group("t");
+        grp.sample_size(5);
+        grp.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        grp.finish();
+        let medians = c.medians();
+        assert_eq!(medians.len(), 1);
+        assert_eq!(medians[0].0, "t/sum");
+        assert!(medians[0].1 > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default();
+        let mut grp = c.benchmark_group("t");
+        grp.sample_size(3);
+        grp.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        assert!(c.medians()[0].1 >= 0.0);
+    }
+}

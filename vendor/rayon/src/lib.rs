@@ -1,0 +1,265 @@
+//! Offline vendored subset of the `rayon` parallel-iterator API.
+//!
+//! The build environment cannot reach crates.io, so this crate reimplements
+//! the slice of rayon the workspace uses on top of `std::thread::scope`:
+//! `par_iter` / `par_iter_mut` / `into_par_iter` with `map`, `filter`, `zip`,
+//! `enumerate`, `for_each`, `collect`, `count`, `sum`, `max_by`.
+//!
+//! Semantics match rayon where the workspace depends on them: `map` runs the
+//! closure in parallel across a pool of scoped threads, and every terminal
+//! operation observes items in the original order, so parallel map + ordered
+//! reduce stays bit-for-bit deterministic. Unlike rayon there is no work
+//! stealing: items are split into contiguous chunks, one per thread, which
+//! is the right shape for the uniform-cost loops this workspace runs.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+    };
+}
+
+fn pool_size() -> usize {
+    thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Evaluate `f` over `items` on scoped threads, preserving order.
+fn parallel_map<T: Send, U: Send, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = pool_size().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("parallel worker panicked"));
+        }
+        out
+    })
+}
+
+/// An eagerly materialized parallel iterator: combinators that carry user
+/// closures (`map`, `for_each`) fan out across threads; cheap structural ones
+/// (`zip`, `filter`, `enumerate`) run inline.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<U: Send, F>(self, f: F) -> ParIter<U>
+    where
+        F: Fn(T) -> U + Sync,
+    {
+        ParIter { items: parallel_map(self.items, f) }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        parallel_map(self.items, |x| f(x));
+    }
+
+    pub fn filter<P>(self, p: P) -> ParIter<T>
+    where
+        P: Fn(&T) -> bool,
+    {
+        ParIter { items: self.items.into_iter().filter(|x| p(x)).collect() }
+    }
+
+    pub fn zip<I>(self, other: I) -> ParIter<(T, I::Item)>
+    where
+        I: IntoParallelIterator,
+        I::Item: Send,
+    {
+        let o = other.into_par_iter();
+        ParIter { items: self.items.into_iter().zip(o.items).collect() }
+    }
+
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        self.items.into_iter().sum()
+    }
+
+    pub fn max_by<F>(self, cmp: F) -> Option<T>
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering,
+    {
+        self.items.into_iter().max_by(|a, b| cmp(a, b))
+    }
+
+    pub fn min_by<F>(self, cmp: F) -> Option<T>
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering,
+    {
+        self.items.into_iter().min_by(|a, b| cmp(a, b))
+    }
+}
+
+/// Ownership-taking conversion (`Vec`, ranges, and `ParIter` itself).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u32> {
+    type Item = u32;
+    fn into_par_iter(self) -> ParIter<u32> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// `.par_iter()` on slices (and `Vec` via auto-deref).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// `.par_iter_mut()` on slices (and `Vec` via auto-deref).
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter { items: self.iter_mut().collect() }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter { items: self.iter_mut().collect() }
+    }
+}
+
+/// The number of worker threads terminal operations may use.
+pub fn current_num_threads() -> usize {
+    pool_size()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_filter_count() {
+        let a: Vec<usize> = (0..100).collect();
+        let b: Vec<usize> = (0..100).rev().collect();
+        let n = a.par_iter().zip(b.par_iter()).filter(|(x, y)| *x > *y).count();
+        assert_eq!(n, 50);
+    }
+
+    #[test]
+    fn into_par_iter_max_by() {
+        let best = (0usize..500)
+            .into_par_iter()
+            .map(|x| (x, (x as f64 - 250.0).abs()))
+            .max_by(|a, b| b.1.total_cmp(&a.1))
+            .unwrap();
+        assert_eq!(best.0, 250);
+    }
+
+    #[test]
+    fn par_iter_mut_writes_back() {
+        let mut v: Vec<usize> = (0..256).collect();
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(v[0], 1);
+        assert_eq!(v[255], 256);
+    }
+
+    #[test]
+    fn parallel_map_actually_runs_closures_once_each() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let v: Vec<usize> = (0..777).collect();
+        let out: Vec<usize> = v
+            .into_par_iter()
+            .map(|x| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+            .collect();
+        assert_eq!(out.len(), 777);
+        assert_eq!(calls.load(Ordering::Relaxed), 777);
+    }
+}

@@ -1,0 +1,412 @@
+//! Offline vendored serde subset.
+//!
+//! crates.io is unreachable in this build environment, so the workspace
+//! vendors a minimal serde: a JSON value model ([`Value`]), [`Serialize`] /
+//! [`Deserialize`] traits over it, impls for the std types the workspace
+//! serializes, and re-exported derive macros (`vendor/serde_derive`). The
+//! companion `vendor/serde_json` crate supplies text encoding/decoding.
+//!
+//! The API is intentionally *not* upstream-serde-compatible at the trait
+//! level (no `Serializer`/`Visitor` machinery); it is compatible at the
+//! *use-site* level: `#[derive(Serialize, Deserialize)]`, `#[serde(skip)]`,
+//! and the `serde_json::{to_vec, to_string, from_slice, from_str}` entry
+//! points all behave as the workspace expects, including round-tripping.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// The data model every type serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered key/value pairs (field order of the struct).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            // JSON has no NaN/Inf literal; the writer emits null for them.
+            Value::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) => i64::try_from(*u).ok(),
+            Value::Float(f) if f.fract() == 0.0 && f.abs() < 2e18 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
+            Value::UInt(u) => Some(*u),
+            Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 && *f < 2e19 => Some(*f as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    pub fn custom(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+    pub fn missing_field(ty: &str, field: &str) -> Error {
+        Error(format!("{ty}: missing field `{field}`"))
+    }
+    pub fn unknown_variant(ty: &str, variant: &str) -> Error {
+        Error(format!("{ty}: unknown variant `{variant}`"))
+    }
+    fn expected(what: &str, got: &Value) -> Error {
+        Error(format!("expected {what}, got {got:?}"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub trait Serialize {
+    fn serialize_value(&self) -> Value;
+}
+
+pub trait Deserialize: Sized {
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------- primitives
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let i = v.as_i64().ok_or_else(|| Error::expected(stringify!($t), v))?;
+                <$t>::try_from(i).map_err(|_| Error::custom(format!("{i} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let u = v.as_u64().ok_or_else(|| Error::expected(stringify!($t), v))?;
+                <$t>::try_from(u).map_err(|_| Error::custom(format!("{u} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("f64", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        // f32 → f64 is exact, so text round-trips recover the f32 bit-for-bit.
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_f64().ok_or_else(|| Error::expected("f32", v))? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::expected("bool", v))
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_string).ok_or_else(|| Error::expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::expected("char", v))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+// --------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(x) => x.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::expected("array", v))?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::deserialize_value(v)?;
+        <[T; N]>::try_from(items)
+            .map_err(|items| Error::custom(format!("expected {N} elements, got {}", items.len())))
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($idx:tt $t:ident),+));*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let arr = v.as_array().ok_or_else(|| Error::expected("tuple array", v))?;
+                Ok(($(
+                    $t::deserialize_value(
+                        arr.get($idx).ok_or_else(|| Error::custom("tuple too short"))?
+                    )?,
+                )+))
+            }
+        }
+    )*};
+}
+
+ser_de_tuple!(
+    (0 A);
+    (0 A, 1 B);
+    (0 A, 1 B, 2 C);
+    (0 A, 1 B, 2 C, 3 D)
+);
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.serialize_value(), v.serialize_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let pairs: Vec<(K, V)> = Vec::deserialize_value(v)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl<K, V> Serialize for HashMap<K, V>
+where
+    K: Serialize + Ord + std::hash::Hash,
+    V: Serialize,
+{
+    fn serialize_value(&self) -> Value {
+        // Sort for deterministic output.
+        let mut keys: Vec<&K> = self.keys().collect();
+        keys.sort();
+        Value::Array(
+            keys.into_iter()
+                .map(|k| Value::Array(vec![k.serialize_value(), self[k].serialize_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for HashMap<K, V>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+{
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let pairs: Vec<(K, V)> = Vec::deserialize_value(v)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::deserialize_value(&42u32.serialize_value()).unwrap(), 42);
+        assert_eq!(i64::deserialize_value(&(-7i64).serialize_value()).unwrap(), -7);
+        let f = 0.1f32;
+        assert_eq!(f32::deserialize_value(&f.serialize_value()).unwrap(), f);
+        assert_eq!(String::deserialize_value(&"hi".to_string().serialize_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u32, 2u32), (3, 4)];
+        let back: Vec<(u32, u32)> = Vec::deserialize_value(&v.serialize_value()).unwrap();
+        assert_eq!(v, back);
+
+        let arr: [Vec<f32>; 3] = [vec![1.0], vec![], vec![2.5, -3.5]];
+        let back: [Vec<f32>; 3] =
+            <[Vec<f32>; 3]>::deserialize_value(&arr.serialize_value()).unwrap();
+        assert_eq!(arr, back);
+
+        let none: Option<u8> = None;
+        assert_eq!(Option::<u8>::deserialize_value(&none.serialize_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn missing_field_reports_type_and_name() {
+        let e = Error::missing_field("Foo", "bar");
+        assert!(e.to_string().contains("Foo") && e.to_string().contains("bar"));
+    }
+}

@@ -1,0 +1,412 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]`.
+//!
+//! The build environment has no crates.io access, so this proc macro is
+//! written against `proc_macro` alone (no `syn`/`quote`). It parses the
+//! shapes this workspace actually declares — named-field structs, tuple
+//! structs, and enums with unit / tuple / struct variants, none generic —
+//! and emits impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits (a JSON-value model, see `vendor/serde`).
+//!
+//! Supported field attribute: `#[serde(skip)]` — the field is omitted on
+//! serialize and filled from `Default::default()` on deserialize, matching
+//! upstream serde.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    /// Named-field struct.
+    Struct(Vec<Field>),
+    /// Tuple struct with N fields.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum: variants as (name, shape).
+    Enum(Vec<(String, VariantShape)>),
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// True if this `#[...]` attribute group body is `serde(skip)`.
+fn is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut it = group.stream().into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(inner)))
+            if id.to_string() == "serde" =>
+        {
+            inner
+                .stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Consume leading attributes; report whether any was `#[serde(skip)]`.
+fn eat_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        tokens.next();
+        if let Some(TokenTree::Group(g)) = tokens.next() {
+            if is_serde_skip(&g) {
+                skip = true;
+            }
+        }
+    }
+    skip
+}
+
+/// Consume a visibility qualifier if present (`pub`, `pub(crate)` …).
+fn eat_vis(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(id)) = tokens.peek() {
+        if id.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Skip a type (or any expression) up to a top-level comma, tracking angle
+/// brackets so `Vec<(u32, u32)>` does not split early. Delimited groups are
+/// single tokens in the tree, so parens/brackets need no tracking.
+fn skip_until_comma(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut angle: i32 = 0;
+    while let Some(t) = tokens.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            _ => {}
+        }
+        tokens.next();
+    }
+}
+
+/// Parse `name: Type, …` named fields from a brace group.
+fn parse_named_fields(group: proc_macro::Group) -> Vec<Field> {
+    let mut out = Vec::new();
+    let mut it = group.stream().into_iter().peekable();
+    loop {
+        let skip = eat_attrs(&mut it);
+        eat_vis(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive: expected field name, found `{other}`"),
+            None => break,
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_until_comma(&mut it);
+        it.next(); // the comma itself (or EOF)
+        out.push(Field { name, skip });
+    }
+    out
+}
+
+/// Count top-level fields of a paren group (tuple struct / tuple variant).
+fn count_tuple_fields(group: proc_macro::Group) -> usize {
+    let mut it = group.stream().into_iter().peekable();
+    let mut n = 0;
+    while it.peek().is_some() {
+        eat_attrs(&mut it);
+        eat_vis(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        skip_until_comma(&mut it);
+        it.next();
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(group: proc_macro::Group) -> Vec<(String, VariantShape)> {
+    let mut out = Vec::new();
+    let mut it = group.stream().into_iter().peekable();
+    loop {
+        eat_attrs(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive: expected variant name, found `{other}`"),
+            None => break,
+        };
+        let shape = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = match it.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                VariantShape::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = match it.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                VariantShape::Struct(parse_named_fields(g))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        skip_until_comma(&mut it);
+        it.next();
+        out.push((name, shape));
+    }
+    out
+}
+
+fn parse_input(input: TokenStream) -> Parsed {
+    let mut it = input.into_iter().peekable();
+    eat_attrs(&mut it);
+    eat_vis(&mut it);
+    let kind = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic types are not supported ({name})");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Struct(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("serde_derive: unexpected struct body for {name}: {other:?}"),
+            };
+            Parsed { name, shape }
+        }
+        "enum" => {
+            let shape = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Enum(parse_variants(g))
+                }
+                other => panic!("serde_derive: unexpected enum body for {name}: {other:?}"),
+            };
+            Parsed { name, shape }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn gen_serialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::Struct(fields) => {
+            let mut s = String::from("let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "obj.push((\"{n}\".to_string(), ::serde::Serialize::serialize_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(obj)");
+            s
+        }
+        Shape::Tuple(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (vname, shape) in variants {
+                match shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(f0) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Serialize::serialize_value(f0))]),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let elems: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{n}\".to_string(), ::serde::Serialize::serialize_value({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!("{}: ::std::default::Default::default(),\n", f.name));
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: ::serde::Deserialize::deserialize_value(v.field(\"{n}\").ok_or_else(|| ::serde::Error::missing_field(\"{name}\", \"{n}\"))?)?,\n",
+                        n = f.name
+                    ));
+                }
+            }
+            format!("Ok({name} {{\n{inits}}})")
+        }
+        Shape::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize_value(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::deserialize_value(arr.get({i}).ok_or_else(|| ::serde::Error::custom(\"{name}: tuple too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let arr = v.as_array().ok_or_else(|| ::serde::Error::custom(\"{name}: expected array\"))?;\n\
+                 Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Shape::Unit => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for (vname, shape) in variants {
+                match shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                        // Also accept {"Variant": null} for symmetry.
+                        keyed_arms.push_str(&format!(
+                            "\"{vname}\" => {{ let _ = payload; Ok({name}::{vname}) }}\n"
+                        ));
+                    }
+                    VariantShape::Tuple(1) => keyed_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::deserialize_value(payload)?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::deserialize_value(arr.get({i}).ok_or_else(|| ::serde::Error::custom(\"{name}::{vname}: tuple too short\"))?)?"
+                                )
+                            })
+                            .collect();
+                        keyed_arms.push_str(&format!(
+                            "\"{vname}\" => {{\nlet arr = payload.as_array().ok_or_else(|| ::serde::Error::custom(\"{name}::{vname}: expected array\"))?;\nOk({name}::{vname}({}))\n}}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{}: ::std::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{n}: ::serde::Deserialize::deserialize_value(payload.field(\"{n}\").ok_or_else(|| ::serde::Error::missing_field(\"{name}::{vname}\", \"{n}\"))?)?,\n",
+                                    n = f.name
+                                ));
+                            }
+                        }
+                        keyed_arms.push_str(&format!(
+                            "\"{vname}\" => Ok({name}::{vname} {{\n{inits}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => Err(::serde::Error::unknown_variant(\"{name}\", other)),\n}},\n\
+                 ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                 let (tag, payload) = (&pairs[0].0, &pairs[0].1);\n\
+                 match tag.as_str() {{\n{keyed_arms}\
+                 other => Err(::serde::Error::unknown_variant(\"{name}\", other)),\n}}\n}},\n\
+                 _ => Err(::serde::Error::custom(\"{name}: expected variant string or single-key object\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed).parse().expect("serde_derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed).parse().expect("serde_derive: generated Deserialize impl parses")
+}

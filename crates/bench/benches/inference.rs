@@ -84,6 +84,19 @@ fn main() {
         grp.bench_function("infer_batch_8_graphs_h256", |b| {
             b.iter(|| model.infer_batch(black_box(&graphs)).len())
         });
+        // Tracing overhead: the identical batched path with a live JSONL
+        // sink (per-batch span + per-graph histogram records). The ratio
+        // against the untraced bench above lands in the JSON and must stay
+        // under 2%.
+        let trace_path = std::env::temp_dir().join("irnuma-bench-inference-trace.jsonl");
+        irnuma_obs::set_sink(std::sync::Arc::new(
+            irnuma_obs::JsonlSink::create(&trace_path).expect("trace file"),
+        ));
+        grp.bench_function("infer_batch_traced_8_graphs_h256", |b| {
+            b.iter(|| model.infer_batch(black_box(&graphs)).len())
+        });
+        irnuma_obs::clear_sink();
+        std::fs::remove_file(&trace_path).ok();
         grp.finish();
     }
 
@@ -95,11 +108,13 @@ fn main() {
     let single = get("inference/tape_single_forward_loop_8_graphs_h256");
     let serial = get("inference/infer_serial_loop_8_graphs_h256");
     let batch = get("inference/infer_batch_8_graphs_h256");
+    let traced = get("inference/infer_batch_traced_8_graphs_h256");
 
     let mut entries = medians.clone();
     entries.push(("inference/speedup_batch_vs_tape_triple".into(), triple / batch));
     entries.push(("inference/speedup_batch_vs_tape_single".into(), single / batch));
     entries.push(("inference/speedup_serial_vs_tape_single".into(), single / serial));
+    entries.push(("inference/tracing_overhead_ratio".into(), traced / batch));
     let path = irnuma_bench::write_bench_json("inference", &entries).expect("write bench json");
     println!(
         "speedup vs triple-forward {:.2}x, vs single forward {:.2}x (serial {:.2}x) -> {}",
@@ -108,4 +123,9 @@ fn main() {
         single / serial,
         path.display()
     );
+    let overhead_pct = (traced / batch - 1.0) * 100.0;
+    println!("tracing overhead on batched inference: {overhead_pct:+.2}% (budget <2%)");
+    if overhead_pct >= 2.0 {
+        eprintln!("warning: tracing overhead {overhead_pct:.2}% exceeds the 2% budget");
+    }
 }

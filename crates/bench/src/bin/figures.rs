@@ -17,6 +17,8 @@ use std::collections::HashSet;
 use std::path::Path;
 use std::time::Instant;
 
+use irnuma_obs::info;
+
 struct Args {
     figs: HashSet<String>,
     smoke: bool,
@@ -81,6 +83,7 @@ fn config_for(args: &Args, arch: MicroArch) -> PipelineConfig {
 }
 
 fn main() {
+    let _obs = irnuma_obs::init(irnuma_obs::Level::Info);
     let args = parse_args();
     let out_dir = Path::new("results");
     let want = |f: &str| {
@@ -101,19 +104,19 @@ fn main() {
     let snb_cfg = config_for(&args, MicroArch::SandyBridge);
 
     let skl: Option<Evaluation> = need_skl.then(|| {
-        eprintln!("[figures] evaluating Skylake pipeline…");
+        info!("[figures] evaluating Skylake pipeline…");
         evaluate(&skl_cfg)
     });
     let snb: Option<Evaluation> = need_snb.then(|| {
-        eprintln!("[figures] evaluating Sandy Bridge pipeline…");
+        info!("[figures] evaluating Sandy Bridge pipeline…");
         evaluate(&snb_cfg)
     });
 
     let emit = |report: irnuma_core::experiments::FigureReport| {
         println!("{report}");
         match report.write_csv(out_dir) {
-            Ok(p) => eprintln!("[figures] wrote {}", p.display()),
-            Err(e) => eprintln!("[figures] CSV write failed: {e}"),
+            Ok(p) => info!("[figures] wrote {}", p.display()),
+            Err(e) => irnuma_obs::warn!("[figures] CSV write failed: {e}"),
         }
     };
 
@@ -128,7 +131,7 @@ fn main() {
     }
     if want("fig6") {
         for arch in [MicroArch::Skylake, MicroArch::SandyBridge] {
-            eprintln!("[figures] fig6 label sweep on {arch:?}…");
+            info!("[figures] fig6 label sweep on {arch:?}…");
             let mut cfg = config_for(&args, arch);
             cfg.light = true; // only static/dynamic needed for the sweep
             let ds = build_dataset(arch, &cfg.dataset);
@@ -138,7 +141,7 @@ fn main() {
     }
     if want("fig7") {
         // Skylake, 6 labels (re-label + re-evaluate).
-        eprintln!("[figures] fig7 (Skylake, 6 labels)…");
+        info!("[figures] fig7 (Skylake, 6 labels)…");
         let ds = build_dataset(MicroArch::Skylake, &skl_cfg.dataset);
         let mut cfg6 = skl_cfg;
         cfg6.light = true;
@@ -161,16 +164,21 @@ fn main() {
         emit(fig12::run(skl.as_ref().unwrap(), 4, if args.smoke { 12 } else { 30 }).report());
     }
     if want("ablations") {
-        eprintln!("[figures] ablations (Skylake, 3-fold)…");
+        info!("[figures] ablations (Skylake, 3-fold)…");
         let cfg = config_for(&args, MicroArch::Skylake);
         let ds = build_dataset(MicroArch::Skylake, &cfg.dataset);
         emit(ablations::run(&ds, cfg.static_params).report());
     }
     if want("cost-comparison") {
-        emit(cost_comparison::run().report());
+        let cc = cost_comparison::run();
+        match cc.write_json(out_dir) {
+            Ok(p) => info!("[figures] wrote {}", p.display()),
+            Err(e) => irnuma_obs::warn!("[figures] JSON write failed: {e}"),
+        }
+        emit(cc.report());
     }
     if want("input-sensitivity") {
-        eprintln!("[figures] input-sensitivity extension (Xeon Gold)…");
+        info!("[figures] input-sensitivity extension (Xeon Gold)…");
         let cfg = config_for(&args, MicroArch::Skylake);
         let ds = build_dataset(MicroArch::Skylake, &cfg.dataset);
         emit(
@@ -246,5 +254,5 @@ fn main() {
         emit(r);
     }
 
-    eprintln!("[figures] done in {:.1}s", t0.elapsed().as_secs_f64());
+    info!("[figures] done in {:.1}s", t0.elapsed().as_secs_f64());
 }

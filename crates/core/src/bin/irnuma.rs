@@ -12,6 +12,7 @@
 
 use irnuma_core::dataset::{build_dataset, Dataset, DatasetParams};
 use irnuma_core::models::static_gnn::{StaticModel, StaticParams};
+use irnuma_core::trace_report;
 use irnuma_graph::{build_module_graph, to_dot, Vocab};
 use irnuma_ir::extract::extract_region;
 use irnuma_ir::{print_module, Interp, InterpConfig, Value};
@@ -21,6 +22,9 @@ use irnuma_workloads::{all_regions, InputSize, RegionSpec};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // IRNUMA_LOG overrides the info default; IRNUMA_TRACE=<file> installs
+    // the JSONL sink. The guard flushes metrics + trace on exit.
+    let _obs = irnuma_obs::init(irnuma_obs::Level::Info);
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!("{USAGE}");
@@ -36,6 +40,7 @@ fn main() -> ExitCode {
         "interp" => interp(rest),
         "dataset" => dataset(rest),
         "predict" => predict(rest),
+        "report" => report(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -61,7 +66,13 @@ USAGE:
   irnuma sweep <region> [--arch skylake|sandybridge|xeongold]
   irnuma interp <region> [--n <elements>]
   irnuma dataset [--arch <a>] [--seqs <n>] --out <file.json>
-  irnuma predict <region> [--arch <a>] [--dataset <file.json>]";
+  irnuma predict <region> [--arch <a>] [--dataset <file.json>]
+                 [--seqs <n>] [--epochs <n>]
+  irnuma report <trace.jsonl> [--require stage1,stage2,...]
+
+ENVIRONMENT:
+  IRNUMA_TRACE=<file>   write a JSONL trace of every command
+  IRNUMA_LOG=<level>    error|warn|info|debug (default info)";
 
 fn find_region(name: &str) -> Result<RegionSpec, String> {
     all_regions()
@@ -192,7 +203,7 @@ fn dataset(rest: &[String]) -> Result<(), String> {
     let seqs: usize =
         opt_value(rest, "--seqs").unwrap_or("12").parse().map_err(|_| "bad --seqs")?;
     let out = opt_value(rest, "--out").ok_or("missing --out <file.json>")?;
-    eprintln!("building dataset for {arch:?} ({seqs} sequences)…");
+    irnuma_obs::info!("building dataset for {arch:?} ({seqs} sequences)…");
     let ds = build_dataset(arch, &DatasetParams { num_sequences: seqs, ..Default::default() });
     ds.save_json(std::path::Path::new(out)).map_err(|e| e.to_string())?;
     println!(
@@ -208,11 +219,14 @@ fn dataset(rest: &[String]) -> Result<(), String> {
 fn predict(rest: &[String]) -> Result<(), String> {
     let target = rest.first().ok_or("missing region name")?.clone();
     let arch = parse_arch(rest)?;
+    let seqs: usize = opt_value(rest, "--seqs").unwrap_or("8").parse().map_err(|_| "bad --seqs")?;
+    let epochs: usize =
+        opt_value(rest, "--epochs").unwrap_or("10").parse().map_err(|_| "bad --epochs")?;
     let ds: Dataset = match opt_value(rest, "--dataset") {
         Some(path) => Dataset::load_json(std::path::Path::new(path)).map_err(|e| e.to_string())?,
         None => {
-            eprintln!("building dataset (pass --dataset file.json to reuse one)…");
-            build_dataset(arch, &DatasetParams { num_sequences: 8, ..Default::default() })
+            irnuma_obs::info!("building dataset (pass --dataset file.json to reuse one)…");
+            build_dataset(arch, &DatasetParams { num_sequences: seqs, ..Default::default() })
         }
     };
     let ti = ds
@@ -221,11 +235,11 @@ fn predict(rest: &[String]) -> Result<(), String> {
         .position(|r| r.spec.name == target)
         .ok_or_else(|| format!("region `{target}` not in dataset"))?;
     let train: Vec<usize> = (0..ds.regions.len()).filter(|&i| i != ti).collect();
-    eprintln!("training the static model on the other {} regions…", train.len());
+    irnuma_obs::info!("training the static model on the other {} regions…", train.len());
     let sm = StaticModel::train(
         &ds,
         &train,
-        StaticParams { epochs: 10, train_sequences: 4, ..Default::default() },
+        StaticParams { epochs, train_sequences: 4.min(seqs), ..Default::default() },
     );
     let label = sm.predict(&ds, ti);
     let cfg = ds.configs[ds.chosen_configs[label]];
@@ -240,5 +254,18 @@ fn predict(rest: &[String]) -> Result<(), String> {
         reg.full_best_time() * 1e3,
         reg.default_time / reg.full_best_time()
     );
+    Ok(())
+}
+
+fn report(rest: &[String]) -> Result<(), String> {
+    let path = rest.first().ok_or("missing trace file (irnuma report <trace.jsonl>)")?;
+    let r = trace_report::load(std::path::Path::new(path))?;
+    print!("{}", r.render());
+    if let Some(required) = opt_value(rest, "--require") {
+        let stages: Vec<&str> =
+            required.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        r.require(&stages)?;
+        println!("\nall required stages present: {}", stages.join(", "));
+    }
     Ok(())
 }

@@ -115,9 +115,20 @@ pub fn build_dataset(arch: MicroArch, params: &DatasetParams) -> Dataset {
     let vocab = Vocab::full();
     let specs = all_regions();
 
+    let span = irnuma_obs::span!(
+        "dataset.build",
+        regions = specs.len(),
+        sequences = sequences.len(),
+        configs = configs.len()
+    );
+    let ctx = span.ctx();
     let regions: Vec<RegionData> = specs
         .into_par_iter()
-        .map(|spec| build_region(&spec, &machine, &configs, &sequences, &vocab, params))
+        .map(|spec| {
+            let _region_span =
+                irnuma_obs::span_under!(ctx, "dataset.region", region = spec.name.as_str());
+            build_region(&spec, &machine, &configs, &sequences, &vocab, params)
+        })
         .collect();
 
     // Step C: reduce the space to `num_labels` representative configs.

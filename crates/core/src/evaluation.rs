@@ -179,6 +179,7 @@ pub fn evaluate(cfg: &PipelineConfig) -> Evaluation {
 /// sweep, which re-labels the same dataset).
 pub fn evaluate_on(cfg: &PipelineConfig, dataset: Dataset) -> Evaluation {
     let n = dataset.regions.len();
+    let _span = irnuma_obs::span!("eval.run", regions = n, folds = cfg.folds, light = cfg.light);
     let folds_idx = kfold(n, cfg.folds, cfg.seed);
 
     let mut outcomes: Vec<Option<RegionOutcome>> = (0..n).map(|_| None).collect();
@@ -186,6 +187,7 @@ pub fn evaluate_on(cfg: &PipelineConfig, dataset: Dataset) -> Evaluation {
     let mut folds = Vec::with_capacity(cfg.folds);
 
     for (fi, validation) in folds_idx.iter().enumerate() {
+        let _fold_span = irnuma_obs::span!("eval.fold", fold = fi, validation = validation.len());
         let train: Vec<usize> = irnuma_ml::cv::train_indices(&folds_idx, fi);
         let sm = StaticModel::train(&dataset, &train, cfg.static_params);
         let dm = DynamicModel::train(&dataset, &train);

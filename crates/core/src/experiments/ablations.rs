@@ -102,6 +102,7 @@ fn run_variant(
 
 /// Run all three ablation families on a pre-built dataset.
 pub fn run(ds: &Dataset, base: StaticParams) -> Ablations {
+    let _span = irnuma_obs::span!("exp.ablations");
     let mut points = Vec::new();
     let id = |g: &GraphData| g.clone();
 

@@ -8,7 +8,9 @@
 //! Here "compilation" is a real wall-clock measurement (flag-sequence
 //! pipeline + extraction + graph construction on this machine), while
 //! "execution" is the simulated region runtime × the benchmark's calls —
-//! the same comparison at the same granularity.
+//! the same comparison at the same granularity. Each compile stage is
+//! timed through an [`irnuma_obs`] span, so a trace shows the breakdown
+//! and the per-stage seconds land in the results JSON.
 
 use crate::experiments::FigureReport;
 use irnuma_graph::{build_module_graph, Vocab};
@@ -17,13 +19,19 @@ use irnuma_passes::{o3_sequence, PassManager};
 use irnuma_sim::{default_config, simulate, Machine, MicroArch};
 use irnuma_workloads::{all_regions, InputSize};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CostRow {
     pub region: String,
-    /// Wall-clock of one static characterization (seconds).
+    /// Wall-clock of one static characterization (seconds): the sum of the
+    /// three per-stage measurements below.
     pub compile_seconds: f64,
+    /// Flag-sequence pipeline (the O3 pass pipeline) wall time.
+    pub pass_seconds: f64,
+    /// Region call-graph extraction wall time.
+    pub extract_seconds: f64,
+    /// ProGraML graph construction wall time.
+    pub graph_seconds: f64,
     /// Simulated execution of one profiling run (all calls, seconds).
     pub execute_seconds: f64,
     pub execute_over_compile: f64,
@@ -35,6 +43,7 @@ pub struct CostComparison {
 }
 
 pub fn run() -> CostComparison {
+    let _span = irnuma_obs::span!("exp.cost_comparison");
     let vocab = Vocab::full();
     let pm = PassManager::new(false);
     let m = Machine::new(MicroArch::Skylake);
@@ -44,18 +53,24 @@ pub fn run() -> CostComparison {
     let rows = all_regions()
         .into_iter()
         .map(|r| {
-            let t0 = Instant::now();
             let mut module = r.module();
-            pm.run(&mut module, &seq).expect("O3 runs");
-            let extracted = extract_region(&module, &r.region_fn()).expect("extracts");
-            let _g = build_module_graph(&extracted, &vocab);
-            let compile_seconds = t0.elapsed().as_secs_f64();
+            let (_, pass_seconds) =
+                irnuma_obs::timed("cost.passes", || pm.run(&mut module, &seq).expect("O3 runs"));
+            let (extracted, extract_seconds) = irnuma_obs::timed("cost.extract", || {
+                extract_region(&module, &r.region_fn()).expect("extracts")
+            });
+            let (_g, graph_seconds) =
+                irnuma_obs::timed("cost.graph", || build_module_graph(&extracted, &vocab));
+            let compile_seconds = pass_seconds + extract_seconds + graph_seconds;
 
             let per_call = simulate(&r.name, &r.profile, &m, &cfg, InputSize::Size1, 0).seconds;
             let execute_seconds = per_call * r.profile.calls_per_run as f64;
             CostRow {
                 region: r.name,
                 compile_seconds,
+                pass_seconds,
+                extract_seconds,
+                graph_seconds,
                 execute_seconds,
                 execute_over_compile: execute_seconds / compile_seconds.max(1e-9),
             }
@@ -69,12 +84,23 @@ impl CostComparison {
         let mut r = FigureReport::new(
             "cost_comparison",
             "Static characterization cost vs profiled execution cost (§IV-F)",
-            &["region", "compile_s", "execute_s", "execute/compile"],
+            &[
+                "region",
+                "compile_s",
+                "passes_s",
+                "extract_s",
+                "graph_s",
+                "execute_s",
+                "execute/compile",
+            ],
         );
         for row in &self.rows {
             r.push_row(vec![
                 row.region.clone(),
                 format!("{:.4}", row.compile_seconds),
+                format!("{:.4}", row.pass_seconds),
+                format!("{:.4}", row.extract_seconds),
+                format!("{:.4}", row.graph_seconds),
                 format!("{:.4}", row.execute_seconds),
                 format!("{:.1}", row.execute_over_compile),
             ]);
@@ -87,6 +113,69 @@ impl CostComparison {
                 s.execute_over_compile, l.execute_over_compile
             ));
         }
+        let (p, e, g) = self.rows.iter().fold((0.0, 0.0, 0.0), |acc, row| {
+            (acc.0 + row.pass_seconds, acc.1 + row.extract_seconds, acc.2 + row.graph_seconds)
+        });
+        let total = (p + e + g).max(1e-9);
+        r.note(format!(
+            "compile breakdown: passes {:.0}%, extract {:.0}%, graph {:.0}%",
+            100.0 * p / total,
+            100.0 * e / total,
+            100.0 * g / total
+        ));
         r
+    }
+
+    /// Write the per-region stage breakdown as JSON into `dir/cost_comparison.json`.
+    pub fn write_json(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("cost_comparison.json");
+        let json = serde_json::to_vec(self).expect("cost rows serialize");
+        std::fs::write(&path, json)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_seconds_sum_to_compile_seconds() {
+        let cc = run();
+        assert_eq!(cc.rows.len(), 56);
+        for row in &cc.rows {
+            let sum = row.pass_seconds + row.extract_seconds + row.graph_seconds;
+            assert!(
+                (sum - row.compile_seconds).abs() <= 1e-9 + row.compile_seconds * 1e-6,
+                "{}: {} vs {}",
+                row.region,
+                sum,
+                row.compile_seconds
+            );
+            assert!(row.pass_seconds >= 0.0 && row.extract_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn json_breakdown_round_trips() {
+        let cc = CostComparison {
+            rows: vec![CostRow {
+                region: "cg.axpy".into(),
+                compile_seconds: 0.3,
+                pass_seconds: 0.2,
+                extract_seconds: 0.06,
+                graph_seconds: 0.04,
+                execute_seconds: 1.5,
+                execute_over_compile: 5.0,
+            }],
+        };
+        let dir = std::env::temp_dir().join("irnuma-cost-test");
+        let path = cc.write_json(&dir).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let back: CostComparison = serde_json::from_str(&body).unwrap();
+        assert_eq!(back.rows[0].pass_seconds, 0.2);
+        assert_eq!(back.rows[0].graph_seconds, 0.04);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -29,6 +29,7 @@ pub struct Fig10 {
 
 /// `calls` mirrors the paper's sampled execution (10 calls per region).
 pub fn run(calls: u32) -> Fig10 {
+    let _span = irnuma_obs::span!("exp.fig10", calls = calls);
     let m = Machine::new(MicroArch::XeonGold);
     let configs = config_space(&m);
     let def = default_config(&m);

@@ -48,6 +48,7 @@ fn arch_row(eval: &Evaluation) -> Fig11Arch {
 }
 
 pub fn run(evals: &[&Evaluation]) -> Fig11 {
+    let _span = irnuma_obs::span!("exp.fig11", arches = evals.len());
     Fig11 { arches: evals.iter().map(|e| arch_row(e)).collect() }
 }
 

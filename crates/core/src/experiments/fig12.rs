@@ -31,6 +31,7 @@ pub struct Fig12 {
 /// what the figure exists to display: the dynamic behaviour static
 /// information cannot see.
 pub fn run(eval: &Evaluation, worst: usize, calls: u32) -> Fig12 {
+    let _span = irnuma_obs::span!("exp.fig12", worst = worst, calls = calls);
     let m = Machine::new(MicroArch::XeonGold);
     let cfg = default_config(&m);
     let regions_all = all_regions();

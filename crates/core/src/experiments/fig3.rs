@@ -24,6 +24,7 @@ pub struct Fig3 {
 
 /// Build Figure 3 from a finished evaluation.
 pub fn run(eval: &Evaluation) -> Fig3 {
+    let _span = irnuma_obs::span!("exp.fig3");
     let mut rows: Vec<Fig3Row> = eval
         .outcomes
         .iter()

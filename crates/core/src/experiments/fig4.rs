@@ -14,6 +14,7 @@ pub struct Fig4 {
 }
 
 pub fn run(eval: &Evaluation) -> Fig4 {
+    let _span = irnuma_obs::span!("exp.fig4");
     let folds = eval.cfg.folds;
     let mut sums = vec![0.0f64; folds];
     let mut counts = vec![0usize; folds];

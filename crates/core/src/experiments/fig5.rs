@@ -29,6 +29,7 @@ pub fn per_seq_gains(eval: &Evaluation) -> Vec<f64> {
 }
 
 pub fn run(skylake: &Evaluation, sandy_bridge: &Evaluation) -> Fig5 {
+    let _span = irnuma_obs::span!("exp.fig5");
     let skl = per_seq_gains(skylake);
     let snb = per_seq_gains(sandy_bridge);
     let best =

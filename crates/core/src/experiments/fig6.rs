@@ -55,6 +55,7 @@ fn point(eval: &Evaluation, k: usize) -> Fig6Point {
 
 /// Run the label sweep on one machine (dataset built once, re-labeled).
 pub fn run(cfg: &PipelineConfig, ds: &Dataset, label_counts: &[usize]) -> (Fig6, Vec<Evaluation>) {
+    let _span = irnuma_obs::span!("exp.fig6", label_counts = label_counts.len());
     let mut points = Vec::new();
     let mut evals = Vec::new();
     for &k in label_counts {

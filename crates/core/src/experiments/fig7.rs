@@ -20,6 +20,7 @@ pub struct Fig7 {
 }
 
 pub fn run(eval: &Evaluation) -> Fig7 {
+    let _span = irnuma_obs::span!("exp.fig7");
     let k = eval.dataset.chosen_configs.len();
     let mut rows: Vec<Fig7Row> =
         (0..k).map(|l| Fig7Row { label: l, oracle: 0, predicted: 0, correct: 0 }).collect();

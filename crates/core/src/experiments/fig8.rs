@@ -78,6 +78,7 @@ fn gain_of_translated(source: &Evaluation, target: &Evaluation, r: usize, label:
 /// `a` and `b` are full evaluations of the two machines over the same
 /// region set.
 pub fn run(a: &Evaluation, b: &Evaluation) -> Fig8 {
+    let _span = irnuma_obs::span!("exp.fig8");
     let arch_entry = |native: &Evaluation, other: &Evaluation| Fig8Arch {
         arch: format!("{:?}", native.cfg.arch),
         native_static: native.static_speedup(),

@@ -28,6 +28,7 @@ pub struct Fig9 {
 }
 
 pub fn run(eval: &Evaluation) -> Fig9 {
+    let _span = irnuma_obs::span!("exp.fig9");
     let rows: Vec<Fig9Row> = eval
         .outcomes
         .iter()

@@ -69,6 +69,7 @@ pub fn run(
     threshold: f64,
     calls: u32,
 ) -> InputSensitivity {
+    let _span = irnuma_obs::span!("exp.input_sensitivity", calls = calls);
     let losses = transfer_losses(ds, calls);
     let truth: Vec<bool> = losses.iter().map(|&l| l > threshold).collect();
 

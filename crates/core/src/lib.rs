@@ -27,6 +27,7 @@ pub mod dataset;
 pub mod evaluation;
 pub mod experiments;
 pub mod models;
+pub mod trace_report;
 
 pub use dataset::{build_dataset, Dataset, DatasetParams, RegionData};
 pub use evaluation::{evaluate, Evaluation, FoldModels, PipelineConfig, RegionOutcome};

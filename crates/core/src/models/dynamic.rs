@@ -14,6 +14,7 @@ pub struct DynamicModel {
 impl DynamicModel {
     /// Train on the counters of the given training regions.
     pub fn train(ds: &Dataset, train_idx: &[usize]) -> DynamicModel {
+        let _span = irnuma_obs::span!("model.dynamic.train", regions = train_idx.len());
         let x: Vec<Vec<f32>> =
             train_idx.iter().map(|&r| ds.regions[r].dynamic_features.clone()).collect();
         let y: Vec<usize> = train_idx.iter().map(|&r| ds.labels[r]).collect();

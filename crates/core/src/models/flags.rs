@@ -102,6 +102,7 @@ impl FlagModel {
     /// candidate sequences, label each region with its best candidate, and
     /// fit the GA-subset decision tree over the embeddings.
     pub fn train(ds: &Dataset, sm: &StaticModel, train_idx: &[usize], p: FlagParams) -> FlagModel {
+        let _span = irnuma_obs::span!("model.flags.train", regions = train_idx.len());
         let gains = gains_matrix(ds, sm, train_idx);
         let candidates = select_candidates(&gains, p.target_coverage, p.max_candidates);
 

@@ -96,6 +96,11 @@ impl HybridModel {
         p: HybridParams,
         static_params: crate::models::static_gnn::StaticParams,
     ) -> HybridModel {
+        let _span = irnuma_obs::span!(
+            "model.hybrid.train",
+            regions = train_idx.len(),
+            inner_folds = p.inner_folds
+        );
         let _ = sm; // features come from the inner models, see below
                     // Inner sub-models use two-thirds of the epochs: enough fidelity
                     // for honest labels at 40% less cost.

@@ -45,6 +45,12 @@ impl StaticModel {
     /// Train on the given region indices (step D), then run the explored
     /// flag-sequence selection (step E) over the same training regions.
     pub fn train(ds: &Dataset, train_idx: &[usize], p: StaticParams) -> StaticModel {
+        let _span = irnuma_obs::span!(
+            "model.static.train",
+            regions = train_idx.len(),
+            epochs = p.epochs,
+            hidden = p.hidden
+        );
         let vocab = Vocab::full();
         let classes = ds.chosen_configs.len();
         let seq_ids = training_sequence_ids(ds.sequences.len(), p.train_sequences);

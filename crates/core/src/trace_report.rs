@@ -1,0 +1,347 @@
+//! Aggregate an `IRNUMA_TRACE` JSONL file into a per-stage profile.
+//!
+//! The trace schema is one event per line with exactly four top-level keys
+//! (`ts_ns`, `kind`, `name`, `fields` — see `irnuma-obs`). This module
+//! groups `span` events by name and computes wall-time totals plus exact
+//! p50/p90/p99 over the recorded durations (exact, unlike the log-bucket
+//! approximation inside `irnuma-obs`, because the full sample set is on
+//! disk). Metric flush events (`counter`/`gauge`/`hist`) are carried
+//! through verbatim. Backs the `irnuma report` CLI subcommand.
+
+use std::path::Path;
+
+/// Aggregated statistics of one span name.
+#[derive(Debug, Clone)]
+pub struct SpanStat {
+    pub name: String,
+    pub count: usize,
+    pub total_ns: u64,
+    pub p50_ns: u64,
+    pub p90_ns: u64,
+    pub p99_ns: u64,
+    pub max_ns: u64,
+}
+
+/// One `hist` flush event from the trace.
+#[derive(Debug, Clone)]
+pub struct HistStat {
+    pub name: String,
+    pub count: u64,
+    pub mean: f64,
+    pub p50: f64,
+    pub p99: f64,
+}
+
+/// Everything extracted from one trace file.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    pub total_events: usize,
+    /// Per-name span statistics, sorted by total wall time, descending.
+    pub spans: Vec<SpanStat>,
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub hists: Vec<HistStat>,
+    pub log_lines: usize,
+}
+
+/// Nearest-rank quantile over an ascending-sorted slice.
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn get_u64(v: &serde_json::Value, key: &str) -> Option<u64> {
+    v.field(key).and_then(|f| f.as_u64())
+}
+
+fn get_f64(v: &serde_json::Value, key: &str) -> Option<f64> {
+    v.field(key).and_then(|f| f.as_f64())
+}
+
+/// Parse and aggregate a JSONL trace. Any malformed line (bad JSON, a
+/// missing required key, or a mistyped value) is an error naming the
+/// 1-based line number — `irnuma report` is the CI gate for the schema.
+pub fn load(path: &Path) -> Result<TraceReport, String> {
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut report = TraceReport::default();
+    let mut durations: Vec<(String, Vec<u64>)> = Vec::new();
+
+    for (idx, line) in body.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            return Err(format!("line {lineno}: empty line in trace"));
+        }
+        let v = serde_json::parse_value(line)
+            .map_err(|e| format!("line {lineno}: malformed JSON: {e:?}"))?;
+        let serde_json::Value::Object(_) = &v else {
+            return Err(format!("line {lineno}: event is not an object"));
+        };
+        get_u64(&v, "ts_ns").ok_or_else(|| format!("line {lineno}: missing/invalid `ts_ns`"))?;
+        let kind = v
+            .field("kind")
+            .and_then(|f| f.as_str())
+            .ok_or_else(|| format!("line {lineno}: missing/invalid `kind`"))?
+            .to_string();
+        let name = v
+            .field("name")
+            .and_then(|f| f.as_str())
+            .ok_or_else(|| format!("line {lineno}: missing/invalid `name`"))?
+            .to_string();
+        let fields = v.field("fields").ok_or_else(|| format!("line {lineno}: missing `fields`"))?;
+        if !matches!(fields, serde_json::Value::Object(_)) {
+            return Err(format!("line {lineno}: `fields` is not an object"));
+        }
+        report.total_events += 1;
+
+        match kind.as_str() {
+            "span" => {
+                let dur = get_u64(fields, "dur_ns")
+                    .ok_or_else(|| format!("line {lineno}: span without `dur_ns`"))?;
+                match durations.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, ds)) => ds.push(dur),
+                    None => durations.push((name, vec![dur])),
+                }
+            }
+            "counter" => {
+                let value = get_u64(fields, "value")
+                    .ok_or_else(|| format!("line {lineno}: counter without `value`"))?;
+                report.counters.push((name, value));
+            }
+            "gauge" => {
+                let value = get_f64(fields, "value")
+                    .ok_or_else(|| format!("line {lineno}: gauge without `value`"))?;
+                report.gauges.push((name, value));
+            }
+            "hist" => {
+                let missing = |k: &str| format!("line {lineno}: hist without `{k}`");
+                report.hists.push(HistStat {
+                    count: get_u64(fields, "count").ok_or_else(|| missing("count"))?,
+                    mean: get_f64(fields, "mean").ok_or_else(|| missing("mean"))?,
+                    p50: get_f64(fields, "p50").ok_or_else(|| missing("p50"))?,
+                    p99: get_f64(fields, "p99").ok_or_else(|| missing("p99"))?,
+                    name,
+                });
+            }
+            "log" => report.log_lines += 1,
+            other => return Err(format!("line {lineno}: unknown event kind `{other}`")),
+        }
+    }
+
+    for (name, mut ds) in durations {
+        ds.sort_unstable();
+        report.spans.push(SpanStat {
+            name,
+            count: ds.len(),
+            total_ns: ds.iter().sum(),
+            p50_ns: quantile(&ds, 0.50),
+            p90_ns: quantile(&ds, 0.90),
+            p99_ns: quantile(&ds, 0.99),
+            max_ns: *ds.last().expect("non-empty duration group"),
+        });
+    }
+    report.spans.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+    report.counters.sort();
+    report.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    report.hists.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(report)
+}
+
+impl TraceReport {
+    /// Check that every named stage appears at least once as a span.
+    pub fn require(&self, stages: &[&str]) -> Result<(), String> {
+        let missing: Vec<&str> = stages
+            .iter()
+            .filter(|s| !self.spans.iter().any(|sp| sp.name == **s))
+            .copied()
+            .collect();
+        if missing.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("trace is missing required stage(s): {}", missing.join(", ")))
+        }
+    }
+
+    /// Render the per-stage wall-time/percentile table (plus metric flushes).
+    pub fn render(&self) -> String {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} events: {} span groups, {} counters, {} gauges, {} histograms, {} logs\n\n",
+            self.total_events,
+            self.spans.len(),
+            self.counters.len(),
+            self.gauges.len(),
+            self.hists.len(),
+            self.log_lines
+        ));
+        out.push_str(&format!(
+            "{:<28} {:>7} {:>12} {:>11} {:>11} {:>11} {:>11}\n",
+            "stage", "count", "total_ms", "p50_ms", "p90_ms", "p99_ms", "max_ms"
+        ));
+        for s in &self.spans {
+            out.push_str(&format!(
+                "{:<28} {:>7} {:>12.3} {:>11.3} {:>11.3} {:>11.3} {:>11.3}\n",
+                s.name,
+                s.count,
+                ms(s.total_ns),
+                ms(s.p50_ns),
+                ms(s.p90_ns),
+                ms(s.p99_ns),
+                ms(s.max_ns)
+            ));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\ncounters:\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<34} {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\ngauges:\n");
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {name:<34} {v:.6}\n"));
+            }
+        }
+        if !self.hists.is_empty() {
+            out.push_str("\nhistograms:\n");
+            out.push_str(&format!(
+                "  {:<34} {:>9} {:>12} {:>12} {:>12}\n",
+                "name", "count", "mean", "p50", "p99"
+            ));
+            for h in &self.hists {
+                out.push_str(&format!(
+                    "  {:<34} {:>9} {:>12.1} {:>12.1} {:>12.1}\n",
+                    h.name, h.count, h.mean, h.p50, h.p99
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn write_trace(name: &str, lines: &[&str]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("irnuma-trace-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let mut f = std::fs::File::create(&path).unwrap();
+        for l in lines {
+            writeln!(f, "{l}").unwrap();
+        }
+        path
+    }
+
+    fn span_line(name: &str, dur: u64) -> String {
+        format!(
+            r#"{{"ts_ns":1,"kind":"span","name":"{name}","fields":{{"span":1,"parent":0,"thread":1,"dur_ns":{dur}}}}}"#
+        )
+    }
+
+    #[test]
+    fn aggregates_spans_with_exact_percentiles() {
+        let lines: Vec<String> = (1..=100u64).map(|d| span_line("train.epoch", d * 1000)).collect();
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let path = write_trace("percentiles.jsonl", &refs);
+        let r = load(&path).unwrap();
+        assert_eq!(r.total_events, 100);
+        let s = &r.spans[0];
+        assert_eq!(
+            (s.count, s.p50_ns, s.p90_ns, s.p99_ns, s.max_ns),
+            (100, 50_000, 90_000, 99_000, 100_000)
+        );
+        assert_eq!(s.total_ns, 5050 * 1000);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn spans_sort_by_total_time() {
+        let path = write_trace(
+            "sorted.jsonl",
+            &[
+                &span_line("fast", 10),
+                &span_line("slow", 5000),
+                &span_line("fast", 20),
+                r#"{"ts_ns":2,"kind":"counter","name":"graph.builds","fields":{"value":3}}"#,
+            ],
+        );
+        let r = load(&path).unwrap();
+        assert_eq!(r.spans[0].name, "slow");
+        assert_eq!(r.spans[1].name, "fast");
+        assert_eq!(r.counters, vec![("graph.builds".to_string(), 3)]);
+        let table = r.render();
+        assert!(table.contains("slow"));
+        assert!(table.contains("graph.builds"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_reports_line_number() {
+        let path = write_trace("bad.jsonl", &[&span_line("a", 1), "{not json"]);
+        let err = load(&path).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_keys_are_schema_errors() {
+        let path =
+            write_trace("nokind.jsonl", &[r#"{"ts_ns":1,"name":"x","fields":{},"extra":0}"#]);
+        let err = load(&path).unwrap_err();
+        assert!(err.contains("kind"), "{err}");
+        std::fs::remove_file(&path).ok();
+
+        let path = write_trace(
+            "nodur.jsonl",
+            &[r#"{"ts_ns":1,"kind":"span","name":"x","fields":{"span":1}}"#],
+        );
+        let err = load(&path).unwrap_err();
+        assert!(err.contains("dur_ns"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn require_flags_missing_stages() {
+        let path = write_trace("req.jsonl", &[&span_line("graph.build", 5)]);
+        let r = load(&path).unwrap();
+        assert!(r.require(&["graph.build"]).is_ok());
+        let err = r.require(&["graph.build", "train.epoch"]).unwrap_err();
+        assert!(err.contains("train.epoch"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn loads_a_real_obs_trace_end_to_end() {
+        // Drive the actual pipeline (tiny) with a JsonlSink installed and
+        // verify the report sees the instrumented stages.
+        let dir = std::env::temp_dir().join("irnuma-trace-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("real.jsonl");
+        irnuma_obs::set_sink(std::sync::Arc::new(irnuma_obs::JsonlSink::create(&path).unwrap()));
+        let params = crate::dataset::DatasetParams {
+            num_sequences: 2,
+            calls: 2,
+            num_labels: 3,
+            ..Default::default()
+        };
+        let _ds = crate::dataset::build_dataset(irnuma_sim::MicroArch::Skylake, &params);
+        irnuma_obs::flush_metrics();
+        irnuma_obs::clear_sink();
+
+        let r = load(&path).unwrap();
+        r.require(&["dataset.build", "dataset.region", "graph.build", "passes.run"]).unwrap();
+        // Other tests in this binary may trace concurrently into the same
+        // global sink, so counts are lower bounds.
+        let regions = r.spans.iter().find(|s| s.name == "dataset.region").unwrap();
+        assert!(regions.count >= 56, "got {}", regions.count);
+        assert!(r.counters.iter().any(|(n, v)| n == "graph.builds" && *v >= 112));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -94,3 +94,43 @@ fn unknown_region_is_a_clean_error() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown region"));
 }
+
+#[test]
+fn trace_then_report_covers_the_pipeline() {
+    let dir = std::env::temp_dir().join("irnuma-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("sweep-trace.jsonl");
+
+    // A traced sweep exercises workloads + sim; every line must parse and
+    // the sweep stage must appear in the report.
+    let out = Command::new(env!("CARGO_BIN_EXE_irnuma"))
+        .args(["sweep", "cg.axpy"])
+        .env("IRNUMA_TRACE", trace.to_str().unwrap())
+        .env("IRNUMA_LOG", "warn")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(trace.exists(), "trace file written");
+
+    let report = irnuma(&["report", trace.to_str().unwrap(), "--require", "sim.sweep"]);
+    assert!(report.status.success(), "{}", String::from_utf8_lossy(&report.stderr));
+    let text = String::from_utf8_lossy(&report.stdout);
+    assert!(text.contains("stage"), "table header: {text}");
+    assert!(text.contains("sim.sweep"));
+    assert!(text.contains("all required stages present"));
+
+    // Requiring a stage the command never ran fails loudly.
+    let missing = irnuma(&["report", trace.to_str().unwrap(), "--require", "train.epoch"]);
+    assert!(!missing.status.success());
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("train.epoch"));
+
+    // A corrupt trace is rejected with its line number.
+    let bad = dir.join("bad-trace.jsonl");
+    std::fs::write(&bad, "{\"ts_ns\":1,\"kind\":\"span\"\nnot json\n").unwrap();
+    let out = irnuma(&["report", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 1"));
+
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&bad).ok();
+}

@@ -41,6 +41,7 @@ use std::collections::HashMap;
 /// assert!(graph.count_edges(EdgeKind::Data) > 0);
 /// ```
 pub fn build_module_graph(m: &Module, vocab: &Vocab) -> Graph {
+    let mut span = irnuma_obs::span!("graph.build", module = m.name.as_str());
     let mut g = Graph { name: m.name.clone(), ..Default::default() };
 
     // Global variable nodes are shared across functions.
@@ -162,6 +163,17 @@ pub fn build_module_graph(m: &Module, vocab: &Vocab) -> Graph {
     }
 
     debug_assert!(g.validate().is_ok());
+    if irnuma_obs::trace_enabled() {
+        span.field("instr_nodes", g.count_nodes(NodeKind::Instruction));
+        span.field("var_nodes", g.count_nodes(NodeKind::Variable));
+        span.field("const_nodes", g.count_nodes(NodeKind::Constant));
+        span.field("control_edges", g.count_edges(EdgeKind::Control));
+        span.field("data_edges", g.count_edges(EdgeKind::Data));
+        span.field("call_edges", g.count_edges(EdgeKind::Call));
+        irnuma_obs::counter!("graph.nodes").inc(g.num_nodes() as u64);
+        irnuma_obs::counter!("graph.edges").inc(g.num_edges() as u64);
+        irnuma_obs::counter!("graph.builds").inc(1);
+    }
     g
 }
 

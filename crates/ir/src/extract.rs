@@ -27,6 +27,7 @@ impl std::error::Error for UnknownRegion {}
 /// Extract `region` (plus transitive callees and referenced globals) into a
 /// fresh standalone module named `<module>.<region>`.
 pub fn extract_region(m: &Module, region: &str) -> Result<Module, UnknownRegion> {
+    let _span = irnuma_obs::span!("ir.extract", region = region);
     if m.function(region).is_none() {
         return Err(UnknownRegion(region.to_string()));
     }

@@ -99,6 +99,13 @@ impl Ga {
     ) -> (Vec<usize>, f64) {
         assert!(k <= n_features, "cannot select {k} of {n_features}");
         let p = self.params;
+        let mut ga_span = irnuma_obs::span!(
+            "ml.ga",
+            population = p.population,
+            generations = p.generations,
+            features = n_features,
+            k = k
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(p.seed);
         let mut pop: Vec<Individual> =
             (0..p.population).map(|_| Self::random_individual(n_features, k, &mut rng)).collect();
@@ -140,6 +147,7 @@ impl Ga {
             scores = eval(&pop);
         }
         let best_i = argmax(&scores);
+        ga_span.field("best_fitness", scores[best_i]);
         (pop[best_i].clone(), scores[best_i])
     }
 }

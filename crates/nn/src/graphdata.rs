@@ -121,6 +121,9 @@ impl GraphData {
     /// The cached CSR adjacency, one per relation (built on first call).
     pub fn csr(&self) -> &[Csr; NUM_RELATIONS] {
         self.csr.get_or_init(|| {
+            if irnuma_obs::trace_enabled() {
+                irnuma_obs::counter!("infer.csr_build").inc(1);
+            }
             let n = self.num_nodes();
             std::array::from_fn(|r| Csr::from_edges(n, &self.edges[r], &self.norm[r]))
         })

@@ -87,6 +87,15 @@ impl Scratch {
 
     fn reserve(&mut self, n: usize, d: usize) {
         let len = n * d;
+        if irnuma_obs::trace_enabled() {
+            // Reuse hit: every buffer already holds enough capacity, so this
+            // call allocates nothing.
+            if self.h.capacity() >= len {
+                irnuma_obs::counter!("infer.scratch_hits").inc(1);
+            } else {
+                irnuma_obs::counter!("infer.scratch_misses").inc(1);
+            }
+        }
         for buf in [&mut self.h, &mut self.acc, &mut self.msgs, &mut self.term, &mut self.h1] {
             buf.clear();
             buf.resize(len, 0.0);
@@ -106,6 +115,16 @@ impl GnnModel {
 
     /// Tape-free forward pass into a caller-provided workspace.
     pub fn infer_with(&self, g: &GraphData, scratch: &mut Scratch) -> InferOutput {
+        let t0 = irnuma_obs::trace_enabled().then(std::time::Instant::now);
+        let out = self.infer_impl(g, scratch);
+        if let Some(t0) = t0 {
+            irnuma_obs::histogram!("infer.graph_ns").record_duration(t0.elapsed());
+            irnuma_obs::counter!("infer.graphs").inc(1);
+        }
+        out
+    }
+
+    fn infer_impl(&self, g: &GraphData, scratch: &mut Scratch) -> InferOutput {
         let d = self.cfg.hidden;
         let n = g.num_nodes();
         scratch.reserve(n, d);
@@ -234,13 +253,23 @@ impl GnnModel {
     /// Batched inference: graphs fan out across threads, each thread reusing
     /// its own scratch workspace. Output order matches input order.
     pub fn infer_batch(&self, graphs: &[GraphData]) -> Vec<InferOutput> {
-        graphs.par_iter().map(|g| self.infer(g)).collect()
+        let span = irnuma_obs::span!("infer.batch", graphs = graphs.len());
+        let out: Vec<InferOutput> = graphs.par_iter().map(|g| self.infer(g)).collect();
+        if irnuma_obs::trace_enabled() {
+            irnuma_obs::histogram!("infer.batch_ns").record_duration(span.elapsed());
+        }
+        out
     }
 
     /// [`infer_batch`](GnnModel::infer_batch) over scattered graph
     /// references (e.g. one graph per (region, sequence) pair).
     pub fn infer_batch_refs(&self, graphs: &[&GraphData]) -> Vec<InferOutput> {
-        graphs.par_iter().map(|g| self.infer(g)).collect()
+        let span = irnuma_obs::span!("infer.batch", graphs = graphs.len());
+        let out: Vec<InferOutput> = graphs.par_iter().map(|g| self.infer(g)).collect();
+        if irnuma_obs::trace_enabled() {
+            irnuma_obs::histogram!("infer.batch_ns").record_duration(span.elapsed());
+        }
+        out
     }
 }
 

@@ -102,9 +102,17 @@ impl GnnClassifier {
         let mut order: Vec<usize> = (0..graphs.len()).collect();
         let mut history = Vec::with_capacity(p.epochs);
 
-        for _epoch in 0..p.epochs {
+        let mut fit_span = irnuma_obs::span!(
+            "train.fit",
+            graphs = graphs.len(),
+            epochs = p.epochs,
+            batch_size = p.batch_size
+        );
+        for epoch in 0..p.epochs {
+            let mut epoch_span = irnuma_obs::span!("train.epoch", epoch = epoch);
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0;
+            let mut grad_sq = 0.0f64;
             for chunk in order.chunks(p.batch_size.max(1)) {
                 // Parallel map, canonical-order reduce: deterministic.
                 let results: Vec<(f64, Vec<Tensor>)> = chunk
@@ -120,9 +128,30 @@ impl GnnClassifier {
                         acc.axpy(inv, g);
                     }
                 }
-                adam.step(&mut self.model.params, &total);
+                if irnuma_obs::trace_enabled() {
+                    grad_sq += total
+                        .iter()
+                        .flat_map(|t| &t.data)
+                        .map(|&g| g as f64 * g as f64)
+                        .sum::<f64>();
+                    let t0 = std::time::Instant::now();
+                    adam.step(&mut self.model.params, &total);
+                    irnuma_obs::histogram!("train.adam_step_ns").record_duration(t0.elapsed());
+                    irnuma_obs::counter!("train.batches").inc(1);
+                } else {
+                    adam.step(&mut self.model.params, &total);
+                }
             }
-            history.push(epoch_loss / graphs.len() as f64);
+            let mean_loss = epoch_loss / graphs.len() as f64;
+            if irnuma_obs::trace_enabled() {
+                epoch_span.field("loss", mean_loss);
+                epoch_span.field("grad_norm", grad_sq.sqrt());
+                irnuma_obs::histogram!("train.epoch_ns").record_duration(epoch_span.elapsed());
+            }
+            history.push(mean_loss);
+        }
+        if let Some(&last) = history.last() {
+            fit_span.field("final_loss", last);
         }
         history
     }

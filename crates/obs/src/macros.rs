@@ -1,0 +1,108 @@
+//! Instrumentation macros. Every macro front-loads a single relaxed atomic
+//! check (`trace_enabled` / `log_enabled`), so disabled instrumentation
+//! costs one load and a predictable branch; with the crate's `off` feature
+//! the check is a constant and the whole call site compiles out.
+
+/// Open a span: `let _s = span!("train.epoch", epoch = e);`. Returns a
+/// [`crate::SpanGuard`] that emits on drop (inert when tracing is off).
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::trace_enabled() {
+            $crate::SpanGuard::new(
+                $name,
+                vec![$((stringify!($key), $crate::Value::from($val))),*],
+            )
+        } else {
+            $crate::SpanGuard::inert()
+        }
+    };
+}
+
+/// Open a span under an explicitly captured parent — for work fanned out
+/// across rayon workers: capture `let ctx = current_span();` outside the
+/// `par_iter`, then `let _s = span_under!(ctx, "dataset.region", idx = i);`.
+#[macro_export]
+macro_rules! span_under {
+    ($ctx:expr, $name:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::trace_enabled() {
+            $crate::SpanGuard::under(
+                $ctx,
+                $name,
+                vec![$((stringify!($key), $crate::Value::from($val))),*],
+            )
+        } else {
+            $crate::SpanGuard::inert()
+        }
+    };
+}
+
+/// The counter named by a string literal, with the registry lookup cached
+/// per call site: `counter!("infer.csr_build").inc(1);`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::registry().counter($name))
+    }};
+}
+
+/// The gauge named by a string literal (call-site cached).
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Gauge> = ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::registry().gauge($name))
+    }};
+}
+
+/// The histogram named by a string literal (call-site cached).
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::registry().histogram($name))
+    }};
+}
+
+/// `format!`-style log line at `error` level.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::Level::Error) {
+            $crate::log($crate::Level::Error, format!($($arg)*));
+        }
+    };
+}
+
+/// `format!`-style log line at `warn` level.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::Level::Warn) {
+            $crate::log($crate::Level::Warn, format!($($arg)*));
+        }
+    };
+}
+
+/// `format!`-style log line at `info` level (progress reporting).
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::Level::Info) {
+            $crate::log($crate::Level::Info, format!($($arg)*));
+        }
+    };
+}
+
+/// `format!`-style log line at `debug` level.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::Level::Debug) {
+            $crate::log($crate::Level::Debug, format!($($arg)*));
+        }
+    };
+}

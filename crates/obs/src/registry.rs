@@ -1,0 +1,170 @@
+//! The lock-sharded global metric registry.
+//!
+//! Metric handles are interned once and leaked (`&'static`), so hot call
+//! sites can cache the reference in a `OnceLock` (which is exactly what the
+//! [`crate::counter!`]/[`crate::gauge!`]/[`crate::histogram!`] macros do)
+//! and never touch a lock again. Name → handle lookups shard across 16
+//! mutexes by name hash to keep dynamic-name registration cheap under
+//! rayon-wide concurrency.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::sink::{emit, Event};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, OnceLock};
+
+const SHARDS: usize = 16;
+
+enum Entry {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+/// The global registry; obtain it through [`registry`].
+pub struct Registry {
+    shards: [Mutex<HashMap<String, Entry>>; SHARDS],
+}
+
+/// One metric's current state, as captured by [`Registry::snapshot`].
+pub enum MetricSnapshot {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// Poison-tolerant lock: a kind-mismatch panic in one thread must not take
+/// the whole shard down with it (insertions complete before any panic, so
+/// the map is consistent).
+fn lock_shard(
+    shard: &Mutex<HashMap<String, Entry>>,
+) -> std::sync::MutexGuard<'_, HashMap<String, Entry>> {
+    match shard.lock() {
+        Ok(g) => g,
+        Err(poison) => poison.into_inner(),
+    }
+}
+
+fn shard_of(name: &str) -> usize {
+    let mut h = DefaultHasher::new();
+    name.hash(&mut h);
+    h.finish() as usize % SHARDS
+}
+
+impl Registry {
+    fn new() -> Registry {
+        Registry { shards: std::array::from_fn(|_| Mutex::new(HashMap::new())) }
+    }
+
+    /// The counter named `name` (registered on first use).
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        let mut map = lock_shard(&self.shards[shard_of(name)]);
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::Counter(Box::leak(Box::new(Counter::new()))))
+        {
+            Entry::Counter(c) => c,
+            _ => panic!("metric `{name}` is already registered with a different kind"),
+        }
+    }
+
+    /// The gauge named `name` (registered on first use).
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        let mut map = lock_shard(&self.shards[shard_of(name)]);
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::Gauge(Box::leak(Box::new(Gauge::new()))))
+        {
+            Entry::Gauge(g) => g,
+            _ => panic!("metric `{name}` is already registered with a different kind"),
+        }
+    }
+
+    /// The histogram named `name` (registered on first use).
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        let mut map = lock_shard(&self.shards[shard_of(name)]);
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::Histogram(Box::leak(Box::new(Histogram::new()))))
+        {
+            Entry::Histogram(h) => h,
+            _ => panic!("metric `{name}` is already registered with a different kind"),
+        }
+    }
+
+    /// Every registered metric's current state, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, MetricSnapshot)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let map = lock_shard(shard);
+            for (name, entry) in map.iter() {
+                let snap = match entry {
+                    Entry::Counter(c) => MetricSnapshot::Counter(c.get()),
+                    Entry::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                    Entry::Histogram(h) => MetricSnapshot::Histogram(Box::new(h.snapshot())),
+                };
+                out.push((name.clone(), snap));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Zero every metric's value. Handles stay registered and valid (call
+    /// sites cache `&'static` references), only the stored values reset.
+    pub fn reset(&self) {
+        for shard in &self.shards {
+            let map = lock_shard(shard);
+            for entry in map.values() {
+                match entry {
+                    Entry::Counter(c) => c.reset(),
+                    Entry::Gauge(g) => g.reset(),
+                    Entry::Histogram(h) => h.reset(),
+                }
+            }
+        }
+    }
+}
+
+/// The process-global metric registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Emit every registered metric's current value to the trace sink: one
+/// `counter`/`gauge`/`hist` event per metric. Histogram events carry count,
+/// sum, min, max, mean, and p50/p90/p99. No-op when tracing is disabled or
+/// a metric has recorded nothing.
+pub fn flush_metrics() {
+    if !crate::trace_enabled() {
+        return;
+    }
+    for (name, snap) in registry().snapshot() {
+        match snap {
+            MetricSnapshot::Counter(v) => {
+                if v > 0 {
+                    emit(&Event::now("counter", name).field("value", v));
+                }
+            }
+            MetricSnapshot::Gauge(v) => emit(&Event::now("gauge", name).field("value", v)),
+            MetricSnapshot::Histogram(h) => {
+                if h.count == 0 {
+                    continue;
+                }
+                emit(
+                    &Event::now("hist", name)
+                        .field("count", h.count)
+                        .field("sum", h.sum)
+                        .field("min", h.min)
+                        .field("max", h.max)
+                        .field("mean", h.mean())
+                        .field("p50", h.p50())
+                        .field("p90", h.p90())
+                        .field("p99", h.p99()),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Trace events and where they go.
+//!
+//! Every emitted line follows one stable schema:
+//!
+//! ```json
+//! {"ts_ns":<u64>,"kind":"span|log|counter|gauge|hist","name":"...","fields":{...}}
+//! ```
+//!
+//! * `ts_ns` — nanoseconds since the UNIX epoch at emission time;
+//! * `kind` — the event class;
+//! * `name` — span/metric name or log message;
+//! * `fields` — flat object of structured values ([`Value`]).
+//!
+//! Sinks are process-global: [`set_sink`] installs one, and the hot-path
+//! check [`trace_enabled`] is a single relaxed atomic load so uninstrumented
+//! runs pay (almost) nothing.
+
+use crate::value::{write_json_string, Value};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// One trace event (a JSONL line once serialized).
+#[derive(Debug, Clone)]
+pub struct Event {
+    pub ts_ns: u64,
+    pub kind: &'static str,
+    pub name: String,
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    pub fn now(kind: &'static str, name: impl Into<String>) -> Event {
+        Event { ts_ns: epoch_ns(), kind, name: name.into(), fields: Vec::new() }
+    }
+
+    pub fn field(mut self, key: &'static str, value: impl Into<Value>) -> Event {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// Serialize as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.name.len() + 24 * self.fields.len());
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!("{{\"ts_ns\":{},\"kind\":\"{}\",\"name\":", self.ts_ns, self.kind),
+        );
+        write_json_string(&self.name, &mut out);
+        out.push_str(",\"fields\":{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(k, &mut out);
+            out.push(':');
+            v.write_json(&mut out);
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Look up a field by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// Nanoseconds since the UNIX epoch (saturating; good until the year 2554).
+pub fn epoch_ns() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// Destination for trace events.
+pub trait Sink: Send + Sync {
+    fn emit(&self, event: &Event);
+    fn flush(&self) {}
+}
+
+/// Appends one JSON object per line to a buffered file.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
+        let file = File::create(path)?;
+        Ok(JsonlSink { writer: Mutex::new(BufWriter::new(file)) })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let line = event.to_json();
+        let mut w = self.writer.lock().expect("jsonl writer lock");
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.write_all(b"\n");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl writer lock").flush();
+    }
+}
+
+/// Collects events in memory — the test sink.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    pub fn new() -> Arc<MemorySink> {
+        Arc::new(MemorySink::default())
+    }
+
+    /// A copy of everything emitted so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink lock").clone()
+    }
+
+    pub fn clear(&self) {
+        self.events.lock().expect("memory sink lock").clear();
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&self, event: &Event) {
+        self.events.lock().expect("memory sink lock").push(event.clone());
+    }
+}
+
+static TRACE_ON: AtomicBool = AtomicBool::new(false);
+
+fn sink_slot() -> &'static RwLock<Option<Arc<dyn Sink>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<dyn Sink>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// Whether a trace sink is installed. One relaxed load; with the `off`
+/// feature this is a constant `false` and instrumentation compiles out.
+#[inline(always)]
+pub fn trace_enabled() -> bool {
+    if cfg!(feature = "off") {
+        return false;
+    }
+    TRACE_ON.load(Ordering::Relaxed)
+}
+
+/// Install the process-global trace sink (replacing any previous one).
+pub fn set_sink(sink: Arc<dyn Sink>) {
+    *sink_slot().write().expect("sink lock") = Some(sink);
+    TRACE_ON.store(!cfg!(feature = "off"), Ordering::Relaxed);
+}
+
+/// Remove the global sink (flushing it first).
+pub fn clear_sink() {
+    let prev = sink_slot().write().expect("sink lock").take();
+    TRACE_ON.store(false, Ordering::Relaxed);
+    if let Some(s) = prev {
+        s.flush();
+    }
+}
+
+/// Send an event to the installed sink, if any.
+pub fn emit(event: &Event) {
+    if !trace_enabled() {
+        return;
+    }
+    let sink = sink_slot().read().expect("sink lock").clone();
+    if let Some(s) = sink {
+        s.emit(event);
+    }
+}
+
+/// Flush the installed sink, if any.
+pub fn flush_sink() {
+    let sink = sink_slot().read().expect("sink lock").clone();
+    if let Some(s) = sink {
+        s.flush();
+    }
+}

@@ -1,0 +1,143 @@
+//! Hierarchical wall-clock spans.
+//!
+//! A [`SpanGuard`] measures from construction to drop and emits one `span`
+//! event carrying its duration, a process-unique id, its parent id, and the
+//! emitting thread. Nesting is tracked per thread: a new span's parent is
+//! the thread's innermost open span. For work fanned out across rayon
+//! workers, capture [`current_span`] before the `par_iter` and open children
+//! with [`crate::span_under!`] — the child records the captured parent while
+//! still stacking correctly on its worker thread.
+
+use crate::sink::{emit, Event};
+use crate::value::Value;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_IDX: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Innermost open span id on this thread (0 = root).
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+    /// Small dense per-thread index (ThreadId's integer form is unstable).
+    static THREAD_IDX: u64 = NEXT_THREAD_IDX.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A capturable reference to an open span (or the root, id 0). `Copy + Send`
+/// so it can cross into rayon closures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanCtx(pub u64);
+
+impl SpanCtx {
+    /// The root context (no parent span).
+    pub const ROOT: SpanCtx = SpanCtx(0);
+}
+
+/// The id of this thread's innermost open span.
+pub fn current_span() -> SpanCtx {
+    CURRENT.with(|c| SpanCtx(c.get()))
+}
+
+struct ActiveSpan {
+    id: u64,
+    parent: u64,
+    /// What `CURRENT` must be restored to on drop (differs from `parent`
+    /// when the span was adopted across threads via [`SpanGuard::under`]).
+    prev: u64,
+    name: &'static str,
+    fields: Vec<(&'static str, Value)>,
+    start: Instant,
+}
+
+/// An open span; emits its event when dropped. Construct through the
+/// [`crate::span!`] / [`crate::span_under!`] macros, which skip all work when
+/// tracing is disabled.
+pub struct SpanGuard {
+    inner: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// Open a span whose parent is this thread's innermost open span.
+    pub fn new(name: &'static str, fields: Vec<(&'static str, Value)>) -> SpanGuard {
+        let parent = CURRENT.with(|c| c.get());
+        SpanGuard::open(name, fields, parent, parent)
+    }
+
+    /// Open a span under an explicitly captured parent (cross-thread
+    /// nesting, e.g. inside `par_iter`).
+    pub fn under(
+        ctx: SpanCtx,
+        name: &'static str,
+        fields: Vec<(&'static str, Value)>,
+    ) -> SpanGuard {
+        let prev = CURRENT.with(|c| c.get());
+        SpanGuard::open(name, fields, ctx.0, prev)
+    }
+
+    fn open(
+        name: &'static str,
+        fields: Vec<(&'static str, Value)>,
+        parent: u64,
+        prev: u64,
+    ) -> SpanGuard {
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        CURRENT.with(|c| c.set(id));
+        SpanGuard {
+            inner: Some(ActiveSpan { id, parent, prev, name, fields, start: Instant::now() }),
+        }
+    }
+
+    /// A no-op guard: nothing is recorded or emitted.
+    pub fn inert() -> SpanGuard {
+        SpanGuard { inner: None }
+    }
+
+    /// Attach a field after construction (e.g. a result computed inside the
+    /// span, like an epoch's loss).
+    pub fn field(&mut self, key: &'static str, value: impl Into<Value>) {
+        if let Some(s) = self.inner.as_mut() {
+            s.fields.push((key, value.into()));
+        }
+    }
+
+    /// This span as a parent context for children on other threads
+    /// (`SpanCtx::ROOT` if the guard is inert).
+    pub fn ctx(&self) -> SpanCtx {
+        SpanCtx(self.inner.as_ref().map_or(0, |s| s.id))
+    }
+
+    /// Time since the span opened (zero for inert guards).
+    pub fn elapsed(&self) -> Duration {
+        self.inner.as_ref().map_or(Duration::ZERO, |s| s.start.elapsed())
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(s) = self.inner.take() else { return };
+        let dur_ns = u64::try_from(s.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        CURRENT.with(|c| c.set(s.prev));
+        let mut event = Event::now("span", s.name);
+        event.fields = s.fields;
+        let thread = THREAD_IDX.with(|t| *t);
+        event = event
+            .field("span", s.id)
+            .field("parent", s.parent)
+            .field("thread", thread)
+            .field("dur_ns", dur_ns);
+        emit(&event);
+    }
+}
+
+/// Run `f` inside a span named `name`, returning its result and the measured
+/// wall time in seconds. The duration is measured (and returned) even when
+/// tracing is disabled, so callers can use it for their own reporting.
+pub fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let guard =
+        if crate::trace_enabled() { SpanGuard::new(name, Vec::new()) } else { SpanGuard::inert() };
+    let out = f();
+    drop(guard);
+    (out, start.elapsed().as_secs_f64())
+}

@@ -1,0 +1,138 @@
+//! Structured field values and the hand-rolled JSON writer.
+//!
+//! The crate is intentionally dependency-free, so events serialize through
+//! this module instead of serde. The emitted subset of JSON is small enough
+//! to be obviously correct: objects with string keys, strings, booleans,
+//! integers, and finite floats (non-finite floats degrade to `null`).
+
+use std::fmt::Write as _;
+
+/// One structured field value attached to an event or span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::I64(v as i64)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::F64(v as f64)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl Value {
+    /// Append this value as JSON.
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) if v.is_finite() => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(_) => out.push_str("null"),
+            Value::Bool(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Str(s) => write_json_string(s, out),
+        }
+    }
+}
+
+/// Append `s` as a JSON string literal (quoted, escaped).
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json(v: Value) -> String {
+        let mut s = String::new();
+        v.write_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(json(Value::from(-3i64)), "-3");
+        assert_eq!(json(Value::from(7usize)), "7");
+        assert_eq!(json(Value::from(1.5f64)), "1.5");
+        assert_eq!(json(Value::from(true)), "true");
+        assert_eq!(json(Value::from(f64::NAN)), "null");
+        assert_eq!(json(Value::from(f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn strings_escape_controls_and_quotes() {
+        assert_eq!(json(Value::from("a\"b\\c\nd\te")), r#""a\"b\\c\nd\te""#);
+        assert_eq!(json(Value::from("\u{1}")), "\"\\u0001\"");
+        assert_eq!(json(Value::from("héllo")), "\"héllo\"");
+    }
+}

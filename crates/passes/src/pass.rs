@@ -80,16 +80,28 @@ impl PassManager {
     /// Run the named sequence over `m`. Returns the number of passes that
     /// reported a change.
     pub fn run(&self, m: &mut Module, sequence: &[String]) -> Result<usize, PassError> {
+        let mut span = irnuma_obs::span!("passes.run", passes = sequence.len());
         let mut changed = 0;
         for name in sequence {
             let pass = find_pass(name).ok_or_else(|| PassError::UnknownPass(name.clone()))?;
-            if pass.run(m) {
+            if irnuma_obs::trace_enabled() {
+                let t0 = std::time::Instant::now();
+                if pass.run(m) {
+                    changed += 1;
+                }
+                // Per-pass timing under a dynamic name (`pass.gvn_ns`, ...);
+                // dynamic names go through the registry, not the macro cache.
+                irnuma_obs::registry()
+                    .histogram(&format!("pass.{}_ns", pass.name()))
+                    .record_duration(t0.elapsed());
+            } else if pass.run(m) {
                 changed += 1;
             }
             if self.verify_each {
                 verify_module(m).map_err(|err| PassError::Broken { pass: pass.name(), err })?;
             }
         }
+        span.field("changed", changed);
         // Compact arenas and drop empty blocks so downstream consumers
         // (printer, graphs) see tight ids.
         for f in &mut m.functions {

@@ -10,6 +10,9 @@ use rayon::prelude::*;
 /// `calls` invocations (the paper's sampled exploration uses 10 calls).
 pub fn mean_time(r: &RegionSpec, m: &Machine, c: &Config, size: InputSize, calls: u32) -> f64 {
     let calls = calls.max(1);
+    if irnuma_obs::trace_enabled() {
+        irnuma_obs::counter!("sim.calls").inc(calls as u64);
+    }
     let total: f64 = (0..calls).map(|k| simulate(&r.name, &r.profile, m, c, size, k).seconds).sum();
     total / calls as f64
 }
@@ -23,7 +26,14 @@ pub fn sweep_region(
     size: InputSize,
     calls: u32,
 ) -> Vec<(Config, f64)> {
-    config_space(m)
+    let space = config_space(m);
+    let _span = irnuma_obs::span!(
+        "sim.sweep",
+        region = r.name.as_str(),
+        configs = space.len(),
+        calls = calls
+    );
+    space
         .into_par_iter()
         .map(|c| {
             let t = mean_time(r, m, &c, size, calls);

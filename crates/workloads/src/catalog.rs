@@ -40,6 +40,7 @@ impl RegionSpec {
     /// Global arrays are sized by the region's working set, so the footprint
     /// is statically visible (as it is in the NAS/Rodinia sources).
     pub fn module(&self) -> Module {
+        irnuma_obs::debug!("workloads: generating IR for region {}", self.name);
         self.shape.gen_ir(&self.name, self.variant, self.profile.working_set_bytes)
     }
 

@@ -28,7 +28,7 @@ fn bench_fold(c: &mut Criterion) {
         MicroArch::Skylake,
         &DatasetParams { num_sequences: 4, calls: 3, ..Default::default() },
     );
-    let folds = kfold(ds.regions.len(), 10, 1);
+    let folds = kfold(ds.regions.len(), 10, 1).expect("10 folds fit the region suite");
     let train: Vec<usize> = irnuma_ml::cv::train_indices(&folds, 0);
     let mut g = c.benchmark_group("figures");
     g.sample_size(10);

@@ -105,11 +105,11 @@ fn main() {
 
     let skl: Option<Evaluation> = need_skl.then(|| {
         info!("[figures] evaluating Skylake pipeline…");
-        evaluate(&skl_cfg)
+        evaluate(&skl_cfg).expect("Skylake pipeline evaluates")
     });
     let snb: Option<Evaluation> = need_snb.then(|| {
         info!("[figures] evaluating Sandy Bridge pipeline…");
-        evaluate(&snb_cfg)
+        evaluate(&snb_cfg).expect("Sandy Bridge pipeline evaluates")
     });
 
     let emit = |report: irnuma_core::experiments::FigureReport| {
@@ -145,7 +145,8 @@ fn main() {
         let ds = build_dataset(MicroArch::Skylake, &skl_cfg.dataset);
         let mut cfg6 = skl_cfg;
         cfg6.light = true;
-        let eval6 = evaluate_on(&cfg6, fig6::relabel(&ds, 6));
+        let eval6 =
+            evaluate_on(&cfg6, fig6::relabel(&ds, 6)).expect("relabeled pipeline evaluates");
         emit(fig7::run(&eval6).report());
     }
     if want("fig8") {

@@ -29,7 +29,7 @@ pub fn write_bench_json(name: &str, entries: &[(String, f64)]) -> std::io::Resul
         body.push_str(&format!("  \"{id}\": {v:.3}{sep}\n"));
     }
     body.push_str("}\n");
-    std::fs::write(&path, body)?;
+    irnuma_store::atomic_write(&path, body.as_bytes())?;
     Ok(path)
 }
 

@@ -12,7 +12,7 @@ fn main() {
         MicroArch::Skylake,
         &DatasetParams { num_sequences: 48, calls: 6, ..Default::default() },
     );
-    let folds = kfold(ds.regions.len(), 10, 0xF01D);
+    let folds = kfold(ds.regions.len(), 10, 0xF01D).expect("10 folds fit the region suite");
     let mut sets: Vec<Vec<bool>> = Vec::new();
     for seed in [1u64, 2, 3] {
         let mut needs = vec![false; ds.regions.len()];

@@ -10,15 +10,19 @@
 //! irnuma predict cg.spmv --arch skylake [--dataset ds.json]
 //! ```
 
-use irnuma_core::dataset::{build_dataset, Dataset, DatasetParams};
-use irnuma_core::models::static_gnn::{StaticModel, StaticParams};
+use irnuma_core::dataset::{
+    build_dataset, build_dataset_report, BuildOptions, Dataset, DatasetParams,
+};
+use irnuma_core::models::static_gnn::{training_sequence_ids, StaticModel, StaticParams};
 use irnuma_core::trace_report;
 use irnuma_graph::{build_module_graph, to_dot, Vocab};
 use irnuma_ir::extract::extract_region;
 use irnuma_ir::{print_module, Interp, InterpConfig, Value};
+use irnuma_nn::{CheckpointConfig, GnnClassifier, GnnConfig, TrainParams};
 use irnuma_passes::{o3_sequence, run_sequence};
 use irnuma_sim::{default_config, sweep_region, Machine, MicroArch};
 use irnuma_workloads::{all_regions, InputSize, RegionSpec};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -39,6 +43,7 @@ fn main() -> ExitCode {
         "sweep" => sweep(rest),
         "interp" => interp(rest),
         "dataset" => dataset(rest),
+        "train" => train(rest),
         "predict" => predict(rest),
         "report" => report(rest),
         "--help" | "-h" | "help" => {
@@ -65,7 +70,12 @@ USAGE:
   irnuma graph <region> [--dot <file>]
   irnuma sweep <region> [--arch skylake|sandybridge|xeongold]
   irnuma interp <region> [--n <elements>]
-  irnuma dataset [--arch <a>] [--seqs <n>] --out <file.json>
+  irnuma dataset [--arch <a>] [--seqs <n>] [--calls <n>] --out <file.json>
+                 [--strict] [--fault <region>[:once]]
+  irnuma train   [--arch <a>] [--dataset <file.json>] [--seqs <n>]
+                 [--epochs <n>] [--hidden <n>] [--seed <n>]
+                 [--ckpt-dir <dir>] [--every <n>] [--resume]
+                 [--out <model.json>]
   irnuma predict <region> [--arch <a>] [--dataset <file.json>]
                  [--seqs <n>] [--epochs <n>]
   irnuma report <trace.jsonl> [--require stage1,stage2,...]
@@ -133,7 +143,8 @@ fn graph(rest: &[String]) -> Result<(), String> {
     let e = extract_region(&m, &r.region_fn()).map_err(|e| e.to_string())?;
     let g = build_module_graph(&e, &vocab);
     if let Some(path) = opt_value(rest, "--dot") {
-        std::fs::write(path, to_dot(&g, &vocab)).map_err(|e| e.to_string())?;
+        irnuma_store::atomic_write(Path::new(path), to_dot(&g, &vocab).as_bytes())
+            .map_err(|e| e.to_string())?;
         println!("wrote {path}");
     } else {
         use irnuma_graph::{EdgeKind, NodeKind};
@@ -202,9 +213,21 @@ fn dataset(rest: &[String]) -> Result<(), String> {
     let arch = parse_arch(rest)?;
     let seqs: usize =
         opt_value(rest, "--seqs").unwrap_or("12").parse().map_err(|_| "bad --seqs")?;
+    let calls: u32 =
+        opt_value(rest, "--calls").unwrap_or("6").parse().map_err(|_| "bad --calls")?;
     let out = opt_value(rest, "--out").ok_or("missing --out <file.json>")?;
+    let opts = BuildOptions {
+        strict: rest.iter().any(|a| a == "--strict"),
+        fault: opt_value(rest, "--fault").map(String::from),
+    };
     irnuma_obs::info!("building dataset for {arch:?} ({seqs} sequences)…");
-    let ds = build_dataset(arch, &DatasetParams { num_sequences: seqs, ..Default::default() });
+    let build = build_dataset_report(
+        arch,
+        &DatasetParams { num_sequences: seqs, calls, ..Default::default() },
+        &opts,
+    )
+    .map_err(|e| e.to_string())?;
+    let ds = &build.dataset;
     ds.save_json(std::path::Path::new(out)).map_err(|e| e.to_string())?;
     println!(
         "wrote {out}: {} regions × {} graphs, {} configs, label coverage {:.3}",
@@ -213,6 +236,74 @@ fn dataset(rest: &[String]) -> Result<(), String> {
         ds.configs.len(),
         ds.label_coverage()
     );
+    if build.skips.is_empty() {
+        println!("skipped 0 regions");
+    } else {
+        println!("skipped {} regions:", build.skips.len());
+        for s in &build.skips {
+            println!("  {s}");
+        }
+    }
+    Ok(())
+}
+
+fn train(rest: &[String]) -> Result<(), String> {
+    let arch = parse_arch(rest)?;
+    let seqs: usize = opt_value(rest, "--seqs").unwrap_or("4").parse().map_err(|_| "bad --seqs")?;
+    let epochs: usize =
+        opt_value(rest, "--epochs").unwrap_or("10").parse().map_err(|_| "bad --epochs")?;
+    let hidden: usize =
+        opt_value(rest, "--hidden").unwrap_or("16").parse().map_err(|_| "bad --hidden")?;
+    let seed: u64 = opt_value(rest, "--seed").unwrap_or("71").parse().map_err(|_| "bad --seed")?;
+    let every: usize =
+        opt_value(rest, "--every").unwrap_or("1").parse().map_err(|_| "bad --every")?;
+    let resume = rest.iter().any(|a| a == "--resume");
+    let ckpt = opt_value(rest, "--ckpt-dir").map(|d| CheckpointConfig {
+        dir: PathBuf::from(d),
+        every,
+        resume,
+    });
+    let ds: Dataset = match opt_value(rest, "--dataset") {
+        Some(path) => Dataset::load_json(Path::new(path)).map_err(|e| e.to_string())?,
+        None => {
+            irnuma_obs::info!("building dataset (pass --dataset file.json to reuse one)…");
+            build_dataset(arch, &DatasetParams { num_sequences: seqs, ..Default::default() })
+        }
+    };
+    // Flatten every region's training-sequence graphs into one labelled set,
+    // exactly as `StaticModel::train` does over a fold.
+    let seq_ids = training_sequence_ids(ds.sequences.len(), 4.min(ds.sequences.len()));
+    let mut graphs = Vec::new();
+    let mut labels = Vec::new();
+    for (r, reg) in ds.regions.iter().enumerate() {
+        for &s in &seq_ids {
+            graphs.push(reg.graphs[s].clone());
+            labels.push(ds.labels[r]);
+        }
+    }
+    let mut clf = GnnClassifier::new(GnnConfig {
+        vocab_size: Vocab::full().len(),
+        hidden,
+        classes: ds.chosen_configs.len(),
+        layers: 2,
+        seed,
+    });
+    let p = TrainParams { epochs, batch_size: 16, lr: 3e-3, seed };
+    let history =
+        clf.fit_checkpointed(&graphs, &labels, p, ckpt.as_ref()).map_err(|e| e.to_string())?;
+    let acc = clf.accuracy(&graphs, &labels);
+    println!(
+        "trained {} epochs on {} graphs: loss {:.4} → {:.4}, train accuracy {}",
+        history.len(),
+        graphs.len(),
+        history.first().copied().unwrap_or(f64::NAN),
+        history.last().copied().unwrap_or(f64::NAN),
+        acc.map_or_else(|| "n/a".to_string(), |a| format!("{a:.3}"))
+    );
+    if let Some(out) = opt_value(rest, "--out") {
+        clf.save_json(Path::new(out)).map_err(|e| e.to_string())?;
+        println!("wrote {out}");
+    }
     Ok(())
 }
 

@@ -1,5 +1,12 @@
 //! Dataset construction: steps A (flag augmentation), B (region graphs) and
 //! C (configuration sweep + label reduction) of the paper's workflow.
+//!
+//! Construction is fault-isolated: a failing (region, sequence) pair or a
+//! panicking sweep no longer aborts the whole build. Failures are retried
+//! once (transient I/O), then recorded as [`SkipRecord`]s — surfaced via the
+//! `dataset.skipped`/`dataset.retried` counters and the returned
+//! [`DatasetBuild`] — while every other region survives. `--strict`
+//! ([`BuildOptions::strict`]) restores fail-fast behavior.
 
 use irnuma_graph::{build_module_graph, Vocab};
 use irnuma_ir::extract::extract_region;
@@ -9,6 +16,8 @@ use irnuma_sim::{config_space, default_config, simulate, Config, Machine, MicroA
 use irnuma_workloads::{all_regions, InputSize, RegionSpec};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Dataset-construction knobs.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -72,18 +81,18 @@ pub struct Dataset {
 }
 
 impl Dataset {
-    /// Serialize the dataset to a JSON file (cache for repeated experiment
-    /// runs: steps A–C dominate wall time at paper scale).
+    /// Serialize the dataset to a JSON cache (steps A–C dominate wall time
+    /// at paper scale). Atomic, versioned, checksummed: a crash mid-write
+    /// leaves any previous cache intact.
     pub fn save_json(&self, path: &std::path::Path) -> std::io::Result<()> {
-        let json = serde_json::to_vec(self).expect("dataset serializes");
-        std::fs::write(path, json)
+        irnuma_store::save_json(path, "dataset", self)
     }
 
-    /// Load a dataset cached with [`Dataset::save_json`].
+    /// Load a dataset cached with [`Dataset::save_json`]. A truncated or
+    /// corrupt cache fails with [`std::io::ErrorKind::InvalidData`] instead
+    /// of parsing into a garbage dataset.
     pub fn load_json(path: &std::path::Path) -> std::io::Result<Dataset> {
-        let bytes = std::fs::read(path)?;
-        serde_json::from_slice(&bytes)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        irnuma_store::load_json(path, "dataset")
     }
 
     /// Time of `region` under label class `label`.
@@ -106,14 +115,116 @@ impl Dataset {
     }
 }
 
+/// One recorded per-region failure from a tolerant dataset build.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SkipRecord {
+    pub region: String,
+    /// Flag-sequence id at the point of failure (pass/extract stages).
+    pub sequence: Option<u32>,
+    /// Pipeline stage that failed: `passes`, `extract`, `sweep`, `panic`,
+    /// or `injected` (the `--fault` test hook).
+    pub stage: String,
+    pub error: String,
+    /// Attempts made before giving up (2 = failed, retried once, failed).
+    pub attempts: u32,
+}
+
+impl fmt::Display for SkipRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}", self.region, self.stage)?;
+        if let Some(s) = self.sequence {
+            write!(f, " × seq{s}")?;
+        }
+        write!(f, ", {} attempts]: {}", self.attempts, self.error)
+    }
+}
+
+/// A tolerant build's result: the surviving dataset plus what was skipped.
+#[derive(Debug, Clone)]
+pub struct DatasetBuild {
+    pub dataset: Dataset,
+    /// One record per dropped region (empty on a fully clean build).
+    pub skips: Vec<SkipRecord>,
+}
+
+/// Why a dataset build produced no dataset.
+#[derive(Debug, Clone)]
+pub enum DatasetError {
+    /// Strict mode: the first region failure, reported fail-fast.
+    RegionFailed(SkipRecord),
+    /// Tolerant mode, but nothing survived to train on.
+    NoRegionsSurvived { total: usize, skips: Vec<SkipRecord> },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::RegionFailed(s) => write!(f, "region failed (strict mode): {s}"),
+            DatasetError::NoRegionsSurvived { total, skips } => {
+                write!(f, "all {total} regions failed; first: ")?;
+                match skips.first() {
+                    Some(s) => write!(f, "{s}"),
+                    None => write!(f, "<none recorded>"),
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// Build behavior orthogonal to the (persisted, `Copy`) [`DatasetParams`].
+#[derive(Debug, Clone, Default)]
+pub struct BuildOptions {
+    /// Fail fast on the first region error instead of recording a skip.
+    pub strict: bool,
+    /// Fault-injection test hook: `"<region>"` makes that region fail every
+    /// attempt (a persistent fault); `"<region>:once"` fails only the first
+    /// attempt (a transient fault, recovered by the retry).
+    pub fault: Option<String>,
+}
+
+/// A per-region build failure (internal; becomes a [`SkipRecord`]).
+struct RegionError {
+    stage: &'static str,
+    sequence: Option<u32>,
+    error: String,
+}
+
 /// Build the dataset for a machine (steps A–C). Deterministic in
 /// `params.seed`. Parallelized over regions.
+///
+/// Convenience wrapper over [`build_dataset_report`]: tolerant of per-region
+/// failures (skips are logged and counted, the dataset is built from the
+/// survivors) and panics only if *no* region survives.
 pub fn build_dataset(arch: MicroArch, params: &DatasetParams) -> Dataset {
+    match build_dataset_report(arch, params, &BuildOptions::default()) {
+        Ok(build) => {
+            for s in &build.skips {
+                irnuma_obs::warn!("dataset build skipped {s}");
+            }
+            build.dataset
+        }
+        Err(e) => panic!("dataset build produced nothing usable: {e}"),
+    }
+}
+
+/// Build the dataset with explicit failure handling: per-region errors
+/// (pass pipeline, region extraction, sweep panics) are caught, retried
+/// once, and — still failing — recorded as [`SkipRecord`]s while the other
+/// regions proceed. With [`BuildOptions::strict`] the first failure aborts
+/// the build instead.
+pub fn build_dataset_report(
+    arch: MicroArch,
+    params: &DatasetParams,
+    opts: &BuildOptions,
+) -> Result<DatasetBuild, DatasetError> {
     let machine = Machine::new(arch);
     let configs = config_space(&machine);
     let sequences = sample_sequences(params.num_sequences, params.seed, SampleParams::default());
     let vocab = Vocab::full();
     let specs = all_regions();
+    let total = specs.len();
 
     let span = irnuma_obs::span!(
         "dataset.build",
@@ -122,14 +233,59 @@ pub fn build_dataset(arch: MicroArch, params: &DatasetParams) -> Dataset {
         configs = configs.len()
     );
     let ctx = span.ctx();
-    let regions: Vec<RegionData> = specs
+    let results: Vec<Result<RegionData, SkipRecord>> = specs
         .into_par_iter()
         .map(|spec| {
             let _region_span =
                 irnuma_obs::span_under!(ctx, "dataset.region", region = spec.name.as_str());
-            build_region(&spec, &machine, &configs, &sequences, &vocab, params)
+            let run = |attempt: u32| {
+                catch_unwind(AssertUnwindSafe(|| {
+                    build_region(&spec, &machine, &configs, &sequences, &vocab, params, {
+                        opts.fault.as_deref().filter(|f| fault_hits(f, &spec.name, attempt))
+                    })
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(RegionError { stage: "panic", sequence: None, error: panic_msg(&payload) })
+                })
+            };
+            run(0).or_else(|first| {
+                // One retry covers transient failures (I/O hiccups, the
+                // `:once` injected fault); a deterministic error repeats.
+                irnuma_obs::counter!("dataset.retried").inc(1);
+                irnuma_obs::warn!(
+                    "{}: attempt 1 failed at {} ({}); retrying once",
+                    spec.name,
+                    first.stage,
+                    first.error
+                );
+                run(1).map_err(|e| SkipRecord {
+                    region: spec.name.clone(),
+                    sequence: e.sequence,
+                    stage: e.stage.to_string(),
+                    error: e.error,
+                    attempts: 2,
+                })
+            })
         })
         .collect();
+
+    let mut regions = Vec::with_capacity(total);
+    let mut skips = Vec::new();
+    for res in results {
+        match res {
+            Ok(r) => regions.push(r),
+            Err(skip) => {
+                if opts.strict {
+                    return Err(DatasetError::RegionFailed(skip));
+                }
+                irnuma_obs::counter!("dataset.skipped").inc(1);
+                skips.push(skip);
+            }
+        }
+    }
+    if regions.is_empty() {
+        return Err(DatasetError::NoRegionsSurvived { total, skips });
+    }
 
     // Step C: reduce the space to `num_labels` representative configs.
     let times: Vec<Vec<f64>> = regions.iter().map(|r| r.sweep.clone()).collect();
@@ -137,7 +293,25 @@ pub fn build_dataset(arch: MicroArch, params: &DatasetParams) -> Dataset {
     let chosen_configs = irnuma_ml::reduce_labels(&times, &base, params.num_labels);
     let labels = irnuma_ml::labels::label_per_region(&times, &chosen_configs);
 
-    Dataset { machine, size: params.size, sequences, configs, regions, chosen_configs, labels }
+    let dataset =
+        Dataset { machine, size: params.size, sequences, configs, regions, chosen_configs, labels };
+    Ok(DatasetBuild { dataset, skips })
+}
+
+/// Does the `--fault` spec hit `region` on this attempt?
+fn fault_hits(spec: &str, region: &str, attempt: u32) -> bool {
+    match spec.strip_suffix(":once") {
+        Some(name) => name == region && attempt == 0,
+        None => spec == region,
+    }
+}
+
+fn panic_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "region build panicked".to_string())
 }
 
 fn build_region(
@@ -147,40 +321,57 @@ fn build_region(
     sequences: &[FlagSequence],
     vocab: &Vocab,
     params: &DatasetParams,
-) -> RegionData {
+    injected_fault: Option<&str>,
+) -> Result<RegionData, RegionError> {
+    if injected_fault.is_some() {
+        return Err(RegionError {
+            stage: "injected",
+            sequence: None,
+            error: "injected fault (--fault test hook)".to_string(),
+        });
+    }
+
     // Step A+B: one graph per flag sequence.
     let base_module = spec.module();
     let pm = PassManager::new(false);
-    let graphs: Vec<GraphData> = sequences
-        .iter()
-        .map(|seq| {
-            let mut m = base_module.clone();
-            pm.run(&mut m, &seq.passes)
-                .unwrap_or_else(|e| panic!("{} × seq{}: {e}", spec.name, seq.id));
-            let extracted = extract_region(&m, &spec.region_fn()).expect("region survives passes");
-            GraphData::from_graph(&build_module_graph(&extracted, vocab))
-        })
-        .collect();
+    let mut graphs = Vec::with_capacity(sequences.len());
+    for seq in sequences {
+        let mut m = base_module.clone();
+        pm.run(&mut m, &seq.passes).map_err(|e| RegionError {
+            stage: "passes",
+            sequence: Some(seq.id),
+            error: e.to_string(),
+        })?;
+        let extracted = extract_region(&m, &spec.region_fn()).map_err(|e| RegionError {
+            stage: "extract",
+            sequence: Some(seq.id),
+            error: e.to_string(),
+        })?;
+        graphs.push(GraphData::from_graph(&build_module_graph(&extracted, vocab)));
+    }
 
-    // Step C (per-region part): the sweep with default compile flags.
+    // Step C (per-region part): the sweep with default compile flags. A
+    // panicking configuration fails just this region, not the whole build.
     let sweep: Vec<f64> = configs
         .iter()
         .map(|c| {
-            let total: f64 = (0..params.calls)
-                .map(|k| simulate(&spec.name, &spec.profile, machine, c, params.size, k).seconds)
-                .sum();
-            total / params.calls as f64
+            irnuma_sim::try_mean_time(spec, machine, c, params.size, params.calls)
+                .map_err(|e| RegionError { stage: "sweep", sequence: None, error: e })
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
 
     let def = default_config(machine);
-    let def_idx = configs.iter().position(|c| *c == def).expect("default in space");
+    let def_idx = configs.iter().position(|c| *c == def).ok_or_else(|| RegionError {
+        stage: "sweep",
+        sequence: None,
+        error: "default configuration missing from the space".to_string(),
+    })?;
     let default_time = sweep[def_idx];
     let meas = simulate(&spec.name, &spec.profile, machine, &def, params.size, 0);
     let dynamic_features =
         vec![meas.counters.package_power_w as f32, meas.counters.l3_miss_ratio as f32];
 
-    RegionData { spec: spec.clone(), graphs, sweep, default_time, dynamic_features }
+    Ok(RegionData { spec: spec.clone(), graphs, sweep, default_time, dynamic_features })
 }
 
 #[cfg(test)]
@@ -246,7 +437,59 @@ mod tests {
         assert_eq!(loaded.regions.len(), 56);
         assert_eq!(loaded.regions[3].sweep, ds.regions[3].sweep);
         assert_eq!(loaded.regions[3].graphs[0].node_text, ds.regions[3].graphs[0].node_text);
+
+        // A truncated cache (torn write, partial download) must fail with
+        // InvalidData — never parse into a garbage dataset.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 100]).unwrap();
+        let err = Dataset::load_json(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         std::fs::remove_file(&path).ok();
+    }
+
+    fn tinier() -> DatasetParams {
+        DatasetParams { num_sequences: 2, calls: 2, num_labels: 3, ..Default::default() }
+    }
+
+    #[test]
+    fn poisoned_region_is_skipped_and_the_rest_survive() {
+        let opts = BuildOptions { fault: Some("cg.spmv".into()), ..Default::default() };
+        let b = build_dataset_report(MicroArch::Skylake, &tinier(), &opts).unwrap();
+        assert_eq!(b.dataset.regions.len(), 55, "exactly the poisoned region is gone");
+        assert!(b.dataset.regions.iter().all(|r| r.spec.name != "cg.spmv"));
+        assert_eq!(b.skips.len(), 1, "exactly one skip recorded");
+        let s = &b.skips[0];
+        assert_eq!((s.region.as_str(), s.stage.as_str(), s.attempts), ("cg.spmv", "injected", 2));
+        assert_eq!(b.dataset.labels.len(), 55);
+        assert!(b.skips[0].to_string().contains("cg.spmv"));
+    }
+
+    #[test]
+    fn transient_fault_recovers_on_the_retry() {
+        let opts = BuildOptions { fault: Some("cg.spmv:once".into()), ..Default::default() };
+        let b = build_dataset_report(MicroArch::Skylake, &tinier(), &opts).unwrap();
+        assert_eq!(b.dataset.regions.len(), 56, "transient failure retried, nothing lost");
+        assert!(b.skips.is_empty());
+    }
+
+    #[test]
+    fn strict_mode_fails_fast_on_a_poisoned_region() {
+        let opts = BuildOptions { strict: true, fault: Some("cg.spmv".into()) };
+        let err = build_dataset_report(MicroArch::Skylake, &tinier(), &opts).unwrap_err();
+        assert!(err.to_string().contains("strict"), "{err}");
+        match err {
+            DatasetError::RegionFailed(s) => assert_eq!(s.region, "cg.spmv"),
+            other => panic!("expected RegionFailed, got: {other}"),
+        }
+    }
+
+    #[test]
+    fn fault_spec_matching() {
+        assert!(fault_hits("cg.spmv", "cg.spmv", 0));
+        assert!(fault_hits("cg.spmv", "cg.spmv", 1));
+        assert!(!fault_hits("cg.spmv", "cg.axpy", 0));
+        assert!(fault_hits("cg.spmv:once", "cg.spmv", 0));
+        assert!(!fault_hits("cg.spmv:once", "cg.spmv", 1));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::dataset::{build_dataset, Dataset, DatasetParams};
 use crate::models::flags::FlagParams;
 use crate::models::hybrid::{static_needs_profiling, HybridParams};
 use crate::models::{DynamicModel, FlagModel, HybridModel, StaticModel, StaticParams};
-use irnuma_ml::{kfold, relative_difference};
+use irnuma_ml::{kfold, relative_difference, CvError};
 use irnuma_sim::MicroArch;
 use serde::{Deserialize, Serialize};
 
@@ -169,18 +169,20 @@ impl Evaluation {
     }
 }
 
-/// Run the full cross-validated pipeline on one machine.
-pub fn evaluate(cfg: &PipelineConfig) -> Evaluation {
+/// Run the full cross-validated pipeline on one machine. Errors (rather
+/// than asserting) when the fold configuration is impossible for the
+/// dataset — e.g. more folds than surviving regions after skips.
+pub fn evaluate(cfg: &PipelineConfig) -> Result<Evaluation, CvError> {
     let dataset = build_dataset(cfg.arch, &cfg.dataset);
     evaluate_on(cfg, dataset)
 }
 
 /// Run the pipeline on an already-built dataset (used by Fig. 6's label
 /// sweep, which re-labels the same dataset).
-pub fn evaluate_on(cfg: &PipelineConfig, dataset: Dataset) -> Evaluation {
+pub fn evaluate_on(cfg: &PipelineConfig, dataset: Dataset) -> Result<Evaluation, CvError> {
     let n = dataset.regions.len();
     let _span = irnuma_obs::span!("eval.run", regions = n, folds = cfg.folds, light = cfg.light);
-    let folds_idx = kfold(n, cfg.folds, cfg.seed);
+    let folds_idx = kfold(n, cfg.folds, cfg.seed)?;
 
     let mut outcomes: Vec<Option<RegionOutcome>> = (0..n).map(|_| None).collect();
     let mut pred_time_by_seq: Vec<Vec<f64>> = vec![Vec::new(); n];
@@ -253,11 +255,11 @@ pub fn evaluate_on(cfg: &PipelineConfig, dataset: Dataset) -> Evaluation {
         });
     }
 
-    Evaluation {
+    Ok(Evaluation {
         cfg: *cfg,
         dataset,
         outcomes: outcomes.into_iter().map(|o| o.expect("every region validated once")).collect(),
         folds,
         pred_time_by_seq,
-    }
+    })
 }

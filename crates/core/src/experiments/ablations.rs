@@ -61,7 +61,7 @@ fn run_variant(
     transform: &dyn Fn(&GraphData) -> GraphData,
 ) -> (f64, f64) {
     let vocab = Vocab::full();
-    let folds = kfold(ds.regions.len(), 3, 0xAB1A);
+    let folds = kfold(ds.regions.len(), 3, 0xAB1A).expect("3 folds fit the region suite");
     let mut correct = 0usize;
     let mut gain = 0.0;
     for (fi, validation) in folds.iter().enumerate() {

@@ -126,12 +126,13 @@ impl CostComparison {
         r
     }
 
-    /// Write the per-region stage breakdown as JSON into `dir/cost_comparison.json`.
+    /// Write the per-region stage breakdown as JSON into
+    /// `dir/cost_comparison.json` (atomic write; no torn files).
     pub fn write_json(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
-        std::fs::create_dir_all(dir)?;
         let path = dir.join("cost_comparison.json");
-        let json = serde_json::to_vec(self).expect("cost rows serialize");
-        std::fs::write(&path, json)?;
+        let json = serde_json::to_vec(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        irnuma_store::atomic_write(&path, &json)?;
         Ok(path)
     }
 }

@@ -59,7 +59,8 @@ pub fn run(cfg: &PipelineConfig, ds: &Dataset, label_counts: &[usize]) -> (Fig6,
     let mut points = Vec::new();
     let mut evals = Vec::new();
     for &k in label_counts {
-        let eval = evaluate_on(cfg, relabel(ds, k));
+        let eval =
+            evaluate_on(cfg, relabel(ds, k)).expect("label sweep keeps the fold count valid");
         points.push(point(&eval, k));
         evals.push(eval);
     }

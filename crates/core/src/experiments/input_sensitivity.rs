@@ -73,7 +73,7 @@ pub fn run(
     let losses = transfer_losses(ds, calls);
     let truth: Vec<bool> = losses.iter().map(|&l| l > threshold).collect();
 
-    let folds = kfold(ds.regions.len(), 4, 0x1717);
+    let folds = kfold(ds.regions.len(), 4, 0x1717).expect("4 folds fit the region suite");
     let mut correct = 0usize;
     for (fi, validation) in folds.iter().enumerate() {
         let train: Vec<usize> = irnuma_ml::cv::train_indices(&folds, fi);

@@ -60,11 +60,11 @@ impl FigureReport {
         out
     }
 
-    /// Write the CSV into `dir/<id>.csv`.
+    /// Write the CSV into `dir/<id>.csv` (atomic: a crash mid-write leaves
+    /// any previous figure CSV intact, never a torn one).
     pub fn write_csv(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
-        std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.csv", self.id));
-        std::fs::write(&path, self.to_csv())?;
+        irnuma_store::atomic_write(&path, self.to_csv().as_bytes())?;
         Ok(path)
     }
 }

@@ -29,5 +29,8 @@ pub mod experiments;
 pub mod models;
 pub mod trace_report;
 
-pub use dataset::{build_dataset, Dataset, DatasetParams, RegionData};
+pub use dataset::{
+    build_dataset, build_dataset_report, BuildOptions, Dataset, DatasetBuild, DatasetError,
+    DatasetParams, RegionData, SkipRecord,
+};
 pub use evaluation::{evaluate, Evaluation, FoldModels, PipelineConfig, RegionOutcome};

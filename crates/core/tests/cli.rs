@@ -96,6 +96,116 @@ fn unknown_region_is_a_clean_error() {
 }
 
 #[test]
+fn dataset_fault_injection_skips_one_region() {
+    let dir = std::env::temp_dir().join("irnuma-cli-fault");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_file = dir.join("ds.json");
+    let out = irnuma(&[
+        "dataset",
+        "--seqs",
+        "2",
+        "--calls",
+        "2",
+        "--fault",
+        "cg.spmv",
+        "--out",
+        out_file.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("55 regions"), "one region skipped: {text}");
+    assert!(text.contains("skipped 1 regions"), "{text}");
+    assert!(text.contains("cg.spmv"), "{text}");
+
+    // --strict restores fail-fast: the same fault aborts the build.
+    let strict = irnuma(&[
+        "dataset",
+        "--seqs",
+        "2",
+        "--calls",
+        "2",
+        "--strict",
+        "--fault",
+        "cg.spmv",
+        "--out",
+        dir.join("ds-strict.json").to_str().unwrap(),
+    ]);
+    assert!(!strict.status.success());
+    assert!(String::from_utf8_lossy(&strict.stderr).contains("strict"));
+    assert!(!dir.join("ds-strict.json").exists(), "no partial artifact on failure");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn train_resume_is_bit_identical_to_an_uninterrupted_run() {
+    let dir = std::env::temp_dir().join("irnuma-cli-train");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let ds = dir.join("ds.json");
+    let out = irnuma(&["dataset", "--seqs", "2", "--calls", "2", "--out", ds.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Reference: 4 uninterrupted epochs.
+    let full = dir.join("model-full.json");
+    let out = irnuma(&[
+        "train",
+        "--dataset",
+        ds.to_str().unwrap(),
+        "--epochs",
+        "4",
+        "--out",
+        full.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Interrupted run: 2 epochs with checkpoints, then resume to 4.
+    let ckpt = dir.join("ckpt");
+    let out = irnuma(&[
+        "train",
+        "--dataset",
+        ds.to_str().unwrap(),
+        "--epochs",
+        "2",
+        "--ckpt-dir",
+        ckpt.to_str().unwrap(),
+        "--every",
+        "1",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(ckpt.join("latest").exists());
+
+    let resumed = dir.join("model-resumed.json");
+    let out = irnuma(&[
+        "train",
+        "--dataset",
+        ds.to_str().unwrap(),
+        "--epochs",
+        "4",
+        "--ckpt-dir",
+        ckpt.to_str().unwrap(),
+        "--every",
+        "1",
+        "--resume",
+        "--out",
+        resumed.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let a = std::fs::read(&full).unwrap();
+    let b = std::fs::read(&resumed).unwrap();
+    assert_eq!(a, b, "resumed model differs from the uninterrupted run");
+
+    // The atomic writer leaves no temp residue behind.
+    for entry in std::fs::read_dir(&ckpt).unwrap() {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        assert!(!name.ends_with(".tmp"), "stale temp file {name}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn trace_then_report_covers_the_pipeline() {
     let dir = std::env::temp_dir().join("irnuma-cli-test");
     std::fs::create_dir_all(&dir).unwrap();

@@ -4,20 +4,49 @@
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// Why a cross-validation split is impossible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CvError {
+    /// Fewer than two folds requested.
+    TooFewFolds { k: usize },
+    /// More folds than items to distribute.
+    TooFewItems { n: usize, k: usize },
+}
+
+impl fmt::Display for CvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CvError::TooFewFolds { k } => {
+                write!(f, "cross-validation needs at least 2 folds, got {k}")
+            }
+            CvError::TooFewItems { n, k } => {
+                write!(f, "cannot split {n} items into {k} folds (more folds than items)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CvError {}
 
 /// Split `n` items into `k` folds: returns per-fold index lists.
 /// Items are shuffled with `seed`, then dealt round-robin so fold sizes
 /// differ by at most one.
-pub fn kfold(n: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
-    assert!(k >= 2, "need at least two folds");
-    assert!(n >= k, "more folds than items");
+pub fn kfold(n: usize, k: usize, seed: u64) -> Result<Vec<Vec<usize>>, CvError> {
+    if k < 2 {
+        return Err(CvError::TooFewFolds { k });
+    }
+    if n < k {
+        return Err(CvError::TooFewItems { n, k });
+    }
     let mut idx: Vec<usize> = (0..n).collect();
     idx.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
     let mut folds = vec![Vec::with_capacity(n / k + 1); k];
     for (i, v) in idx.into_iter().enumerate() {
         folds[i % k].push(v);
     }
-    folds
+    Ok(folds)
 }
 
 /// Complement of a fold: the training indices.
@@ -37,7 +66,7 @@ mod tests {
 
     #[test]
     fn folds_partition_the_items() {
-        let folds = kfold(56, 10, 42);
+        let folds = kfold(56, 10, 42).unwrap();
         assert_eq!(folds.len(), 10);
         let all: HashSet<usize> = folds.iter().flatten().copied().collect();
         assert_eq!(all.len(), 56);
@@ -47,7 +76,7 @@ mod tests {
 
     #[test]
     fn train_indices_complement_validation() {
-        let folds = kfold(20, 4, 1);
+        let folds = kfold(20, 4, 1).unwrap();
         for v in 0..4 {
             let train = train_indices(&folds, v);
             assert_eq!(train.len(), 15);
@@ -59,13 +88,16 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        assert_eq!(kfold(30, 5, 7), kfold(30, 5, 7));
-        assert_ne!(kfold(30, 5, 7), kfold(30, 5, 8));
+        assert_eq!(kfold(30, 5, 7).unwrap(), kfold(30, 5, 7).unwrap());
+        assert_ne!(kfold(30, 5, 7).unwrap(), kfold(30, 5, 8).unwrap());
     }
 
     #[test]
-    #[should_panic(expected = "more folds than items")]
-    fn too_many_folds_panics() {
-        kfold(3, 10, 0);
+    fn impossible_splits_are_typed_errors_not_panics() {
+        assert_eq!(kfold(3, 10, 0), Err(CvError::TooFewItems { n: 3, k: 10 }));
+        assert_eq!(kfold(10, 1, 0), Err(CvError::TooFewFolds { k: 1 }));
+        assert_eq!(kfold(10, 0, 0), Err(CvError::TooFewFolds { k: 0 }));
+        let msg = CvError::TooFewItems { n: 3, k: 10 }.to_string();
+        assert!(msg.contains("3 items") && msg.contains("10 folds"), "{msg}");
     }
 }

@@ -22,7 +22,7 @@ pub mod labels;
 pub mod metrics;
 pub mod tree;
 
-pub use cv::kfold;
+pub use cv::{kfold, CvError};
 pub use ga::{Ga, GaParams};
 pub use labels::{coverage, reduce_labels};
 pub use metrics::{accuracy, mean_speedup, relative_difference};

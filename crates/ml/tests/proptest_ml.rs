@@ -23,7 +23,7 @@ proptest! {
     #[test]
     fn kfold_always_partitions(n in 4usize..200, k in 2usize..10, seed in 0u64..50) {
         prop_assume!(n >= k);
-        let folds = kfold(n, k, seed);
+        let folds = kfold(n, k, seed).unwrap();
         let mut seen = vec![false; n];
         for f in &folds {
             for &i in f {

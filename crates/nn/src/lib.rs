@@ -29,4 +29,4 @@ pub use graphdata::{Csr, GraphData};
 pub use infer::{InferOutput, Scratch};
 pub use model::{GnnConfig, GnnModel};
 pub use tensor::Tensor;
-pub use train::{GnnClassifier, TrainParams};
+pub use train::{CheckpointConfig, GnnClassifier, TrainCheckpoint, TrainParams};

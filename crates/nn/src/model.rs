@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 use std::rc::Rc;
 
 /// Model hyper-parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GnnConfig {
     pub vocab_size: usize,
     /// Embedding/hidden width (the paper uses 256; tests use less).

@@ -3,6 +3,12 @@
 //! Minibatch gradients are computed per-graph in parallel (rayon map) and
 //! reduced in canonical sample order, so training is bit-for-bit
 //! deterministic for a given seed regardless of thread count.
+//!
+//! Training can checkpoint through `irnuma-store`
+//! ([`GnnClassifier::fit_checkpointed`]): every N epochs the full trainer
+//! state (weights, Adam moments, loss history) is written atomically, and a
+//! resumed run replays the RNG to the checkpointed epoch so an interrupted
+//! run reproduces the uninterrupted one bit for bit.
 
 use crate::graphdata::GraphData;
 use crate::model::{GnnConfig, GnnModel};
@@ -12,6 +18,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
 
 /// One tensor's `(m, v)` moments zipped with its parameter and gradient.
 type AdamSlot<'a> = (((&'a mut Tensor, &'a mut Tensor), &'a mut Tensor), &'a Tensor);
@@ -65,7 +73,7 @@ impl Adam {
 }
 
 /// Training hyper-parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TrainParams {
     pub epochs: usize,
     pub batch_size: usize,
@@ -76,6 +84,100 @@ pub struct TrainParams {
 impl Default for TrainParams {
     fn default() -> Self {
         TrainParams { epochs: 30, batch_size: 16, lr: 3e-3, seed: 17 }
+    }
+}
+
+/// Checkpointing knobs for [`GnnClassifier::fit_checkpointed`].
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Directory holding `ckpt-<epoch>.json` files plus the `latest` pointer.
+    pub dir: PathBuf,
+    /// Write a checkpoint every `every` epochs (a final-epoch checkpoint is
+    /// always written). `0` disables periodic checkpoints.
+    pub every: usize,
+    /// Continue from the newest valid checkpoint in `dir`, if any.
+    pub resume: bool,
+}
+
+const CKPT_KIND: &str = "train-checkpoint";
+const LATEST_KIND: &str = "checkpoint-pointer";
+const LATEST_FILE: &str = "latest";
+
+/// The full trainer state after `epoch` completed epochs: enough to continue
+/// training bit-for-bit (weights, Adam moments, loss history; the shuffle
+/// RNG is re-derived from `params.seed` by replaying `epoch` shuffles).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainCheckpoint {
+    /// Number of completed epochs.
+    pub epoch: usize,
+    pub params: TrainParams,
+    pub classifier: GnnClassifier,
+    adam: Adam,
+    pub history: Vec<f64>,
+}
+
+impl TrainCheckpoint {
+    fn file_name(epoch: usize) -> String {
+        format!("ckpt-{epoch:05}.json")
+    }
+
+    /// Atomically persist the checkpoint and repoint `latest` at it.
+    pub fn save(&self, dir: &Path) -> io::Result<PathBuf> {
+        let name = Self::file_name(self.epoch);
+        let path = dir.join(&name);
+        irnuma_store::save_json(&path, CKPT_KIND, self)?;
+        irnuma_store::save_bytes(&dir.join(LATEST_FILE), LATEST_KIND, name.as_bytes())?;
+        Ok(path)
+    }
+
+    /// Load and validate one checkpoint file (checksum + kind + parse).
+    pub fn load(path: &Path) -> io::Result<TrainCheckpoint> {
+        irnuma_store::load_json(path, CKPT_KIND)
+    }
+
+    /// The newest *valid* checkpoint in `dir`. Follows the `latest` pointer
+    /// when it is intact; a torn pointer or a corrupt/truncated checkpoint
+    /// is skipped (with a warning and a `ckpt.skipped_corrupt` count) in
+    /// favor of the next-newest valid file. `Ok(None)` when the directory
+    /// holds no usable checkpoint.
+    pub fn load_latest(dir: &Path) -> io::Result<Option<TrainCheckpoint>> {
+        let mut tried = None;
+        if let Ok(name) = irnuma_store::load_bytes(&dir.join(LATEST_FILE), LATEST_KIND) {
+            let name = String::from_utf8_lossy(&name).trim().to_string();
+            match Self::load(&dir.join(&name)) {
+                Ok(c) => return Ok(Some(c)),
+                Err(e) => {
+                    irnuma_obs::warn!("checkpoint `{name}` unusable ({e}); scanning for older");
+                    irnuma_obs::counter!("ckpt.skipped_corrupt").inc(1);
+                    tried = Some(name);
+                }
+            }
+        }
+        // Pointer missing or target bad: scan epoch-sorted, newest first.
+        let entries = match std::fs::read_dir(dir) {
+            Ok(it) => it,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let mut names: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with("ckpt-") && n.ends_with(".json"))
+            .collect();
+        names.sort();
+        for name in names.into_iter().rev() {
+            if tried.as_deref() == Some(name.as_str()) {
+                continue;
+            }
+            match Self::load(&dir.join(&name)) {
+                Ok(c) => return Ok(Some(c)),
+                Err(e) => {
+                    irnuma_obs::warn!("checkpoint `{name}` unusable ({e}); skipping");
+                    irnuma_obs::counter!("ckpt.skipped_corrupt").inc(1);
+                }
+            }
+        }
+        Ok(None)
     }
 }
 
@@ -92,6 +194,24 @@ impl GnnClassifier {
 
     /// Train on labeled graphs; returns the mean loss per epoch.
     pub fn fit(&mut self, graphs: &[GraphData], labels: &[usize], p: TrainParams) -> Vec<f64> {
+        self.fit_checkpointed(graphs, labels, p, None)
+            .expect("training without checkpoints performs no I/O")
+    }
+
+    /// [`GnnClassifier::fit`] with optional crash-safe checkpointing: every
+    /// `ckpt.every` epochs (and at the final epoch) the trainer state is
+    /// written atomically under `ckpt.dir`. With `ckpt.resume`, training
+    /// continues from the newest valid checkpoint — the shuffle RNG is
+    /// fast-forwarded by replaying the completed epochs' shuffles, so an
+    /// interrupted-then-resumed run reproduces the uninterrupted run bit
+    /// for bit on the same seed.
+    pub fn fit_checkpointed(
+        &mut self,
+        graphs: &[GraphData],
+        labels: &[usize],
+        p: TrainParams,
+        ckpt: Option<&CheckpointConfig>,
+    ) -> io::Result<Vec<f64>> {
         assert_eq!(graphs.len(), labels.len());
         assert!(!graphs.is_empty(), "cannot fit on an empty dataset");
         for &l in labels {
@@ -101,6 +221,38 @@ impl GnnClassifier {
         let mut rng = ChaCha8Rng::seed_from_u64(p.seed);
         let mut order: Vec<usize> = (0..graphs.len()).collect();
         let mut history = Vec::with_capacity(p.epochs);
+        let mut start_epoch = 0;
+
+        if let Some(c) = ckpt.filter(|c| c.resume) {
+            if let Some(saved) = TrainCheckpoint::load_latest(&c.dir)? {
+                let same = (saved.params.batch_size, saved.params.lr, saved.params.seed)
+                    == (p.batch_size, p.lr, p.seed);
+                if !same || saved.classifier.model.cfg != self.model.cfg {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "checkpoint at epoch {} was trained with different \
+                             hyper-parameters or model shape; refusing to resume",
+                            saved.epoch
+                        ),
+                    ));
+                }
+                start_epoch = saved.epoch;
+                *self = saved.classifier;
+                adam = saved.adam;
+                history = saved.history;
+                // Replay the completed epochs' shuffles: `order` and `rng`
+                // end up exactly where the uninterrupted run had them.
+                for _ in 0..start_epoch {
+                    order.shuffle(&mut rng);
+                }
+                irnuma_obs::info!(
+                    "resuming training at epoch {start_epoch}/{} from {}",
+                    p.epochs,
+                    c.dir.display()
+                );
+            }
+        }
 
         let mut fit_span = irnuma_obs::span!(
             "train.fit",
@@ -108,7 +260,7 @@ impl GnnClassifier {
             epochs = p.epochs,
             batch_size = p.batch_size
         );
-        for epoch in 0..p.epochs {
+        for epoch in start_epoch..p.epochs {
             let mut epoch_span = irnuma_obs::span!("train.epoch", epoch = epoch);
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0;
@@ -149,11 +301,26 @@ impl GnnClassifier {
                 irnuma_obs::histogram!("train.epoch_ns").record_duration(epoch_span.elapsed());
             }
             history.push(mean_loss);
+
+            if let Some(c) = ckpt {
+                let done = epoch + 1;
+                if (c.every > 0 && done % c.every == 0) || done == p.epochs {
+                    TrainCheckpoint {
+                        epoch: done,
+                        params: p,
+                        classifier: self.clone(),
+                        adam: adam.clone(),
+                        history: history.clone(),
+                    }
+                    .save(&c.dir)?;
+                    irnuma_obs::counter!("ckpt.written").inc(1);
+                }
+            }
         }
         if let Some(&last) = history.last() {
             fit_span.field("final_loss", last);
         }
-        history
+        Ok(history)
     }
 
     pub fn predict(&self, g: &GraphData) -> usize {
@@ -170,24 +337,29 @@ impl GnnClassifier {
         self.model.embedding_with_confidence(g)
     }
 
-    /// Persist the trained classifier (weights + config) as JSON.
-    pub fn save_json(&self, path: &std::path::Path) -> std::io::Result<()> {
-        let json = serde_json::to_vec(self).expect("classifier serializes");
-        std::fs::write(path, json)
+    /// Persist the trained classifier (weights + config): atomic write,
+    /// versioned header, checksum — a crash mid-save or a torn file can
+    /// never produce a silently-wrong model.
+    pub fn save_json(&self, path: &Path) -> io::Result<()> {
+        irnuma_store::save_json(path, "model", self)
     }
 
-    /// Load a classifier saved with [`GnnClassifier::save_json`].
-    pub fn load_json(path: &std::path::Path) -> std::io::Result<GnnClassifier> {
-        let bytes = std::fs::read(path)?;
-        serde_json::from_slice(&bytes)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    /// Load a classifier saved with [`GnnClassifier::save_json`]. Truncated
+    /// or bit-flipped files fail with [`io::ErrorKind::InvalidData`].
+    pub fn load_json(path: &Path) -> io::Result<GnnClassifier> {
+        irnuma_store::load_json(path, "model")
     }
 
-    /// Fraction of graphs classified correctly (one batched inference pass).
-    pub fn accuracy(&self, graphs: &[GraphData], labels: &[usize]) -> f64 {
+    /// Fraction of graphs classified correctly (one batched inference
+    /// pass). `None` on an empty graph set — there is no accuracy to
+    /// report, and `0.0` would read as "everything misclassified".
+    pub fn accuracy(&self, graphs: &[GraphData], labels: &[usize]) -> Option<f64> {
+        if graphs.is_empty() {
+            return None;
+        }
         let outputs = self.model.infer_batch(graphs);
         let correct = outputs.iter().zip(labels).filter(|(o, &l)| o.label() == l).count();
-        correct as f64 / graphs.len().max(1) as f64
+        Some(correct as f64 / graphs.len() as f64)
     }
 }
 
@@ -243,7 +415,7 @@ mod tests {
         let mut clf = GnnClassifier::new(cfg());
         let hist = clf.fit(&gs, &ls, TrainParams { epochs: 40, batch_size: 8, lr: 5e-3, seed: 4 });
         assert!(hist.last().unwrap() < &hist[0], "loss decreases: {hist:?}");
-        let acc = clf.accuracy(&gs, &ls);
+        let acc = clf.accuracy(&gs, &ls).expect("non-empty evaluation set");
         assert!(acc >= 0.95, "train accuracy {acc}");
         // Held-out variants of each family classify correctly too.
         assert_eq!(clf.predict(&family(0, 99)), 0);
@@ -299,5 +471,115 @@ mod tests {
         let (gs, _) = dataset();
         let mut clf = GnnClassifier::new(cfg());
         clf.fit(&gs[..1], &[5], TrainParams::default());
+    }
+
+    #[test]
+    fn accuracy_on_empty_set_is_none_not_zero() {
+        let clf = GnnClassifier::new(cfg());
+        assert_eq!(clf.accuracy(&[], &[]), None);
+    }
+
+    fn ckpt_dir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join("irnuma-ckpt-test").join(name);
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn interrupted_then_resumed_training_matches_uninterrupted_bit_for_bit() {
+        let (gs, ls) = dataset();
+        let p4 = TrainParams { epochs: 4, batch_size: 4, lr: 1e-3, seed: 11 };
+        let dir = ckpt_dir("resume-exact");
+
+        // The reference: one uninterrupted 4-epoch run.
+        let mut full = GnnClassifier::new(cfg());
+        let h_full = full.fit(&gs, &ls, p4);
+
+        // The "crash": train only 2 epochs, checkpointing every epoch.
+        let mut first = GnnClassifier::new(cfg());
+        let cc = CheckpointConfig { dir: dir.clone(), every: 1, resume: false };
+        first.fit_checkpointed(&gs, &ls, TrainParams { epochs: 2, ..p4 }, Some(&cc)).unwrap();
+
+        // The "restart": a fresh classifier resumes to 4 epochs.
+        let mut resumed = GnnClassifier::new(cfg());
+        let cr = CheckpointConfig { resume: true, ..cc };
+        let h_res = resumed.fit_checkpointed(&gs, &ls, p4, Some(&cr)).unwrap();
+
+        assert_eq!(h_full, h_res, "loss history identical across the interruption");
+        assert_eq!(full.model.params, resumed.model.params, "weights identical");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_skips_torn_latest_and_corrupt_checkpoints() {
+        let (gs, ls) = dataset();
+        let p = TrainParams { epochs: 3, batch_size: 4, lr: 1e-3, seed: 5 };
+        let dir = ckpt_dir("resume-torn");
+        let mut clf = GnnClassifier::new(cfg());
+        let cc = CheckpointConfig { dir: dir.clone(), every: 1, resume: false };
+        clf.fit_checkpointed(&gs, &ls, p, Some(&cc)).unwrap();
+
+        // Tear the `latest` pointer and corrupt the newest checkpoint: the
+        // loader must fall back to epoch 2, the newest *valid* one.
+        std::fs::write(dir.join("latest"), b"irnuma-store v1 kind=checkpoint-po").unwrap();
+        let newest = dir.join("ckpt-00003.json");
+        let bytes = std::fs::read(&newest).unwrap();
+        std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+
+        let loaded = TrainCheckpoint::load_latest(&dir).unwrap().expect("a valid checkpoint");
+        assert_eq!(loaded.epoch, 2);
+        assert_eq!(loaded.history.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_latest_on_missing_or_empty_dir_is_none() {
+        let dir = ckpt_dir("resume-none");
+        assert!(TrainCheckpoint::load_latest(&dir).unwrap().is_none());
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(TrainCheckpoint::load_latest(&dir).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_with_different_hyper_parameters_is_refused() {
+        let (gs, ls) = dataset();
+        let p = TrainParams { epochs: 2, batch_size: 4, lr: 1e-3, seed: 5 };
+        let dir = ckpt_dir("resume-mismatch");
+        let mut clf = GnnClassifier::new(cfg());
+        let cc = CheckpointConfig { dir: dir.clone(), every: 1, resume: false };
+        clf.fit_checkpointed(&gs, &ls, p, Some(&cc)).unwrap();
+
+        let mut other = GnnClassifier::new(cfg());
+        let cr = CheckpointConfig { resume: true, ..cc };
+        let err = other
+            .fit_checkpointed(&gs, &ls, TrainParams { lr: 9e-3, epochs: 4, ..p }, Some(&cr))
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_or_flipped_model_file_is_invalid_data_not_garbage() {
+        let (gs, ls) = dataset();
+        let mut clf = GnnClassifier::new(cfg());
+        clf.fit(&gs, &ls, TrainParams { epochs: 2, batch_size: 8, lr: 3e-3, seed: 9 });
+        let dir = ckpt_dir("model-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        clf.save_json(&path).unwrap();
+
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 40]).unwrap();
+        let err = GnnClassifier::load_json(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        let err = GnnClassifier::load_json(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

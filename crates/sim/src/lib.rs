@@ -41,5 +41,5 @@ pub use config::{config_space, default_config, Config, PageMapping, ThreadMappin
 pub use cost::{simulate, Counters, Measurement};
 pub use machine::{Machine, MicroArch};
 pub use prefetch::PrefetchMask;
-pub use search::{exhaustive_best, per_call_trace, sweep_region};
+pub use search::{exhaustive_best, per_call_trace, sweep_region, try_mean_time, SearchError};
 pub use translate::translate_config;

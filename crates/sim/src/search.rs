@@ -5,6 +5,32 @@ use crate::cost::simulate;
 use crate::machine::Machine;
 use irnuma_workloads::{InputSize, RegionSpec};
 use rayon::prelude::*;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Why a configuration search produced no answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchError {
+    /// The machine's configuration space is empty — nothing to explore.
+    EmptyConfigSpace,
+    /// Every configuration of the sweep failed to simulate.
+    AllConfigsFailed { configs: usize },
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::EmptyConfigSpace => {
+                write!(f, "the machine's NUMA x prefetcher configuration space is empty")
+            }
+            SearchError::AllConfigsFailed { configs } => {
+                write!(f, "all {configs} configurations failed to simulate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
 
 /// Mean execution time of a region under one configuration, sampling
 /// `calls` invocations (the paper's sampled exploration uses 10 calls).
@@ -17,9 +43,32 @@ pub fn mean_time(r: &RegionSpec, m: &Machine, c: &Config, size: InputSize, calls
     total / calls as f64
 }
 
+/// [`mean_time`] with per-config failure isolation: a panic inside the cost
+/// model for one configuration is caught and surfaced as an error instead
+/// of unwinding through the whole sweep.
+pub fn try_mean_time(
+    r: &RegionSpec,
+    m: &Machine,
+    c: &Config,
+    size: InputSize,
+    calls: u32,
+) -> Result<f64, String> {
+    catch_unwind(AssertUnwindSafe(|| mean_time(r, m, c, size, calls))).map_err(|payload| {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "simulation panicked".to_string())
+    })
+}
+
 /// Sweep the full configuration space of a machine for one region.
 /// Returns `(config, mean_seconds)` in the space's canonical order.
 /// Parallelized with rayon (the sweep is the hot path of step C).
+///
+/// Fault-isolated: a configuration whose simulation panics is recorded as
+/// `f64::INFINITY` (never the minimum, so it can't be chosen as "best") and
+/// counted under `sim.config.skipped` rather than aborting the sweep.
 pub fn sweep_region(
     r: &RegionSpec,
     m: &Machine,
@@ -36,18 +85,39 @@ pub fn sweep_region(
     space
         .into_par_iter()
         .map(|c| {
-            let t = mean_time(r, m, &c, size, calls);
+            let t = match try_mean_time(r, m, &c, size, calls) {
+                Ok(t) => t,
+                Err(e) => {
+                    irnuma_obs::warn!("{}: config {} failed ({e}); skipping", r.name, c.label());
+                    irnuma_obs::counter!("sim.config.skipped").inc(1);
+                    f64::INFINITY
+                }
+            };
             (c, t)
         })
         .collect()
 }
 
 /// The best configuration of the full space (step C's oracle label source).
-pub fn exhaustive_best(r: &RegionSpec, m: &Machine, size: InputSize, calls: u32) -> (Config, f64) {
-    sweep_region(r, m, size, calls)
+pub fn exhaustive_best(
+    r: &RegionSpec,
+    m: &Machine,
+    size: InputSize,
+    calls: u32,
+) -> Result<(Config, f64), SearchError> {
+    let sweep = sweep_region(r, m, size, calls);
+    let configs = sweep.len();
+    sweep
         .into_iter()
         .min_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("non-empty configuration space")
+        .ok_or(SearchError::EmptyConfigSpace)
+        .and_then(|best| {
+            if best.1.is_finite() {
+                Ok(best)
+            } else {
+                Err(SearchError::AllConfigsFailed { configs })
+            }
+        })
 }
 
 /// Per-call execution-time trace (paper Fig. 12): `calls` invocations under
@@ -75,7 +145,7 @@ mod tests {
         let m = Machine::new(MicroArch::Skylake);
         let regions = all_regions();
         for r in regions.iter().step_by(7) {
-            let (best, t_best) = exhaustive_best(r, &m, InputSize::Size1, 3);
+            let (best, t_best) = exhaustive_best(r, &m, InputSize::Size1, 3).unwrap();
             let t_def = mean_time(r, &m, &default_config(&m), InputSize::Size1, 3);
             assert!(
                 t_best <= t_def * 1.0001,
@@ -96,6 +166,21 @@ mod tests {
         let min = sweep.iter().map(|x| x.1).fold(f64::MAX, f64::min);
         let max = sweep.iter().map(|x| x.1).fold(0.0, f64::max);
         assert!(max > min * 1.2, "space must matter: {min}..{max}");
+    }
+
+    #[test]
+    fn search_errors_are_typed_and_descriptive() {
+        assert!(SearchError::EmptyConfigSpace.to_string().contains("configuration space"));
+        let e = SearchError::AllConfigsFailed { configs: 288 };
+        assert!(e.to_string().contains("288"), "{e}");
+    }
+
+    #[test]
+    fn try_mean_time_succeeds_on_a_healthy_config() {
+        let m = Machine::new(MicroArch::Skylake);
+        let r = &all_regions()[0];
+        let t = try_mean_time(r, &m, &default_config(&m), InputSize::Size1, 2).unwrap();
+        assert!(t > 0.0);
     }
 
     #[test]
@@ -123,7 +208,7 @@ mod tests {
                 .iter()
                 .map(|r| {
                     let t_def = mean_time(r, &m, &default_config(&m), InputSize::Size1, 3);
-                    let (_, t_best) = exhaustive_best(r, &m, InputSize::Size1, 3);
+                    let (_, t_best) = exhaustive_best(r, &m, InputSize::Size1, 3).unwrap();
                     t_def / t_best
                 })
                 .collect();

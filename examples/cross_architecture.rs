@@ -19,7 +19,7 @@ fn main() {
 
     // Train on Sandy Bridge (all folds' training halves to keep it short:
     // one fold split).
-    let folds = kfold(snb.regions.len(), 10, 99);
+    let folds = kfold(snb.regions.len(), 10, 99).expect("10 folds fit the region suite");
     let train: Vec<usize> = irnuma_ml::cv::train_indices(&folds, 0);
     println!("training the static model on Sandy Bridge…\n");
     let sm = StaticModel::train(

@@ -18,7 +18,7 @@ fn main() {
     println!("building Skylake dataset…");
     let ds = build_dataset(MicroArch::Skylake, &params);
 
-    let folds = kfold(ds.regions.len(), 10, 5);
+    let folds = kfold(ds.regions.len(), 10, 5).expect("10 folds fit the region suite");
     let train: Vec<usize> = irnuma_ml::cv::train_indices(&folds, 0);
     let sp = StaticParams { epochs: 10, train_sequences: 6, ..Default::default() };
     println!("training static model + dynamic baseline + hybrid router…\n");

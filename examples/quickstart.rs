@@ -32,7 +32,7 @@ fn main() {
     );
 
     // Step D: train the static model on folds 1..10, hold out fold 0.
-    let folds = kfold(ds.regions.len(), 10, 7);
+    let folds = kfold(ds.regions.len(), 10, 7).expect("10 folds fit the region suite");
     let train: Vec<usize> = irnuma_ml::cv::train_indices(&folds, 0);
     println!("training the RGCN static model on {} regions…", train.len());
     let sm = StaticModel::train(

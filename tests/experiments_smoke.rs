@@ -10,12 +10,16 @@ use std::sync::OnceLock;
 
 fn skl() -> &'static irnuma_core::evaluation::Evaluation {
     static E: OnceLock<irnuma_core::evaluation::Evaluation> = OnceLock::new();
-    E.get_or_init(|| evaluate(&PipelineConfig::fast(MicroArch::Skylake)))
+    E.get_or_init(|| {
+        evaluate(&PipelineConfig::fast(MicroArch::Skylake)).expect("pipeline evaluates")
+    })
 }
 
 fn snb() -> &'static irnuma_core::evaluation::Evaluation {
     static E: OnceLock<irnuma_core::evaluation::Evaluation> = OnceLock::new();
-    E.get_or_init(|| evaluate(&PipelineConfig::fast(MicroArch::SandyBridge)))
+    E.get_or_init(|| {
+        evaluate(&PipelineConfig::fast(MicroArch::SandyBridge)).expect("pipeline evaluates")
+    })
 }
 
 #[test]
@@ -67,7 +71,7 @@ fn fig6_label_sweep() {
 fn fig7_counts_are_conserved() {
     let cfg = PipelineConfig::fast(MicroArch::Skylake);
     let ds = build_dataset(cfg.arch, &cfg.dataset);
-    let eval6 = evaluate_on(&cfg, fig6::relabel(&ds, 6));
+    let eval6 = evaluate_on(&cfg, fig6::relabel(&ds, 6)).expect("pipeline evaluates");
     let f = fig7::run(&eval6);
     let oracle_total: usize = f.rows.iter().map(|r| r.oracle).sum();
     let pred_total: usize = f.rows.iter().map(|r| r.predicted).sum();

@@ -21,7 +21,7 @@ fn eval_skl() -> &'static irnuma_core::evaluation::Evaluation {
         cfg.dataset.num_sequences = 6;
         cfg.static_params.epochs = 8;
         cfg.static_params.train_sequences = 6;
-        evaluate(&cfg)
+        evaluate(&cfg).expect("pipeline evaluates")
     })
 }
 

@@ -8,7 +8,7 @@ use irnuma_sim::MicroArch;
 #[test]
 fn full_pipeline_runs_and_is_coherent() {
     let cfg = PipelineConfig::fast(MicroArch::Skylake);
-    let eval = evaluate(&cfg);
+    let eval = evaluate(&cfg).expect("pipeline evaluates");
 
     // Every region validated exactly once, in a real fold.
     assert_eq!(eval.outcomes.len(), 56);
@@ -58,8 +58,8 @@ fn full_pipeline_runs_and_is_coherent() {
 #[test]
 fn pipeline_is_deterministic() {
     let cfg = PipelineConfig::fast(MicroArch::Skylake);
-    let a = evaluate(&cfg);
-    let b = evaluate(&cfg);
+    let a = evaluate(&cfg).expect("pipeline evaluates");
+    let b = evaluate(&cfg).expect("pipeline evaluates");
     for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
         assert_eq!(x.static_label, y.static_label, "{}", x.name);
         assert_eq!(x.dynamic_label, y.dynamic_label);

@@ -22,6 +22,7 @@ fn bench_forward_backward(c: &mut Criterion) {
         hidden: 32,
         classes: 13,
         layers: 2,
+        layer_norm: true,
         seed: 1,
     });
     let mut grp = c.benchmark_group("gnn");
@@ -47,6 +48,7 @@ fn bench_epoch(c: &mut Criterion) {
                 hidden: 32,
                 classes: 3,
                 layers: 2,
+                layer_norm: true,
                 seed: 2,
             });
             clf.fit(&graphs, &labels, TrainParams { epochs: 1, batch_size: 6, lr: 1e-3, seed: 3 })

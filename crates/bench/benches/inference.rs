@@ -57,6 +57,7 @@ fn main() {
         hidden: 256,
         classes: 13,
         layers: 2,
+        layer_norm: true,
         seed: 1,
     });
 

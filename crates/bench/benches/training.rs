@@ -1,0 +1,132 @@
+//! The RGCN training hot path at paper width (hidden = 256): one epoch over
+//! 8 region graphs through the autograd tape (the old `fit` path) vs the
+//! tape-free fused forward+backward engine, plus a paired-run measurement
+//! of the live-tracing overhead on the fused path. Results land in
+//! `BENCH_training.json` at the repo root, including the headline
+//! `speedup_fused_vs_tape` and `tracing_overhead_ratio` entries.
+//!
+//! CI smoke mode: set `IRNUMA_BENCH_QUICK=1` to shrink the model (h64) and
+//! sample counts so the whole benchmark runs in seconds. In both modes the
+//! process exits non-zero if the fused engine fails to beat the tape
+//! (`speedup_fused_vs_tape < 1.0`) — the regression gate.
+
+use criterion::{black_box, Criterion};
+use irnuma_graph::{build_module_graph, Vocab};
+use irnuma_ir::extract::extract_region;
+use irnuma_nn::{GnnClassifier, GnnConfig, GraphData, TrainEngine, TrainParams};
+use irnuma_workloads::all_regions;
+
+fn region_graphs(vocab: &Vocab, count: usize) -> Vec<GraphData> {
+    all_regions()
+        .iter()
+        .take(count)
+        .map(|spec| {
+            let m = spec.module();
+            let e = extract_region(&m, &spec.region_fn()).unwrap();
+            GraphData::from_graph(&build_module_graph(&e, vocab))
+        })
+        .collect()
+}
+
+/// One full training epoch (shuffle, minibatch gradients, Adam steps)
+/// through the chosen engine, on a fresh clone of the untrained classifier
+/// so every iteration optimizes from the same starting weights.
+fn one_epoch(
+    clf: &GnnClassifier,
+    graphs: &[GraphData],
+    labels: &[usize],
+    p: TrainParams,
+    engine: TrainEngine,
+) -> f64 {
+    let mut clf = clf.clone();
+    let hist = clf.fit_with_engine(graphs, labels, p, None, engine).expect("no checkpoint I/O");
+    hist[0]
+}
+
+fn main() {
+    let quick = std::env::var("IRNUMA_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let (hidden, samples) = if quick { (64, 2) } else { (256, 40) };
+
+    let vocab = Vocab::full();
+    let graphs = region_graphs(&vocab, 8);
+    let labels: Vec<usize> = (0..graphs.len()).map(|i| i % 13).collect();
+    let clf = GnnClassifier::new(GnnConfig {
+        vocab_size: vocab.len(),
+        hidden,
+        classes: 13,
+        layers: 2,
+        layer_norm: true,
+        seed: 1,
+    });
+    let p = TrainParams { epochs: 1, batch_size: 4, lr: 3e-3, seed: 17 };
+
+    let mut c = Criterion::default().configure_from_args();
+    {
+        let mut grp = c.benchmark_group("training");
+        grp.sample_size(samples);
+        grp.bench_function("tape_epoch_8_graphs", |b| {
+            b.iter(|| one_epoch(&clf, black_box(&graphs), &labels, p, TrainEngine::TapeReference))
+        });
+        grp.bench_function("fused_epoch_8_graphs", |b| {
+            b.iter(|| one_epoch(&clf, black_box(&graphs), &labels, p, TrainEngine::Fused))
+        });
+        grp.finish();
+    }
+
+    // Tracing overhead: the identical fused epoch with a live JSONL sink
+    // (epoch/batch spans, scratch + reduction counters) must stay under 2%.
+    // Measured as alternating untraced/traced pairs — the median of the
+    // per-pair ratios — because back-to-back criterion medians drift by
+    // more than the effect being measured on a busy host.
+    let trace_path = std::env::temp_dir().join("irnuma-bench-training-trace.jsonl");
+    let sink = std::sync::Arc::new(irnuma_obs::JsonlSink::create(&trace_path).expect("trace file"));
+    let pairs = if quick { 3 } else { 15 };
+    let mut ratios = Vec::with_capacity(pairs);
+    for i in 0..=pairs {
+        let t0 = std::time::Instant::now();
+        black_box(one_epoch(&clf, black_box(&graphs), &labels, p, TrainEngine::Fused));
+        let plain = t0.elapsed().as_secs_f64();
+        irnuma_obs::set_sink(sink.clone());
+        let t1 = std::time::Instant::now();
+        black_box(one_epoch(&clf, black_box(&graphs), &labels, p, TrainEngine::Fused));
+        let traced = t1.elapsed().as_secs_f64();
+        irnuma_obs::clear_sink();
+        if i > 0 {
+            // First pair is warmup (sink setup, cold branches).
+            ratios.push(traced / plain);
+        }
+    }
+    std::fs::remove_file(&trace_path).ok();
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let overhead_ratio = ratios[ratios.len() / 2];
+
+    let medians = c.medians().to_vec();
+    let get = |id: &str| {
+        medians.iter().find(|(k, _)| k == id).map(|&(_, v)| v).expect("bench id present")
+    };
+    let tape = get("training/tape_epoch_8_graphs");
+    let fused = get("training/fused_epoch_8_graphs");
+
+    let speedup = tape / fused;
+    let mut entries = medians.clone();
+    entries.push(("training/speedup_fused_vs_tape".into(), speedup));
+    entries.push(("training/tracing_overhead_ratio".into(), overhead_ratio));
+    entries.push(("training/epochs_per_sec_fused".into(), 1e9 / fused));
+    entries.push(("training/hidden".into(), hidden as f64));
+    let path = irnuma_bench::write_bench_json("training", &entries).expect("write bench json");
+    println!(
+        "fused epoch {:.1} ms vs tape {:.1} ms -> {speedup:.2}x speedup (h{hidden}) -> {}",
+        fused / 1e6,
+        tape / 1e6,
+        path.display()
+    );
+    let overhead_pct = (overhead_ratio - 1.0) * 100.0;
+    println!("tracing overhead on fused training: {overhead_pct:+.2}% (budget <2%)");
+    if overhead_pct >= 2.0 {
+        eprintln!("warning: tracing overhead {overhead_pct:.2}% exceeds the 2% budget");
+    }
+    if speedup < 1.0 {
+        eprintln!("error: fused engine slower than the tape ({speedup:.2}x)");
+        std::process::exit(1);
+    }
+}

@@ -286,19 +286,24 @@ fn train(rest: &[String]) -> Result<(), String> {
         hidden,
         classes: ds.chosen_configs.len(),
         layers: 2,
+        layer_norm: true,
         seed,
     });
     let p = TrainParams { epochs, batch_size: 16, lr: 3e-3, seed };
+    let t0 = std::time::Instant::now();
     let history =
         clf.fit_checkpointed(&graphs, &labels, p, ckpt.as_ref()).map_err(|e| e.to_string())?;
+    let elapsed = t0.elapsed().as_secs_f64();
     let acc = clf.accuracy(&graphs, &labels);
     println!(
-        "trained {} epochs on {} graphs: loss {:.4} → {:.4}, train accuracy {}",
+        "trained {} epochs on {} graphs: loss {:.4} → {:.4}, train accuracy {} \
+         ({:.2} epochs/sec, fused engine)",
         history.len(),
         graphs.len(),
         history.first().copied().unwrap_or(f64::NAN),
         history.last().copied().unwrap_or(f64::NAN),
-        acc.map_or_else(|| "n/a".to_string(), |a| format!("{a:.3}"))
+        acc.map_or_else(|| "n/a".to_string(), |a| format!("{a:.3}")),
+        history.len() as f64 / elapsed.max(1e-9),
     );
     if let Some(out) = opt_value(rest, "--out") {
         clf.save_json(Path::new(out)).map_err(|e| e.to_string())?;

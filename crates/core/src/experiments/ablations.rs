@@ -80,6 +80,7 @@ fn run_variant(
             hidden: p.hidden,
             classes: ds.chosen_configs.len(),
             layers: 2,
+            layer_norm: true,
             seed: p.seed,
         });
         clf.fit(

@@ -69,6 +69,7 @@ impl StaticModel {
             hidden: p.hidden,
             classes,
             layers: 2,
+            layer_norm: true,
             seed: p.seed,
         };
         let mut clf = GnnClassifier::new(cfg);

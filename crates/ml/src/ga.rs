@@ -7,7 +7,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// GA hyper-parameters (paper defaults).
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -110,12 +110,35 @@ impl Ga {
         let mut pop: Vec<Individual> =
             (0..p.population).map(|_| Self::random_individual(n_features, k, &mut rng)).collect();
 
-        let eval = |pop: &[Individual]| -> Vec<f64> {
+        // Memoized parallel evaluation. Elitism re-submits the best
+        // individual every generation and crossover/mutation frequently
+        // reproduce subsets seen before, so only *new* genomes pay the
+        // fitness call: duplicates are deduplicated within the generation
+        // (first-seen order keeps the parallel map's work list — and hence
+        // the result — deterministic) and resolved from the cache across
+        // generations. Sound because `fitness` must be deterministic.
+        let mut cache: HashMap<Individual, f64> = HashMap::new();
+        let eval = |pop: &[Individual], cache: &mut HashMap<Individual, f64>| -> Vec<f64> {
             use rayon::prelude::*;
-            pop.par_iter().map(|ind| fitness(ind)).collect()
+            let mut fresh: Vec<&Individual> = Vec::new();
+            let mut queued: HashSet<&Individual> = HashSet::new();
+            for ind in pop {
+                if !cache.contains_key(ind) && queued.insert(ind) {
+                    fresh.push(ind);
+                }
+            }
+            if irnuma_obs::trace_enabled() {
+                irnuma_obs::counter!("ml.ga_fitness_evals").inc(fresh.len() as u64);
+                irnuma_obs::counter!("ml.ga_fitness_cached").inc((pop.len() - fresh.len()) as u64);
+            }
+            let scores: Vec<f64> = fresh.par_iter().map(|ind| fitness(ind)).collect();
+            for (ind, score) in fresh.into_iter().zip(scores) {
+                cache.insert(ind.clone(), score);
+            }
+            pop.iter().map(|ind| cache[ind]).collect()
         };
 
-        let mut scores = eval(&pop);
+        let mut scores = eval(&pop, &mut cache);
         for _gen in 0..p.generations {
             // Elitism: keep the best individual.
             let best_i = argmax(&scores);
@@ -144,7 +167,7 @@ impl Ga {
                 next.push(child);
             }
             pop = next;
-            scores = eval(&pop);
+            scores = eval(&pop, &mut cache);
         }
         let best_i = argmax(&scores);
         ga_span.field("best_fitness", scores[best_i]);
@@ -196,6 +219,26 @@ mod tests {
         let a = ga.select_features(96, 6, f);
         let b = ga.select_features(96, 6, f);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn memoization_never_reevaluates_a_seen_genome() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let ga = Ga::new(small());
+        let f = |sel: &[usize]| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            sel.iter().map(|&v| ((v * 37) % 11) as f64).sum::<f64>()
+        };
+        let (best, score) = ga.select_features(96, 6, f);
+        // 60 individuals × (1 initial + 25 generations) submissions; elitism
+        // alone guarantees repeats, so the cache must absorb a good chunk.
+        let submitted = 60 * 26;
+        let evaluated = calls.load(Ordering::Relaxed);
+        assert!(evaluated < submitted, "{evaluated} fitness calls for {submitted} submissions");
+        // Caching must not change the outcome.
+        let plain = |sel: &[usize]| sel.iter().map(|&v| ((v * 37) % 11) as f64).sum::<f64>();
+        assert_eq!((best, score), ga.select_features(96, 6, plain));
     }
 
     #[test]

@@ -215,6 +215,13 @@ impl Tape {
 
     /// Reverse pass from `root` (typically the loss). Returns one gradient
     /// slot per node; untouched slots are `None`.
+    ///
+    /// Every op's inputs precede it on the tape, so the reverse walk splits
+    /// the gradient vector at the current node: the upstream gradient is
+    /// *borrowed* from the upper half and accumulated directly into the
+    /// lower half's slots — no per-node clone of the upstream gradient, no
+    /// per-op temporary tensors, and the two matmul gradients go through
+    /// the transpose-free kernels instead of materializing `xᵀ`/`Wᵀ`.
     pub fn backward(&self, root: Var) -> Vec<Option<Tensor>> {
         let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
         let root_val = &self.nodes[root.0].value;
@@ -222,47 +229,72 @@ impl Tape {
         seed.data.fill(1.0);
         grads[root.0] = Some(seed);
 
-        let accum = |grads: &mut Vec<Option<Tensor>>, v: Var, g: Tensor| match &mut grads[v.0] {
-            Some(existing) => existing.add_assign(&g),
-            slot @ None => *slot = Some(g),
-        };
+        // One scratch row for the layer-norm backward, reused across nodes.
+        let mut dxhat: Vec<f32> = Vec::new();
 
         for i in (0..self.nodes.len()).rev() {
-            let Some(gy) = grads[i].clone() else { continue };
+            let (glo, ghi) = grads.split_at_mut(i);
+            let Some(gy) = ghi[0].as_ref() else { continue };
+            // Zero-initialized gradient slot for input `v` (all inputs have
+            // index < i, hence live in `glo`).
+            let slot = |glo: &mut [Option<Tensor>], v: Var, rows: usize, cols: usize| {
+                let t = glo[v.0].get_or_insert_with(|| Tensor::zeros(rows, cols));
+                debug_assert!(t.rows == rows && t.cols == cols, "gradient shape drift");
+            };
             match &self.nodes[i].op {
                 Op::Leaf => {}
                 Op::Matmul(a, b) => {
                     let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-                    accum(&mut grads, *a, gy.matmul(&bv.transpose()));
-                    accum(&mut grads, *b, av.transpose().matmul(&gy));
+                    slot(glo, *a, av.rows, av.cols);
+                    crate::tensor::matmul_transpose_b_accumulate(
+                        &gy.data,
+                        gy.rows,
+                        gy.cols,
+                        &bv.data,
+                        bv.rows,
+                        &mut glo[a.0].as_mut().unwrap().data,
+                    );
+                    slot(glo, *b, bv.rows, bv.cols);
+                    crate::tensor::matmul_transpose_a_accumulate(
+                        &av.data,
+                        av.rows,
+                        av.cols,
+                        &gy.data,
+                        gy.cols,
+                        &mut glo[b.0].as_mut().unwrap().data,
+                    );
                 }
                 Op::AddBias(a, bias) => {
-                    let mut gb = Tensor::zeros(1, gy.cols);
+                    slot(glo, *a, gy.rows, gy.cols);
+                    glo[a.0].as_mut().unwrap().add_assign(gy);
+                    slot(glo, *bias, 1, gy.cols);
+                    let gb = glo[bias.0].as_mut().unwrap();
                     for r in 0..gy.rows {
                         for c in 0..gy.cols {
                             gb.data[c] += gy.at(r, c);
                         }
                     }
-                    accum(&mut grads, *a, gy.clone());
-                    accum(&mut grads, *bias, gb);
                 }
                 Op::Add(a, b) => {
-                    accum(&mut grads, *a, gy.clone());
-                    accum(&mut grads, *b, gy);
+                    slot(glo, *a, gy.rows, gy.cols);
+                    glo[a.0].as_mut().unwrap().add_assign(gy);
+                    slot(glo, *b, gy.rows, gy.cols);
+                    glo[b.0].as_mut().unwrap().add_assign(gy);
                 }
                 Op::Relu(x) => {
                     let xv = &self.nodes[x.0].value;
-                    let mut gx = gy;
-                    for (g, &v) in gx.data.iter_mut().zip(&xv.data) {
-                        if v <= 0.0 {
-                            *g = 0.0;
+                    slot(glo, *x, xv.rows, xv.cols);
+                    let gx = glo[x.0].as_mut().unwrap();
+                    for ((g, &v), &u) in gx.data.iter_mut().zip(&xv.data).zip(&gy.data) {
+                        if v > 0.0 {
+                            *g += u;
                         }
                     }
-                    accum(&mut grads, *x, gx);
                 }
                 Op::Gather { table, ids } => {
                     let t = &self.nodes[table.0].value;
-                    let mut gt = Tensor::zeros(t.rows, t.cols);
+                    slot(glo, *table, t.rows, t.cols);
+                    let gt = glo[table.0].as_mut().unwrap();
                     for (r, &id) in ids.iter().enumerate() {
                         let src = &gy.data[r * t.cols..(r + 1) * t.cols];
                         let dst = &mut gt.data[id as usize * t.cols..(id as usize + 1) * t.cols];
@@ -270,12 +302,12 @@ impl Tape {
                             *d += s;
                         }
                     }
-                    accum(&mut grads, *table, gt);
                 }
                 Op::Spmm { x, edges, norm } => {
                     let xv = &self.nodes[x.0].value;
                     let cols = xv.cols;
-                    let mut gx = Tensor::zeros(xv.rows, cols);
+                    slot(glo, *x, xv.rows, cols);
+                    let gx = glo[x.0].as_mut().unwrap();
                     for (e, &(s, d)) in edges.iter().enumerate() {
                         let w = norm[e];
                         let gdst = &gy.data[d as usize * cols..(d as usize + 1) * cols];
@@ -284,26 +316,27 @@ impl Tape {
                             *g += w * v;
                         }
                     }
-                    accum(&mut grads, *x, gx);
                 }
                 Op::MeanPool(x) => {
                     let xv = &self.nodes[x.0].value;
                     let inv = 1.0 / xv.rows.max(1) as f32;
-                    let mut gx = Tensor::zeros(xv.rows, xv.cols);
+                    slot(glo, *x, xv.rows, xv.cols);
+                    let gx = glo[x.0].as_mut().unwrap();
                     for r in 0..xv.rows {
                         for c in 0..xv.cols {
-                            *gx.at_mut(r, c) = gy.at(0, c) * inv;
+                            *gx.at_mut(r, c) += gy.at(0, c) * inv;
                         }
                     }
-                    accum(&mut grads, *x, gx);
                 }
                 Op::LayerNorm { x, gamma, beta, eps } => {
                     let xv = &self.nodes[x.0].value;
                     let g = &self.nodes[gamma.0].value;
                     let d = xv.cols;
-                    let mut gx = Tensor::zeros(xv.rows, d);
-                    let mut ggamma = Tensor::zeros(1, d);
-                    let mut gbeta = Tensor::zeros(1, d);
+                    slot(glo, *x, xv.rows, d);
+                    slot(glo, *gamma, 1, d);
+                    slot(glo, *beta, 1, d);
+                    dxhat.clear();
+                    dxhat.resize(d, 0.0);
                     for r in 0..xv.rows {
                         let row = xv.row(r);
                         let mu: f32 = row.iter().sum::<f32>() / d as f32;
@@ -311,36 +344,34 @@ impl Tape {
                             row.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
                         let inv = 1.0 / (var + eps).sqrt();
                         // dxhat, plus the two mean corrections.
-                        let mut dxhat = vec![0.0f32; d];
                         let mut mean_dxhat = 0.0f32;
                         let mut mean_dxhat_xhat = 0.0f32;
                         for c in 0..d {
                             let xhat = (row[c] - mu) * inv;
                             let dy = gy.at(r, c);
-                            ggamma.data[c] += dy * xhat;
-                            gbeta.data[c] += dy;
+                            glo[gamma.0].as_mut().unwrap().data[c] += dy * xhat;
+                            glo[beta.0].as_mut().unwrap().data[c] += dy;
                             dxhat[c] = dy * g.at(0, c);
                             mean_dxhat += dxhat[c];
                             mean_dxhat_xhat += dxhat[c] * xhat;
                         }
                         mean_dxhat /= d as f32;
                         mean_dxhat_xhat /= d as f32;
+                        let gx = glo[x.0].as_mut().unwrap();
                         for c in 0..d {
                             let xhat = (row[c] - mu) * inv;
-                            *gx.at_mut(r, c) =
+                            *gx.at_mut(r, c) +=
                                 (dxhat[c] - mean_dxhat - xhat * mean_dxhat_xhat) * inv;
                         }
                     }
-                    accum(&mut grads, *x, gx);
-                    accum(&mut grads, *gamma, ggamma);
-                    accum(&mut grads, *beta, gbeta);
                 }
                 Op::SoftmaxCe { logits, label, probs } => {
                     let scale = gy.at(0, 0);
-                    let mut gl = probs.clone();
-                    gl.data[*label] -= 1.0;
-                    gl.scale(scale);
-                    accum(&mut grads, *logits, gl);
+                    slot(glo, *logits, 1, probs.cols);
+                    let gl = glo[logits.0].as_mut().unwrap();
+                    for (j, (o, &p)) in gl.data.iter_mut().zip(&probs.data).enumerate() {
+                        *o += scale * (p - (j == *label) as u8 as f32);
+                    }
                 }
             }
         }

@@ -1,0 +1,772 @@
+//! Tape-free fused forward+backward training engine for the RGCN.
+//!
+//! The autograd tape ([`crate::autograd`]) is a faithful but allocating
+//! oracle: every forward op clones tensors onto the tape (including one
+//! clone of *every parameter* per graph), and `Tape::backward` returns a
+//! full gradient vector per graph. Training pushes thousands of augmented
+//! region graphs through that path every epoch, so the allocations — not
+//! the arithmetic — dominate the epoch.
+//!
+//! This module mirrors the PR 1 inference design for the whole
+//! forward+backward pass:
+//!
+//! * **Per-worker scratch.** All activations the backward pass needs
+//!   (per-layer hidden states, per-relation message buffers, the residual
+//!   sum) plus every backward temporary live in a reusable [`TrainScratch`],
+//!   grow-only across graphs and epochs. ReLU masks are implicit: the saved
+//!   post-activation `h` is zero exactly where the pre-activation was
+//!   `<= 0`, which is the tape's masking rule.
+//! * **Fused kernels.** The forward shares the blocked
+//!   [`matmul_accumulate`] kernel and the cached CSR adjacency with the
+//!   inference engine, so fused forward losses are bit-identical to the
+//!   tape's. The backward stages weight and activation transposes into the
+//!   scratch (`xt`/`wt`, no allocation) and drives the large `dW += xᵀ·dy`
+//!   / `dx += dy·Wᵀ` products through the same blocked kernel — the tape's
+//!   transpose-free kernels compute one dependent add chain per output
+//!   element and are FP-latency-bound, which made the backward ~7× the
+//!   forward; staged transposes bring it back to the ~2× the FLOP ratio
+//!   predicts, bit-identically (both orderings match the materialized
+//!   transpose exactly). The SpMM backward walks a cached source-grouped
+//!   CSC mirror ([`GraphData::csc`]) so `dx[src]` rows accumulate
+//!   independently, in original edge order.
+//! * **Flat gradient accumulation.** Gradients for one graph land in a
+//!   [`GradBuffer`] — one flat `Vec<f32>` spanning every parameter — not a
+//!   `Vec<Option<Tensor>>` per graph.
+//! * **Deterministic reduction.** [`FusedEngine::batch_grads`] assigns
+//!   graph `chunk[i]` to pool buffer `i` (fixed assignment, independent of
+//!   thread scheduling) and combines the buffers with an ordered pairwise
+//!   tree reduce whose shape depends only on the chunk length — training is
+//!   bit-for-bit reproducible for a given seed at any thread count.
+//!
+//! The tape stays as the reference oracle: `tests/proptest_backprop.rs`
+//! asserts fused gradients match `Tape::backward` within `1e-4` across
+//! random graphs, widths, layer counts, and the layer-norm ablation.
+
+use crate::graphdata::{GraphData, NUM_RELATIONS};
+use crate::model::GnnModel;
+use crate::tensor::{
+    matmul_accumulate, matmul_transpose_a_accumulate, matmul_transpose_b_accumulate, softmax_into,
+    transpose_into,
+};
+use rayon::prelude::*;
+use std::cell::RefCell;
+
+/// Reusable forward+backward workspace. Buffers grow to the largest
+/// (graph, model) seen and are recycled across graphs and epochs; a fresh
+/// `TrainScratch` is all-empty and valid.
+#[derive(Default)]
+pub struct TrainScratch {
+    /// Hidden states `h_0..h_L`, each `n×d` (`h_0` is the embedding gather,
+    /// `h_{l+1}` the post-ReLU output of layer `l`). All are saved: the
+    /// backward pass needs every layer input, and the post-activation
+    /// doubles as the ReLU mask.
+    hs: Vec<Vec<f32>>,
+    /// Saved SpMM outputs, `layers × NUM_RELATIONS` buffers of `n×d`
+    /// (the `msgs` operand of each relation matmul, needed for `dW_r`).
+    msgs: Vec<Vec<f32>>,
+    /// Forward layer accumulator / pre-activation (`n×d`).
+    acc: Vec<f32>,
+    /// Shared `n×d` temporary (forward relation term, backward `dmsgs`).
+    term: Vec<f32>,
+    /// Residual sum `h_1 + h_L` — the layer-norm input (`n×d`).
+    res: Vec<f32>,
+    /// Gradient of the residual sum, kept until the backward walk reaches
+    /// `h_1` (`n×d`).
+    gres: Vec<f32>,
+    /// Gradient w.r.t. the current hidden state (`n×d`).
+    ga: Vec<f32>,
+    /// Gradient w.r.t. the previous hidden state, swapped with `ga` per
+    /// layer (`n×d`).
+    gh: Vec<f32>,
+    /// ReLU-masked gradient of the pre-activation (`n×d`).
+    gpre: Vec<f32>,
+    /// Staged activation transpose (`d×n`): `h_lᵀ` / `msgsᵀ` for the weight
+    /// gradients, so they run through the blocked kernel.
+    xt: Vec<f32>,
+    /// Staged weight transpose (`d×d`): `Wᵀ` for the input gradients.
+    wt: Vec<f32>,
+    /// Layer-norm backward row temporary (`d`).
+    dxhat: Vec<f32>,
+    /// Layer-norm affine gradients, accumulated across rows then flushed
+    /// into the grad buffer (`d` each).
+    dgamma: Vec<f32>,
+    dbeta: Vec<f32>,
+    /// Head activations and gradients (`d` / `classes` sized).
+    pooled: Vec<f32>,
+    z: Vec<f32>,
+    gz: Vec<f32>,
+    gpooled: Vec<f32>,
+    logits: Vec<f32>,
+    probs: Vec<f32>,
+    glogits: Vec<f32>,
+}
+
+impl TrainScratch {
+    pub fn new() -> TrainScratch {
+        TrainScratch::default()
+    }
+
+    fn reserve(&mut self, layers: usize, n: usize, d: usize, classes: usize) {
+        let nd = n * d;
+        if irnuma_obs::trace_enabled() {
+            if self.ga.capacity() >= nd && self.hs.len() > layers {
+                irnuma_obs::counter!("train.scratch_hits").inc(1);
+            } else {
+                irnuma_obs::counter!("train.scratch_misses").inc(1);
+            }
+        }
+        self.hs.resize_with(layers + 1, Vec::new);
+        self.msgs.resize_with(layers * NUM_RELATIONS, Vec::new);
+        for buf in self.hs.iter_mut().chain(self.msgs.iter_mut()) {
+            buf.clear();
+            buf.resize(nd, 0.0);
+        }
+        for buf in [
+            &mut self.acc,
+            &mut self.term,
+            &mut self.res,
+            &mut self.gres,
+            &mut self.ga,
+            &mut self.gh,
+            &mut self.gpre,
+            &mut self.xt,
+        ] {
+            buf.clear();
+            buf.resize(nd, 0.0);
+        }
+        self.wt.clear();
+        self.wt.resize(d * d, 0.0);
+        for buf in [
+            &mut self.dxhat,
+            &mut self.dgamma,
+            &mut self.dbeta,
+            &mut self.pooled,
+            &mut self.z,
+            &mut self.gz,
+            &mut self.gpooled,
+        ] {
+            buf.clear();
+            buf.resize(d, 0.0);
+        }
+        for buf in [&mut self.logits, &mut self.glogits] {
+            buf.clear();
+            buf.resize(classes, 0.0);
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<TrainScratch> = RefCell::new(TrainScratch::new());
+}
+
+/// Flat per-parameter gradient accumulator: one contiguous `Vec<f32>`
+/// spanning every parameter tensor of a model, addressed by parameter index.
+#[derive(Debug, Clone)]
+pub struct GradBuffer {
+    data: Vec<f32>,
+    /// `offsets[i]..offsets[i+1]` is parameter `i`'s slice.
+    offsets: Vec<usize>,
+}
+
+impl GradBuffer {
+    /// A zeroed buffer laid out for `model`'s parameter list.
+    pub fn for_model(model: &GnnModel) -> GradBuffer {
+        let mut offsets = Vec::with_capacity(model.params.len() + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for p in &model.params {
+            total += p.data.len();
+            offsets.push(total);
+        }
+        GradBuffer { data: vec![0.0; total], offsets }
+    }
+
+    fn matches(&self, model: &GnnModel) -> bool {
+        self.offsets.len() == model.params.len() + 1
+            && model
+                .params
+                .iter()
+                .enumerate()
+                .all(|(i, p)| self.offsets[i + 1] - self.offsets[i] == p.data.len())
+    }
+
+    pub fn zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    pub fn view(&self, i: usize) -> &[f32] {
+        &self.data[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    pub fn view_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// One read-only slice per parameter, aligned with `model.params`.
+    pub fn views(&self) -> Vec<&[f32]> {
+        (0..self.offsets.len() - 1).map(|i| self.view(i)).collect()
+    }
+
+    pub fn add_assign(&mut self, other: &GradBuffer) {
+        debug_assert_eq!(self.data.len(), other.data.len());
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    pub fn scale(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Sum of squared entries (for gradient-norm telemetry).
+    pub fn squared_norm(&self) -> f64 {
+        self.data.iter().map(|&g| g as f64 * g as f64).sum()
+    }
+}
+
+impl GnnModel {
+    /// Fused forward+backward for one labeled graph: returns the
+    /// cross-entropy loss and **adds** (never overwrites) this graph's
+    /// parameter gradients into `grads`. The forward pass is bit-identical
+    /// to [`GnnModel::forward`] + `softmax_ce`; gradients match
+    /// `Tape::backward` to float rounding (≤1e-4 enforced by proptest).
+    pub fn fused_loss_grads(
+        &self,
+        g: &GraphData,
+        label: usize,
+        s: &mut TrainScratch,
+        grads: &mut GradBuffer,
+    ) -> f64 {
+        debug_assert!(grads.matches(self), "grad buffer laid out for another model");
+        let d = self.cfg.hidden;
+        let n = g.num_nodes();
+        let classes = self.cfg.classes;
+        let layers = self.cfg.layers;
+        assert!(label < classes, "label {label} out of range");
+        s.reserve(layers, n, d, classes);
+
+        // Parameter indices, mirroring `GnnModel::new`'s push order.
+        let idx_embed = 0usize;
+        let layer_base = |l: usize| 1 + l * (2 + NUM_RELATIONS);
+        let idx_gamma = layer_base(layers);
+        let idx_beta = idx_gamma + 1;
+        let idx_fc1 = idx_beta + 1;
+        let idx_b1 = idx_fc1 + 1;
+        let idx_fc2 = idx_b1 + 1;
+        let idx_b2 = idx_fc2 + 1;
+        debug_assert_eq!(idx_b2 + 1, self.params.len(), "parameter layout drift");
+        let p = &self.params;
+
+        // ---------- forward ----------
+        let embed = &p[idx_embed];
+        for (row, &id) in g.node_text.iter().enumerate() {
+            s.hs[0][row * d..(row + 1) * d].copy_from_slice(embed.row(id as usize));
+        }
+
+        let csr = g.csr();
+        for l in 0..layers {
+            let base = layer_base(l);
+            let (h_in, h_rest) = s.hs.split_at_mut(l + 1);
+            let h_in = &h_in[l];
+            let h_out = &mut h_rest[0];
+
+            s.acc.fill(0.0);
+            matmul_accumulate(h_in, n, d, &p[base].data, d, &mut s.acc);
+
+            for r in 0..NUM_RELATIONS {
+                if g.edges[r].is_empty() {
+                    continue;
+                }
+                let msgs = &mut s.msgs[l * NUM_RELATIONS + r];
+                for i in 0..n {
+                    let (srcs, ws) = csr[r].row(i);
+                    let row_range = i * d..(i + 1) * d;
+                    msgs[row_range.clone()].fill(0.0);
+                    for (&src, &w) in srcs.iter().zip(ws) {
+                        let hrow = &h_in[src as usize * d..(src as usize + 1) * d];
+                        for (o, &v) in msgs[row_range.clone()].iter_mut().zip(hrow) {
+                            *o += w * v;
+                        }
+                    }
+                }
+                // Like the tape, the product goes through a zeroed buffer
+                // before joining the accumulator (summing straight into
+                // `acc` would regroup the additions).
+                s.term.fill(0.0);
+                matmul_accumulate(msgs, n, d, &p[base + 1 + r].data, d, &mut s.term);
+                for (a, &t) in s.acc.iter_mut().zip(&s.term) {
+                    *a += t;
+                }
+            }
+
+            let bias = &p[base + 1 + NUM_RELATIONS];
+            for row in 0..n {
+                for c in 0..d {
+                    let pre = s.acc[row * d + c] + bias.data[c];
+                    h_out[row * d + c] = if pre < 0.0 { 0.0 } else { pre };
+                }
+            }
+        }
+
+        // Residual around the deeper layers (tape order: h1 + h).
+        if layers > 1 {
+            for ((r, &a), &b) in s.res.iter_mut().zip(&s.hs[1]).zip(&s.hs[layers]) {
+                *r = a + b;
+            }
+        } else {
+            s.res.copy_from_slice(&s.hs[layers]);
+        }
+
+        // Layer norm (optional) fused with mean pooling: the normalized
+        // rows are consumed only by the column mean, so they are pooled on
+        // the fly — per column, rows accumulate in ascending order, exactly
+        // as the tape's `mean_pool` sums them.
+        let gamma = &p[idx_gamma];
+        let beta = &p[idx_beta];
+        let eps = 1e-5f32;
+        s.pooled.fill(0.0);
+        for row in 0..n {
+            let x = &s.res[row * d..(row + 1) * d];
+            if self.cfg.layer_norm {
+                let mu: f32 = x.iter().sum::<f32>() / d as f32;
+                let var: f32 = x.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
+                let inv = 1.0 / (var + eps).sqrt();
+                for (((o, &xc), &gc), &bc) in
+                    s.pooled.iter_mut().zip(x).zip(&gamma.data).zip(&beta.data)
+                {
+                    *o += gc * ((xc - mu) * inv) + bc;
+                }
+            } else {
+                for (o, &xc) in s.pooled.iter_mut().zip(x) {
+                    *o += xc;
+                }
+            }
+        }
+        let inv_n = 1.0 / n.max(1) as f32;
+        for v in s.pooled.iter_mut() {
+            *v *= inv_n;
+        }
+
+        // FC head: z = relu(pooled @ fc1 + b1); logits = z @ fc2 + b2.
+        s.z.fill(0.0);
+        matmul_accumulate(&s.pooled, 1, d, &p[idx_fc1].data, d, &mut s.z);
+        for (zv, &bv) in s.z.iter_mut().zip(&p[idx_b1].data) {
+            let pre = *zv + bv;
+            *zv = if pre < 0.0 { 0.0 } else { pre };
+        }
+        s.logits.fill(0.0);
+        matmul_accumulate(&s.z, 1, d, &p[idx_fc2].data, classes, &mut s.logits);
+        for (lv, &bv) in s.logits.iter_mut().zip(&p[idx_b2].data) {
+            *lv += bv;
+        }
+
+        // Softmax cross-entropy (max-shifted, like the tape's loss node).
+        softmax_into(&s.logits, &mut s.probs);
+        let loss = -(s.probs[label].max(1e-12)).ln() as f64;
+
+        // ---------- backward ----------
+        // d loss / d logits = probs - onehot(label).
+        for (j, (gl, &pv)) in s.glogits.iter_mut().zip(&s.probs).enumerate() {
+            *gl = pv - (j == label) as u8 as f32;
+        }
+
+        // FC2 head: db2 += glogits; dfc2 += zᵀ @ glogits; gz = glogits @ fc2ᵀ.
+        for (o, &v) in grads.view_mut(idx_b2).iter_mut().zip(&s.glogits) {
+            *o += v;
+        }
+        matmul_transpose_a_accumulate(&s.z, 1, d, &s.glogits, classes, grads.view_mut(idx_fc2));
+        s.gz.fill(0.0);
+        matmul_transpose_b_accumulate(&s.glogits, 1, classes, &p[idx_fc2].data, d, &mut s.gz);
+        // ReLU mask: z is zero exactly where the pre-activation was <= 0.
+        for (gv, &zv) in s.gz.iter_mut().zip(&s.z) {
+            if zv <= 0.0 {
+                *gv = 0.0;
+            }
+        }
+        // FC1: db1 += gz; dfc1 += pooledᵀ @ gz; gpooled = gz @ fc1ᵀ.
+        for (o, &v) in grads.view_mut(idx_b1).iter_mut().zip(&s.gz) {
+            *o += v;
+        }
+        matmul_transpose_a_accumulate(&s.pooled, 1, d, &s.gz, d, grads.view_mut(idx_fc1));
+        s.gpooled.fill(0.0);
+        matmul_transpose_b_accumulate(&s.gz, 1, d, &p[idx_fc1].data, d, &mut s.gpooled);
+
+        // Mean-pool backward spreads `gpooled·1/n` to every row; fuse it
+        // with the layer-norm backward so the `n×d` upstream gradient is
+        // never materialized.
+        if self.cfg.layer_norm {
+            s.dgamma.fill(0.0);
+            s.dbeta.fill(0.0);
+            for row in 0..n {
+                let x = &s.res[row * d..(row + 1) * d];
+                let mu: f32 = x.iter().sum::<f32>() / d as f32;
+                let var: f32 = x.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
+                let inv = 1.0 / (var + eps).sqrt();
+                let mut mean_dxhat = 0.0f32;
+                let mut mean_dxhat_xhat = 0.0f32;
+                for ((((&xc, &gp), dg), db), (dx, &gc)) in x
+                    .iter()
+                    .zip(&s.gpooled)
+                    .zip(s.dgamma.iter_mut())
+                    .zip(s.dbeta.iter_mut())
+                    .zip(s.dxhat.iter_mut().zip(&gamma.data))
+                {
+                    let xhat = (xc - mu) * inv;
+                    let dy = gp * inv_n;
+                    *dg += dy * xhat;
+                    *db += dy;
+                    *dx = dy * gc;
+                    mean_dxhat += *dx;
+                    mean_dxhat_xhat += *dx * xhat;
+                }
+                mean_dxhat /= d as f32;
+                mean_dxhat_xhat /= d as f32;
+                let grow = &mut s.ga[row * d..(row + 1) * d];
+                for c in 0..d {
+                    let xhat = (x[c] - mu) * inv;
+                    grow[c] = (s.dxhat[c] - mean_dxhat - xhat * mean_dxhat_xhat) * inv;
+                }
+            }
+            for (o, &v) in grads.view_mut(idx_gamma).iter_mut().zip(&s.dgamma) {
+                *o += v;
+            }
+            for (o, &v) in grads.view_mut(idx_beta).iter_mut().zip(&s.dbeta) {
+                *o += v;
+            }
+        } else {
+            for row in 0..n {
+                let grow = &mut s.ga[row * d..(row + 1) * d];
+                for (o, &gp) in grow.iter_mut().zip(&s.gpooled) {
+                    *o = gp * inv_n;
+                }
+            }
+        }
+
+        // Residual: the same upstream gradient reaches h_L now and h_1 when
+        // the backward walk gets there.
+        if layers > 1 {
+            s.gres.copy_from_slice(&s.ga);
+        }
+
+        // Layer backward, deepest first. `s.ga` holds d loss / d h_{l+1}.
+        for l in (0..layers).rev() {
+            let base = layer_base(l);
+            // ReLU mask via the saved post-activation.
+            for ((gp, &ga), &hv) in s.gpre.iter_mut().zip(&s.ga).zip(&s.hs[l + 1]) {
+                *gp = if hv > 0.0 { ga } else { 0.0 };
+            }
+            // Bias: column sums in ascending row order (tape order).
+            {
+                let db = grads.view_mut(base + 1 + NUM_RELATIONS);
+                for row in 0..n {
+                    for (o, &v) in db.iter_mut().zip(&s.gpre[row * d..(row + 1) * d]) {
+                        *o += v;
+                    }
+                }
+            }
+            // Self term: dW_self += h_lᵀ @ gpre, with `h_lᵀ` staged into
+            // scratch so the product runs through the blocked kernel
+            // (bit-identical to the transpose-free kernel: both accumulate
+            // each output element over ascending rows of `h_l`).
+            transpose_into(&s.hs[l], n, d, &mut s.xt);
+            matmul_accumulate(&s.xt, d, n, &s.gpre, d, grads.view_mut(base));
+
+            // Gradient w.r.t. h_l: seeded with the residual's share when
+            // this layer's input is h_1 (matching the tape, where the
+            // residual Add is the first node to touch grads[h1] in the
+            // reverse walk), then the relation terms in reverse forward
+            // order, then the self term.
+            if l == 1 && layers > 1 {
+                s.gh.copy_from_slice(&s.gres);
+            } else {
+                s.gh.fill(0.0);
+            }
+            for r in (0..NUM_RELATIONS).rev() {
+                if g.edges[r].is_empty() {
+                    continue;
+                }
+                // dW_r += msgsᵀ @ gpre.
+                transpose_into(&s.msgs[l * NUM_RELATIONS + r], n, d, &mut s.xt);
+                matmul_accumulate(&s.xt, d, n, &s.gpre, d, grads.view_mut(base + 1 + r));
+                // dmsgs = gpre @ W_rᵀ (Wᵀ staged into scratch), then the
+                // SpMM backward scatters w·dmsgs[dst] into dh[src] —
+                // row-major over the CSC mirror, each source row
+                // independent.
+                transpose_into(&p[base + 1 + r].data, d, d, &mut s.wt);
+                s.term.fill(0.0);
+                matmul_accumulate(&s.gpre, n, d, &s.wt, d, &mut s.term);
+                let csc = &g.csc()[r];
+                for i in 0..n {
+                    let (dsts, ws) = csc.row(i);
+                    let out = &mut s.gh[i * d..(i + 1) * d];
+                    for (&dst, &w) in dsts.iter().zip(ws) {
+                        let grow = &s.term[dst as usize * d..(dst as usize + 1) * d];
+                        for (o, &v) in out.iter_mut().zip(grow) {
+                            *o += w * v;
+                        }
+                    }
+                }
+            }
+            transpose_into(&p[base].data, d, d, &mut s.wt);
+            matmul_accumulate(&s.gpre, n, d, &s.wt, d, &mut s.gh);
+            std::mem::swap(&mut s.ga, &mut s.gh);
+        }
+
+        // Embedding gather backward: scatter rows in ascending order.
+        {
+            let de = grads.view_mut(idx_embed);
+            for (row, &id) in g.node_text.iter().enumerate() {
+                let grow = &s.ga[row * d..(row + 1) * d];
+                let dst = &mut de[id as usize * d..(id as usize + 1) * d];
+                for (o, &v) in dst.iter_mut().zip(grow) {
+                    *o += v;
+                }
+            }
+        }
+        loss
+    }
+}
+
+/// Minibatch gradient driver: a pool of [`GradBuffer`]s (one per in-flight
+/// graph, reused across batches and epochs) and the deterministic ordered
+/// tree reduction that combines them.
+#[derive(Default)]
+pub struct FusedEngine {
+    pool: Vec<GradBuffer>,
+}
+
+impl FusedEngine {
+    pub fn new() -> FusedEngine {
+        FusedEngine::default()
+    }
+
+    /// Compute the mean gradient over `chunk` (indices into
+    /// `graphs`/`labels`). Returns the summed loss and the reduced, scaled
+    /// gradient (borrowing the engine's pool). Deterministic at any thread
+    /// count: graph `chunk[i]` always lands in pool buffer `i`, and the
+    /// pairwise reduction tree depends only on `chunk.len()`.
+    pub fn batch_grads<'a>(
+        &'a mut self,
+        model: &GnnModel,
+        graphs: &[GraphData],
+        labels: &[usize],
+        chunk: &[usize],
+    ) -> (f64, &'a GradBuffer) {
+        assert!(!chunk.is_empty(), "empty minibatch");
+        let k = chunk.len();
+        if self.pool.first().is_some_and(|b| !b.matches(model)) {
+            self.pool.clear();
+        }
+        while self.pool.len() < k {
+            self.pool.push(GradBuffer::for_model(model));
+        }
+
+        let t0 = irnuma_obs::trace_enabled().then(std::time::Instant::now);
+        let losses: Vec<f64> = self.pool[..k]
+            .par_iter_mut()
+            .zip(chunk.par_iter())
+            .map(|(buf, &i)| {
+                buf.zero();
+                SCRATCH.with(|s| {
+                    let loss =
+                        model.fused_loss_grads(&graphs[i], labels[i], &mut s.borrow_mut(), buf);
+                    if irnuma_obs::trace_enabled() {
+                        irnuma_obs::counter!("train.fused_graphs").inc(1);
+                    }
+                    loss
+                })
+            })
+            .collect();
+
+        // Ordered pairwise tree reduce: level by level, buffer `i` absorbs
+        // buffer `i + gap`. The summation tree is a function of `k` alone,
+        // so the reduced gradient is bit-identical at any thread count.
+        let mut gap = 1;
+        while gap < k {
+            self.pool[..k].par_chunks_mut(2 * gap).for_each(|pair| {
+                if pair.len() > gap {
+                    let (a, b) = pair.split_at_mut(gap);
+                    a[0].add_assign(&b[0]);
+                }
+            });
+            gap *= 2;
+        }
+        self.pool[0].scale(1.0 / k as f32);
+        if let Some(t0) = t0 {
+            irnuma_obs::histogram!("train.fused_batch_ns").record_duration(t0.elapsed());
+        }
+        // Canonical-order loss sum (chunk order, not completion order).
+        (losses.iter().sum(), &self.pool[0])
+    }
+}
+
+/// Fused forward+backward through this thread's cached scratch workspace
+/// (test/bench convenience; the batch path goes through [`FusedEngine`]).
+pub fn fused_loss_grads_threadlocal(
+    model: &GnnModel,
+    g: &GraphData,
+    label: usize,
+    grads: &mut GradBuffer,
+) -> f64 {
+    SCRATCH.with(|s| model.fused_loss_grads(g, label, &mut s.borrow_mut(), grads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GnnConfig;
+    use crate::tensor::Tensor;
+    use irnuma_graph::{EdgeKind, Graph, NodeKind};
+
+    fn toy_graph(seed: u32) -> GraphData {
+        let mut g = Graph::default();
+        let n = 5 + (seed % 4);
+        let mut prev = None;
+        for i in 0..n {
+            let node = g.add_node(NodeKind::Instruction, (seed + i) % 20);
+            if let Some(p) = prev {
+                g.add_edge(p, node, EdgeKind::Control, 0);
+                g.add_edge(node, p, EdgeKind::Data, 0);
+                if i % 3 == 0 {
+                    g.add_edge(p, node, EdgeKind::Call, 0);
+                }
+            }
+            prev = Some(node);
+        }
+        GraphData::from_graph(&g)
+    }
+
+    fn model(layers: usize, layer_norm: bool) -> GnnModel {
+        GnnModel::new(GnnConfig {
+            vocab_size: 24,
+            hidden: 8,
+            classes: 4,
+            layers,
+            layer_norm,
+            seed: 9,
+        })
+    }
+
+    /// Tape-oracle gradients as flat per-param slices.
+    fn tape_grads(m: &GnnModel, g: &GraphData, label: usize) -> (f64, Vec<Tensor>) {
+        m.loss_and_grads(g, label)
+    }
+
+    fn assert_grads_close(m: &GnnModel, fused: &GradBuffer, tape: &[Tensor], tol: f32) {
+        for (i, t) in tape.iter().enumerate() {
+            for (j, (&a, &b)) in fused.view(i).iter().zip(&t.data).enumerate() {
+                assert!(
+                    (a - b).abs() <= tol,
+                    "param {} ({}) elem {j}: fused {a} vs tape {b}",
+                    i,
+                    m.param_name(i)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_matches_tape_under_all_layer_combos() {
+        for layers in [1usize, 2, 3] {
+            for layer_norm in [true, false] {
+                let m = model(layers, layer_norm);
+                for seed in 0..4u32 {
+                    let g = toy_graph(seed);
+                    let label = (seed as usize) % 4;
+                    let (tape_loss, tape) = tape_grads(&m, &g, label);
+                    let mut gb = GradBuffer::for_model(&m);
+                    let fused_loss = fused_loss_grads_threadlocal(&m, &g, label, &mut gb);
+                    assert_eq!(
+                        fused_loss, tape_loss,
+                        "forward loss must be bit-identical (layers={layers}, ln={layer_norm})"
+                    );
+                    assert_grads_close(&m, &gb, &tape, 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_recycles_across_graph_sizes_without_bleed() {
+        let m = model(2, true);
+        let big = toy_graph(3); // 8 nodes
+        let small = toy_graph(0); // 5 nodes
+        let mut s = TrainScratch::new();
+
+        let reference = |g: &GraphData| -> GradBuffer {
+            let mut gb = GradBuffer::for_model(&m);
+            m.fused_loss_grads(g, 1, &mut TrainScratch::new(), &mut gb);
+            gb
+        };
+        let fresh_big = reference(&big);
+        let fresh_small = reference(&small);
+
+        // big → small → big through one workspace must not leak stale
+        // activations or gradients between graphs.
+        for (g, fresh) in [(&big, &fresh_big), (&small, &fresh_small), (&big, &fresh_big)] {
+            let mut gb = GradBuffer::for_model(&m);
+            m.fused_loss_grads(g, 1, &mut s, &mut gb);
+            assert_eq!(gb.data, fresh.data, "recycled scratch must match a fresh one bitwise");
+        }
+    }
+
+    #[test]
+    fn grad_buffer_accumulates_across_graphs() {
+        let m = model(2, true);
+        let g0 = toy_graph(0);
+        let g1 = toy_graph(1);
+        let mut separate0 = GradBuffer::for_model(&m);
+        let mut separate1 = GradBuffer::for_model(&m);
+        fused_loss_grads_threadlocal(&m, &g0, 0, &mut separate0);
+        fused_loss_grads_threadlocal(&m, &g1, 2, &mut separate1);
+        let mut both = GradBuffer::for_model(&m);
+        fused_loss_grads_threadlocal(&m, &g0, 0, &mut both);
+        fused_loss_grads_threadlocal(&m, &g1, 2, &mut both);
+        for ((a, b), c) in both.data.iter().zip(&separate0.data).zip(&separate1.data) {
+            assert!((a - (b + c)).abs() <= 1e-5, "{a} vs {} + {c}", b);
+        }
+    }
+
+    #[test]
+    fn batch_grads_is_deterministic_and_order_sensitive_only_in_chunk_order() {
+        let m = model(2, true);
+        let graphs: Vec<GraphData> = (0..7).map(toy_graph).collect();
+        let labels: Vec<usize> = (0..7).map(|i| i % 4).collect();
+        let chunk: Vec<usize> = (0..7).collect();
+
+        let mut e1 = FusedEngine::new();
+        let (l1, g1) = e1.batch_grads(&m, &graphs, &labels, &chunk);
+        let g1 = g1.clone();
+        let mut e2 = FusedEngine::new();
+        let (l2, g2) = e2.batch_grads(&m, &graphs, &labels, &chunk);
+        assert_eq!(l1, l2);
+        assert_eq!(g1.data, g2.data, "reduction must be bit-for-bit reproducible");
+
+        // Reusing the same engine (warm pool) must also reproduce bitwise.
+        let (l3, g3) = e1.batch_grads(&m, &graphs, &labels, &chunk);
+        assert_eq!(l1, l3);
+        assert_eq!(g1.data, g3.data);
+    }
+
+    #[test]
+    fn batch_grads_mean_matches_manual_mean() {
+        let m = model(2, true);
+        let graphs: Vec<GraphData> = (0..3).map(toy_graph).collect();
+        let labels = vec![0usize, 1, 2];
+        let chunk = vec![0usize, 1, 2];
+        let mut engine = FusedEngine::new();
+        let (loss, gb) = engine.batch_grads(&m, &graphs, &labels, &chunk);
+
+        let mut manual_loss = 0.0;
+        let mut manual = GradBuffer::for_model(&m);
+        for i in 0..3 {
+            manual_loss += fused_loss_grads_threadlocal(&m, &graphs[i], labels[i], &mut manual);
+        }
+        assert!((loss - manual_loss).abs() < 1e-9);
+        for (a, &b) in gb.data.iter().zip(&manual.data) {
+            assert!((a - b / 3.0).abs() <= 1e-6, "{a} vs {}", b / 3.0);
+        }
+    }
+}

@@ -76,6 +76,12 @@ pub struct GraphData {
     /// (see [`GraphData::from_parts`]) instead, or the cache goes stale.
     #[serde(skip)]
     csr: OnceLock<[Csr; NUM_RELATIONS]>,
+    /// Source-grouped mirror of `csr` (a CSC view of the same edges), built
+    /// on first use by the fused backward pass: the SpMM gradient scatters
+    /// `w · dy[dst]` into `dx[src]`, so grouping by source turns it into an
+    /// independent-per-row gather with no transpose ever materialized.
+    #[serde(skip)]
+    csc: OnceLock<[Csr; NUM_RELATIONS]>,
 }
 
 impl GraphData {
@@ -83,7 +89,7 @@ impl GraphData {
         let node_text = g.nodes.iter().map(|n| n.text_id).collect();
         let edges = g.edges_by_relation();
         let norm = compute_norms(g.num_nodes(), &edges);
-        GraphData { node_text, edges, norm, csr: OnceLock::new() }
+        GraphData { node_text, edges, norm, csr: OnceLock::new(), csc: OnceLock::new() }
     }
 
     /// Assemble from raw arrays (norms supplied by the caller).
@@ -92,7 +98,7 @@ impl GraphData {
         edges: [Vec<(u32, u32)>; NUM_RELATIONS],
         norm: [Vec<f32>; NUM_RELATIONS],
     ) -> GraphData {
-        GraphData { node_text, edges, norm, csr: OnceLock::new() }
+        GraphData { node_text, edges, norm, csr: OnceLock::new(), csc: OnceLock::new() }
     }
 
     /// Assemble from node ids and edge lists, computing the paper's
@@ -126,6 +132,27 @@ impl GraphData {
             }
             let n = self.num_nodes();
             std::array::from_fn(|r| Csr::from_edges(n, &self.edges[r], &self.norm[r]))
+        })
+    }
+
+    /// The cached source-grouped (CSC) adjacency, one per relation. Row `i`
+    /// lists the *destinations* node `i` sends messages to, each with the
+    /// edge's `1/c_{dst,r}` weight. Built by feeding [`Csr::from_edges`] the
+    /// reversed edge list, so the counting sort's stability preserves
+    /// original edge order within each source — the fused SpMM backward
+    /// accumulates each `dx[src]` row's terms in the same order the tape's
+    /// edge-major sweep does.
+    pub fn csc(&self) -> &[Csr; NUM_RELATIONS] {
+        self.csc.get_or_init(|| {
+            if irnuma_obs::trace_enabled() {
+                irnuma_obs::counter!("train.csc_build").inc(1);
+            }
+            let n = self.num_nodes();
+            std::array::from_fn(|r| {
+                let reversed: Vec<(u32, u32)> =
+                    self.edges[r].iter().map(|&(s, d)| (d, s)).collect();
+                Csr::from_edges(n, &reversed, &self.norm[r])
+            })
         })
     }
 }
@@ -201,6 +228,28 @@ mod tests {
                 .map(|(&(s, _), &w)| (s, w))
                 .collect();
             let got: Vec<(u32, f32)> = srcs.iter().copied().zip(ws.iter().copied()).collect();
+            assert_eq!(got, expect, "row {i}");
+        }
+    }
+
+    #[test]
+    fn csc_groups_by_source_preserving_edge_order() {
+        let d = GraphData::from_graph(&toy());
+        let r = EdgeKind::Data.index();
+        let csc = &d.csc()[r];
+        assert_eq!(csc.row_ptr.len(), d.num_nodes() + 1);
+        assert_eq!(csc.src.len(), d.edges[r].len());
+        // Row `i` of the CSC must list node i's outgoing edges (dst, norm)
+        // in original edge-list order.
+        for i in 0..d.num_nodes() {
+            let (dsts, ws) = csc.row(i);
+            let expect: Vec<(u32, f32)> = d.edges[r]
+                .iter()
+                .zip(&d.norm[r])
+                .filter(|(&(src, _), _)| src as usize == i)
+                .map(|(&(_, dst), &w)| (dst, w))
+                .collect();
+            let got: Vec<(u32, f32)> = dsts.iter().copied().zip(ws.iter().copied()).collect();
             assert_eq!(got, expect, "row {i}");
         }
     }

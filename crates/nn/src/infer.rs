@@ -194,19 +194,24 @@ impl GnnModel {
             }
         }
 
-        // Layer norm (into `acc`), then mean pooling.
+        // Layer norm (into `acc`, unless ablated off), then mean pooling.
         let gamma = next();
         let beta = next();
-        let eps = 1e-5f32;
-        for row in 0..n {
-            let x = &scratch.h[row * d..(row + 1) * d];
-            let mu: f32 = x.iter().sum::<f32>() / d as f32;
-            let var: f32 = x.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
-            let inv = 1.0 / (var + eps).sqrt();
-            let out = &mut scratch.acc[row * d..(row + 1) * d];
-            for (((o, &xc), &gc), &bc) in out.iter_mut().zip(x).zip(&gamma.data).zip(&beta.data) {
-                *o = gc * ((xc - mu) * inv) + bc;
+        if self.cfg.layer_norm {
+            let eps = 1e-5f32;
+            for row in 0..n {
+                let x = &scratch.h[row * d..(row + 1) * d];
+                let mu: f32 = x.iter().sum::<f32>() / d as f32;
+                let var: f32 = x.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
+                let inv = 1.0 / (var + eps).sqrt();
+                let out = &mut scratch.acc[row * d..(row + 1) * d];
+                for (((o, &xc), &gc), &bc) in out.iter_mut().zip(x).zip(&gamma.data).zip(&beta.data)
+                {
+                    *o = gc * ((xc - mu) * inv) + bc;
+                }
             }
+        } else {
+            scratch.acc.copy_from_slice(&scratch.h);
         }
         let mut pooled = vec![0.0f32; d];
         for row in 0..n {
@@ -239,10 +244,8 @@ impl GnnModel {
         debug_assert!(params.next().is_none(), "all parameters consumed");
 
         // Softmax + confidence margin (same max-shift as the tape's loss).
-        let max = logits.iter().cloned().fold(f32::MIN, f32::max);
-        let exps: Vec<f32> = logits.iter().map(|v| (v - max).exp()).collect();
-        let zsum: f32 = exps.iter().sum();
-        let probs: Vec<f32> = exps.iter().map(|e| e / zsum).collect();
+        let mut probs = Vec::with_capacity(classes);
+        crate::tensor::softmax_into(&logits, &mut probs);
         let mut sorted = probs.clone();
         sorted.sort_by(|a, b| b.total_cmp(a));
         let margin = sorted[0] - sorted.get(1).copied().unwrap_or(0.0);
@@ -295,7 +298,14 @@ mod tests {
     }
 
     fn model() -> GnnModel {
-        GnnModel::new(GnnConfig { vocab_size: 24, hidden: 8, classes: 4, layers: 2, seed: 9 })
+        GnnModel::new(GnnConfig {
+            vocab_size: 24,
+            hidden: 8,
+            classes: 4,
+            layers: 2,
+            layer_norm: true,
+            seed: 9,
+        })
     }
 
     #[test]

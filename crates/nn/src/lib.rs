@@ -7,6 +7,9 @@
 //! add, layer norm, softmax cross-entropy), the RGCN graph classifier
 //! ([`model::GnnModel`]) implementing the paper's Eq. 1, and an Adam trainer
 //! ([`train`]) with rayon map-reduce gradient accumulation over minibatches.
+//! Training gradients come from a tape-free fused forward+backward engine
+//! ([`backprop`]) — per-worker scratch, flat gradient buffers, deterministic
+//! tree reduction — with the tape kept as its verification oracle.
 //!
 //! Inference goes through a separate tape-free engine ([`infer`]): one pass
 //! over a graph produces logits, pooled embedding, softmax probabilities and
@@ -19,14 +22,16 @@
 //! gradients are summed in a canonical order after the parallel map).
 
 pub mod autograd;
+pub mod backprop;
 pub mod graphdata;
 pub mod infer;
 pub mod model;
 pub mod tensor;
 pub mod train;
 
+pub use backprop::{FusedEngine, GradBuffer, TrainScratch};
 pub use graphdata::{Csr, GraphData};
 pub use infer::{InferOutput, Scratch};
 pub use model::{GnnConfig, GnnModel};
 pub use tensor::Tensor;
-pub use train::{CheckpointConfig, GnnClassifier, TrainCheckpoint, TrainParams};
+pub use train::{CheckpointConfig, GnnClassifier, TrainCheckpoint, TrainEngine, TrainParams};

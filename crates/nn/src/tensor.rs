@@ -169,6 +169,100 @@ pub fn matmul_accumulate(
     }
 }
 
+/// `out += aᵀ @ b` where `a` is `rows×a_cols` and `b` is `rows×b_cols`,
+/// all row-major (`out` is `a_cols×b_cols`). This is the weight-gradient
+/// kernel of the fused backward pass (`dW += xᵀ @ dy`): each output element
+/// accumulates its `rows` terms in ascending row order, exactly the order
+/// `a.transpose().matmul(&b)` produces, so the fused path and the tape
+/// oracle round identically — without materializing the transpose.
+pub fn matmul_transpose_a_accumulate(
+    a: &[f32],
+    rows: usize,
+    a_cols: usize,
+    b: &[f32],
+    b_cols: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), rows * a_cols);
+    debug_assert_eq!(b.len(), rows * b_cols);
+    debug_assert_eq!(out.len(), a_cols * b_cols);
+    for i in 0..rows {
+        let brow = &b[i * b_cols..(i + 1) * b_cols];
+        for k in 0..a_cols {
+            let av = a[i * a_cols + k];
+            if av == 0.0 {
+                continue; // post-relu activations are often zero
+            }
+            let dst = &mut out[k * b_cols..(k + 1) * b_cols];
+            for (o, &bv) in dst.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `out += a @ bᵀ` where `a` is `rows×inner` and `b` is `b_rows×inner`,
+/// all row-major (`out` is `rows×b_rows`). This is the activation-gradient
+/// kernel of the fused backward pass (`dx += dy @ Wᵀ`): each output element
+/// is a dot product over `inner` in ascending order — the same order
+/// `a.matmul(&b.transpose())` uses — and `b`'s rows are read contiguously,
+/// so no transpose is ever materialized.
+pub fn matmul_transpose_b_accumulate(
+    a: &[f32],
+    rows: usize,
+    inner: usize,
+    b: &[f32],
+    b_rows: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), rows * inner);
+    debug_assert_eq!(b.len(), b_rows * inner);
+    debug_assert_eq!(out.len(), rows * b_rows);
+    for i in 0..rows {
+        let arow = &a[i * inner..(i + 1) * inner];
+        let dst = &mut out[i * b_rows..(i + 1) * b_rows];
+        for (o, brow) in dst.iter_mut().zip(b.chunks_exact(inner)) {
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *o += acc;
+        }
+    }
+}
+
+/// Transpose `src` (`rows×cols`, row-major) into `dst` (`cols×rows`),
+/// overwriting `dst`. The fused training engine stages weight and
+/// activation transposes in reusable scratch with this, then runs the
+/// backward matmuls through the blocked [`matmul_accumulate`] kernel —
+/// the transpose-free kernels above are one long dependent add chain per
+/// output element, while the blocked kernel keeps four independent output
+/// rows streaming, so staging the transpose is the faster backward at
+/// training widths despite the extra copy.
+pub fn transpose_into(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), rows * cols);
+    for (r, row) in src.chunks_exact(cols).enumerate() {
+        for (c, &v) in row.iter().enumerate() {
+            dst[c * rows + r] = v;
+        }
+    }
+}
+
+/// Softmax of `logits` written into `probs` (max-shifted, matching the
+/// tape's [`crate::autograd::Tape::softmax_ce`] evaluation order exactly).
+/// Shared by the inference engine and the fused training engine so the two
+/// can never drift.
+pub fn softmax_into(logits: &[f32], probs: &mut Vec<f32>) {
+    let max = logits.iter().cloned().fold(f32::MIN, f32::max);
+    probs.clear();
+    probs.extend(logits.iter().map(|v| (v - max).exp()));
+    let z: f32 = probs.iter().sum();
+    for p in probs.iter_mut() {
+        *p /= z;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +325,61 @@ mod tests {
             }
         }
         out
+    }
+
+    #[test]
+    fn transpose_kernels_match_materialized_transpose_bitwise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        for &(r, k, c) in &[(1, 1, 1), (3, 5, 2), (7, 16, 9), (12, 33, 4)] {
+            let mut a = Tensor::glorot(r, k, &mut rng);
+            // Post-relu-style zeros exercise the skip path.
+            for v in a.data.iter_mut().step_by(3) {
+                *v = 0.0;
+            }
+            let b = Tensor::glorot(r, c, &mut rng);
+            let mut out = Tensor::zeros(k, c);
+            matmul_transpose_a_accumulate(&a.data, r, k, &b.data, c, &mut out.data);
+            assert_eq!(out.data, a.transpose().matmul(&b).data, "aT@b {r}x{k}x{c}");
+
+            let w = Tensor::glorot(k, c, &mut rng);
+            let g = Tensor::glorot(r, c, &mut rng);
+            let mut out = Tensor::zeros(r, k);
+            matmul_transpose_b_accumulate(&g.data, r, c, &w.data, k, &mut out.data);
+            assert_eq!(out.data, g.matmul(&w.transpose()).data, "a@bT {r}x{c}x{k}");
+        }
+    }
+
+    #[test]
+    fn transpose_kernels_accumulate_into_existing_output() {
+        let a = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let mut out = vec![100.0; 4];
+        matmul_transpose_a_accumulate(&a.data, 2, 2, &b.data, 2, &mut out);
+        let expect = a.transpose().matmul(&b);
+        for (o, e) in out.iter().zip(&expect.data) {
+            assert_eq!(*o, 100.0 + e);
+        }
+    }
+
+    #[test]
+    fn transpose_into_matches_tensor_transpose() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for &(r, c) in &[(1, 1), (3, 5), (8, 8), (13, 4)] {
+            let a = Tensor::glorot(r, c, &mut rng);
+            let mut out = vec![f32::NAN; r * c]; // stale content must be overwritten
+            transpose_into(&a.data, r, c, &mut out);
+            assert_eq!(out, a.transpose().data, "{r}x{c}");
+        }
+    }
+
+    #[test]
+    fn softmax_into_is_a_distribution_and_reuses_the_buffer() {
+        let mut probs = vec![9.0; 17]; // stale content must be cleared
+        softmax_into(&[1.0, 2.0, 3.0], &mut probs);
+        assert_eq!(probs.len(), 3);
+        let sum: f32 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(probs[2] > probs[1] && probs[1] > probs[0]);
     }
 
     #[test]

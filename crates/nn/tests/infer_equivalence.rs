@@ -36,7 +36,7 @@ proptest! {
     ) {
         let g = graph_from_raw(n, &raw);
         let hidden = [4usize, 8, 13][width];
-        let m = GnnModel::new(GnnConfig { vocab_size: VOCAB, hidden, classes: 5, layers, seed });
+        let m = GnnModel::new(GnnConfig { vocab_size: VOCAB, hidden, classes: 5, layers, layer_norm: true, seed });
 
         let f = m.forward(&g);
         let tape_logits = &f.tape.value(f.logits).data;

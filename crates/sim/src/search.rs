@@ -99,25 +99,52 @@ pub fn sweep_region(
 }
 
 /// The best configuration of the full space (step C's oracle label source).
+///
+/// A fused parallel min-reduce over the space: each configuration is
+/// simulated (with the same per-config fault isolation as
+/// [`sweep_region`]) and only the running minimum is kept — the full
+/// `(config, time)` sweep vector is never materialized. Ties on time break
+/// toward the smaller canonical-space index, so the winner is deterministic
+/// regardless of how the parallel evaluation interleaves.
 pub fn exhaustive_best(
     r: &RegionSpec,
     m: &Machine,
     size: InputSize,
     calls: u32,
 ) -> Result<(Config, f64), SearchError> {
-    let sweep = sweep_region(r, m, size, calls);
-    let configs = sweep.len();
-    sweep
-        .into_iter()
-        .min_by(|a, b| a.1.total_cmp(&b.1))
-        .ok_or(SearchError::EmptyConfigSpace)
-        .and_then(|best| {
-            if best.1.is_finite() {
-                Ok(best)
-            } else {
-                Err(SearchError::AllConfigsFailed { configs })
-            }
+    let space = config_space(m);
+    let configs = space.len();
+    if configs == 0 {
+        return Err(SearchError::EmptyConfigSpace);
+    }
+    let _span = irnuma_obs::span!(
+        "sim.exhaustive_best",
+        region = r.name.as_str(),
+        configs = configs,
+        calls = calls
+    );
+    let (idx, best, t) = space
+        .into_par_iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let t = match try_mean_time(r, m, &c, size, calls) {
+                Ok(t) => t,
+                Err(e) => {
+                    irnuma_obs::warn!("{}: config {} failed ({e}); skipping", r.name, c.label());
+                    irnuma_obs::counter!("sim.config.skipped").inc(1);
+                    f64::INFINITY
+                }
+            };
+            (i, c, t)
         })
+        .min_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)))
+        .expect("non-empty configuration space");
+    let _ = idx;
+    if t.is_finite() {
+        Ok((best, t))
+    } else {
+        Err(SearchError::AllConfigsFailed { configs })
+    }
 }
 
 /// Per-call execution-time trace (paper Fig. 12): `calls` invocations under
@@ -166,6 +193,20 @@ mod tests {
         let min = sweep.iter().map(|x| x.1).fold(f64::MAX, f64::min);
         let max = sweep.iter().map(|x| x.1).fold(0.0, f64::max);
         assert!(max > min * 1.2, "space must matter: {min}..{max}");
+    }
+
+    #[test]
+    fn exhaustive_best_matches_the_sweeps_canonical_minimum() {
+        // The fused min-reduce must pick exactly what a sequential min over
+        // the materialized sweep picks (first minimal element in canonical
+        // space order).
+        let m = Machine::new(MicroArch::Skylake);
+        let r = &all_regions()[2];
+        let sweep = sweep_region(r, &m, InputSize::Size1, 2);
+        let (bc, bt) = exhaustive_best(r, &m, InputSize::Size1, 2).unwrap();
+        let seq = sweep.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
+        assert_eq!(bt, seq.1);
+        assert_eq!(bc, seq.0);
     }
 
     #[test]

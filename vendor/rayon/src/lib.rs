@@ -18,6 +18,7 @@ use std::thread;
 pub mod prelude {
     pub use crate::{
         IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+        ParallelSliceMut,
     };
 }
 
@@ -205,6 +206,19 @@ impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
     }
 }
 
+/// `.par_chunks_mut()` on slices: disjoint contiguous windows processed in
+/// parallel (each `&mut [T]` chunk is its own item).
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter { items: self.chunks_mut(chunk_size).collect() }
+    }
+}
+
 /// The number of worker threads terminal operations may use.
 pub fn current_num_threads() -> usize {
     pool_size()
@@ -245,6 +259,18 @@ mod tests {
         v.par_iter_mut().for_each(|x| *x += 1);
         assert_eq!(v[0], 1);
         assert_eq!(v[255], 256);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_disjoint_windows_including_the_ragged_tail() {
+        let mut v: Vec<usize> = vec![0; 10];
+        v.par_chunks_mut(4).for_each(|chunk| {
+            let k = chunk.len();
+            for x in chunk {
+                *x = k;
+            }
+        });
+        assert_eq!(v, vec![4, 4, 4, 4, 4, 4, 4, 4, 2, 2]);
     }
 
     #[test]

@@ -7,9 +7,13 @@
 //! and emits impls of the vendored `serde::Serialize` / `serde::Deserialize`
 //! traits (a JSON-value model, see `vendor/serde`).
 //!
-//! Supported field attribute: `#[serde(skip)]` — the field is omitted on
-//! serialize and filled from `Default::default()` on deserialize, matching
-//! upstream serde.
+//! Supported field attributes, matching upstream serde:
+//! * `#[serde(skip)]` — the field is omitted on serialize and filled from
+//!   `Default::default()` on deserialize.
+//! * `#[serde(default)]` / `#[serde(default = "path")]` — the field is
+//!   serialized normally, but a *missing* field on deserialize falls back to
+//!   `Default::default()` (or `path()`) instead of erroring, so structs can
+//!   grow fields without invalidating previously saved data.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -17,6 +21,9 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    /// Call expression producing the fallback value for a missing field
+    /// (`#[serde(default)]` / `#[serde(default = "path")]`).
+    default: Option<String>,
 }
 
 #[derive(Debug)]
@@ -43,37 +50,65 @@ struct Parsed {
     shape: Shape,
 }
 
-/// True if this `#[...]` attribute group body is `serde(skip)`.
-fn is_serde_skip(group: &proc_macro::Group) -> bool {
+/// The `#[serde(...)]` knobs recognized on one field.
+#[derive(Debug, Default)]
+struct FieldAttrs {
+    skip: bool,
+    default: Option<String>,
+}
+
+/// Fold one `#[...]` attribute group body into `attrs` if it is a
+/// `serde(...)` attribute (`skip`, `default`, `default = "path"`).
+fn apply_serde_attr(group: &proc_macro::Group, attrs: &mut FieldAttrs) {
     let mut it = group.stream().into_iter();
     match (it.next(), it.next()) {
         (Some(TokenTree::Ident(id)), Some(TokenTree::Group(inner)))
             if id.to_string() == "serde" =>
         {
-            inner
-                .stream()
-                .into_iter()
-                .any(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "skip"))
+            let mut inner = inner.stream().into_iter().peekable();
+            while let Some(t) = inner.next() {
+                let TokenTree::Ident(word) = t else { continue };
+                match word.to_string().as_str() {
+                    "skip" => attrs.skip = true,
+                    "default" => {
+                        let mut expr = "::std::default::Default::default()".to_string();
+                        if matches!(inner.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                            inner.next();
+                            match inner.next() {
+                                Some(TokenTree::Literal(lit)) => {
+                                    let path = lit.to_string();
+                                    let path = path.trim_matches('"');
+                                    expr = format!("{path}()");
+                                }
+                                other => panic!(
+                                    "serde_derive: expected string literal after \
+                                     `default =`, found {other:?}"
+                                ),
+                            }
+                        }
+                        attrs.default = Some(expr);
+                    }
+                    _ => {}
+                }
+            }
         }
-        _ => false,
+        _ => {}
     }
 }
 
-/// Consume leading attributes; report whether any was `#[serde(skip)]`.
-fn eat_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
-    let mut skip = false;
+/// Consume leading attributes; report the recognized serde field attributes.
+fn eat_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
     while let Some(TokenTree::Punct(p)) = tokens.peek() {
         if p.as_char() != '#' {
             break;
         }
         tokens.next();
         if let Some(TokenTree::Group(g)) = tokens.next() {
-            if is_serde_skip(&g) {
-                skip = true;
-            }
+            apply_serde_attr(&g, &mut attrs);
         }
     }
-    skip
+    attrs
 }
 
 /// Consume a visibility qualifier if present (`pub`, `pub(crate)` …).
@@ -111,7 +146,7 @@ fn parse_named_fields(group: proc_macro::Group) -> Vec<Field> {
     let mut out = Vec::new();
     let mut it = group.stream().into_iter().peekable();
     loop {
-        let skip = eat_attrs(&mut it);
+        let attrs = eat_attrs(&mut it);
         eat_vis(&mut it);
         let name = match it.next() {
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -124,7 +159,7 @@ fn parse_named_fields(group: proc_macro::Group) -> Vec<Field> {
         }
         skip_until_comma(&mut it);
         it.next(); // the comma itself (or EOF)
-        out.push(Field { name, skip });
+        out.push(Field { name, skip: attrs.skip, default: attrs.default });
     }
     out
 }
@@ -305,6 +340,11 @@ fn gen_deserialize(p: &Parsed) -> String {
             for f in fields {
                 if f.skip {
                     inits.push_str(&format!("{}: ::std::default::Default::default(),\n", f.name));
+                } else if let Some(default) = &f.default {
+                    inits.push_str(&format!(
+                        "{n}: match v.field(\"{n}\") {{ Some(fv) => ::serde::Deserialize::deserialize_value(fv)?, None => {default} }},\n",
+                        n = f.name
+                    ));
                 } else {
                     inits.push_str(&format!(
                         "{n}: ::serde::Deserialize::deserialize_value(v.field(\"{n}\").ok_or_else(|| ::serde::Error::missing_field(\"{name}\", \"{n}\"))?)?,\n",
@@ -367,6 +407,11 @@ fn gen_deserialize(p: &Parsed) -> String {
                                 inits.push_str(&format!(
                                     "{}: ::std::default::Default::default(),\n",
                                     f.name
+                                ));
+                            } else if let Some(default) = &f.default {
+                                inits.push_str(&format!(
+                                    "{n}: match payload.field(\"{n}\") {{ Some(fv) => ::serde::Deserialize::deserialize_value(fv)?, None => {default} }},\n",
+                                    n = f.name
                                 ));
                             } else {
                                 inits.push_str(&format!(

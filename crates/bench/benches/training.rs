@@ -1,9 +1,10 @@
 //! The RGCN training hot path at paper width (hidden = 256): one epoch over
 //! 8 region graphs through the autograd tape (the old `fit` path) vs the
-//! tape-free fused forward+backward engine, plus a paired-run measurement
-//! of the live-tracing overhead on the fused path. Results land in
-//! `BENCH_training.json` at the repo root, including the headline
-//! `speedup_fused_vs_tape` and `tracing_overhead_ratio` entries.
+//! tape-free fused forward+backward engine, plus paired-run measurements
+//! of the live-tracing overhead and the kernel-dispatch payoff on the
+//! fused path. Results land in `BENCH_training.json` at the repo root,
+//! including the headline `speedup_fused_vs_tape`,
+//! `speedup_specialized_vs_generic` and `tracing_overhead_ratio` entries.
 //!
 //! CI smoke mode: set `IRNUMA_BENCH_QUICK=1` to shrink the model (h64) and
 //! sample counts so the whole benchmark runs in seconds. In both modes the
@@ -13,7 +14,7 @@
 use criterion::{black_box, Criterion};
 use irnuma_graph::{build_module_graph, Vocab};
 use irnuma_ir::extract::extract_region;
-use irnuma_nn::{GnnClassifier, GnnConfig, GraphData, TrainEngine, TrainParams};
+use irnuma_nn::{set_dispatch, GnnClassifier, GnnConfig, GraphData, TrainEngine, TrainParams};
 use irnuma_workloads::all_regions;
 
 fn region_graphs(vocab: &Vocab, count: usize) -> Vec<GraphData> {
@@ -100,6 +101,29 @@ fn main() {
     ratios.sort_by(|a, b| a.total_cmp(b));
     let overhead_ratio = ratios[ratios.len() / 2];
 
+    // Kernel-dispatch payoff on training: the identical fused epoch with
+    // shape specialization + weight prepacking on vs force-disabled, again
+    // as alternating pairs (median of per-pair generic/specialized ratios)
+    // so host drift cancels out.
+    let mut spec_ratios = Vec::with_capacity(pairs);
+    for i in 0..=pairs {
+        set_dispatch(true);
+        let t0 = std::time::Instant::now();
+        black_box(one_epoch(&clf, black_box(&graphs), &labels, p, TrainEngine::Fused));
+        let specialized = t0.elapsed().as_secs_f64();
+        set_dispatch(false);
+        let t1 = std::time::Instant::now();
+        black_box(one_epoch(&clf, black_box(&graphs), &labels, p, TrainEngine::Fused));
+        let generic = t1.elapsed().as_secs_f64();
+        set_dispatch(true);
+        if i > 0 {
+            // First pair is warmup (plan-cache fill, cold branches).
+            spec_ratios.push(generic / specialized);
+        }
+    }
+    spec_ratios.sort_by(|a, b| a.total_cmp(b));
+    let spec_speedup = spec_ratios[spec_ratios.len() / 2];
+
     let medians = c.medians().to_vec();
     let get = |id: &str| {
         medians.iter().find(|(k, _)| k == id).map(|&(_, v)| v).expect("bench id present")
@@ -110,6 +134,7 @@ fn main() {
     let speedup = tape / fused;
     let mut entries = medians.clone();
     entries.push(("training/speedup_fused_vs_tape".into(), speedup));
+    entries.push(("training/speedup_specialized_vs_generic".into(), spec_speedup));
     entries.push(("training/tracing_overhead_ratio".into(), overhead_ratio));
     entries.push(("training/epochs_per_sec_fused".into(), 1e9 / fused));
     entries.push(("training/hidden".into(), hidden as f64));
@@ -120,6 +145,12 @@ fn main() {
         tape / 1e6,
         path.display()
     );
+    println!("kernel dispatch on fused training: {spec_speedup:.2}x vs generic kernels");
+    if spec_speedup < 1.0 {
+        eprintln!(
+            "warning: specialized dispatch slower than generic on training ({spec_speedup:.2}x)"
+        );
+    }
     let overhead_pct = (overhead_ratio - 1.0) * 100.0;
     println!("tracing overhead on fused training: {overhead_pct:+.2}% (budget <2%)");
     if overhead_pct >= 2.0 {

@@ -29,7 +29,13 @@ fn main() -> ExitCode {
     // IRNUMA_LOG overrides the info default; IRNUMA_TRACE=<file> installs
     // the JSONL sink. The guard flushes metrics + trace on exit.
     let _obs = irnuma_obs::init(irnuma_obs::Level::Info);
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `--no-dispatch` (any position) forces the generic fallback kernels —
+    // the escape hatch mirroring IRNUMA_NO_DISPATCH, kept live by CI.
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--no-dispatch") {
+        args.retain(|a| a != "--no-dispatch");
+        irnuma_nn::set_dispatch(false);
+    }
     let Some(cmd) = args.first() else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
@@ -80,9 +86,14 @@ USAGE:
                  [--seqs <n>] [--epochs <n>]
   irnuma report <trace.jsonl> [--require stage1,stage2,...]
 
+Any command also accepts --no-dispatch: run the generic GNN kernels
+instead of the shape-specialized dispatch layer (same bits, no
+specialization — a fallback/debugging escape hatch).
+
 ENVIRONMENT:
-  IRNUMA_TRACE=<file>   write a JSONL trace of every command
-  IRNUMA_LOG=<level>    error|warn|info|debug (default info)";
+  IRNUMA_TRACE=<file>      write a JSONL trace of every command
+  IRNUMA_LOG=<level>       error|warn|info|debug (default info)
+  IRNUMA_NO_DISPATCH=1     same effect as --no-dispatch";
 
 fn find_region(name: &str) -> Result<RegionSpec, String> {
     all_regions()

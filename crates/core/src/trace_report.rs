@@ -165,6 +165,45 @@ impl TraceReport {
         }
     }
 
+    /// Derived kernel-dispatch rates from the `dispatch.*` counters (plan
+    /// cache hit rate, specialized-vs-generic matmul mix, SpMM strategy
+    /// mix). `None` when the trace carries no dispatch counters. Counters
+    /// are cumulative per flush, so the largest flushed value per name is
+    /// the lifetime total.
+    fn dispatch_summary(&self) -> Option<String> {
+        let total = |key: &str| {
+            self.counters.iter().filter(|(n, _)| n == key).map(|&(_, v)| v).max().unwrap_or(0)
+        };
+        if !self.counters.iter().any(|(n, _)| n.starts_with("dispatch.")) {
+            return None;
+        }
+        let mut out = String::from("\nkernel dispatch:\n");
+        let ratio_line = |label: &str, a_name: &str, a: u64, b_name: &str, b: u64| -> String {
+            let pct = if a + b > 0 { 100.0 * a as f64 / (a + b) as f64 } else { 0.0 };
+            format!("  {label:<34} {pct:5.1}%  ({a_name} {a}, {b_name} {b})\n")
+        };
+        let (hits, misses) = (total("dispatch.plan_hits"), total("dispatch.plan_misses"));
+        if hits + misses > 0 {
+            out.push_str(&ratio_line("plan-cache hit rate", "hits", hits, "misses", misses));
+        }
+        let (spec, generic) = (total("dispatch.matmul_spec"), total("dispatch.matmul_generic"));
+        let packed = total("dispatch.matmul_packed");
+        if spec + packed + generic > 0 {
+            out.push_str(&ratio_line(
+                "specialized matmul share",
+                "spec",
+                spec + packed,
+                "generic",
+                generic,
+            ));
+        }
+        let (csr, edge) = (total("dispatch.spmm_csr"), total("dispatch.spmm_edge"));
+        if csr + edge > 0 {
+            out.push_str(&ratio_line("spmm csr-gather share", "csr", csr, "edge-major", edge));
+        }
+        Some(out)
+    }
+
     /// Render the per-stage wall-time/percentile table (plus metric flushes).
     pub fn render(&self) -> String {
         let ms = |ns: u64| ns as f64 / 1e6;
@@ -199,6 +238,9 @@ impl TraceReport {
             for (name, v) in &self.counters {
                 out.push_str(&format!("  {name:<34} {v}\n"));
             }
+        }
+        if let Some(d) = self.dispatch_summary() {
+            out.push_str(&d);
         }
         if !self.gauges.is_empty() {
             out.push_str("\ngauges:\n");
@@ -279,6 +321,42 @@ mod tests {
         let table = r.render();
         assert!(table.contains("slow"));
         assert!(table.contains("graph.builds"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dispatch_counters_render_a_derived_rates_section() {
+        let counter = |name: &str, v: u64| {
+            format!(r#"{{"ts_ns":3,"kind":"counter","name":"{name}","fields":{{"value":{v}}}}}"#)
+        };
+        let path = write_trace(
+            "dispatch.jsonl",
+            &[
+                // Two flushes of a cumulative counter: the larger value is
+                // the lifetime total, not the sum.
+                &counter("dispatch.plan_hits", 10),
+                &counter("dispatch.plan_hits", 15),
+                &counter("dispatch.plan_misses", 1),
+                &counter("dispatch.matmul_spec", 70),
+                &counter("dispatch.matmul_packed", 20),
+                &counter("dispatch.matmul_generic", 10),
+                &counter("dispatch.spmm_csr", 3),
+                &counter("dispatch.spmm_edge", 1),
+            ],
+        );
+        let r = load(&path).unwrap();
+        let table = r.render();
+        assert!(table.contains("kernel dispatch:"), "{table}");
+        assert!(table.contains("plan-cache hit rate"), "{table}");
+        assert!(table.contains("(hits 15, misses 1)"), "{table}");
+        assert!(table.contains("(spec 90, generic 10)"), "{table}");
+        assert!(table.contains("(csr 3, edge-major 1)"), "{table}");
+        std::fs::remove_file(&path).ok();
+
+        // A trace without dispatch counters renders no dispatch section.
+        let path = write_trace("nodispatch.jsonl", &[&span_line("a", 5)]);
+        let r = load(&path).unwrap();
+        assert!(!r.render().contains("kernel dispatch"), "{}", r.render());
         std::fs::remove_file(&path).ok();
     }
 

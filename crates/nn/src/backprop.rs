@@ -16,12 +16,14 @@
 //!   grow-only across graphs and epochs. ReLU masks are implicit: the saved
 //!   post-activation `h` is zero exactly where the pre-activation was
 //!   `<= 0`, which is the tape's masking rule.
-//! * **Fused kernels.** The forward shares the blocked
-//!   [`matmul_accumulate`] kernel and the cached CSR adjacency with the
+//! * **Fused kernels.** The forward shares the shape-dispatched matmul
+//!   kernels ([`crate::dispatch`]) and the cached CSR adjacency with the
 //!   inference engine, so fused forward losses are bit-identical to the
 //!   tape's. The backward stages weight and activation transposes into the
-//!   scratch (`xt`/`wt`, no allocation) and drives the large `dW += xᵀ·dy`
-//!   / `dx += dy·Wᵀ` products through the same blocked kernel — the tape's
+//!   scratch (`xt`/`wt`, no allocation — or reads the plan's prepacked
+//!   transposes when [`FusedEngine::batch_grads`] supplies one) and drives
+//!   the large `dW += xᵀ·dy` / `dx += dy·Wᵀ` products through the same
+//!   blocked kernels — the tape's
 //!   transpose-free kernels compute one dependent add chain per output
 //!   element and are FP-latency-bound, which made the backward ~7× the
 //!   forward; staged transposes bring it back to the ~2× the FLOP ratio
@@ -42,11 +44,11 @@
 //! asserts fused gradients match `Tape::backward` within `1e-4` across
 //! random graphs, widths, layer counts, and the layer-norm ablation.
 
+use crate::dispatch::{self, matmul_accumulate_auto, plan_matmul, ModelPlan, RelView};
 use crate::graphdata::{GraphData, NUM_RELATIONS};
 use crate::model::GnnModel;
 use crate::tensor::{
-    matmul_accumulate, matmul_transpose_a_accumulate, matmul_transpose_b_accumulate, softmax_into,
-    transpose_into,
+    matmul_transpose_a_accumulate, matmul_transpose_b_accumulate, softmax_into, transpose_into,
 };
 use rayon::prelude::*;
 use std::cell::RefCell;
@@ -239,6 +241,24 @@ impl GnnModel {
         s: &mut TrainScratch,
         grads: &mut GradBuffer,
     ) -> f64 {
+        self.fused_loss_grads_planned(g, label, s, grads, None)
+    }
+
+    /// [`GnnModel::fused_loss_grads`] through a prebuilt kernel plan:
+    /// forward products use the prepacked weight panels and the backward's
+    /// `dx += dy·Wᵀ` products read the plan's prematerialized transposes
+    /// instead of re-striding `Wᵀ` into scratch per graph. Bit-identical to
+    /// the planless path; `plan` must match the model's current parameters
+    /// ([`FusedEngine::batch_grads`] rebuilds it once per minibatch, after
+    /// each optimizer step).
+    pub fn fused_loss_grads_planned(
+        &self,
+        g: &GraphData,
+        label: usize,
+        s: &mut TrainScratch,
+        grads: &mut GradBuffer,
+        plan: Option<&ModelPlan>,
+    ) -> f64 {
         debug_assert!(grads.matches(self), "grad buffer laid out for another model");
         let d = self.cfg.hidden;
         let n = g.num_nodes();
@@ -266,6 +286,7 @@ impl GnnModel {
         }
 
         let csr = g.csr();
+        let gplan = dispatch::plan_for(d, classes, layers, g);
         for l in 0..layers {
             let base = layer_base(l);
             let (h_in, h_rest) = s.hs.split_at_mut(l + 1);
@@ -273,41 +294,25 @@ impl GnnModel {
             let h_out = &mut h_rest[0];
 
             s.acc.fill(0.0);
-            matmul_accumulate(h_in, n, d, &p[base].data, d, &mut s.acc);
+            plan_matmul(plan, base, h_in, n, &p[base], &mut s.acc);
 
             for r in 0..NUM_RELATIONS {
                 if g.edges[r].is_empty() {
                     continue;
                 }
                 let msgs = &mut s.msgs[l * NUM_RELATIONS + r];
-                for i in 0..n {
-                    let (srcs, ws) = csr[r].row(i);
-                    let row_range = i * d..(i + 1) * d;
-                    msgs[row_range.clone()].fill(0.0);
-                    for (&src, &w) in srcs.iter().zip(ws) {
-                        let hrow = &h_in[src as usize * d..(src as usize + 1) * d];
-                        for (o, &v) in msgs[row_range.clone()].iter_mut().zip(hrow) {
-                            *o += w * v;
-                        }
-                    }
-                }
+                let rel = RelView { rows: &csr[r], edges: &g.edges[r], norm: &g.norm[r] };
+                dispatch::spmm_forward(gplan.spmm[r], rel, h_in, n, d, msgs);
                 // Like the tape, the product goes through a zeroed buffer
                 // before joining the accumulator (summing straight into
                 // `acc` would regroup the additions).
                 s.term.fill(0.0);
-                matmul_accumulate(msgs, n, d, &p[base + 1 + r].data, d, &mut s.term);
-                for (a, &t) in s.acc.iter_mut().zip(&s.term) {
-                    *a += t;
-                }
+                plan_matmul(plan, base + 1 + r, msgs, n, &p[base + 1 + r], &mut s.term);
+                dispatch::vec_add_assign(&mut s.acc[..n * d], &s.term[..n * d]);
             }
 
             let bias = &p[base + 1 + NUM_RELATIONS];
-            for row in 0..n {
-                for c in 0..d {
-                    let pre = s.acc[row * d + c] + bias.data[c];
-                    h_out[row * d + c] = if pre < 0.0 { 0.0 } else { pre };
-                }
-            }
+            dispatch::bias_relu_rows(&s.acc[..n * d], &bias.data, &mut h_out[..n * d]);
         }
 
         // Residual around the deeper layers (tape order: h1 + h).
@@ -351,13 +356,13 @@ impl GnnModel {
 
         // FC head: z = relu(pooled @ fc1 + b1); logits = z @ fc2 + b2.
         s.z.fill(0.0);
-        matmul_accumulate(&s.pooled, 1, d, &p[idx_fc1].data, d, &mut s.z);
+        plan_matmul(plan, idx_fc1, &s.pooled, 1, &p[idx_fc1], &mut s.z);
         for (zv, &bv) in s.z.iter_mut().zip(&p[idx_b1].data) {
             let pre = *zv + bv;
             *zv = if pre < 0.0 { 0.0 } else { pre };
         }
         s.logits.fill(0.0);
-        matmul_accumulate(&s.z, 1, d, &p[idx_fc2].data, classes, &mut s.logits);
+        plan_matmul(plan, idx_fc2, &s.z, 1, &p[idx_fc2], &mut s.logits);
         for (lv, &bv) in s.logits.iter_mut().zip(&p[idx_b2].data) {
             *lv += bv;
         }
@@ -471,7 +476,7 @@ impl GnnModel {
             // (bit-identical to the transpose-free kernel: both accumulate
             // each output element over ascending rows of `h_l`).
             transpose_into(&s.hs[l], n, d, &mut s.xt);
-            matmul_accumulate(&s.xt, d, n, &s.gpre, d, grads.view_mut(base));
+            matmul_accumulate_auto(&s.xt, d, n, &s.gpre, d, grads.view_mut(base));
 
             // Gradient w.r.t. h_l: seeded with the residual's share when
             // this layer's input is h_1 (matching the tape, where the
@@ -489,28 +494,31 @@ impl GnnModel {
                 }
                 // dW_r += msgsᵀ @ gpre.
                 transpose_into(&s.msgs[l * NUM_RELATIONS + r], n, d, &mut s.xt);
-                matmul_accumulate(&s.xt, d, n, &s.gpre, d, grads.view_mut(base + 1 + r));
-                // dmsgs = gpre @ W_rᵀ (Wᵀ staged into scratch), then the
-                // SpMM backward scatters w·dmsgs[dst] into dh[src] —
-                // row-major over the CSC mirror, each source row
-                // independent.
-                transpose_into(&p[base + 1 + r].data, d, d, &mut s.wt);
-                s.term.fill(0.0);
-                matmul_accumulate(&s.gpre, n, d, &s.wt, d, &mut s.term);
-                let csc = &g.csc()[r];
-                for i in 0..n {
-                    let (dsts, ws) = csc.row(i);
-                    let out = &mut s.gh[i * d..(i + 1) * d];
-                    for (&dst, &w) in dsts.iter().zip(ws) {
-                        let grow = &s.term[dst as usize * d..(dst as usize + 1) * d];
-                        for (o, &v) in out.iter_mut().zip(grow) {
-                            *o += w * v;
-                        }
+                matmul_accumulate_auto(&s.xt, d, n, &s.gpre, d, grads.view_mut(base + 1 + r));
+                // dmsgs = gpre @ W_rᵀ — the plan's prematerialized transpose
+                // when available, a per-graph staged transpose otherwise —
+                // then the SpMM backward scatters w·dmsgs[dst] into dh[src]
+                // under the same strategy the forward used.
+                let wt: &[f32] = match plan.and_then(|pl| pl.weight_t(base + 1 + r)) {
+                    Some(t) => t,
+                    None => {
+                        transpose_into(&p[base + 1 + r].data, d, d, &mut s.wt);
+                        &s.wt
                     }
-                }
+                };
+                s.term.fill(0.0);
+                matmul_accumulate_auto(&s.gpre, n, d, wt, d, &mut s.term);
+                let rel = RelView { rows: &g.csc()[r], edges: &g.edges[r], norm: &g.norm[r] };
+                dispatch::spmm_backward(gplan.spmm[r], rel, &s.term, n, d, &mut s.gh);
             }
-            transpose_into(&p[base].data, d, d, &mut s.wt);
-            matmul_accumulate(&s.gpre, n, d, &s.wt, d, &mut s.gh);
+            let wt: &[f32] = match plan.and_then(|pl| pl.weight_t(base)) {
+                Some(t) => t,
+                None => {
+                    transpose_into(&p[base].data, d, d, &mut s.wt);
+                    &s.wt
+                }
+            };
+            matmul_accumulate_auto(&s.gpre, n, d, wt, d, &mut s.gh);
             std::mem::swap(&mut s.ga, &mut s.gh);
         }
 
@@ -564,14 +572,24 @@ impl FusedEngine {
         }
 
         let t0 = irnuma_obs::trace_enabled().then(std::time::Instant::now);
+        // Prepack the weights once for the whole minibatch (the optimizer
+        // mutates parameters between batches, so the plan cannot outlive
+        // one call); every worker shares the packed panels and layer-weight
+        // transposes read-only.
+        let plan = ModelPlan::build_training(model);
         let losses: Vec<f64> = self.pool[..k]
             .par_iter_mut()
             .zip(chunk.par_iter())
             .map(|(buf, &i)| {
                 buf.zero();
                 SCRATCH.with(|s| {
-                    let loss =
-                        model.fused_loss_grads(&graphs[i], labels[i], &mut s.borrow_mut(), buf);
+                    let loss = model.fused_loss_grads_planned(
+                        &graphs[i],
+                        labels[i],
+                        &mut s.borrow_mut(),
+                        buf,
+                        Some(&plan),
+                    );
                     if irnuma_obs::trace_enabled() {
                         irnuma_obs::counter!("train.fused_graphs").inc(1);
                     }

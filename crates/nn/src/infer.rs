@@ -24,9 +24,9 @@
 //! the SpMM is independent per row, so the whole engine stays deterministic
 //! regardless of thread count.
 
+use crate::dispatch::{self, plan_matmul, ModelPlan, RelView};
 use crate::graphdata::GraphData;
 use crate::model::GnnModel;
-use crate::tensor::matmul_accumulate;
 use rayon::prelude::*;
 use std::cell::RefCell;
 
@@ -109,6 +109,9 @@ thread_local! {
 
 impl GnnModel {
     /// Tape-free forward pass using this thread's cached scratch workspace.
+    /// Single-graph calls skip weight prepacking (the pack would cost more
+    /// than it saves) but still go through the shape-dispatched kernels;
+    /// batched calls prepack once via [`GnnModel::plan`].
     pub fn infer(&self, g: &GraphData) -> InferOutput {
         SCRATCH.with(|s| self.infer_with(g, &mut s.borrow_mut()))
     }
@@ -116,7 +119,7 @@ impl GnnModel {
     /// Tape-free forward pass into a caller-provided workspace.
     pub fn infer_with(&self, g: &GraphData, scratch: &mut Scratch) -> InferOutput {
         let t0 = irnuma_obs::trace_enabled().then(std::time::Instant::now);
-        let out = self.infer_impl(g, scratch);
+        let out = self.infer_impl(g, scratch, None);
         if let Some(t0) = t0 {
             irnuma_obs::histogram!("infer.graph_ns").record_duration(t0.elapsed());
             irnuma_obs::counter!("infer.graphs").inc(1);
@@ -124,62 +127,70 @@ impl GnnModel {
         out
     }
 
-    fn infer_impl(&self, g: &GraphData, scratch: &mut Scratch) -> InferOutput {
+    /// Forward pass through a prebuilt kernel plan (prepacked weights).
+    /// Bit-identical to [`GnnModel::infer_with`]; `plan` must have been
+    /// built from this model's current parameters.
+    pub fn infer_planned(
+        &self,
+        plan: &ModelPlan,
+        g: &GraphData,
+        scratch: &mut Scratch,
+    ) -> InferOutput {
+        let t0 = irnuma_obs::trace_enabled().then(std::time::Instant::now);
+        let out = self.infer_impl(g, scratch, Some(plan));
+        if let Some(t0) = t0 {
+            irnuma_obs::histogram!("infer.graph_ns").record_duration(t0.elapsed());
+            irnuma_obs::counter!("infer.graphs").inc(1);
+        }
+        out
+    }
+
+    fn infer_impl(
+        &self,
+        g: &GraphData,
+        scratch: &mut Scratch,
+        plan: Option<&ModelPlan>,
+    ) -> InferOutput {
         let d = self.cfg.hidden;
         let n = g.num_nodes();
         scratch.reserve(n, d);
 
-        let mut params = self.params.iter();
+        let mut params = self.params.iter().enumerate();
         let mut next = || params.next().expect("parameter list matches architecture");
 
         // Embedding gather.
-        let embed = next();
+        let (_, embed) = next();
         for (row, &id) in g.node_text.iter().enumerate() {
             scratch.h[row * d..(row + 1) * d].copy_from_slice(embed.row(id as usize));
         }
 
         let csr = g.csr();
+        let gplan = dispatch::plan_for(d, self.cfg.classes, self.cfg.layers, g);
         for layer in 0..self.cfg.layers {
-            let w_self = next();
+            let (wi, w_self) = next();
             scratch.acc.fill(0.0);
-            matmul_accumulate(&scratch.h, n, d, &w_self.data, d, &mut scratch.acc);
+            plan_matmul(plan, wi, &scratch.h, n, w_self, &mut scratch.acc);
 
-            for (rel, edges) in csr.iter().zip(&g.edges) {
-                let w_r = next();
-                if edges.is_empty() {
+            for (r, csr_r) in csr.iter().enumerate() {
+                let (wri, w_r) = next();
+                if g.edges[r].is_empty() {
                     continue;
                 }
-                // Row-major SpMM over the CSR adjacency. Each destination row
-                // is independent (parallelizable); slot order matches the
-                // tape's edge order, so sums round identically.
-                for i in 0..n {
-                    let (srcs, ws) = rel.row(i);
-                    let row_range = i * d..(i + 1) * d;
-                    scratch.msgs[row_range.clone()].fill(0.0);
-                    for (&s, &w) in srcs.iter().zip(ws) {
-                        let src = &scratch.h[s as usize * d..(s as usize + 1) * d];
-                        for (o, &v) in scratch.msgs[row_range.clone()].iter_mut().zip(src) {
-                            *o += w * v;
-                        }
-                    }
-                }
+                // SpMM through the strategy the graph's shape signature
+                // selected. Every strategy visits a destination's incoming
+                // edges in the tape's edge order, so sums round identically.
+                let rel = RelView { rows: csr_r, edges: &g.edges[r], norm: &g.norm[r] };
+                dispatch::spmm_forward(gplan.spmm[r], rel, &scratch.h, n, d, &mut scratch.msgs);
                 // The tape materializes `msgs @ w_r` before adding, so the
                 // product goes through a zeroed buffer here too (summing
                 // directly into `acc` would regroup the additions).
                 scratch.term.fill(0.0);
-                matmul_accumulate(&scratch.msgs, n, d, &w_r.data, d, &mut scratch.term);
-                for (a, &t) in scratch.acc.iter_mut().zip(&scratch.term) {
-                    *a += t;
-                }
+                plan_matmul(plan, wri, &scratch.msgs, n, w_r, &mut scratch.term);
+                dispatch::vec_add_assign(&mut scratch.acc[..n * d], &scratch.term[..n * d]);
             }
 
-            let bias = next();
-            for row in 0..n {
-                for c in 0..d {
-                    let pre = scratch.acc[row * d + c] + bias.data[c];
-                    scratch.h[row * d + c] = if pre < 0.0 { 0.0 } else { pre };
-                }
-            }
+            let (_, bias) = next();
+            dispatch::bias_relu_rows(&scratch.acc[..n * d], &bias.data, &mut scratch.h[..n * d]);
             if layer == 0 {
                 scratch.h1.copy_from_slice(&scratch.h);
             }
@@ -189,34 +200,28 @@ impl GnnModel {
         if self.cfg.layers > 1 {
             // f32 addition is commutative, so `h + h1` rounds identically to
             // the tape's `h1 + h`.
-            for (hv, &h1v) in scratch.h.iter_mut().zip(&scratch.h1) {
-                *hv += h1v;
-            }
+            dispatch::vec_add_assign(&mut scratch.h[..n * d], &scratch.h1[..n * d]);
         }
 
-        // Layer norm (into `acc`, unless ablated off), then mean pooling.
-        let gamma = next();
-        let beta = next();
+        // Layer norm (into `acc`, unless ablated off) fused with mean
+        // pooling; per-row reductions keep the tape's scalar order.
+        let (_, gamma) = next();
+        let (_, beta) = next();
+        let mut pooled = vec![0.0f32; d];
         if self.cfg.layer_norm {
-            let eps = 1e-5f32;
-            for row in 0..n {
-                let x = &scratch.h[row * d..(row + 1) * d];
-                let mu: f32 = x.iter().sum::<f32>() / d as f32;
-                let var: f32 = x.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
-                let inv = 1.0 / (var + eps).sqrt();
-                let out = &mut scratch.acc[row * d..(row + 1) * d];
-                for (((o, &xc), &gc), &bc) in out.iter_mut().zip(x).zip(&gamma.data).zip(&beta.data)
-                {
-                    *o = gc * ((xc - mu) * inv) + bc;
-                }
-            }
+            dispatch::ln_pool_rows(
+                &scratch.h[..n * d],
+                n,
+                &gamma.data,
+                &beta.data,
+                1e-5,
+                &mut scratch.acc[..n * d],
+                &mut pooled,
+            );
         } else {
             scratch.acc.copy_from_slice(&scratch.h);
-        }
-        let mut pooled = vec![0.0f32; d];
-        for row in 0..n {
-            for (p, &a) in pooled.iter_mut().zip(&scratch.acc[row * d..(row + 1) * d]) {
-                *p += a;
+            for row in 0..n {
+                dispatch::vec_add_assign(&mut pooled, &scratch.acc[row * d..(row + 1) * d]);
             }
         }
         let inv_n = 1.0 / n.max(1) as f32;
@@ -225,19 +230,19 @@ impl GnnModel {
         }
 
         // FC head: z = relu(pooled @ fc1 + b1); logits = z @ fc2 + b2.
-        let fc1 = next();
-        let b1 = next();
+        let (fi1, fc1) = next();
+        let (_, b1) = next();
         let mut z = vec![0.0f32; d];
-        matmul_accumulate(&pooled, 1, d, &fc1.data, d, &mut z);
+        plan_matmul(plan, fi1, &pooled, 1, fc1, &mut z);
         for (zv, &bv) in z.iter_mut().zip(&b1.data) {
             let pre = *zv + bv;
             *zv = if pre < 0.0 { 0.0 } else { pre };
         }
-        let fc2 = next();
-        let b2 = next();
+        let (fi2, fc2) = next();
+        let (_, b2) = next();
         let classes = self.cfg.classes;
         let mut logits = vec![0.0f32; classes];
-        matmul_accumulate(&z, 1, d, &fc2.data, classes, &mut logits);
+        plan_matmul(plan, fi2, &z, 1, fc2, &mut logits);
         for (lv, &bv) in logits.iter_mut().zip(&b2.data) {
             *lv += bv;
         }
@@ -254,10 +259,14 @@ impl GnnModel {
     }
 
     /// Batched inference: graphs fan out across threads, each thread reusing
-    /// its own scratch workspace. Output order matches input order.
+    /// its own scratch workspace. Weights are prepacked once per call
+    /// ([`GnnModel::plan`]) and shared read-only by every worker. Output
+    /// order matches input order.
     pub fn infer_batch(&self, graphs: &[GraphData]) -> Vec<InferOutput> {
         let span = irnuma_obs::span!("infer.batch", graphs = graphs.len());
-        let out: Vec<InferOutput> = graphs.par_iter().map(|g| self.infer(g)).collect();
+        let plan = self.plan();
+        let out: Vec<InferOutput> =
+            graphs.par_iter().map(|g| self.infer_planned_threadlocal(&plan, g)).collect();
         if irnuma_obs::trace_enabled() {
             irnuma_obs::histogram!("infer.batch_ns").record_duration(span.elapsed());
         }
@@ -268,11 +277,17 @@ impl GnnModel {
     /// references (e.g. one graph per (region, sequence) pair).
     pub fn infer_batch_refs(&self, graphs: &[&GraphData]) -> Vec<InferOutput> {
         let span = irnuma_obs::span!("infer.batch", graphs = graphs.len());
-        let out: Vec<InferOutput> = graphs.par_iter().map(|g| self.infer(g)).collect();
+        let plan = self.plan();
+        let out: Vec<InferOutput> =
+            graphs.par_iter().map(|g| self.infer_planned_threadlocal(&plan, g)).collect();
         if irnuma_obs::trace_enabled() {
             irnuma_obs::histogram!("infer.batch_ns").record_duration(span.elapsed());
         }
         out
+    }
+
+    fn infer_planned_threadlocal(&self, plan: &ModelPlan, g: &GraphData) -> InferOutput {
+        SCRATCH.with(|s| self.infer_planned(plan, g, &mut s.borrow_mut()))
     }
 }
 

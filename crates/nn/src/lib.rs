@@ -23,6 +23,7 @@
 
 pub mod autograd;
 pub mod backprop;
+pub mod dispatch;
 pub mod graphdata;
 pub mod infer;
 pub mod model;
@@ -30,6 +31,7 @@ pub mod tensor;
 pub mod train;
 
 pub use backprop::{FusedEngine, GradBuffer, TrainScratch};
+pub use dispatch::{dispatch_enabled, set_dispatch, GraphPlan, ModelPlan, SpmmStrategy};
 pub use graphdata::{Csr, GraphData};
 pub use infer::{InferOutput, Scratch};
 pub use model::{GnnConfig, GnnModel};

@@ -106,6 +106,15 @@ impl GnnModel {
         &self.names[i]
     }
 
+    /// Build this model's kernel plan: weights prepacked for the
+    /// shape-specialized kernels (see [`crate::dispatch`]). The plan
+    /// snapshots the *current* parameter values — rebuild it after any
+    /// optimizer step. Batched inference and the fused trainer do this
+    /// automatically.
+    pub fn plan(&self) -> crate::dispatch::ModelPlan {
+        crate::dispatch::ModelPlan::build(self)
+    }
+
     pub fn num_params(&self) -> usize {
         self.params.iter().map(|p| p.data.len()).sum()
     }

@@ -5,7 +5,7 @@
 
 use irnuma_nn::backprop::{fused_loss_grads_threadlocal, GradBuffer};
 use irnuma_nn::graphdata::NUM_RELATIONS;
-use irnuma_nn::{GnnConfig, GnnModel, GraphData};
+use irnuma_nn::{FusedEngine, GnnConfig, GnnModel, GraphData};
 use proptest::prelude::*;
 
 const VOCAB: usize = 20;
@@ -65,6 +65,22 @@ proptest! {
                     i, m.param_name(i), j, f, r
                 );
             }
+        }
+
+        // The batch engine prepacks weights and dispatches shape-specialized
+        // kernels; a single-graph batch must still reproduce the planless
+        // fused gradients bit-for-bit (and therefore stay within the tape
+        // tolerance above).
+        let graphs = [g];
+        let labels = [label];
+        let mut engine = FusedEngine::new();
+        let (planned_loss, planned) = engine.batch_grads(&m, &graphs, &labels, &[0]);
+        prop_assert_eq!(planned_loss, fused_loss, "planned forward loss drifted");
+        for i in 0..m.params.len() {
+            prop_assert_eq!(
+                planned.view(i), gb.view(i),
+                "param {} ({}) gradient drifted under the kernel plan", i, m.param_name(i)
+            );
         }
     }
 }

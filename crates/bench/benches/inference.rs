@@ -8,9 +8,10 @@
 //! repo root.
 //!
 //! CI smoke mode: set `IRNUMA_BENCH_QUICK=1` to run only the h64
-//! specialized-vs-generic pair with small sample counts. In both modes the
-//! process exits non-zero if the specialized batch path fails to beat the
-//! generic one (`speedup < 1.0`) — the dispatch regression gate.
+//! specialized-vs-generic pair with small sample counts. Regression gating
+//! lives in `irnuma bench-check` (rules in `results/bench_baselines.json`),
+//! which compares the written medians against the committed baselines; the
+//! bench itself always exits zero so a noisy run can't mask the numbers.
 
 use criterion::{black_box, Criterion};
 use irnuma_graph::{build_module_graph, Vocab};
@@ -122,7 +123,6 @@ fn main() {
     let widths: &[(&GnnModel, &str)] =
         if quick { &[(&model64, "h64")] } else { &[(&model64, "h64"), (&model256, "h256")] };
     let pairs = if quick { 5 } else { 15 };
-    let mut gate_failed = false;
     for &(model, tag) in widths {
         let mut spec_ns = Vec::with_capacity(pairs);
         let mut generic_ns = Vec::with_capacity(pairs);
@@ -159,8 +159,7 @@ fn main() {
             generic / 1e6
         );
         if ratio < 1.0 {
-            eprintln!("error: specialized dispatch slower than generic at {tag} ({ratio:.2}x)");
-            gate_failed = true;
+            eprintln!("warning: specialized dispatch slower than generic at {tag} ({ratio:.2}x)");
         }
     }
     if !quick {
@@ -215,8 +214,5 @@ fn main() {
         }
     }
     let path = irnuma_bench::write_bench_json("inference", &entries).expect("write bench json");
-    println!("wrote {}", path.display());
-    if gate_failed {
-        std::process::exit(1);
-    }
+    println!("wrote {} — gate with `irnuma bench-check`", path.display());
 }

@@ -7,9 +7,10 @@
 //! `speedup_specialized_vs_generic` and `tracing_overhead_ratio` entries.
 //!
 //! CI smoke mode: set `IRNUMA_BENCH_QUICK=1` to shrink the model (h64) and
-//! sample counts so the whole benchmark runs in seconds. In both modes the
-//! process exits non-zero if the fused engine fails to beat the tape
-//! (`speedup_fused_vs_tape < 1.0`) — the regression gate.
+//! sample counts so the whole benchmark runs in seconds. Regression gating
+//! lives in `irnuma bench-check` (rules in `results/bench_baselines.json`);
+//! the bench itself always exits zero so a noisy run can't mask the
+//! numbers.
 
 use criterion::{black_box, Criterion};
 use irnuma_graph::{build_module_graph, Vocab};
@@ -157,7 +158,6 @@ fn main() {
         eprintln!("warning: tracing overhead {overhead_pct:.2}% exceeds the 2% budget");
     }
     if speedup < 1.0 {
-        eprintln!("error: fused engine slower than the tape ({speedup:.2}x)");
-        std::process::exit(1);
+        eprintln!("warning: fused engine slower than the tape ({speedup:.2}x)");
     }
 }

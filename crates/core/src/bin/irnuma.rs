@@ -14,7 +14,7 @@ use irnuma_core::dataset::{
     build_dataset, build_dataset_report, BuildOptions, Dataset, DatasetParams,
 };
 use irnuma_core::models::static_gnn::{training_sequence_ids, StaticModel, StaticParams};
-use irnuma_core::trace_report;
+use irnuma_core::{bench_check, top as top_view, trace_report};
 use irnuma_graph::{build_module_graph, to_dot, Vocab};
 use irnuma_ir::extract::extract_region;
 use irnuma_ir::{print_module, Interp, InterpConfig, Value};
@@ -24,6 +24,13 @@ use irnuma_sim::{default_config, sweep_region, Machine, MicroArch};
 use irnuma_workloads::{all_regions, InputSize, RegionSpec};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+// With `--features alloc-track`, every allocation the binary makes is
+// counted: mem.* gauges in snapshots, alloc_bytes deltas on spans,
+// bytes-per-stage in `irnuma report`.
+#[cfg(feature = "alloc-track")]
+#[global_allocator]
+static ALLOC: irnuma_obs::alloc::CountingAlloc = irnuma_obs::alloc::CountingAlloc::new();
 
 fn main() -> ExitCode {
     // IRNUMA_LOG overrides the info default; IRNUMA_TRACE=<file> installs
@@ -52,6 +59,8 @@ fn main() -> ExitCode {
         "train" => train(rest),
         "predict" => predict(rest),
         "report" => report(rest),
+        "top" => top(rest),
+        "bench-check" => run_bench_check(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -84,15 +93,27 @@ USAGE:
                  [--out <model.json>]
   irnuma predict <region> [--arch <a>] [--dataset <file.json>]
                  [--seqs <n>] [--epochs <n>]
-  irnuma report <trace.jsonl> [--require stage1,stage2,...]
+  irnuma report <trace.jsonl> [--require stage1,stage2,...] [--json]
+  irnuma top     [--once | --watch <secs>] [--connect <addr>]
+                 [--listen <addr>]
+  irnuma bench-check [--quick] [--baselines <file.json>] [--root <dir>]
 
 Any command also accepts --no-dispatch: run the generic GNN kernels
 instead of the shape-specialized dispatch layer (same bits, no
 specialization — a fallback/debugging escape hatch).
 
+`top` renders live telemetry: point --connect at any irnuma process
+started with IRNUMA_METRICS=<addr> (default: this process's own
+registry; --listen additionally serves it for scrapers).
+`bench-check` gates BENCH_*.json medians against the committed
+baselines in results/bench_baselines.json.
+
 ENVIRONMENT:
   IRNUMA_TRACE=<file>      write a JSONL trace of every command
   IRNUMA_LOG=<level>       error|warn|info|debug (default info)
+  IRNUMA_METRICS=<addr>    serve live metrics (/json, /metrics) on <addr>
+  IRNUMA_PROFILE=<file>    sampling profiler; folded stacks on exit
+  IRNUMA_PROFILE_HZ=<n>    profiler sample rate (default 997)
   IRNUMA_NO_DISPATCH=1     same effect as --no-dispatch";
 
 fn find_region(name: &str) -> Result<RegionSpec, String> {
@@ -367,12 +388,86 @@ fn predict(rest: &[String]) -> Result<(), String> {
 fn report(rest: &[String]) -> Result<(), String> {
     let path = rest.first().ok_or("missing trace file (irnuma report <trace.jsonl>)")?;
     let r = trace_report::load(std::path::Path::new(path))?;
-    print!("{}", r.render());
+    if r.malformed_lines > 0 {
+        eprintln!("report.malformed_lines: {} (skipped)", r.malformed_lines);
+    }
+    if rest.iter().any(|a| a == "--json") {
+        println!("{}", r.to_json());
+    } else {
+        print!("{}", r.render());
+    }
     if let Some(required) = opt_value(rest, "--require") {
         let stages: Vec<&str> =
             required.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
         r.require(&stages)?;
-        println!("\nall required stages present: {}", stages.join(", "));
+        if !rest.iter().any(|a| a == "--json") {
+            println!("\nall required stages present: {}", stages.join(", "));
+        }
     }
     Ok(())
+}
+
+fn top(rest: &[String]) -> Result<(), String> {
+    let watch: Option<f64> = match opt_value(rest, "--watch") {
+        Some(v) => Some(v.parse().map_err(|_| "bad --watch (seconds)")?),
+        None => None,
+    };
+    let connect = opt_value(rest, "--connect").map(String::from);
+    // `--listen` serves this process's own registry — useful for probing
+    // the export endpoint end to end without a second process.
+    let server = match opt_value(rest, "--listen") {
+        Some(addr) => {
+            let s = irnuma_obs::export::serve(addr)
+                .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+            println!("serving telemetry on {}", s.addr());
+            Some(s)
+        }
+        None => None,
+    };
+    // One snapshot per tick: from the remote endpoint when --connect is
+    // given, through our own HTTP endpoint when --listen is (so the probe
+    // exercises the real wire path), from the registry otherwise.
+    let grab = || -> Result<top_view::Snapshot, String> {
+        let body = match (&connect, &server) {
+            (Some(addr), _) => irnuma_obs::export::fetch(addr, "/json")
+                .map_err(|e| format!("cannot fetch {addr}/json: {e}"))?,
+            (None, Some(s)) => irnuma_obs::export::fetch(&s.addr().to_string(), "/json")
+                .map_err(|e| format!("cannot self-fetch: {e}"))?,
+            (None, None) => irnuma_obs::TelemetrySnapshot::capture().to_json(),
+        };
+        top_view::parse_snapshot(&body)
+    };
+    match watch {
+        None => print!("{}", top_view::render(&grab()?, None)),
+        Some(secs) => {
+            let interval = std::time::Duration::from_secs_f64(secs.clamp(0.1, 3600.0));
+            let mut prev: Option<top_view::Snapshot> = None;
+            loop {
+                let snap = grab()?;
+                // Clear the screen, home the cursor, render one frame.
+                print!("\x1b[2J\x1b[Hirnuma top — every {secs}s (ctrl-c to quit)\n\n");
+                print!("{}", top_view::render(&snap, prev.as_ref()));
+                prev = Some(snap);
+                std::thread::sleep(interval);
+            }
+        }
+    }
+    if let Some(s) = server {
+        s.stop();
+    }
+    Ok(())
+}
+
+fn run_bench_check(rest: &[String]) -> Result<(), String> {
+    let quick = rest.iter().any(|a| a == "--quick");
+    let baselines_path = opt_value(rest, "--baselines").unwrap_or("results/bench_baselines.json");
+    let root = opt_value(rest, "--root").unwrap_or(".");
+    let baselines = bench_check::load_baselines(Path::new(baselines_path))?;
+    let (results, ok) = bench_check::check(&baselines, Path::new(root), quick);
+    print!("{}", bench_check::render(&results, ok));
+    if ok {
+        Ok(())
+    } else {
+        Err("benchmark regression detected".to_string())
+    }
 }

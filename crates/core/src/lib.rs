@@ -23,10 +23,12 @@
 //! produces the per-region outcomes that [`experiments`] turns into every
 //! figure of the paper (Fig. 3–12).
 
+pub mod bench_check;
 pub mod dataset;
 pub mod evaluation;
 pub mod experiments;
 pub mod models;
+pub mod top;
 pub mod trace_report;
 
 pub use dataset::{

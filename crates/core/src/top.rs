@@ -1,0 +1,232 @@
+//! Live telemetry viewer (`irnuma top`).
+//!
+//! Consumes the `/json` wire format served by `irnuma-obs`'s export
+//! endpoint (any irnuma process started with `IRNUMA_METRICS=<addr>`) and
+//! renders a terminal dashboard: counters (with per-second rates in watch
+//! mode), gauges, histogram quantiles, and per-span-name latency
+//! percentiles. Parsing and rendering are pure functions over the JSON
+//! body so they test without sockets; the fetch/watch loop lives in the
+//! CLI binary.
+
+/// One histogram's frozen aggregates from the wire format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistView {
+    pub name: String,
+    pub count: u64,
+    pub mean: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+    pub max: u64,
+}
+
+/// A parsed `/json` telemetry snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    pub ts_ns: u64,
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub hists: Vec<HistView>,
+    pub spans: Vec<HistView>,
+}
+
+fn parse_hist_group(v: &serde_json::Value, key: &str) -> Vec<HistView> {
+    let Some(serde_json::Value::Object(pairs)) = v.field(key) else {
+        return Vec::new();
+    };
+    pairs
+        .iter()
+        .filter_map(|(name, h)| {
+            Some(HistView {
+                name: name.clone(),
+                count: h.field("count")?.as_u64()?,
+                mean: h.field("mean")?.as_f64()?,
+                p50: h.field("p50")?.as_f64()?,
+                p90: h.field("p90")?.as_f64()?,
+                p99: h.field("p99")?.as_f64()?,
+                max: h.field("max").and_then(|x| x.as_u64()).unwrap_or(0),
+            })
+        })
+        .collect()
+}
+
+/// Parse a `/json` snapshot body. Unknown keys are ignored; a body that is
+/// not a JSON object is an error.
+pub fn parse_snapshot(body: &str) -> Result<Snapshot, String> {
+    let v = serde_json::parse_value(body).map_err(|e| format!("malformed snapshot: {e:?}"))?;
+    let serde_json::Value::Object(_) = &v else {
+        return Err("snapshot is not a JSON object".to_string());
+    };
+    let mut snap = Snapshot {
+        ts_ns: v.field("ts_ns").and_then(|t| t.as_u64()).unwrap_or(0),
+        ..Default::default()
+    };
+    if let Some(serde_json::Value::Object(pairs)) = v.field("counters") {
+        for (name, val) in pairs {
+            if let Some(c) = val.as_u64() {
+                snap.counters.push((name.clone(), c));
+            }
+        }
+    }
+    if let Some(serde_json::Value::Object(pairs)) = v.field("gauges") {
+        for (name, val) in pairs {
+            snap.gauges.push((name.clone(), val.as_f64().unwrap_or(f64::NAN)));
+        }
+    }
+    snap.hists = parse_hist_group(&v, "hists");
+    snap.spans = parse_hist_group(&v, "spans");
+    Ok(snap)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn fmt_count(v: u64) -> String {
+    if v >= 10_000_000 {
+        format!("{:.1}M", v as f64 / 1e6)
+    } else if v >= 10_000 {
+        format!("{:.1}k", v as f64 / 1e3)
+    } else {
+        v.to_string()
+    }
+}
+
+/// Render a snapshot as the `irnuma top` dashboard. When `prev` holds the
+/// previous snapshot, counters gain a per-second rate column computed from
+/// the two capture timestamps.
+pub fn render(snap: &Snapshot, prev: Option<&Snapshot>) -> String {
+    let mut out = String::new();
+    let dt_s = prev.filter(|p| snap.ts_ns > p.ts_ns).map(|p| (snap.ts_ns - p.ts_ns) as f64 / 1e9);
+
+    if !snap.spans.is_empty() {
+        out.push_str(&format!(
+            "{:<28} {:>9} {:>10} {:>10} {:>10} {:>10}\n",
+            "span", "count", "mean", "p50", "p90", "p99"
+        ));
+        for s in &snap.spans {
+            out.push_str(&format!(
+                "{:<28} {:>9} {:>10} {:>10} {:>10} {:>10}\n",
+                s.name,
+                fmt_count(s.count),
+                fmt_ns(s.mean),
+                fmt_ns(s.p50),
+                fmt_ns(s.p90),
+                fmt_ns(s.p99)
+            ));
+        }
+        out.push('\n');
+    }
+    if !snap.counters.is_empty() {
+        match dt_s {
+            Some(_) => out.push_str(&format!("{:<34} {:>12} {:>12}\n", "counter", "total", "/s")),
+            None => out.push_str(&format!("{:<34} {:>12}\n", "counter", "total")),
+        }
+        for (name, v) in &snap.counters {
+            match dt_s {
+                Some(dt) => {
+                    let before = prev
+                        .and_then(|p| p.counters.iter().find(|(n, _)| n == name))
+                        .map_or(0, |&(_, b)| b);
+                    let rate = (v.saturating_sub(before)) as f64 / dt;
+                    out.push_str(&format!("{:<34} {:>12} {:>12.1}\n", name, fmt_count(*v), rate));
+                }
+                None => out.push_str(&format!("{:<34} {:>12}\n", name, fmt_count(*v))),
+            }
+        }
+        out.push('\n');
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str(&format!("{:<34} {:>14}\n", "gauge", "value"));
+        for (name, v) in &snap.gauges {
+            let rendered = if name.starts_with("mem.") && v.is_finite() {
+                format!("{:.1} MiB", v / (1u64 << 20) as f64)
+            } else {
+                format!("{v:.3}")
+            };
+            out.push_str(&format!("{name:<34} {rendered:>14}\n"));
+        }
+        out.push('\n');
+    }
+    if !snap.hists.is_empty() {
+        out.push_str(&format!(
+            "{:<34} {:>9} {:>10} {:>10} {:>10}\n",
+            "histogram", "count", "mean", "p50", "p99"
+        ));
+        for h in &snap.hists {
+            out.push_str(&format!(
+                "{:<34} {:>9} {:>10} {:>10} {:>10}\n",
+                h.name,
+                fmt_count(h.count),
+                fmt_ns(h.mean),
+                fmt_ns(h.p50),
+                fmt_ns(h.p99)
+            ));
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no metrics registered yet)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BODY: &str = r#"{"ts_ns":1000000000,"counters":{"infer.graphs":128,"export.requests":2},
+        "gauges":{"mem.peak_bytes":3145728.0,"train.loss":0.42},
+        "hists":{"infer.batch_ns":{"count":4,"sum":4000,"min":900,"max":1200,"mean":1000.0,"p50":950.0,"p90":1100.0,"p99":1190.0}},
+        "spans":{"train.epoch":{"count":10,"sum":50000,"min":4000,"max":6000,"mean":5000.0,"p50":5000.0,"p90":5800.0,"p99":5950.0}}}"#;
+
+    #[test]
+    fn parses_the_wire_format() {
+        let s = parse_snapshot(BODY).unwrap();
+        assert_eq!(s.ts_ns, 1_000_000_000);
+        assert_eq!(s.counters, vec![("infer.graphs".into(), 128), ("export.requests".into(), 2)]);
+        assert_eq!(s.spans[0].name, "train.epoch");
+        assert_eq!(s.spans[0].count, 10);
+        assert_eq!(s.hists[0].max, 1200);
+        assert!(parse_snapshot("[]").is_err());
+        assert!(parse_snapshot("{nope").is_err());
+    }
+
+    #[test]
+    fn renders_spans_counters_gauges() {
+        let s = parse_snapshot(BODY).unwrap();
+        let txt = render(&s, None);
+        assert!(txt.contains("train.epoch"), "{txt}");
+        assert!(txt.contains("infer.graphs"), "{txt}");
+        assert!(txt.contains("3.0 MiB"), "mem gauges render as MiB: {txt}");
+        assert!(txt.contains("0.420"), "{txt}");
+        assert!(txt.contains("5.0us"), "span mean formats as us: {txt}");
+    }
+
+    #[test]
+    fn watch_mode_computes_counter_rates() {
+        let prev = parse_snapshot(BODY).unwrap();
+        let mut cur = prev.clone();
+        cur.ts_ns += 2_000_000_000; // 2 seconds later
+        cur.counters[0].1 += 64; // infer.graphs 128 -> 192
+        let txt = render(&cur, Some(&prev));
+        assert!(txt.contains("/s"), "{txt}");
+        assert!(txt.contains("32.0"), "64 graphs over 2s = 32/s: {txt}");
+    }
+
+    #[test]
+    fn round_trips_a_real_obs_snapshot() {
+        irnuma_obs::registry().counter("top.test.counter").inc(9);
+        let body = irnuma_obs::TelemetrySnapshot::capture().to_json();
+        let s = parse_snapshot(&body).unwrap();
+        assert!(s.counters.iter().any(|(n, v)| n == "top.test.counter" && *v >= 9));
+        assert!(render(&s, None).contains("top.test.counter"));
+    }
+}

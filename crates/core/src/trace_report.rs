@@ -6,7 +6,15 @@
 //! p50/p90/p99 over the recorded durations (exact, unlike the log-bucket
 //! approximation inside `irnuma-obs`, because the full sample set is on
 //! disk). Metric flush events (`counter`/`gauge`/`hist`) are carried
-//! through verbatim. Backs the `irnuma report` CLI subcommand.
+//! through verbatim, and per-span `alloc_bytes` deltas (present when the
+//! binary runs with allocation tracking) are summed per stage.
+//!
+//! Malformed lines — bad JSON, a missing required key, a mistyped value —
+//! are skipped and counted in [`TraceReport::malformed_lines`] rather than
+//! failing the whole report: a trace truncated by a crash or interleaved by
+//! a concurrent writer should still aggregate, and the malformed count
+//! itself is the signal that something was off. Backs the `irnuma report`
+//! CLI subcommand.
 
 use std::path::Path;
 
@@ -20,6 +28,9 @@ pub struct SpanStat {
     pub p90_ns: u64,
     pub p99_ns: u64,
     pub max_ns: u64,
+    /// Total bytes allocated across this stage's spans (0 when the trace
+    /// was produced without allocation tracking).
+    pub alloc_bytes: u64,
 }
 
 /// One `hist` flush event from the trace.
@@ -36,6 +47,8 @@ pub struct HistStat {
 #[derive(Debug, Clone, Default)]
 pub struct TraceReport {
     pub total_events: usize,
+    /// Lines that failed to parse as schema-conforming events (skipped).
+    pub malformed_lines: usize,
     /// Per-name span statistics, sorted by total wall time, descending.
     pub spans: Vec<SpanStat>,
     pub counters: Vec<(String, u64)>,
@@ -61,86 +74,98 @@ fn get_f64(v: &serde_json::Value, key: &str) -> Option<f64> {
     v.field(key).and_then(|f| f.as_f64())
 }
 
-/// Parse and aggregate a JSONL trace. Any malformed line (bad JSON, a
-/// missing required key, or a mistyped value) is an error naming the
-/// 1-based line number — `irnuma report` is the CI gate for the schema.
+struct SpanAccum {
+    durations: Vec<u64>,
+    alloc_bytes: u64,
+}
+
+/// Parse one line into the report. `Err(())` means the line is malformed
+/// (the caller counts it); the error carries no detail because skipped
+/// lines are a tally, not a diagnosis.
+fn load_line(
+    line: &str,
+    report: &mut TraceReport,
+    spans: &mut Vec<(String, SpanAccum)>,
+) -> Result<(), ()> {
+    let v = serde_json::parse_value(line).map_err(|_| ())?;
+    let serde_json::Value::Object(_) = &v else {
+        return Err(());
+    };
+    get_u64(&v, "ts_ns").ok_or(())?;
+    let kind = v.field("kind").and_then(|f| f.as_str()).ok_or(())?.to_string();
+    let name = v.field("name").and_then(|f| f.as_str()).ok_or(())?.to_string();
+    let fields = v.field("fields").ok_or(())?;
+    if !matches!(fields, serde_json::Value::Object(_)) {
+        return Err(());
+    }
+
+    match kind.as_str() {
+        "span" => {
+            let dur = get_u64(fields, "dur_ns").ok_or(())?;
+            let alloc = get_u64(fields, "alloc_bytes").unwrap_or(0);
+            match spans.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, acc)) => {
+                    acc.durations.push(dur);
+                    acc.alloc_bytes += alloc;
+                }
+                None => spans.push((name, SpanAccum { durations: vec![dur], alloc_bytes: alloc })),
+            }
+        }
+        "counter" => {
+            let value = get_u64(fields, "value").ok_or(())?;
+            report.counters.push((name, value));
+        }
+        "gauge" => {
+            let value = get_f64(fields, "value").ok_or(())?;
+            report.gauges.push((name, value));
+        }
+        "hist" => {
+            report.hists.push(HistStat {
+                count: get_u64(fields, "count").ok_or(())?,
+                mean: get_f64(fields, "mean").ok_or(())?,
+                p50: get_f64(fields, "p50").ok_or(())?,
+                p99: get_f64(fields, "p99").ok_or(())?,
+                name,
+            });
+        }
+        "log" => report.log_lines += 1,
+        _ => return Err(()),
+    }
+    report.total_events += 1;
+    Ok(())
+}
+
+/// Parse and aggregate a JSONL trace. Malformed or truncated lines are
+/// skipped and tallied in [`TraceReport::malformed_lines`]; only an
+/// unreadable file is an error.
 pub fn load(path: &Path) -> Result<TraceReport, String> {
     let body = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let mut report = TraceReport::default();
-    let mut durations: Vec<(String, Vec<u64>)> = Vec::new();
+    let mut spans: Vec<(String, SpanAccum)> = Vec::new();
 
-    for (idx, line) in body.lines().enumerate() {
-        let lineno = idx + 1;
+    for line in body.lines() {
         if line.trim().is_empty() {
-            return Err(format!("line {lineno}: empty line in trace"));
+            report.malformed_lines += 1;
+            continue;
         }
-        let v = serde_json::parse_value(line)
-            .map_err(|e| format!("line {lineno}: malformed JSON: {e:?}"))?;
-        let serde_json::Value::Object(_) = &v else {
-            return Err(format!("line {lineno}: event is not an object"));
-        };
-        get_u64(&v, "ts_ns").ok_or_else(|| format!("line {lineno}: missing/invalid `ts_ns`"))?;
-        let kind = v
-            .field("kind")
-            .and_then(|f| f.as_str())
-            .ok_or_else(|| format!("line {lineno}: missing/invalid `kind`"))?
-            .to_string();
-        let name = v
-            .field("name")
-            .and_then(|f| f.as_str())
-            .ok_or_else(|| format!("line {lineno}: missing/invalid `name`"))?
-            .to_string();
-        let fields = v.field("fields").ok_or_else(|| format!("line {lineno}: missing `fields`"))?;
-        if !matches!(fields, serde_json::Value::Object(_)) {
-            return Err(format!("line {lineno}: `fields` is not an object"));
-        }
-        report.total_events += 1;
-
-        match kind.as_str() {
-            "span" => {
-                let dur = get_u64(fields, "dur_ns")
-                    .ok_or_else(|| format!("line {lineno}: span without `dur_ns`"))?;
-                match durations.iter_mut().find(|(n, _)| *n == name) {
-                    Some((_, ds)) => ds.push(dur),
-                    None => durations.push((name, vec![dur])),
-                }
-            }
-            "counter" => {
-                let value = get_u64(fields, "value")
-                    .ok_or_else(|| format!("line {lineno}: counter without `value`"))?;
-                report.counters.push((name, value));
-            }
-            "gauge" => {
-                let value = get_f64(fields, "value")
-                    .ok_or_else(|| format!("line {lineno}: gauge without `value`"))?;
-                report.gauges.push((name, value));
-            }
-            "hist" => {
-                let missing = |k: &str| format!("line {lineno}: hist without `{k}`");
-                report.hists.push(HistStat {
-                    count: get_u64(fields, "count").ok_or_else(|| missing("count"))?,
-                    mean: get_f64(fields, "mean").ok_or_else(|| missing("mean"))?,
-                    p50: get_f64(fields, "p50").ok_or_else(|| missing("p50"))?,
-                    p99: get_f64(fields, "p99").ok_or_else(|| missing("p99"))?,
-                    name,
-                });
-            }
-            "log" => report.log_lines += 1,
-            other => return Err(format!("line {lineno}: unknown event kind `{other}`")),
+        if load_line(line, &mut report, &mut spans).is_err() {
+            report.malformed_lines += 1;
         }
     }
 
-    for (name, mut ds) in durations {
-        ds.sort_unstable();
+    for (name, mut acc) in spans {
+        acc.durations.sort_unstable();
+        let ds = &acc.durations;
         report.spans.push(SpanStat {
             name,
             count: ds.len(),
             total_ns: ds.iter().sum(),
-            p50_ns: quantile(&ds, 0.50),
-            p90_ns: quantile(&ds, 0.90),
-            p99_ns: quantile(&ds, 0.99),
+            p50_ns: quantile(ds, 0.50),
+            p90_ns: quantile(ds, 0.90),
+            p99_ns: quantile(ds, 0.99),
             max_ns: *ds.last().expect("non-empty duration group"),
+            alloc_bytes: acc.alloc_bytes,
         });
     }
     report.spans.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
@@ -148,6 +173,24 @@ pub fn load(path: &Path) -> Result<TraceReport, String> {
     report.gauges.sort_by(|a, b| a.0.cmp(&b.0));
     report.hists.sort_by(|a, b| a.name.cmp(&b.name));
     Ok(report)
+}
+
+/// Minimal JSON string escaping for metric/span names (ASCII control
+/// characters, quotes, backslashes).
+fn json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 impl TraceReport {
@@ -204,9 +247,12 @@ impl TraceReport {
         Some(out)
     }
 
-    /// Render the per-stage wall-time/percentile table (plus metric flushes).
+    /// Render the per-stage wall-time/percentile table (plus metric
+    /// flushes). An `alloc_mb` column appears when any stage carried
+    /// allocation deltas.
     pub fn render(&self) -> String {
         let ms = |ns: u64| ns as f64 / 1e6;
+        let with_alloc = self.spans.iter().any(|s| s.alloc_bytes > 0);
         let mut out = String::new();
         out.push_str(&format!(
             "{} events: {} span groups, {} counters, {} gauges, {} histograms, {} logs\n\n",
@@ -218,12 +264,16 @@ impl TraceReport {
             self.log_lines
         ));
         out.push_str(&format!(
-            "{:<28} {:>7} {:>12} {:>11} {:>11} {:>11} {:>11}\n",
+            "{:<28} {:>7} {:>12} {:>11} {:>11} {:>11} {:>11}",
             "stage", "count", "total_ms", "p50_ms", "p90_ms", "p99_ms", "max_ms"
         ));
+        if with_alloc {
+            out.push_str(&format!(" {:>10}", "alloc_mb"));
+        }
+        out.push('\n');
         for s in &self.spans {
             out.push_str(&format!(
-                "{:<28} {:>7} {:>12.3} {:>11.3} {:>11.3} {:>11.3} {:>11.3}\n",
+                "{:<28} {:>7} {:>12.3} {:>11.3} {:>11.3} {:>11.3} {:>11.3}",
                 s.name,
                 s.count,
                 ms(s.total_ns),
@@ -232,6 +282,10 @@ impl TraceReport {
                 ms(s.p99_ns),
                 ms(s.max_ns)
             ));
+            if with_alloc {
+                out.push_str(&format!(" {:>10.2}", s.alloc_bytes as f64 / (1 << 20) as f64));
+            }
+            out.push('\n');
         }
         if !self.counters.is_empty() {
             out.push_str("\ncounters:\n");
@@ -261,6 +315,68 @@ impl TraceReport {
                 ));
             }
         }
+        out
+    }
+
+    /// Serialize the full report as one JSON object (the `--json` output
+    /// mode, for scripting against `irnuma report`).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(512);
+        let _ = write!(
+            out,
+            "{{\"total_events\":{},\"malformed_lines\":{},\"log_lines\":{},\"spans\":[",
+            self.total_events, self.malformed_lines, self.log_lines
+        );
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json_str(&s.name, &mut out);
+            let _ = write!(
+                out,
+                ",\"count\":{},\"total_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\
+                 \"max_ns\":{},\"alloc_bytes\":{}}}",
+                s.count, s.total_ns, s.p50_ns, s.p90_ns, s.p99_ns, s.max_ns, s.alloc_bytes
+            );
+        }
+        out.push_str("],\"counters\":[");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json_str(name, &mut out);
+            let _ = write!(out, ",\"value\":{v}}}");
+        }
+        out.push_str("],\"gauges\":[");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json_str(name, &mut out);
+            if v.is_finite() {
+                let _ = write!(out, ",\"value\":{v}}}");
+            } else {
+                out.push_str(",\"value\":null}");
+            }
+        }
+        out.push_str("],\"hists\":[");
+        for (i, h) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json_str(&h.name, &mut out);
+            let _ = write!(
+                out,
+                ",\"count\":{},\"mean\":{:.3},\"p50\":{:.1},\"p99\":{:.1}}}",
+                h.count, h.mean, h.p50, h.p99
+            );
+        }
+        out.push_str("]}");
         out
     }
 }
@@ -294,6 +410,7 @@ mod tests {
         let path = write_trace("percentiles.jsonl", &refs);
         let r = load(&path).unwrap();
         assert_eq!(r.total_events, 100);
+        assert_eq!(r.malformed_lines, 0);
         let s = &r.spans[0];
         assert_eq!(
             (s.count, s.p50_ns, s.p90_ns, s.p99_ns, s.max_ns),
@@ -361,27 +478,89 @@ mod tests {
     }
 
     #[test]
-    fn malformed_json_reports_line_number() {
-        let path = write_trace("bad.jsonl", &[&span_line("a", 1), "{not json"]);
-        let err = load(&path).unwrap_err();
-        assert!(err.contains("line 2"), "{err}");
+    fn malformed_lines_are_skipped_and_counted() {
+        let path = write_trace(
+            "bad.jsonl",
+            &[
+                &span_line("a", 1),
+                "{not json",                                                   // bad JSON
+                r#"{"ts_ns":1,"name":"x","fields":{},"extra":0}"#,             // missing kind
+                r#"{"ts_ns":1,"kind":"span","name":"x","fields":{"span":1}}"#, // no dur_ns
+                r#"{"ts_ns":1,"kind":"wat","name":"x","fields":{}}"#,          // unknown kind
+                "",                                                            // blank line
+                &span_line("a", 3),
+            ],
+        );
+        let r = load(&path).unwrap();
+        assert_eq!(r.malformed_lines, 5);
+        assert_eq!(r.total_events, 2);
+        assert_eq!(r.spans[0].count, 2, "good lines around the bad ones still aggregate");
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    fn missing_keys_are_schema_errors() {
-        let path =
-            write_trace("nokind.jsonl", &[r#"{"ts_ns":1,"name":"x","fields":{},"extra":0}"#]);
-        let err = load(&path).unwrap_err();
-        assert!(err.contains("kind"), "{err}");
+    fn truncated_final_line_still_reports_the_rest() {
+        // Simulate a crash mid-write: the last line stops in the middle of
+        // a JSON object.
+        let full = span_line("train.epoch", 1000);
+        let cut = &full[..full.len() / 2];
+        let path = write_trace("truncated.jsonl", &[&full, &full, cut]);
+        let r = load(&path).unwrap();
+        assert_eq!(r.total_events, 2);
+        assert_eq!(r.malformed_lines, 1);
         std::fs::remove_file(&path).ok();
+    }
 
+    #[test]
+    fn span_alloc_deltas_sum_per_stage_and_render() {
+        let with_alloc = |name: &str, dur: u64, alloc: u64| {
+            format!(
+                r#"{{"ts_ns":1,"kind":"span","name":"{name}","fields":{{"span":1,"parent":0,"thread":1,"dur_ns":{dur},"alloc_bytes":{alloc}}}}}"#
+            )
+        };
         let path = write_trace(
-            "nodur.jsonl",
-            &[r#"{"ts_ns":1,"kind":"span","name":"x","fields":{"span":1}}"#],
+            "alloc.jsonl",
+            &[
+                &with_alloc("train.epoch", 1000, 1 << 20),
+                &with_alloc("train.epoch", 1200, 1 << 20),
+                &span_line("graph.build", 10), // no alloc field: counts as 0
+            ],
         );
-        let err = load(&path).unwrap_err();
-        assert!(err.contains("dur_ns"), "{err}");
+        let r = load(&path).unwrap();
+        let epoch = r.spans.iter().find(|s| s.name == "train.epoch").unwrap();
+        assert_eq!(epoch.alloc_bytes, 2 << 20);
+        let table = r.render();
+        assert!(table.contains("alloc_mb"), "{table}");
+        assert!(table.contains("2.00"), "{table}");
+
+        // Without any alloc deltas the column stays hidden.
+        let path2 = write_trace("noalloc.jsonl", &[&span_line("a", 5)]);
+        let r2 = load(&path2).unwrap();
+        assert!(!r2.render().contains("alloc_mb"));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&path2).ok();
+    }
+
+    #[test]
+    fn json_output_round_trips_through_serde_json() {
+        let path = write_trace(
+            "json.jsonl",
+            &[
+                &span_line("train.epoch", 1000),
+                r#"{"ts_ns":2,"kind":"counter","name":"graph.builds","fields":{"value":3}}"#,
+                r#"{"ts_ns":2,"kind":"gauge","name":"train.loss","fields":{"value":0.25}}"#,
+                "{broken",
+            ],
+        );
+        let r = load(&path).unwrap();
+        let json = r.to_json();
+        let v = serde_json::parse_value(&json).expect("valid JSON");
+        assert_eq!(v.field("total_events").and_then(|f| f.as_u64()), Some(3));
+        assert_eq!(v.field("malformed_lines").and_then(|f| f.as_u64()), Some(1));
+        let spans = v.field("spans").unwrap();
+        let serde_json::Value::Array(spans) = spans else { panic!("spans not an array") };
+        assert_eq!(spans[0].field("name").and_then(|f| f.as_str()), Some("train.epoch"));
+        assert_eq!(spans[0].field("total_ns").and_then(|f| f.as_u64()), Some(1000));
         std::fs::remove_file(&path).ok();
     }
 
@@ -415,6 +594,7 @@ mod tests {
 
         let r = load(&path).unwrap();
         r.require(&["dataset.build", "dataset.region", "graph.build", "passes.run"]).unwrap();
+        assert_eq!(r.malformed_lines, 0);
         // Other tests in this binary may trace concurrently into the same
         // global sink, so counts are lower bounds.
         let regions = r.spans.iter().find(|s| s.name == "dataset.region").unwrap();

@@ -234,12 +234,24 @@ fn trace_then_report_covers_the_pipeline() {
     assert!(!missing.status.success());
     assert!(String::from_utf8_lossy(&missing.stderr).contains("train.epoch"));
 
-    // A corrupt trace is rejected with its line number.
+    // Corrupt lines are skipped (a live trace may end mid-write) but the
+    // report says how many it dropped.
     let bad = dir.join("bad-trace.jsonl");
-    std::fs::write(&bad, "{\"ts_ns\":1,\"kind\":\"span\"\nnot json\n").unwrap();
+    std::fs::write(
+        &bad,
+        "{\"ts_ns\":1,\"kind\":\"span\"\nnot json\n{\"ts_ns\":2,\"kind\":\"counter\",\"name\":\"c\",\"fields\":{\"value\":3}}\n",
+    )
+    .unwrap();
     let out = irnuma(&["report", bad.to_str().unwrap()]);
-    assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("line 1"));
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("report.malformed_lines: 2"));
+
+    // --json emits a machine-readable report with the same information.
+    let js = irnuma(&["report", bad.to_str().unwrap(), "--json"]);
+    assert!(js.status.success());
+    let body = String::from_utf8_lossy(&js.stdout);
+    assert!(body.contains("\"malformed_lines\":2"), "{body}");
+    assert!(body.contains("\"counters\""), "{body}");
 
     std::fs::remove_file(&trace).ok();
     std::fs::remove_file(&bad).ok();

@@ -127,7 +127,7 @@ impl Ga {
                     fresh.push(ind);
                 }
             }
-            if irnuma_obs::trace_enabled() {
+            if irnuma_obs::telemetry_enabled() {
                 irnuma_obs::counter!("ml.ga_fitness_evals").inc(fresh.len() as u64);
                 irnuma_obs::counter!("ml.ga_fitness_cached").inc((pop.len() - fresh.len()) as u64);
             }

@@ -110,7 +110,7 @@ impl TrainScratch {
 
     fn reserve(&mut self, layers: usize, n: usize, d: usize, classes: usize) {
         let nd = n * d;
-        if irnuma_obs::trace_enabled() {
+        if irnuma_obs::telemetry_enabled() {
             if self.ga.capacity() >= nd && self.hs.len() > layers {
                 irnuma_obs::counter!("train.scratch_hits").inc(1);
             } else {
@@ -259,6 +259,7 @@ impl GnnModel {
         grads: &mut GradBuffer,
         plan: Option<&ModelPlan>,
     ) -> f64 {
+        let _f = irnuma_obs::profile_frame!("train.fused_grads");
         debug_assert!(grads.matches(self), "grad buffer laid out for another model");
         let d = self.cfg.hidden;
         let n = g.num_nodes();
@@ -571,7 +572,7 @@ impl FusedEngine {
             self.pool.push(GradBuffer::for_model(model));
         }
 
-        let t0 = irnuma_obs::trace_enabled().then(std::time::Instant::now);
+        let t0 = irnuma_obs::telemetry_enabled().then(std::time::Instant::now);
         // Prepack the weights once for the whole minibatch (the optimizer
         // mutates parameters between batches, so the plan cannot outlive
         // one call); every worker shares the packed panels and layer-weight
@@ -590,7 +591,7 @@ impl FusedEngine {
                         buf,
                         Some(&plan),
                     );
-                    if irnuma_obs::trace_enabled() {
+                    if irnuma_obs::telemetry_enabled() {
                         irnuma_obs::counter!("train.fused_graphs").inc(1);
                     }
                     loss

@@ -553,15 +553,16 @@ pub fn matmul_accumulate_auto(
     cols: usize,
     out: &mut [f32],
 ) {
+    let _f = irnuma_obs::profile_frame!("kernel.matmul");
     if dispatch_enabled() {
         if let Some(f) = spec_mm::<false>(cols) {
-            if irnuma_obs::trace_enabled() {
+            if irnuma_obs::telemetry_enabled() {
                 irnuma_obs::counter!("dispatch.matmul_spec").inc(1);
             }
             return f(a, rows, inner, b, out);
         }
     }
-    if irnuma_obs::trace_enabled() {
+    if irnuma_obs::telemetry_enabled() {
         irnuma_obs::counter!("dispatch.matmul_generic").inc(1);
     }
     matmul_accumulate(a, rows, inner, b, cols, out);
@@ -842,9 +843,10 @@ pub fn spec_cols_supported(cols: usize) -> bool {
 
 /// `out += a @ b` where `b` was packed with [`PackedMatrix::pack`].
 pub fn matmul_accumulate_packed(a: &[f32], rows: usize, pm: &PackedMatrix, out: &mut [f32]) {
+    let _f = irnuma_obs::profile_frame!("kernel.matmul_packed");
     let f = spec_mm::<true>(pm.cols)
         .unwrap_or_else(|| panic!("no packed kernel for width {}", pm.cols));
-    if irnuma_obs::trace_enabled() {
+    if irnuma_obs::telemetry_enabled() {
         irnuma_obs::counter!("dispatch.matmul_packed").inc(1);
     }
     f(a, rows, pm.inner, &pm.data, out);
@@ -895,7 +897,7 @@ impl ModelPlan {
         if !dispatch_enabled() {
             return ModelPlan { packed };
         }
-        if irnuma_obs::trace_enabled() {
+        if irnuma_obs::telemetry_enabled() {
             irnuma_obs::counter!("dispatch.plan_builds").inc(1);
         }
         let d = model.cfg.hidden;
@@ -1086,8 +1088,9 @@ pub fn spmm_forward(
     d: usize,
     out: &mut [f32],
 ) {
+    let _f = irnuma_obs::profile_frame!("kernel.spmm");
     let axpy = axpy_for(d);
-    if irnuma_obs::trace_enabled() {
+    if irnuma_obs::telemetry_enabled() {
         match strategy {
             SpmmStrategy::CsrGather => irnuma_obs::counter!("dispatch.spmm_csr").inc(1),
             SpmmStrategy::EdgeMajor => irnuma_obs::counter!("dispatch.spmm_edge").inc(1),
@@ -1126,8 +1129,9 @@ pub fn spmm_backward(
     d: usize,
     out: &mut [f32],
 ) {
+    let _f = irnuma_obs::profile_frame!("kernel.spmm_backward");
     let axpy = axpy_for(d);
-    if irnuma_obs::trace_enabled() {
+    if irnuma_obs::telemetry_enabled() {
         match strategy {
             SpmmStrategy::CsrGather => irnuma_obs::counter!("dispatch.spmm_csr").inc(1),
             SpmmStrategy::EdgeMajor => irnuma_obs::counter!("dispatch.spmm_edge").inc(1),
@@ -1245,13 +1249,13 @@ pub fn plan_for(hidden: usize, classes: usize, layers: usize, g: &GraphData) -> 
     let cache = guard.get_or_insert_with(HashMap::new);
     if let Some(&plan) = cache.get(&sig) {
         PLAN_HITS.fetch_add(1, Ordering::Relaxed);
-        if irnuma_obs::trace_enabled() {
+        if irnuma_obs::telemetry_enabled() {
             irnuma_obs::counter!("dispatch.plan_hits").inc(1);
         }
         return plan;
     }
     PLAN_MISSES.fetch_add(1, Ordering::Relaxed);
-    if irnuma_obs::trace_enabled() {
+    if irnuma_obs::telemetry_enabled() {
         irnuma_obs::counter!("dispatch.plan_misses").inc(1);
     }
     if cache.len() >= PLAN_CACHE_CAP {

@@ -152,7 +152,7 @@ impl GraphData {
     /// The cached CSR adjacency, one per relation (built on first call).
     pub fn csr(&self) -> &[Csr; NUM_RELATIONS] {
         self.csr.get_or_init(|| {
-            if irnuma_obs::trace_enabled() {
+            if irnuma_obs::telemetry_enabled() {
                 irnuma_obs::counter!("infer.csr_build").inc(1);
             }
             let n = self.num_nodes();
@@ -169,7 +169,7 @@ impl GraphData {
     /// edge-major sweep does.
     pub fn csc(&self) -> &[Csr; NUM_RELATIONS] {
         self.csc.get_or_init(|| {
-            if irnuma_obs::trace_enabled() {
+            if irnuma_obs::telemetry_enabled() {
                 irnuma_obs::counter!("train.csc_build").inc(1);
             }
             let n = self.num_nodes();
@@ -187,7 +187,7 @@ impl GraphData {
     /// signature.
     pub fn rel_stats(&self) -> &[RelStats; NUM_RELATIONS] {
         self.stats.get_or_init(|| {
-            if irnuma_obs::trace_enabled() {
+            if irnuma_obs::telemetry_enabled() {
                 irnuma_obs::counter!("dispatch.stats_build").inc(1);
             }
             let n = self.num_nodes();

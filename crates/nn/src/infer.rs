@@ -85,9 +85,9 @@ impl Scratch {
         Scratch::default()
     }
 
-    fn reserve(&mut self, n: usize, d: usize) {
+    fn reserve(&mut self, n: usize, d: usize, stats: bool) {
         let len = n * d;
-        if irnuma_obs::trace_enabled() {
+        if stats {
             // Reuse hit: every buffer already holds enough capacity, so this
             // call allocates nothing.
             if self.h.capacity() >= len {
@@ -118,8 +118,9 @@ impl GnnModel {
 
     /// Tape-free forward pass into a caller-provided workspace.
     pub fn infer_with(&self, g: &GraphData, scratch: &mut Scratch) -> InferOutput {
-        let t0 = irnuma_obs::trace_enabled().then(std::time::Instant::now);
-        let out = self.infer_impl(g, scratch, None);
+        let stats = irnuma_obs::telemetry_enabled();
+        let t0 = stats.then(std::time::Instant::now);
+        let out = self.infer_impl(g, scratch, None, stats);
         if let Some(t0) = t0 {
             irnuma_obs::histogram!("infer.graph_ns").record_duration(t0.elapsed());
             irnuma_obs::counter!("infer.graphs").inc(1);
@@ -136,8 +137,9 @@ impl GnnModel {
         g: &GraphData,
         scratch: &mut Scratch,
     ) -> InferOutput {
-        let t0 = irnuma_obs::trace_enabled().then(std::time::Instant::now);
-        let out = self.infer_impl(g, scratch, Some(plan));
+        let stats = irnuma_obs::telemetry_enabled();
+        let t0 = stats.then(std::time::Instant::now);
+        let out = self.infer_impl(g, scratch, Some(plan), stats);
         if let Some(t0) = t0 {
             irnuma_obs::histogram!("infer.graph_ns").record_duration(t0.elapsed());
             irnuma_obs::counter!("infer.graphs").inc(1);
@@ -150,10 +152,12 @@ impl GnnModel {
         g: &GraphData,
         scratch: &mut Scratch,
         plan: Option<&ModelPlan>,
+        stats: bool,
     ) -> InferOutput {
+        let _f = irnuma_obs::profile_frame!("infer.forward");
         let d = self.cfg.hidden;
         let n = g.num_nodes();
-        scratch.reserve(n, d);
+        scratch.reserve(n, d, stats);
 
         let mut params = self.params.iter().enumerate();
         let mut next = || params.next().expect("parameter list matches architecture");
@@ -262,14 +266,16 @@ impl GnnModel {
     /// its own scratch workspace. Weights are prepacked once per call
     /// ([`GnnModel::plan`]) and shared read-only by every worker. Output
     /// order matches input order.
+    /// Per-graph telemetry (the flag load, `Instant::now`, and the
+    /// `infer.graph_ns` record) is hoisted out of the hot loop: workers run
+    /// the bare forward pass, and the batch records one `infer.batch_ns`
+    /// sample plus an `infer.graphs += len` bump at the end.
     pub fn infer_batch(&self, graphs: &[GraphData]) -> Vec<InferOutput> {
         let span = irnuma_obs::span!("infer.batch", graphs = graphs.len());
         let plan = self.plan();
         let out: Vec<InferOutput> =
             graphs.par_iter().map(|g| self.infer_planned_threadlocal(&plan, g)).collect();
-        if irnuma_obs::trace_enabled() {
-            irnuma_obs::histogram!("infer.batch_ns").record_duration(span.elapsed());
-        }
+        self.record_batch(&span, graphs.len());
         out
     }
 
@@ -280,14 +286,19 @@ impl GnnModel {
         let plan = self.plan();
         let out: Vec<InferOutput> =
             graphs.par_iter().map(|g| self.infer_planned_threadlocal(&plan, g)).collect();
-        if irnuma_obs::trace_enabled() {
-            irnuma_obs::histogram!("infer.batch_ns").record_duration(span.elapsed());
-        }
+        self.record_batch(&span, graphs.len());
         out
     }
 
+    fn record_batch(&self, span: &irnuma_obs::SpanGuard, graphs: usize) {
+        if irnuma_obs::telemetry_enabled() {
+            irnuma_obs::histogram!("infer.batch_ns").record_duration(span.elapsed());
+            irnuma_obs::counter!("infer.graphs").inc(graphs as u64);
+        }
+    }
+
     fn infer_planned_threadlocal(&self, plan: &ModelPlan, g: &GraphData) -> InferOutput {
-        SCRATCH.with(|s| self.infer_planned(plan, g, &mut s.borrow_mut()))
+        SCRATCH.with(|s| self.infer_impl(g, &mut s.borrow_mut(), Some(plan), false))
     }
 }
 

@@ -327,7 +327,7 @@ impl GnnClassifier {
                             fused.batch_grads(&self.model, graphs, labels, chunk);
                         epoch_loss += chunk_loss;
                         let views = gb.views();
-                        if irnuma_obs::trace_enabled() {
+                        if irnuma_obs::telemetry_enabled() {
                             if chunk_i == last_chunk {
                                 grad_sq = gb.squared_norm();
                             }
@@ -360,7 +360,7 @@ impl GnnClassifier {
                             }
                         }
                         let views: Vec<&[f32]> = total.iter().map(|t| t.data.as_slice()).collect();
-                        if irnuma_obs::trace_enabled() {
+                        if irnuma_obs::telemetry_enabled() {
                             if chunk_i == last_chunk {
                                 grad_sq = total
                                     .iter()
@@ -380,10 +380,11 @@ impl GnnClassifier {
                 }
             }
             let mean_loss = epoch_loss / graphs.len() as f64;
-            if irnuma_obs::trace_enabled() {
+            if irnuma_obs::telemetry_enabled() {
                 epoch_span.field("loss", mean_loss);
                 epoch_span.field("grad_norm", grad_sq.sqrt());
                 irnuma_obs::histogram!("train.epoch_ns").record_duration(epoch_span.elapsed());
+                irnuma_obs::gauge!("train.loss").set(mean_loss);
             }
             history.push(mean_loss);
 

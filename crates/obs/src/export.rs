@@ -1,0 +1,131 @@
+//! Minimal TCP metrics endpoint (stdlib only).
+//!
+//! [`serve`] binds a listener and answers each connection with a fresh
+//! [`crate::TelemetrySnapshot`]: `GET /metrics` (or anything else) returns
+//! Prometheus text exposition, `GET /json` returns the JSON wire format
+//! `irnuma top` consumes. Responses speak just enough HTTP/1.0 for `curl`
+//! and Prometheus scrapers; the server handles one connection at a time on
+//! one background thread (snapshots are cheap, and this is an introspection
+//! port, not a serving path).
+//!
+//! Enabled by `IRNUMA_METRICS=<addr>` in [`crate::init`], which also turns
+//! on live stats aggregation so span latency percentiles are populated.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Handle to a running export server. Dropping it does NOT stop the server
+/// (the thread serves until [`ServerHandle::stop`] or process exit).
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful when serving on port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Ask the server thread to exit after its next accept.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+    }
+}
+
+/// Serve telemetry snapshots on `addr`. Turns on live stats aggregation
+/// (span drops start feeding per-name latency histograms) and spawns the
+/// accept loop on a background thread.
+pub fn serve(addr: impl ToSocketAddrs) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    crate::set_stats_enabled(true);
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    std::thread::Builder::new()
+        .name("irnuma-metrics".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    handle_conn(stream);
+                }
+            }
+        })
+        .expect("spawn metrics server thread");
+    Ok(ServerHandle { addr: bound, stop })
+}
+
+fn handle_conn(mut stream: TcpStream) {
+    stream.set_read_timeout(Some(Duration::from_millis(500))).ok();
+    stream.set_write_timeout(Some(Duration::from_secs(2))).ok();
+    // One request line is all the routing needs; drain up to 1 KiB of it.
+    let mut buf = [0u8; 1024];
+    let n = stream.read(&mut buf).unwrap_or(0);
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let first_line = request.lines().next().unwrap_or("");
+    crate::registry().counter("export.requests").inc(1);
+
+    let snap = crate::TelemetrySnapshot::capture();
+    let (content_type, body) = if first_line.contains("/json") {
+        ("application/json", snap.to_json())
+    } else {
+        ("text/plain; version=0.0.4", snap.to_prometheus())
+    };
+    let header = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(header.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Fetch `path` (e.g. `"/json"` or `"/metrics"`) from an export endpoint
+/// and return the response body with HTTP headers stripped.
+pub fn fetch(addr: &str, path: &str) -> std::io::Result<String> {
+    let sock = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::other(format!("cannot resolve {addr}")))?;
+    let mut stream = TcpStream::connect_timeout(&sock, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    stream.write_all(format!("GET {path} HTTP/1.0\r\nHost: {addr}\r\n\r\n").as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    match response.split_once("\r\n\r\n") {
+        Some((headers, body)) if headers.starts_with("HTTP/") => Ok(body.to_string()),
+        _ => Err(std::io::Error::other("malformed HTTP response from metrics endpoint")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_json_and_prometheus_over_tcp() {
+        crate::registry().counter("export.test.counter").inc(3);
+        let server = serve("127.0.0.1:0").expect("bind");
+        let addr = server.addr().to_string();
+
+        let json = fetch(&addr, "/json").expect("fetch json");
+        assert!(json.starts_with("{\"ts_ns\":"), "{json}");
+        assert!(json.contains("\"export.test.counter\":"), "{json}");
+
+        let prom = fetch(&addr, "/metrics").expect("fetch prometheus");
+        assert!(prom.contains("# TYPE irnuma_export_test_counter counter"), "{prom}");
+        // The endpoint counts its own requests.
+        assert!(prom.contains("irnuma_export_requests"), "{prom}");
+
+        server.stop();
+    }
+}

@@ -32,10 +32,14 @@
 //! irnuma_obs::counter!("train.batches").inc(1);
 //! ```
 
+pub mod alloc;
+pub mod export;
 mod macros;
 mod metrics;
+pub mod profile;
 mod registry;
 mod sink;
+mod snapshot;
 mod span;
 mod value;
 
@@ -45,9 +49,10 @@ pub use metrics::{
 };
 pub use registry::{flush_metrics, registry, MetricSnapshot, Registry};
 pub use sink::{
-    clear_sink, emit, epoch_ns, flush_sink, set_sink, trace_enabled, Event, JsonlSink, MemorySink,
-    Sink,
+    clear_sink, emit, epoch_ns, flush_sink, profiling_enabled, set_sink, set_stats_enabled,
+    stats_enabled, telemetry_enabled, trace_enabled, Event, JsonlSink, MemorySink, Sink,
 };
+pub use snapshot::TelemetrySnapshot;
 pub use span::{current_span, timed, SpanCtx, SpanGuard};
 pub use value::Value;
 
@@ -144,10 +149,16 @@ impl Drop for ObsGuard {
 ///
 /// * stderr log level from `IRNUMA_LOG`, falling back to `default_level`
 ///   (binaries pass [`Level::Info`] so progress lines show by default);
-/// * if `IRNUMA_TRACE=<path>` is set, install a [`JsonlSink`] writing there.
+/// * if `IRNUMA_TRACE=<path>` is set, install a [`JsonlSink`] writing there;
+/// * if `IRNUMA_METRICS=<addr>` is set, serve live [`TelemetrySnapshot`]s
+///   over TCP (`/metrics` Prometheus text, `/json` for `irnuma top`) and
+///   turn on span latency aggregation;
+/// * if `IRNUMA_PROFILE=<path>` is set, start the sampling wall-clock
+///   profiler (rate from `IRNUMA_PROFILE_HZ`, default 997 Hz); the folded
+///   stacks land at `<path>` when the returned guard drops.
 ///
-/// Returns a guard that flushes metric snapshots into the trace and flushes
-/// the sink when dropped.
+/// Returns a guard that flushes metric snapshots into the trace, flushes
+/// the sink, and dumps the profile when dropped.
 pub fn init(default_level: Level) -> ObsGuard {
     set_log_level(level_from_env(default_level));
     if let Ok(path) = std::env::var("IRNUMA_TRACE") {
@@ -158,12 +169,32 @@ pub fn init(default_level: Level) -> ObsGuard {
             }
         }
     }
+    if let Ok(addr) = std::env::var("IRNUMA_METRICS") {
+        if !addr.is_empty() {
+            match export::serve(addr.as_str()) {
+                Ok(server) => info!("serving telemetry on {}", server.addr()),
+                Err(e) => eprintln!("warning: IRNUMA_METRICS={addr}: cannot bind: {e}"),
+            }
+        }
+    }
+    if let Ok(path) = std::env::var("IRNUMA_PROFILE") {
+        if !path.is_empty() {
+            let hz =
+                std::env::var("IRNUMA_PROFILE_HZ").ok().and_then(|v| v.parse().ok()).unwrap_or(997);
+            profile::start(&path, hz);
+        }
+    }
     ObsGuard { _priv: () }
 }
 
-/// Flush metric snapshots into the trace (one event per metric) and flush
-/// the sink. Idempotent; called automatically when an [`ObsGuard`] drops.
+/// Flush metric snapshots into the trace (one event per metric), flush the
+/// sink, and stop the profiler (writing its folded-stacks file) if one is
+/// running. Idempotent; called automatically when an [`ObsGuard`] drops.
 pub fn shutdown() {
+    if let Some(path) = profile::stop_and_dump() {
+        info!("wrote profile to {}", path.display());
+    }
+    alloc::refresh_mem_gauges();
     flush_metrics();
     flush_sink();
 }

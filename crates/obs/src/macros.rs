@@ -4,11 +4,13 @@
 //! the check is a constant and the whole call site compiles out.
 
 /// Open a span: `let _s = span!("train.epoch", epoch = e);`. Returns a
-/// [`crate::SpanGuard`] that emits on drop (inert when tracing is off).
+/// [`crate::SpanGuard`] that emits on drop (inert when all telemetry is
+/// off). A live span feeds whichever subsystems are on: the trace sink,
+/// the per-span-name latency aggregates, and the profiler stack.
 #[macro_export]
 macro_rules! span {
     ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {
-        if $crate::trace_enabled() {
+        if $crate::telemetry_enabled() {
             $crate::SpanGuard::new(
                 $name,
                 vec![$((stringify!($key), $crate::Value::from($val))),*],
@@ -25,7 +27,7 @@ macro_rules! span {
 #[macro_export]
 macro_rules! span_under {
     ($ctx:expr, $name:expr $(, $key:ident = $val:expr)* $(,)?) => {
-        if $crate::trace_enabled() {
+        if $crate::telemetry_enabled() {
             $crate::SpanGuard::under(
                 $ctx,
                 $name,
@@ -33,6 +35,24 @@ macro_rules! span_under {
             )
         } else {
             $crate::SpanGuard::inert()
+        }
+    };
+}
+
+/// Profiler-only frame marker for hot paths too cheap to span: pushes a
+/// name onto this thread's profile stack while the sampling profiler runs,
+/// costs one relaxed load otherwise. The interned id is cached per call
+/// site. `let _f = profile_frame!("kernel.matmul");`
+#[macro_export]
+macro_rules! profile_frame {
+    ($name:expr) => {
+        if $crate::profiling_enabled() {
+            static FRAME_ID: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
+            $crate::profile::FrameGuard::push(
+                *FRAME_ID.get_or_init(|| $crate::profile::intern($name)),
+            )
+        } else {
+            $crate::profile::FrameGuard::inert()
         }
     };
 }

@@ -25,6 +25,10 @@ enum Entry {
 /// The global registry; obtain it through [`registry`].
 pub struct Registry {
     shards: [Mutex<HashMap<String, Entry>>; SHARDS],
+    /// Per-span-name latency histograms (nanoseconds), fed by span drops
+    /// while live stats aggregation is on. Kept in their own namespace so
+    /// span latencies never collide with user metrics of the same name.
+    span_shards: [Mutex<HashMap<String, &'static Histogram>>; SHARDS],
 }
 
 /// One metric's current state, as captured by [`Registry::snapshot`].
@@ -54,7 +58,10 @@ fn shard_of(name: &str) -> usize {
 
 impl Registry {
     fn new() -> Registry {
-        Registry { shards: std::array::from_fn(|_| Mutex::new(HashMap::new())) }
+        Registry {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            span_shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
     }
 
     /// The counter named `name` (registered on first use).
@@ -93,6 +100,34 @@ impl Registry {
         }
     }
 
+    /// The span-latency histogram named `name` (registered on first use).
+    /// Lives in a namespace separate from [`Registry::histogram`].
+    pub fn span_hist(&self, name: &str) -> &'static Histogram {
+        let shard = &self.span_shards[shard_of(name)];
+        let mut map = match shard.lock() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        };
+        map.entry(name.to_string()).or_insert_with(|| Box::leak(Box::new(Histogram::new())))
+    }
+
+    /// Every span name's latency histogram snapshot, sorted by name. Only
+    /// spans closed while stats aggregation was on appear here.
+    pub fn snapshot_spans(&self) -> Vec<(String, HistogramSnapshot)> {
+        let mut out = Vec::new();
+        for shard in &self.span_shards {
+            let map = match shard.lock() {
+                Ok(g) => g,
+                Err(poison) => poison.into_inner(),
+            };
+            for (name, h) in map.iter() {
+                out.push((name.clone(), h.snapshot()));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Every registered metric's current state, sorted by name.
     pub fn snapshot(&self) -> Vec<(String, MetricSnapshot)> {
         let mut out = Vec::new();
@@ -122,6 +157,15 @@ impl Registry {
                     Entry::Gauge(g) => g.reset(),
                     Entry::Histogram(h) => h.reset(),
                 }
+            }
+        }
+        for shard in &self.span_shards {
+            let map = match shard.lock() {
+                Ok(g) => g,
+                Err(poison) => poison.into_inner(),
+            };
+            for h in map.values() {
+                h.reset();
             }
         }
     }

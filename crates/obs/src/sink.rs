@@ -19,7 +19,7 @@ use crate::value::{write_json_string, Value};
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::{SystemTime, UNIX_EPOCH};
 
@@ -135,33 +135,81 @@ impl Sink for MemorySink {
     }
 }
 
-static TRACE_ON: AtomicBool = AtomicBool::new(false);
+/// Telemetry mode bits, packed into one byte so every fast-path check is a
+/// single relaxed load of [`FLAGS`] regardless of how many subsystems are on.
+pub(crate) const FLAG_TRACE: u8 = 1 << 0;
+pub(crate) const FLAG_STATS: u8 = 1 << 1;
+pub(crate) const FLAG_PROFILE: u8 = 1 << 2;
+
+static FLAGS: AtomicU8 = AtomicU8::new(0);
 
 fn sink_slot() -> &'static RwLock<Option<Arc<dyn Sink>>> {
     static SLOT: OnceLock<RwLock<Option<Arc<dyn Sink>>>> = OnceLock::new();
     SLOT.get_or_init(|| RwLock::new(None))
 }
 
+#[inline(always)]
+fn flags() -> u8 {
+    if cfg!(feature = "off") {
+        return 0;
+    }
+    FLAGS.load(Ordering::Relaxed)
+}
+
+pub(crate) fn set_flag(flag: u8, on: bool) {
+    if on {
+        FLAGS.fetch_or(flag, Ordering::Relaxed);
+    } else {
+        FLAGS.fetch_and(!flag, Ordering::Relaxed);
+    }
+}
+
 /// Whether a trace sink is installed. One relaxed load; with the `off`
 /// feature this is a constant `false` and instrumentation compiles out.
 #[inline(always)]
 pub fn trace_enabled() -> bool {
-    if cfg!(feature = "off") {
-        return false;
-    }
-    TRACE_ON.load(Ordering::Relaxed)
+    flags() & FLAG_TRACE != 0
+}
+
+/// Whether live stats aggregation is on (per-span-name latency histograms
+/// feeding [`crate::TelemetrySnapshot`], enabled by the metrics endpoint).
+#[inline(always)]
+pub fn stats_enabled() -> bool {
+    flags() & FLAG_STATS != 0
+}
+
+/// Whether the sampling profiler is running (span opens/closes maintain the
+/// per-thread profile stack).
+#[inline(always)]
+pub fn profiling_enabled() -> bool {
+    flags() & FLAG_PROFILE != 0
+}
+
+/// Whether any telemetry subsystem wants spans opened: a trace sink, live
+/// stats aggregation, or the sampling profiler. Still one relaxed load —
+/// this is the check the `span!` macros front-load.
+#[inline(always)]
+pub fn telemetry_enabled() -> bool {
+    flags() != 0
+}
+
+/// Turn live stats aggregation on or off (normally done by
+/// [`crate::export::serve`] / `IRNUMA_METRICS`, but tests and embedders can
+/// flip it directly).
+pub fn set_stats_enabled(on: bool) {
+    set_flag(FLAG_STATS, on);
 }
 
 /// Install the process-global trace sink (replacing any previous one).
 pub fn set_sink(sink: Arc<dyn Sink>) {
     *sink_slot().write().expect("sink lock") = Some(sink);
-    TRACE_ON.store(!cfg!(feature = "off"), Ordering::Relaxed);
+    set_flag(FLAG_TRACE, true);
 }
 
 /// Remove the global sink (flushing it first).
 pub fn clear_sink() {
     let prev = sink_slot().write().expect("sink lock").take();
-    TRACE_ON.store(false, Ordering::Relaxed);
+    set_flag(FLAG_TRACE, false);
     if let Some(s) = prev {
         s.flush();
     }

@@ -48,6 +48,13 @@ struct ActiveSpan {
     name: &'static str,
     fields: Vec<(&'static str, Value)>,
     start: Instant,
+    /// Cumulative bytes this thread had allocated when the span opened
+    /// (present only while the counting allocator is live) — the drop
+    /// attaches the delta as an `alloc_bytes` field.
+    alloc_at_open: Option<u64>,
+    /// Whether this span pushed a frame onto the thread's profile stack
+    /// (profiling may toggle mid-span; only pop what was pushed).
+    profiled: bool,
 }
 
 /// An open span; emits its event when dropped. Construct through the
@@ -83,8 +90,22 @@ impl SpanGuard {
     ) -> SpanGuard {
         let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
         CURRENT.with(|c| c.set(id));
+        let alloc_at_open = crate::alloc::tracking_active().then(crate::alloc::thread_allocated);
+        let profiled = crate::profiling_enabled();
+        if profiled {
+            crate::profile::push_span_frame(name);
+        }
         SpanGuard {
-            inner: Some(ActiveSpan { id, parent, prev, name, fields, start: Instant::now() }),
+            inner: Some(ActiveSpan {
+                id,
+                parent,
+                prev,
+                name,
+                fields,
+                start: Instant::now(),
+                alloc_at_open,
+                profiled,
+            }),
         }
     }
 
@@ -118,8 +139,21 @@ impl Drop for SpanGuard {
         let Some(s) = self.inner.take() else { return };
         let dur_ns = u64::try_from(s.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         CURRENT.with(|c| c.set(s.prev));
+        if s.profiled {
+            crate::profile::pop_span_frame();
+        }
+        if crate::stats_enabled() {
+            crate::registry().span_hist(s.name).record(dur_ns);
+        }
+        if !crate::trace_enabled() {
+            return;
+        }
         let mut event = Event::now("span", s.name);
         event.fields = s.fields;
+        if let Some(at_open) = s.alloc_at_open {
+            let delta = crate::alloc::thread_allocated().saturating_sub(at_open);
+            event = event.field("alloc_bytes", delta);
+        }
         let thread = THREAD_IDX.with(|t| *t);
         event = event
             .field("span", s.id)
@@ -135,8 +169,11 @@ impl Drop for SpanGuard {
 /// tracing is disabled, so callers can use it for their own reporting.
 pub fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
-    let guard =
-        if crate::trace_enabled() { SpanGuard::new(name, Vec::new()) } else { SpanGuard::inert() };
+    let guard = if crate::telemetry_enabled() {
+        SpanGuard::new(name, Vec::new())
+    } else {
+        SpanGuard::inert()
+    };
     let out = f();
     drop(guard);
     (out, start.elapsed().as_secs_f64())

@@ -1,0 +1,62 @@
+//! End-to-end allocation accounting with `CountingAlloc` actually installed
+//! as the global allocator — mirrors what the CLI binary does under its
+//! `alloc-track` feature. Run with:
+//!
+//! ```text
+//! cargo test -p irnuma-obs --features alloc-track --test alloc_track
+//! ```
+
+#![cfg(feature = "alloc-track")]
+
+use irnuma_obs::alloc::{self, CountingAlloc};
+use irnuma_obs::{clear_sink, set_sink, span, Event, MemorySink, Value};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+#[test]
+fn installed_allocator_counts_and_feeds_span_deltas() {
+    // The test harness itself allocates long before this runs, so the
+    // installed allocator is detectable without any setup.
+    assert!(alloc::tracking_active());
+    assert!(alloc::alloc_calls() > 0);
+    assert!(alloc::total_allocated() > 0);
+
+    // A fresh allocation moves every figure.
+    let (t0, th0) = (alloc::total_allocated(), alloc::thread_allocated());
+    let buf = vec![0u8; 1 << 20];
+    assert!(alloc::total_allocated() >= t0 + (1 << 20));
+    assert!(alloc::thread_allocated() >= th0 + (1 << 20));
+    assert!(alloc::peak_bytes() >= 1 << 20);
+    assert!(alloc::live_bytes() >= 1 << 20);
+    drop(buf);
+
+    // Gauges publish on refresh.
+    alloc::refresh_mem_gauges();
+    let snap = irnuma_obs::TelemetrySnapshot::capture();
+    let gauge = |name: &str| {
+        snap.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("{name} missing: {:?}", snap.gauges))
+            .1
+    };
+    assert!(gauge("mem.alloc_bytes") > 0.0);
+    assert!(gauge("mem.peak_bytes") >= gauge("mem.live_bytes"));
+
+    // Spans attach per-thread allocation deltas to their trace events.
+    let sink = MemorySink::new();
+    set_sink(sink.clone());
+    {
+        let _s = span!("alloc.test.stage");
+        let held = vec![0u8; 4096];
+        std::hint::black_box(&held);
+    }
+    clear_sink();
+    let events: Vec<Event> = sink.events();
+    let e = events.iter().find(|e| e.name == "alloc.test.stage").expect("span event emitted");
+    match e.get("alloc_bytes") {
+        Some(&Value::U64(v)) => assert!(v >= 4096, "span saw its own allocations: {v}"),
+        other => panic!("alloc_bytes field: {other:?} in {e:?}"),
+    }
+}

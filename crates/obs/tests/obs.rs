@@ -224,3 +224,55 @@ fn timed_returns_duration_even_without_tracing() {
     assert_eq!(out, 7);
     assert!(secs >= 0.002);
 }
+
+#[test]
+fn snapshot_capture_is_consistent_under_concurrent_writers() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    // Writers hammer a counter and a histogram while the main thread
+    // captures snapshots. Every observed counter value must be monotonic
+    // across captures and bounded by what was actually written; histogram
+    // counts must never run ahead of their sums' implied record count.
+    let stop = std::sync::Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..4)
+        .map(|_| {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut written = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    irnuma_obs::registry().counter("snapcon.counter").inc(1);
+                    irnuma_obs::registry().histogram("snapcon.hist").record(7);
+                    written += 1;
+                }
+                written
+            })
+        })
+        .collect();
+
+    let mut last_counter = 0u64;
+    for _ in 0..200 {
+        let snap = irnuma_obs::TelemetrySnapshot::capture();
+        if let Some((_, v)) = snap.counters.iter().find(|(n, _)| n == "snapcon.counter") {
+            assert!(*v >= last_counter, "counter went backwards: {v} < {last_counter}");
+            last_counter = *v;
+        }
+        if let Some((_, h)) = snap.hists.iter().find(|(n, _)| n == "snapcon.hist") {
+            // Every record adds exactly 7 to the sum; a snapshot may catch a
+            // record between its count and sum updates, so allow slack of
+            // one in-flight record per writer in either direction.
+            let implied = h.sum / 7;
+            assert!(
+                implied.abs_diff(h.count) <= 4,
+                "histogram count {} vs sum-implied {}",
+                h.count,
+                implied
+            );
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+    let final_snap = irnuma_obs::TelemetrySnapshot::capture();
+    let (_, v) =
+        final_snap.counters.iter().find(|(n, _)| n == "snapcon.counter").expect("counter present");
+    assert_eq!(*v, total, "final snapshot sees every write");
+}

@@ -84,7 +84,7 @@ impl PassManager {
         let mut changed = 0;
         for name in sequence {
             let pass = find_pass(name).ok_or_else(|| PassError::UnknownPass(name.clone()))?;
-            if irnuma_obs::trace_enabled() {
+            if irnuma_obs::telemetry_enabled() {
                 let t0 = std::time::Instant::now();
                 if pass.run(m) {
                     changed += 1;

@@ -36,7 +36,7 @@ impl std::error::Error for SearchError {}
 /// `calls` invocations (the paper's sampled exploration uses 10 calls).
 pub fn mean_time(r: &RegionSpec, m: &Machine, c: &Config, size: InputSize, calls: u32) -> f64 {
     let calls = calls.max(1);
-    if irnuma_obs::trace_enabled() {
+    if irnuma_obs::telemetry_enabled() {
         irnuma_obs::counter!("sim.calls").inc(calls as u64);
     }
     let total: f64 = (0..calls).map(|k| simulate(&r.name, &r.profile, m, c, size, k).seconds).sum();

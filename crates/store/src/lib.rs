@@ -50,6 +50,14 @@ fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
+/// [`invalid`], but for genuine on-disk damage (truncation, bit flips, torn
+/// headers) as opposed to usage errors like a kind mismatch — damage is
+/// additionally counted so operators see it in `irnuma top`.
+fn corruption(msg: impl Into<String>) -> io::Error {
+    irnuma_obs::counter!("store.corruption_detected").inc(1);
+    invalid(msg)
+}
+
 fn tmp_path(path: &Path) -> PathBuf {
     let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("artifact");
     path.with_file_name(format!(".{name}.tmp"))
@@ -78,7 +86,15 @@ pub fn atomic_write_with(
     let result = (|| {
         let mut f = fs::File::create(&tmp)?;
         write(&mut f)?;
-        f.sync_all()?;
+        if irnuma_obs::telemetry_enabled() {
+            let written = f.metadata().map(|m| m.len()).unwrap_or(0);
+            let t0 = std::time::Instant::now();
+            f.sync_all()?;
+            irnuma_obs::histogram!("store.fsync_ns").record_duration(t0.elapsed());
+            irnuma_obs::counter!("store.write_bytes").inc(written);
+        } else {
+            f.sync_all()?;
+        }
         fs::rename(&tmp, path)?;
         sync_dir(path);
         Ok(())
@@ -137,9 +153,9 @@ pub fn parse_frame<'a>(expected_kind: &str, bytes: &'a [u8]) -> io::Result<&'a [
     let nl = bytes
         .iter()
         .position(|&b| b == b'\n')
-        .ok_or_else(|| invalid("store header: missing newline (truncated header)"))?;
-    let header =
-        std::str::from_utf8(&bytes[..nl]).map_err(|_| invalid("store header: not valid UTF-8"))?;
+        .ok_or_else(|| corruption("store header: missing newline (truncated header)"))?;
+    let header = std::str::from_utf8(&bytes[..nl])
+        .map_err(|_| corruption("store header: not valid UTF-8"))?;
     let payload = &bytes[nl + 1..];
 
     let mut fields = header[MAGIC.len()..].split(' ');
@@ -165,14 +181,14 @@ pub fn parse_frame<'a>(expected_kind: &str, bytes: &'a [u8]) -> io::Result<&'a [
         )));
     }
     if payload.len() != len {
-        return Err(invalid(format!(
+        return Err(corruption(format!(
             "artifact truncated or padded: header says {len} bytes, file holds {}",
             payload.len()
         )));
     }
     let actual = fnv1a64(payload);
     if actual != sum {
-        return Err(invalid(format!(
+        return Err(corruption(format!(
             "artifact checksum mismatch (stored {sum:016x}, computed {actual:016x}): corrupt file"
         )));
     }

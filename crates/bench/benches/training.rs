@@ -76,10 +76,14 @@ fn main() {
     }
 
     // Tracing overhead: the identical fused epoch with a live JSONL sink
-    // (epoch/batch spans, scratch + reduction counters) must stay under 2%.
-    // Measured as alternating untraced/traced pairs — the median of the
-    // per-pair ratios — because back-to-back criterion medians drift by
-    // more than the effect being measured on a busy host.
+    // must stay under the gate. With a sink installed, causal tracing is
+    // fully on: epoch/batch root spans PLUS the per-worker fan-out spans
+    // (`train.graph_grads` inheriting the epoch's trace context across the
+    // rayon boundary), so this ratio prices the whole propagation machinery,
+    // not just the top-level spans. Measured as alternating untraced/traced
+    // pairs — the median of the per-pair ratios — because back-to-back
+    // criterion medians drift by more than the effect being measured on a
+    // busy host.
     let trace_path = std::env::temp_dir().join("irnuma-bench-training-trace.jsonl");
     let sink = std::sync::Arc::new(irnuma_obs::JsonlSink::create(&trace_path).expect("trace file"));
     let pairs = if quick { 3 } else { 15 };
@@ -152,10 +156,14 @@ fn main() {
             "warning: specialized dispatch slower than generic on training ({spec_speedup:.2}x)"
         );
     }
+    // Budget mirrors the training/tracing_overhead_ratio gate in
+    // results/bench_baselines.json (<= 1.10): training epochs are short in
+    // quick mode, so the per-worker fan-out spans weigh more than on the
+    // long-latency inference path (whose gate stays at 1.02).
     let overhead_pct = (overhead_ratio - 1.0) * 100.0;
-    println!("tracing overhead on fused training: {overhead_pct:+.2}% (budget <2%)");
-    if overhead_pct >= 2.0 {
-        eprintln!("warning: tracing overhead {overhead_pct:.2}% exceeds the 2% budget");
+    println!("tracing overhead on fused training: {overhead_pct:+.2}% (budget <10%)");
+    if overhead_pct >= 10.0 {
+        eprintln!("warning: tracing overhead {overhead_pct:.2}% exceeds the 10% budget");
     }
     if speedup < 1.0 {
         eprintln!("warning: fused engine slower than the tape ({speedup:.2}x)");

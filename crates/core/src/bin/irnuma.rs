@@ -14,7 +14,7 @@ use irnuma_core::dataset::{
     build_dataset, build_dataset_report, BuildOptions, Dataset, DatasetParams,
 };
 use irnuma_core::models::static_gnn::{training_sequence_ids, StaticModel, StaticParams};
-use irnuma_core::{bench_check, top as top_view, trace_report};
+use irnuma_core::{bench_check, top as top_view, trace_report, trace_tree};
 use irnuma_graph::{build_module_graph, to_dot, Vocab};
 use irnuma_ir::extract::extract_region;
 use irnuma_ir::{print_module, Interp, InterpConfig, Value};
@@ -59,6 +59,7 @@ fn main() -> ExitCode {
         "train" => train(rest),
         "predict" => predict(rest),
         "report" => report(rest),
+        "trace" => trace(rest),
         "top" => top(rest),
         "bench-check" => run_bench_check(rest),
         "--help" | "-h" | "help" => {
@@ -94,6 +95,10 @@ USAGE:
   irnuma predict <region> [--arch <a>] [--dataset <file.json>]
                  [--seqs <n>] [--epochs <n>]
   irnuma report <trace.jsonl> [--require stage1,stage2,...] [--json]
+                 [--sort total|p99|count]
+  irnuma trace analyze <trace.jsonl> [--roots name1,name2,...]
+                 [--require-roots name1,name2,...]
+  irnuma trace export <trace.jsonl> --perfetto <out.json>
   irnuma top     [--once | --watch <secs>] [--connect <addr>]
                  [--listen <addr>]
   irnuma bench-check [--quick] [--baselines <file.json>] [--root <dir>]
@@ -102,6 +107,11 @@ Any command also accepts --no-dispatch: run the generic GNN kernels
 instead of the shape-specialized dispatch layer (same bits, no
 specialization — a fallback/debugging escape hatch).
 
+`report` is the flat per-stage profile; `trace analyze` rebuilds the
+causal span forest and reports each root span's critical path,
+parallelism efficiency, and queue-vs-compute split. `trace export
+--perfetto` writes a Chrome trace-event file loadable in
+ui.perfetto.dev, with per-thread tracks and fan-out flow arrows.
 `top` renders live telemetry: point --connect at any irnuma process
 started with IRNUMA_METRICS=<addr> (default: this process's own
 registry; --listen additionally serves it for scrapers).
@@ -387,7 +397,12 @@ fn predict(rest: &[String]) -> Result<(), String> {
 
 fn report(rest: &[String]) -> Result<(), String> {
     let path = rest.first().ok_or("missing trace file (irnuma report <trace.jsonl>)")?;
-    let r = trace_report::load(std::path::Path::new(path))?;
+    let mut r = trace_report::load(std::path::Path::new(path))?;
+    if let Some(key) = opt_value(rest, "--sort") {
+        let key = trace_report::SortKey::parse(key)
+            .ok_or_else(|| format!("bad --sort `{key}` (total|p99|count)"))?;
+        r.sort_spans(key);
+    }
     if r.malformed_lines > 0 {
         eprintln!("report.malformed_lines: {} (skipped)", r.malformed_lines);
     }
@@ -405,6 +420,41 @@ fn report(rest: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn trace(rest: &[String]) -> Result<(), String> {
+    let sub = rest.first().map(String::as_str);
+    let args = rest.get(1..).unwrap_or(&[]);
+    let split_names = |v: &str| -> Vec<String> {
+        v.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect()
+    };
+    match sub {
+        Some("analyze") => {
+            let path = args.first().ok_or("missing trace file (irnuma trace analyze <f>)")?;
+            let spans = trace_tree::load_spans(Path::new(path))?;
+            let opts = trace_tree::AnalyzeOptions {
+                roots: opt_value(args, "--roots").map(split_names),
+                require_roots: opt_value(args, "--require-roots")
+                    .map(split_names)
+                    .unwrap_or_default(),
+            };
+            print!("{}", trace_tree::analyze(spans, &opts)?);
+            Ok(())
+        }
+        Some("export") => {
+            let path = args.first().ok_or("missing trace file (irnuma trace export <f>)")?;
+            let out = opt_value(args, "--perfetto").ok_or("missing --perfetto <out.json>")?;
+            let spans = trace_tree::load_spans(Path::new(path))?;
+            trace_tree::export_perfetto(&spans, Path::new(out))?;
+            println!(
+                "wrote {out}: {} spans ({} skipped lines) — load in ui.perfetto.dev",
+                spans.records.len(),
+                spans.skipped_lines
+            );
+            Ok(())
+        }
+        _ => Err("usage: irnuma trace analyze|export <trace.jsonl> …".to_string()),
+    }
 }
 
 fn top(rest: &[String]) -> Result<(), String> {

@@ -29,15 +29,21 @@ pub struct Fig10 {
 
 /// `calls` mirrors the paper's sampled execution (10 calls per region).
 pub fn run(calls: u32) -> Fig10 {
-    let _span = irnuma_obs::span!("exp.fig10", calls = calls);
+    let span = irnuma_obs::span!("exp.fig10", calls = calls);
     let m = Machine::new(MicroArch::XeonGold);
     let configs = config_space(&m);
     let def = default_config(&m);
     let def_idx = configs.iter().position(|c| *c == def).expect("default in space");
 
+    // Attach-style propagation: workers install the experiment's context on
+    // their thread, so the per-region spans (and anything the simulator
+    // opens beneath them) nest under `exp.fig10` in the trace forest.
+    let ctx = span.ctx();
     let rows: Vec<Fig10Row> = all_regions()
         .into_par_iter()
         .map(|r| {
+            let _scope = ctx.attach();
+            let _rs = irnuma_obs::span!("exp.fig10_region", region = r.name.as_str());
             let sweep = |size: InputSize| -> Vec<f64> {
                 configs
                     .iter()

@@ -33,9 +33,14 @@ pub struct InputSensitivity {
 fn transfer_losses(ds: &Dataset, calls: u32) -> Vec<f64> {
     let m = Machine::new(MicroArch::XeonGold);
     let configs = config_space(&m);
+    // Capture the caller's open span (`exp.input_sensitivity`) and attach
+    // it on each worker so the per-region sweeps nest under it causally.
+    let ctx = irnuma_obs::TraceContext::capture();
     ds.regions
         .par_iter()
         .map(|r| {
+            let _scope = ctx.attach();
+            let _rs = irnuma_obs::span!("exp.transfer_loss", region = r.spec.name.as_str());
             let sweep = |size: InputSize| -> Vec<f64> {
                 configs
                     .iter()

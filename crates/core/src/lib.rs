@@ -30,6 +30,7 @@ pub mod experiments;
 pub mod models;
 pub mod top;
 pub mod trace_report;
+pub mod trace_tree;
 
 pub use dataset::{
     build_dataset, build_dataset_report, BuildOptions, Dataset, DatasetBuild, DatasetError,

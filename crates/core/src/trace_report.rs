@@ -55,6 +55,33 @@ pub struct TraceReport {
     pub gauges: Vec<(String, f64)>,
     pub hists: Vec<HistStat>,
     pub log_lines: usize,
+    /// Σ duration over root spans (`parent_id == 0`) — the wall-clock
+    /// denominator for the `%wall` column. 0 when the trace has no roots
+    /// (e.g. produced by a pre-causal binary emitting only nested spans).
+    pub root_wall_ns: u64,
+}
+
+/// Sort order for the per-stage table (`irnuma report --sort`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SortKey {
+    /// Total wall time, descending (the default).
+    #[default]
+    Total,
+    /// p99 latency, descending — surfaces rare-but-slow stages.
+    P99,
+    /// Invocation count, descending — surfaces the hottest call sites.
+    Count,
+}
+
+impl SortKey {
+    pub fn parse(s: &str) -> Option<SortKey> {
+        match s {
+            "total" => Some(SortKey::Total),
+            "p99" => Some(SortKey::P99),
+            "count" => Some(SortKey::Count),
+            _ => None,
+        }
+    }
 }
 
 /// Nearest-rank quantile over an ascending-sorted slice.
@@ -103,6 +130,12 @@ fn load_line(
         "span" => {
             let dur = get_u64(fields, "dur_ns").ok_or(())?;
             let alloc = get_u64(fields, "alloc_bytes").unwrap_or(0);
+            // Root spans (no parent) partition the run's wall-clock; their
+            // summed duration is the `%wall` denominator.
+            let parent = get_u64(fields, "parent_id").or_else(|| get_u64(fields, "parent"));
+            if parent == Some(0) {
+                report.root_wall_ns += dur;
+            }
             match spans.iter_mut().find(|(n, _)| *n == name) {
                 Some((_, acc)) => {
                     acc.durations.push(dur);
@@ -168,7 +201,7 @@ pub fn load(path: &Path) -> Result<TraceReport, String> {
             alloc_bytes: acc.alloc_bytes,
         });
     }
-    report.spans.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+    report.sort_spans(SortKey::Total);
     report.counters.sort();
     report.gauges.sort_by(|a, b| a.0.cmp(&b.0));
     report.hists.sort_by(|a, b| a.name.cmp(&b.name));
@@ -194,6 +227,19 @@ fn json_str(s: &str, out: &mut String) {
 }
 
 impl TraceReport {
+    /// Re-sort the per-stage table (descending by `key`, name-tiebroken so
+    /// output stays deterministic).
+    pub fn sort_spans(&mut self, key: SortKey) {
+        self.spans.sort_by(|a, b| {
+            let ord = match key {
+                SortKey::Total => b.total_ns.cmp(&a.total_ns),
+                SortKey::P99 => b.p99_ns.cmp(&a.p99_ns),
+                SortKey::Count => b.count.cmp(&a.count),
+            };
+            ord.then_with(|| a.name.cmp(&b.name))
+        });
+    }
+
     /// Check that every named stage appears at least once as a span.
     pub fn require(&self, stages: &[&str]) -> Result<(), String> {
         let missing: Vec<&str> = stages
@@ -249,10 +295,12 @@ impl TraceReport {
 
     /// Render the per-stage wall-time/percentile table (plus metric
     /// flushes). An `alloc_mb` column appears when any stage carried
-    /// allocation deltas.
+    /// allocation deltas; a `%wall` column (stage total as a share of the
+    /// summed root-span wall-clock) appears when the trace has root spans.
     pub fn render(&self) -> String {
         let ms = |ns: u64| ns as f64 / 1e6;
         let with_alloc = self.spans.iter().any(|s| s.alloc_bytes > 0);
+        let with_wall = self.root_wall_ns > 0;
         let mut out = String::new();
         out.push_str(&format!(
             "{} events: {} span groups, {} counters, {} gauges, {} histograms, {} logs\n\n",
@@ -267,6 +315,9 @@ impl TraceReport {
             "{:<28} {:>7} {:>12} {:>11} {:>11} {:>11} {:>11}",
             "stage", "count", "total_ms", "p50_ms", "p90_ms", "p99_ms", "max_ms"
         ));
+        if with_wall {
+            out.push_str(&format!(" {:>7}", "%wall"));
+        }
         if with_alloc {
             out.push_str(&format!(" {:>10}", "alloc_mb"));
         }
@@ -282,6 +333,12 @@ impl TraceReport {
                 ms(s.p99_ns),
                 ms(s.max_ns)
             ));
+            if with_wall {
+                // A nested stage running across N workers can exceed 100%
+                // of the root wall — that is the parallelism, not a bug.
+                let pct = 100.0 * s.total_ns as f64 / self.root_wall_ns as f64;
+                out.push_str(&format!(" {pct:>6.1}%"));
+            }
             if with_alloc {
                 out.push_str(&format!(" {:>10.2}", s.alloc_bytes as f64 / (1 << 20) as f64));
             }
@@ -325,8 +382,9 @@ impl TraceReport {
         let mut out = String::with_capacity(512);
         let _ = write!(
             out,
-            "{{\"total_events\":{},\"malformed_lines\":{},\"log_lines\":{},\"spans\":[",
-            self.total_events, self.malformed_lines, self.log_lines
+            "{{\"total_events\":{},\"malformed_lines\":{},\"log_lines\":{},\"root_wall_ns\":{},\
+             \"spans\":[",
+            self.total_events, self.malformed_lines, self.log_lines, self.root_wall_ns
         );
         for (i, s) in self.spans.iter().enumerate() {
             if i > 0 {
@@ -475,6 +533,62 @@ mod tests {
         let r = load(&path).unwrap();
         assert!(!r.render().contains("kernel dispatch"), "{}", r.render());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sort_keys_reorder_the_table() {
+        let path = write_trace(
+            "sortkeys.jsonl",
+            &[
+                &span_line("many_fast", 10),
+                &span_line("many_fast", 10),
+                &span_line("many_fast", 10),
+                &span_line("one_slow", 2_000),
+                &span_line("mid", 500),
+                &span_line("mid", 600),
+            ],
+        );
+        let mut r = load(&path).unwrap();
+        assert_eq!(r.spans[0].name, "one_slow", "default sort is by total");
+        r.sort_spans(SortKey::Count);
+        assert_eq!(r.spans[0].name, "many_fast");
+        r.sort_spans(SortKey::P99);
+        assert_eq!(r.spans[0].name, "one_slow");
+        assert_eq!(SortKey::parse("count"), Some(SortKey::Count));
+        assert_eq!(SortKey::parse("nope"), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn root_spans_drive_the_wall_percentage_column() {
+        let nested = |name: &str, parent: u64, dur: u64| {
+            format!(
+                r#"{{"ts_ns":1,"kind":"span","name":"{name}","fields":{{"span":9,"parent":{parent},"parent_id":{parent},"thread":1,"dur_ns":{dur}}}}}"#
+            )
+        };
+        let path = write_trace(
+            "wall.jsonl",
+            &[
+                &nested("train.fit", 0, 10_000_000), // root: the denominator
+                &nested("train.epoch", 9, 8_000_000),
+                &nested("train.epoch", 9, 1_000_000),
+            ],
+        );
+        let r = load(&path).unwrap();
+        assert_eq!(r.root_wall_ns, 10_000_000);
+        let table = r.render();
+        assert!(table.contains("%wall"), "{table}");
+        assert!(table.contains("100.0%"), "{table}");
+        assert!(table.contains("90.0%"), "{table}");
+        assert!(r.to_json().contains("\"root_wall_ns\":10000000"));
+        std::fs::remove_file(&path).ok();
+
+        // A trace with no root spans hides the column.
+        let path2 = write_trace("nowall.jsonl", &[&nested("x", 5, 100)]);
+        let r2 = load(&path2).unwrap();
+        assert_eq!(r2.root_wall_ns, 0);
+        assert!(!r2.render().contains("%wall"));
+        std::fs::remove_file(&path2).ok();
     }
 
     #[test]

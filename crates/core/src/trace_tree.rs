@@ -1,0 +1,401 @@
+//! Causal trace analysis: JSONL → span forest → critical paths.
+//!
+//! Where [`crate::trace_report`] aggregates spans by *name* (a flat
+//! profile), this module rebuilds the *hierarchy* from the causal fields
+//! (`trace_id`/`span_id`/`parent_id`) every span event carries and answers
+//! structural questions: what bounded an epoch's wall-clock, how well did
+//! the fan-out parallelize, how much time went to queueing versus compute.
+//! Backs `irnuma trace analyze` and `irnuma trace export --perfetto`; the
+//! forest algorithms live in `irnuma-obs` ([`SpanForest`]), this module
+//! owns the JSON parsing and rendering.
+
+use irnuma_obs::{SpanForest, SpanRecord};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Span names treated as analysis roots even when they nest under a larger
+/// umbrella span (`train.epoch` sits under `train.fit`, but the per-epoch
+/// breakdown is what the acceptance questions ask about).
+pub const WELL_KNOWN_ROOTS: [&str; 4] = ["train.epoch", "infer.batch", "dataset.build", "ml.ga"];
+
+/// The span events of one JSONL trace file.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSpans {
+    pub records: Vec<SpanRecord>,
+    /// Non-span events (logs, metric flushes) — not an error, just not ours.
+    pub other_events: usize,
+    /// Lines that failed to parse or lacked the span schema (tallied, like
+    /// `trace_report`, so a truncated trace still analyzes).
+    pub skipped_lines: usize,
+}
+
+/// Keys consumed into [`SpanRecord`] structure; everything else lands in
+/// `args` (and from there in Perfetto `args`).
+const CAUSAL_KEYS: [&str; 7] =
+    ["span", "parent", "trace_id", "span_id", "parent_id", "thread", "dur_ns"];
+
+fn span_from_json(v: &serde_json::Value) -> Option<SpanRecord> {
+    if v.field("kind")?.as_str()? != "span" {
+        return None;
+    }
+    let ts_ns = v.field("ts_ns")?.as_u64()?;
+    let name = v.field("name")?.as_str()?.to_string();
+    let fields = v.field("fields")?;
+    let serde_json::Value::Object(pairs) = fields else { return None };
+    let get = |key: &str| fields.field(key).and_then(|f| f.as_u64());
+    let dur_ns = get("dur_ns")?;
+    let span_id = get("span_id").or_else(|| get("span"))?;
+    let parent_id = get("parent_id").or_else(|| get("parent")).unwrap_or(0);
+    let args = pairs
+        .iter()
+        .filter(|(k, _)| !CAUSAL_KEYS.contains(&k.as_str()))
+        .map(|(k, val)| {
+            let s = match val {
+                serde_json::Value::Str(s) => s.clone(),
+                other => serde_json::value_to_string(other),
+            };
+            (k.clone(), s)
+        })
+        .collect();
+    Some(SpanRecord {
+        trace_id: get("trace_id").unwrap_or(0),
+        span_id,
+        parent_id,
+        thread: get("thread").unwrap_or(0),
+        name,
+        // Span events are emitted at close; recover the start.
+        start_ns: ts_ns.saturating_sub(dur_ns),
+        dur_ns,
+        args,
+    })
+}
+
+/// Parse the span events out of a JSONL trace file.
+pub fn load_spans(path: &Path) -> Result<TraceSpans, String> {
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut out = TraceSpans::default();
+    for line in body.lines() {
+        if line.trim().is_empty() {
+            out.skipped_lines += 1;
+            continue;
+        }
+        match serde_json::parse_value(line) {
+            Ok(v) => match v.field("kind").and_then(|k| k.as_str()) {
+                Some("span") => match span_from_json(&v) {
+                    Some(r) => out.records.push(r),
+                    None => out.skipped_lines += 1,
+                },
+                Some(_) => out.other_events += 1,
+                None => out.skipped_lines += 1,
+            },
+            Err(_) => out.skipped_lines += 1,
+        }
+    }
+    Ok(out)
+}
+
+/// Options for [`analyze`].
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzeOptions {
+    /// Analyze exactly the spans with these names as roots (overriding the
+    /// default: forest roots plus [`WELL_KNOWN_ROOTS`]).
+    pub roots: Option<Vec<String>>,
+    /// Fail (Err) unless every one of these names appears among the
+    /// analyzed roots — the CI assertion mode.
+    pub require_roots: Vec<String>,
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Indices of the spans to analyze as roots, sorted by start time.
+fn analysis_roots(forest: &SpanForest, opts: &AnalyzeOptions) -> Vec<usize> {
+    let mut idx: Vec<usize> = match &opts.roots {
+        Some(names) => (0..forest.spans.len())
+            .filter(|&i| names.iter().any(|n| n == &forest.spans[i].name))
+            .collect(),
+        None => {
+            let mut v: Vec<usize> = forest.roots.clone();
+            v.extend(
+                (0..forest.spans.len())
+                    .filter(|&i| WELL_KNOWN_ROOTS.contains(&forest.spans[i].name.as_str())),
+            );
+            v.sort_unstable();
+            v.dedup();
+            v
+        }
+    };
+    idx.sort_by_key(|&i| (forest.spans[i].start_ns, forest.spans[i].span_id));
+    idx
+}
+
+/// Analyze a trace: rebuild the forest, pick the root spans, and render a
+/// per-root-name report with wall-clock, parallelism efficiency,
+/// queue-vs-compute split, and the critical-path decomposition of the
+/// largest instance. Errors only when a `require_roots` name is missing.
+pub fn analyze(spans: TraceSpans, opts: &AnalyzeOptions) -> Result<String, String> {
+    let TraceSpans { records, other_events, skipped_lines } = spans;
+    let forest = SpanForest::build(records);
+    let roots = analysis_roots(&forest, opts);
+
+    for need in &opts.require_roots {
+        if !roots.iter().any(|&i| &forest.spans[i].name == need) {
+            return Err(format!(
+                "trace has no root span named `{need}` (roots seen: {})",
+                if roots.is_empty() {
+                    "none".to_string()
+                } else {
+                    let mut names: Vec<&str> =
+                        roots.iter().map(|&i| forest.spans[i].name.as_str()).collect();
+                    names.sort_unstable();
+                    names.dedup();
+                    names.join(", ")
+                }
+            ));
+        }
+    }
+
+    let traces: std::collections::HashSet<u64> = forest.spans.iter().map(|s| s.trace_id).collect();
+    let threads: std::collections::HashSet<u64> = forest.spans.iter().map(|s| s.thread).collect();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} spans across {} trace(s), {} thread(s); {} true root(s), {} orphan(s)\n",
+        forest.spans.len(),
+        traces.len(),
+        threads.len(),
+        forest.roots.len(),
+        forest.orphans.len()
+    ));
+    if other_events > 0 || skipped_lines > 0 {
+        out.push_str(&format!("({other_events} non-span events, {skipped_lines} skipped lines)\n"));
+    }
+    if !forest.orphans.is_empty() {
+        // Orphans mean a worker span whose parent never closed into the
+        // trace — truncation, or a fan-out site missing ctx propagation.
+        let mut names: Vec<&str> =
+            forest.orphans.iter().map(|&i| forest.spans[i].name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        out.push_str(&format!("warning: orphaned spans (missing parents): {}\n", names.join(", ")));
+    }
+
+    // Group analyzed roots by name so 50 epochs render as one block.
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for &i in &roots {
+        by_name.entry(forest.spans[i].name.as_str()).or_default().push(i);
+    }
+
+    for (name, instances) in by_name {
+        let total_wall: u64 = instances.iter().map(|&i| forest.spans[i].dur_ns).sum();
+        out.push_str(&format!(
+            "\nroot {name}: {} instance(s), total wall {:.3} ms\n",
+            instances.len(),
+            ms(total_wall)
+        ));
+        // The largest instance carries the representative breakdown.
+        let &big = instances
+            .iter()
+            .max_by_key(|&&i| (forest.spans[i].dur_ns, forest.spans[i].span_id))
+            .expect("non-empty instance group");
+        let st = forest.subtree_stats(big);
+        out.push_str(&format!(
+            "  largest: wall {:.3} ms, {} span(s), {} worker(s), busy {:.3} ms, \
+             efficiency {:.2}\n",
+            ms(st.wall_ns),
+            st.spans,
+            st.workers,
+            ms(st.work_ns),
+            st.efficiency
+        ));
+        let busy = st.queue_ns + st.compute_ns;
+        if busy > 0 {
+            out.push_str(&format!(
+                "  queue/orchestration {:.3} ms ({:.1}%) vs leaf compute {:.3} ms\n",
+                ms(st.queue_ns),
+                100.0 * st.queue_ns as f64 / busy as f64,
+                ms(st.compute_ns)
+            ));
+        }
+        // Critical path, folded per span name (chronological segments of
+        // one name merge into a single line with its share of the wall).
+        let path = forest.critical_path(big);
+        let path_total: u64 = path.iter().map(|p| p.self_ns).sum();
+        let mut per_name: Vec<(&str, u64)> = Vec::new();
+        for seg in &path {
+            let seg_name = forest.spans[seg.index].name.as_str();
+            match per_name.iter_mut().find(|(n, _)| *n == seg_name) {
+                Some((_, acc)) => *acc += seg.self_ns,
+                None => per_name.push((seg_name, seg.self_ns)),
+            }
+        }
+        per_name.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        out.push_str(&format!(
+            "  critical path ({} segment(s), sums to {:.3} ms{}):\n",
+            path.len(),
+            ms(path_total),
+            if path_total == st.wall_ns { "" } else { " — MISMATCH vs wall" }
+        ));
+        for (seg_name, self_ns) in per_name {
+            let pct = if st.wall_ns > 0 { 100.0 * self_ns as f64 / st.wall_ns as f64 } else { 0.0 };
+            let marker = if seg_name == name { " (self)" } else { "" };
+            out.push_str(&format!(
+                "    {:<30} {:>10.3} ms {:>5.1}%\n",
+                format!("{seg_name}{marker}"),
+                ms(self_ns),
+                pct
+            ));
+        }
+    }
+    if roots.is_empty() {
+        out.push_str("\nno root spans to analyze\n");
+    }
+    Ok(out)
+}
+
+/// Export the trace's spans as a Chrome/Perfetto trace-event JSON file.
+pub fn export_perfetto(spans: &TraceSpans, out_path: &Path) -> Result<(), String> {
+    let json = irnuma_obs::perfetto::to_chrome_trace(&spans.records);
+    std::fs::write(out_path, json).map_err(|e| format!("cannot write {}: {e}", out_path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn write_trace(name: &str, lines: &[String]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("irnuma-trace-tree-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let mut f = std::fs::File::create(&path).unwrap();
+        for l in lines {
+            writeln!(f, "{l}").unwrap();
+        }
+        path
+    }
+
+    fn span_line(
+        name: &str,
+        trace: u64,
+        span: u64,
+        parent: u64,
+        thread: u64,
+        end: u64,
+        dur: u64,
+    ) -> String {
+        format!(
+            r#"{{"ts_ns":{end},"kind":"span","name":"{name}","fields":{{"span":{span},"parent":{parent},"trace_id":{trace},"span_id":{span},"parent_id":{parent},"thread":{thread},"dur_ns":{dur},"epoch":7}}}}"#
+        )
+    }
+
+    /// train.fit [0,100] on thread 1; train.epoch [5,95] with two worker
+    /// graphs on threads 2 and 3.
+    fn sample_lines() -> Vec<String> {
+        vec![
+            span_line("train.graph", 42, 3, 2, 2, 50, 40),
+            span_line("train.graph", 42, 4, 2, 3, 90, 80),
+            span_line("train.epoch", 42, 2, 1, 1, 95, 90),
+            span_line("train.fit", 42, 1, 0, 1, 100, 100),
+            format!(r#"{{"ts_ns":1,"kind":"log","name":"hello","fields":{{}}}}"#),
+        ]
+    }
+
+    #[test]
+    fn loads_spans_and_recovers_starts_and_args() {
+        let path = write_trace("load.jsonl", &sample_lines());
+        let t = load_spans(&path).unwrap();
+        assert_eq!(t.records.len(), 4);
+        assert_eq!(t.other_events, 1);
+        assert_eq!(t.skipped_lines, 0);
+        let fit = t.records.iter().find(|r| r.name == "train.fit").unwrap();
+        assert_eq!((fit.start_ns, fit.dur_ns, fit.trace_id), (0, 100, 42));
+        assert_eq!(fit.args, vec![("epoch".to_string(), "7".to_string())]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn analyze_reports_epoch_roots_and_critical_path() {
+        let path = write_trace("analyze.jsonl", &sample_lines());
+        let t = load_spans(&path).unwrap();
+        let report = analyze(t, &AnalyzeOptions::default()).unwrap();
+        // train.fit is a true root; train.epoch is a well-known root even
+        // though it nests under fit.
+        assert!(report.contains("root train.fit"), "{report}");
+        assert!(report.contains("root train.epoch"), "{report}");
+        assert!(report.contains("0 orphan(s)"), "{report}");
+        assert!(report.contains("3 thread(s)"), "{report}");
+        // The epoch's critical path must account for its full 90ns wall
+        // (rendered in ms) without a mismatch marker.
+        assert!(report.contains("sums to 0.000090 ms") || report.contains("sums to 0.000"));
+        assert!(!report.contains("MISMATCH"), "{report}");
+        assert!(report.contains("train.graph"), "{report}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn require_roots_errors_on_missing_names() {
+        let path = write_trace("require.jsonl", &sample_lines());
+        let t = load_spans(&path).unwrap();
+        let opts = AnalyzeOptions {
+            require_roots: vec!["train.epoch".into(), "infer.batch".into()],
+            ..Default::default()
+        };
+        let err = analyze(t, &opts).unwrap_err();
+        assert!(err.contains("infer.batch"), "{err}");
+        assert!(err.contains("train.epoch"), "lists the roots it did see: {err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn roots_override_narrows_the_analysis() {
+        let path = write_trace("override.jsonl", &sample_lines());
+        let t = load_spans(&path).unwrap();
+        let opts = AnalyzeOptions { roots: Some(vec!["train.epoch".into()]), ..Default::default() };
+        let report = analyze(t, &opts).unwrap();
+        assert!(report.contains("root train.epoch"), "{report}");
+        assert!(!report.contains("root train.fit"), "{report}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn orphans_are_flagged() {
+        let lines = vec![span_line("lost.worker", 9, 5, 999, 2, 50, 10)];
+        let path = write_trace("orphan.jsonl", &lines);
+        let t = load_spans(&path).unwrap();
+        let report = analyze(t, &AnalyzeOptions::default()).unwrap();
+        assert!(report.contains("1 orphan(s)"), "{report}");
+        assert!(report.contains("lost.worker"), "{report}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pre_causal_traces_fall_back_to_span_parent_fields() {
+        let lines = vec![
+            r#"{"ts_ns":100,"kind":"span","name":"old.child","fields":{"span":2,"parent":1,"thread":1,"dur_ns":40}}"#.to_string(),
+            r#"{"ts_ns":120,"kind":"span","name":"old.root","fields":{"span":1,"parent":0,"thread":1,"dur_ns":100}}"#.to_string(),
+        ];
+        let path = write_trace("legacy.jsonl", &lines);
+        let t = load_spans(&path).unwrap();
+        assert_eq!(t.records.len(), 2);
+        let report = analyze(t, &AnalyzeOptions::default()).unwrap();
+        assert!(report.contains("root old.root"), "{report}");
+        assert!(report.contains("0 orphan(s)"), "{report}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn perfetto_export_writes_loadable_json() {
+        let path = write_trace("perfetto.jsonl", &sample_lines());
+        let t = load_spans(&path).unwrap();
+        let out = path.with_extension("perfetto.json");
+        export_perfetto(&t, &out).unwrap();
+        let body = std::fs::read_to_string(&out).unwrap();
+        let v = serde_json::parse_value(&body).expect("valid JSON");
+        let events = v.field("traceEvents").and_then(|e| e.as_array()).unwrap();
+        assert!(events.len() >= 4, "{body}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&out).ok();
+    }
+}

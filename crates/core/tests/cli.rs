@@ -256,3 +256,64 @@ fn trace_then_report_covers_the_pipeline() {
     std::fs::remove_file(&trace).ok();
     std::fs::remove_file(&bad).ok();
 }
+
+#[test]
+fn trace_analyze_and_perfetto_export_on_a_traced_sweep() {
+    let dir = std::env::temp_dir().join("irnuma-cli-causal");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.jsonl");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_irnuma"))
+        .args(["sweep", "cg.axpy"])
+        .env("IRNUMA_TRACE", trace.to_str().unwrap())
+        .env("IRNUMA_LOG", "warn")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // The forest must be complete: a sim.sweep root with its per-config
+    // fan-out spans attached, zero orphans, and a critical path that the
+    // analyzer confirms sums to the root's wall-clock (it appends a
+    // MISMATCH marker otherwise).
+    let an = irnuma(&["trace", "analyze", trace.to_str().unwrap(), "--require-roots", "sim.sweep"]);
+    assert!(an.status.success(), "{}", String::from_utf8_lossy(&an.stderr));
+    let text = String::from_utf8_lossy(&an.stdout);
+    assert!(text.contains("root sim.sweep"), "{text}");
+    assert!(text.contains("0 orphan(s)"), "{text}");
+    assert!(text.contains("critical path"), "{text}");
+    assert!(!text.contains("MISMATCH"), "{text}");
+
+    // Requiring a root this command never opened fails and names it.
+    let missing =
+        irnuma(&["trace", "analyze", trace.to_str().unwrap(), "--require-roots", "train.epoch"]);
+    assert!(!missing.status.success());
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("train.epoch"));
+
+    // Perfetto export: loadable Chrome trace-event JSON with complete
+    // events and thread-name metadata.
+    let perfetto = dir.join("trace.perfetto.json");
+    let ex = irnuma(&[
+        "trace",
+        "export",
+        trace.to_str().unwrap(),
+        "--perfetto",
+        perfetto.to_str().unwrap(),
+    ]);
+    assert!(ex.status.success(), "{}", String::from_utf8_lossy(&ex.stderr));
+    let body = std::fs::read_to_string(&perfetto).unwrap();
+    assert!(body.contains("\"traceEvents\""), "{body}");
+    assert!(body.contains("\"ph\":\"X\""), "{body}");
+    assert!(body.contains("thread_name"), "{body}");
+
+    // The flat report over a causal trace gains the %-of-wall column and
+    // honors --sort; a bad sort key is a clean error.
+    let rep = irnuma(&["report", trace.to_str().unwrap(), "--sort", "count"]);
+    assert!(rep.status.success(), "{}", String::from_utf8_lossy(&rep.stderr));
+    assert!(String::from_utf8_lossy(&rep.stdout).contains("%wall"));
+    let bad = irnuma(&["report", trace.to_str().unwrap(), "--sort", "nope"]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("nope"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -118,6 +118,10 @@ impl Ga {
         // the result — deterministic) and resolved from the cache across
         // generations. Sound because `fitness` must be deterministic.
         let mut cache: HashMap<Individual, f64> = HashMap::new();
+        // Fitness workers adopt the GA span's context: with a trace sink
+        // installed, every evaluation shows up as an `ml.ga_eval` span
+        // under `ml.ga` in the forest (inert otherwise).
+        let ga_ctx = ga_span.ctx();
         let eval = |pop: &[Individual], cache: &mut HashMap<Individual, f64>| -> Vec<f64> {
             use rayon::prelude::*;
             let mut fresh: Vec<&Individual> = Vec::new();
@@ -131,7 +135,13 @@ impl Ga {
                 irnuma_obs::counter!("ml.ga_fitness_evals").inc(fresh.len() as u64);
                 irnuma_obs::counter!("ml.ga_fitness_cached").inc((pop.len() - fresh.len()) as u64);
             }
-            let scores: Vec<f64> = fresh.par_iter().map(|ind| fitness(ind)).collect();
+            let scores: Vec<f64> = fresh
+                .par_iter()
+                .map(|ind| {
+                    let _g = irnuma_obs::span_fanout!(ga_ctx, "ml.ga_eval");
+                    fitness(ind)
+                })
+                .collect();
             for (ind, score) in fresh.into_iter().zip(scores) {
                 cache.insert(ind.clone(), score);
             }

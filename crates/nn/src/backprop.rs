@@ -573,6 +573,11 @@ impl FusedEngine {
         }
 
         let t0 = irnuma_obs::telemetry_enabled().then(std::time::Instant::now);
+        // One span per minibatch (covering prepack, fan-out, and reduce);
+        // per-graph worker spans only open while a trace sink is installed,
+        // so the stats-only serving path stays span-free in the hot loop.
+        let span = irnuma_obs::span!("train.batch_grads", graphs = k);
+        let ctx = span.ctx();
         // Prepack the weights once for the whole minibatch (the optimizer
         // mutates parameters between batches, so the plan cannot outlive
         // one call); every worker shares the packed panels and layer-weight
@@ -582,6 +587,7 @@ impl FusedEngine {
             .par_iter_mut()
             .zip(chunk.par_iter())
             .map(|(buf, &i)| {
+                let _g = irnuma_obs::span_fanout!(ctx, "train.graph_grads");
                 buf.zero();
                 SCRATCH.with(|s| {
                     let loss = model.fused_loss_grads_planned(

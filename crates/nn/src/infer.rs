@@ -266,15 +266,24 @@ impl GnnModel {
     /// its own scratch workspace. Weights are prepacked once per call
     /// ([`GnnModel::plan`]) and shared read-only by every worker. Output
     /// order matches input order.
-    /// Per-graph telemetry (the flag load, `Instant::now`, and the
-    /// `infer.graph_ns` record) is hoisted out of the hot loop: workers run
-    /// the bare forward pass, and the batch records one `infer.batch_ns`
-    /// sample plus an `infer.graphs += len` bump at the end.
+    /// Per-graph *stats* telemetry (the per-graph latency-histogram record)
+    /// is hoisted out of the hot loop: in stats-only mode workers run the
+    /// bare forward pass, and the batch records one `infer.batch_ns` sample
+    /// plus an `infer.graphs += len` bump at the end. Causal tracing opts
+    /// back in: with a trace sink installed, each worker opens an
+    /// `infer.graph` span under the batch (`span_fanout!`), so `irnuma
+    /// trace analyze` sees the fan-out; without one the macro is inert.
     pub fn infer_batch(&self, graphs: &[GraphData]) -> Vec<InferOutput> {
         let span = irnuma_obs::span!("infer.batch", graphs = graphs.len());
+        let ctx = span.ctx();
         let plan = self.plan();
-        let out: Vec<InferOutput> =
-            graphs.par_iter().map(|g| self.infer_planned_threadlocal(&plan, g)).collect();
+        let out: Vec<InferOutput> = graphs
+            .par_iter()
+            .map(|g| {
+                let _g = irnuma_obs::span_fanout!(ctx, "infer.graph");
+                self.infer_planned_threadlocal(&plan, g)
+            })
+            .collect();
         self.record_batch(&span, graphs.len());
         out
     }
@@ -283,9 +292,15 @@ impl GnnModel {
     /// references (e.g. one graph per (region, sequence) pair).
     pub fn infer_batch_refs(&self, graphs: &[&GraphData]) -> Vec<InferOutput> {
         let span = irnuma_obs::span!("infer.batch", graphs = graphs.len());
+        let ctx = span.ctx();
         let plan = self.plan();
-        let out: Vec<InferOutput> =
-            graphs.par_iter().map(|g| self.infer_planned_threadlocal(&plan, g)).collect();
+        let out: Vec<InferOutput> = graphs
+            .par_iter()
+            .map(|g| {
+                let _g = irnuma_obs::span_fanout!(ctx, "infer.graph");
+                self.infer_planned_threadlocal(&plan, g)
+            })
+            .collect();
         self.record_batch(&span, graphs.len());
         out
     }

@@ -342,9 +342,15 @@ impl GnnClassifier {
                     }
                     TrainEngine::TapeReference => {
                         // Parallel map, canonical-order reduce: deterministic.
+                        // Worker spans adopt the epoch's context so the
+                        // trace forest nests them under this epoch.
+                        let ctx = epoch_span.ctx();
                         let results: Vec<(f64, Vec<Tensor>)> = chunk
                             .par_iter()
-                            .map(|&i| self.model.loss_and_grads(&graphs[i], labels[i]))
+                            .map(|&i| {
+                                let _g = irnuma_obs::span_fanout!(ctx, "train.tape_grads");
+                                self.model.loss_and_grads(&graphs[i], labels[i])
+                            })
                             .collect();
                         let mut total: Vec<Tensor> = self
                             .model

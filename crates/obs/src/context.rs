@@ -1,0 +1,187 @@
+//! Trace identity and cross-thread context propagation.
+//!
+//! Every span belongs to a **trace**: a 64-bit id allocated when a root
+//! span (one with no open ancestor) opens, and inherited by every
+//! descendant. Within a thread, inheritance is automatic through the
+//! thread-local context stack. Across threads — rayon `par_iter` workers,
+//! spawned threads — the vendored runtime has no tracing hooks, so
+//! propagation is explicit: capture the context before the fan-out and
+//! attach it inside the worker closure.
+//!
+//! ```
+//! let batch = irnuma_obs::span!("batch");
+//! let ctx = batch.ctx(); // or irnuma_obs::TraceContext::capture()
+//! std::thread::scope(|s| {
+//!     s.spawn(move || {
+//!         let _scope = ctx.attach();
+//!         // spans opened here nest under `batch` and share its trace id
+//!         let _w = irnuma_obs::span!("batch.worker");
+//!     });
+//! });
+//! ```
+//!
+//! The disabled path stays one relaxed atomic load: [`TraceContext::capture`]
+//! checks [`crate::telemetry_enabled`] and returns [`TraceContext::NONE`],
+//! whose [`TraceContext::attach`] is a no-op.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Next trace sequence number (mixed through splitmix64 so ids are
+/// well-spread 64-bit values, not small integers that collide across
+/// processes appending to one trace file).
+static NEXT_TRACE_SEQ: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// This thread's innermost open context (NONE at top level).
+    static CURRENT: Cell<TraceContext> = const { Cell::new(TraceContext::NONE) };
+}
+
+/// A capturable, `Copy + Send` reference to an open span and the trace it
+/// belongs to. `span_id` is the would-be parent of spans opened under this
+/// context; `trace_id` groups every span of one causal unit (an epoch, a
+/// batched-inference call, a dataset build, a future served request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    pub trace_id: u64,
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// The empty context: no trace, no parent span.
+    pub const NONE: TraceContext = TraceContext { trace_id: 0, span_id: 0 };
+
+    /// Whether this is the empty context.
+    pub fn is_none(&self) -> bool {
+        self.trace_id == 0 && self.span_id == 0
+    }
+
+    /// Snapshot this thread's innermost open context, for handing into a
+    /// worker closure. One relaxed load when telemetry is off.
+    #[inline]
+    pub fn capture() -> TraceContext {
+        if !crate::telemetry_enabled() {
+            return TraceContext::NONE;
+        }
+        CURRENT.with(|c| c.get())
+    }
+
+    /// Install this context as the current one on *this* thread, returning
+    /// a guard that restores the previous context on drop. Spans opened
+    /// while the guard lives nest under `span_id` and inherit `trace_id`.
+    /// Attaching [`TraceContext::NONE`] is a no-op.
+    #[inline]
+    pub fn attach(self) -> ScopeGuard {
+        if self.is_none() {
+            return ScopeGuard { prev: None };
+        }
+        let prev = CURRENT.with(|c| c.replace(self));
+        ScopeGuard { prev: Some(prev) }
+    }
+}
+
+/// RAII guard from [`TraceContext::attach`]: restores the thread's previous
+/// context when dropped.
+pub struct ScopeGuard {
+    prev: Option<TraceContext>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            CURRENT.with(|c| c.set(prev));
+        }
+    }
+}
+
+/// The current thread context (crate-internal accessor for span opening).
+pub(crate) fn current() -> TraceContext {
+    CURRENT.with(|c| c.get())
+}
+
+/// Overwrite the current thread context (crate-internal: span open installs
+/// itself, span drop restores what it displaced).
+pub(crate) fn restore(ctx: TraceContext) {
+    CURRENT.with(|c| c.set(ctx));
+}
+
+/// Allocate a fresh, non-zero trace id for a new root span: a process-wide
+/// sequence number mixed with a per-process seed through splitmix64.
+pub(crate) fn fresh_trace_id() -> u64 {
+    let seq = NEXT_TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
+    let id = splitmix64(seq.wrapping_add(process_seed()));
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// Lazily initialized per-process seed so trace ids from different
+/// processes (or restarts appending to one file) don't collide on the
+/// plain sequence numbers.
+fn process_seed() -> u64 {
+    static SEED: AtomicU64 = AtomicU64::new(0);
+    let mut s = SEED.load(Ordering::Relaxed);
+    if s == 0 {
+        s = splitmix64(crate::epoch_ns() | 1);
+        if s == 0 {
+            s = 0x9e37_79b9_7f4a_7c15;
+        }
+        // A racing initializer computes a different seed; first store wins
+        // so every thread settles on one value.
+        if let Err(won) = SEED.compare_exchange(0, s, Ordering::Relaxed, Ordering::Relaxed) {
+            s = won;
+        }
+    }
+    s
+}
+
+/// SplitMix64 finalizer: a cheap bijective mixer over u64.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_context_attach_is_a_noop() {
+        let before = current();
+        {
+            let _g = TraceContext::NONE.attach();
+            assert_eq!(current(), before);
+        }
+        assert_eq!(current(), before);
+    }
+
+    #[test]
+    fn attach_installs_and_restores() {
+        let ctx = TraceContext { trace_id: 7, span_id: 9 };
+        {
+            let _g = ctx.attach();
+            assert_eq!(current(), ctx);
+            let inner = TraceContext { trace_id: 7, span_id: 11 };
+            {
+                let _g2 = inner.attach();
+                assert_eq!(current(), inner);
+            }
+            assert_eq!(current(), ctx);
+        }
+        assert_eq!(current(), TraceContext::NONE);
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let id = fresh_trace_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "duplicate trace id {id}");
+        }
+    }
+}

@@ -33,16 +33,20 @@
 //! ```
 
 pub mod alloc;
+mod context;
 pub mod export;
 mod macros;
 mod metrics;
+pub mod perfetto;
 pub mod profile;
 mod registry;
 mod sink;
 mod snapshot;
 mod span;
+pub mod tree;
 mod value;
 
+pub use context::{ScopeGuard, TraceContext};
 pub use metrics::{
     bucket_index, bucket_lower, bucket_upper, Counter, Gauge, Histogram, HistogramSnapshot,
     NUM_BUCKETS,
@@ -53,7 +57,8 @@ pub use sink::{
     stats_enabled, telemetry_enabled, trace_enabled, Event, JsonlSink, MemorySink, Sink,
 };
 pub use snapshot::TelemetrySnapshot;
-pub use span::{current_span, timed, SpanCtx, SpanGuard};
+pub use span::{current_span, timed, SpanGuard};
+pub use tree::{PathSegment, SpanForest, SpanRecord, SubtreeStats};
 pub use value::Value;
 
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -155,12 +160,15 @@ impl Drop for ObsGuard {
 ///   turn on span latency aggregation;
 /// * if `IRNUMA_PROFILE=<path>` is set, start the sampling wall-clock
 ///   profiler (rate from `IRNUMA_PROFILE_HZ`, default 997 Hz); the folded
-///   stacks land at `<path>` when the returned guard drops.
+///   stacks land at `<path>` when the returned guard drops;
+/// * a panic hook that flushes the trace sink before unwinding, so crashed
+///   runs keep their buffered trace tail ([`install_panic_flush_hook`]).
 ///
 /// Returns a guard that flushes metric snapshots into the trace, flushes
 /// the sink, and dumps the profile when dropped.
 pub fn init(default_level: Level) -> ObsGuard {
     set_log_level(level_from_env(default_level));
+    install_panic_flush_hook();
     if let Ok(path) = std::env::var("IRNUMA_TRACE") {
         if !path.is_empty() {
             match JsonlSink::create(&path) {
@@ -185,6 +193,24 @@ pub fn init(default_level: Level) -> ObsGuard {
         }
     }
     ObsGuard { _priv: () }
+}
+
+/// Install a panic hook that flushes the trace sink before unwinding, so a
+/// crashed (or `--fault`-injected) run leaves a complete JSONL file rather
+/// than one truncated mid-line by the buffered writer. Wraps — and then
+/// calls — the previously installed hook; idempotent ([`init`] calls it,
+/// but embedders without `init` can too). The flush itself is wrapped in
+/// `catch_unwind` so a poisoned sink can't turn one panic into an abort.
+pub fn install_panic_flush_hook() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let _ = std::panic::catch_unwind(flush_sink);
+            prev(info);
+        }));
+    });
 }
 
 /// Flush metric snapshots into the trace (one event per metric), flush the

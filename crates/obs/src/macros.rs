@@ -22,12 +22,36 @@ macro_rules! span {
 }
 
 /// Open a span under an explicitly captured parent — for work fanned out
-/// across rayon workers: capture `let ctx = current_span();` outside the
-/// `par_iter`, then `let _s = span_under!(ctx, "dataset.region", idx = i);`.
+/// across rayon workers: capture `let ctx = current_span();` (or
+/// `TraceContext::capture()`) outside the `par_iter`, then
+/// `let _s = span_under!(ctx, "dataset.region", idx = i);`. The child
+/// inherits the parent's trace id and stacks correctly on its worker
+/// thread.
 #[macro_export]
 macro_rules! span_under {
     ($ctx:expr, $name:expr $(, $key:ident = $val:expr)* $(,)?) => {
         if $crate::telemetry_enabled() {
+            $crate::SpanGuard::under(
+                $ctx,
+                $name,
+                vec![$((stringify!($key), $crate::Value::from($val))),*],
+            )
+        } else {
+            $crate::SpanGuard::inert()
+        }
+    };
+}
+
+/// [`span_under!`] for *hot* fan-out loops: only live while a trace sink is
+/// installed (`trace_enabled`), inert in stats-only / profiler-only modes.
+/// Use for per-item worker spans inside `par_iter` bodies where the
+/// per-item latency-histogram record would cost more than the serving
+/// telemetry budget allows — explicit causal tracing opts into the cost,
+/// the always-on metrics endpoint does not.
+#[macro_export]
+macro_rules! span_fanout {
+    ($ctx:expr, $name:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::trace_enabled() {
             $crate::SpanGuard::under(
                 $ctx,
                 $name,

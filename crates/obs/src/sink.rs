@@ -98,13 +98,15 @@ impl JsonlSink {
 impl Sink for JsonlSink {
     fn emit(&self, event: &Event) {
         let line = event.to_json();
-        let mut w = self.writer.lock().expect("jsonl writer lock");
+        // Poison-tolerant: a panic on another thread must not silence the
+        // trace (and the panic-hook flush must still work afterwards).
+        let mut w = self.writer.lock().unwrap_or_else(|p| p.into_inner());
         let _ = w.write_all(line.as_bytes());
         let _ = w.write_all(b"\n");
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().expect("jsonl writer lock").flush();
+        let _ = self.writer.lock().unwrap_or_else(|p| p.into_inner()).flush();
     }
 }
 

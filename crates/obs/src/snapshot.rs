@@ -108,20 +108,31 @@ impl TelemetrySnapshot {
     /// Serialize as Prometheus text exposition (the `/metrics` format):
     /// counters and gauges as-is, histograms and span latencies as summaries
     /// with `quantile` labels plus `_sum`/`_count` series. Metric names are
-    /// prefixed `irnuma_` and sanitized (`.` → `_`).
+    /// prefixed `irnuma_` and sanitized (`.` → `_`); every family carries
+    /// `# HELP` (from the central [`metric_help`] table) and `# TYPE`
+    /// lines so the output passes promtool-style linting.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::with_capacity(512);
         for (name, v) in &self.counters {
             let n = prom_name("irnuma_", name);
+            let _ = writeln!(out, "# HELP {n} {}", metric_help(name));
             let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
         }
         for (name, v) in &self.gauges {
             let n = prom_name("irnuma_", name);
+            let _ = writeln!(out, "# HELP {n} {}", metric_help(name));
             let _ = writeln!(out, "# TYPE {n} gauge\n{n} {v}");
         }
-        for (group, prefix) in [(&self.hists, "irnuma_"), (&self.spans, "irnuma_span_")] {
+        for (group, prefix, is_span) in
+            [(&self.hists, "irnuma_", false), (&self.spans, "irnuma_span_", true)]
+        {
             for (name, h) in group.iter() {
                 let n = prom_name(prefix, name);
+                if is_span {
+                    let _ = writeln!(out, "# HELP {n} Wall-clock latency of span `{name}` (ns).");
+                } else {
+                    let _ = writeln!(out, "# HELP {n} {}", metric_help(name));
+                }
                 let _ = writeln!(out, "# TYPE {n} summary");
                 for (q, v) in [("0.5", h.p50()), ("0.9", h.p90()), ("0.99", h.p99())] {
                     let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {v}");
@@ -130,6 +141,42 @@ impl TelemetrySnapshot {
             }
         }
         out
+    }
+}
+
+/// Central metric-description table for `# HELP` lines: exact names first,
+/// then subsystem prefixes, then a generic fallback — so every exported
+/// family has a description without each call site registering one.
+pub fn metric_help(name: &str) -> &'static str {
+    match name {
+        "train.batches" => "Optimizer steps taken (one per minibatch).",
+        "train.fused_graphs" => "Graphs pushed through the fused forward+backward engine.",
+        "train.loss" => "Mean training loss of the most recent epoch.",
+        "infer.graphs" => "Graphs classified through the batched inference engine.",
+        "infer.batch_ns" => "Latency of one batched inference call (ns).",
+        "dataset.skipped" => "Regions dropped from a dataset build after retry.",
+        "dataset.retried" => "Region builds retried after a first failure.",
+        "graph.builds" => "ProGraML-style region graphs constructed.",
+        "sim.config.skipped" => "Simulated configurations skipped after a panic.",
+        "store.write_bytes" => "Bytes durably written through the artifact store.",
+        "store.fsync_ns" => "Latency of artifact-store fsync calls (ns).",
+        "store.corruption_detected" => "Artifact reads rejected by checksum verification.",
+        "export.requests" => "Requests served by the telemetry export endpoint.",
+        "ml.ga_fitness_evals" => "GA fitness evaluations actually computed.",
+        "ml.ga_fitness_cached" => "GA fitness evaluations resolved from the memo cache.",
+        _ => match name.split_once('.').map(|(fam, _)| fam) {
+            Some("train") => "Training-engine metric.",
+            Some("infer") => "Inference-engine metric.",
+            Some("dataset") => "Dataset-construction metric.",
+            Some("graph") => "Graph-construction metric.",
+            Some("sim") => "Simulator metric.",
+            Some("store") => "Artifact-store metric.",
+            Some("mem") => "Allocation-tracking gauge (bytes).",
+            Some("dispatch") => "Kernel-dispatch counter (see `irnuma report`).",
+            Some("ml") => "Feature-selection / GA metric.",
+            Some("export") => "Telemetry-export metric.",
+            _ => "irnuma metric (no registered description).",
+        },
     }
 }
 

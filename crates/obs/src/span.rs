@@ -1,16 +1,21 @@
-//! Hierarchical wall-clock spans.
+//! Hierarchical wall-clock spans with causal identity.
 //!
 //! A [`SpanGuard`] measures from construction to drop and emits one `span`
-//! event carrying its duration, a process-unique id, its parent id, and the
-//! emitting thread. Nesting is tracked per thread: a new span's parent is
-//! the thread's innermost open span. For work fanned out across rayon
-//! workers, capture [`current_span`] before the `par_iter` and open children
-//! with [`crate::span_under!`] — the child records the captured parent while
-//! still stacking correctly on its worker thread.
+//! event carrying its duration, its [`crate::TraceContext`] identity
+//! (`trace_id`/`span_id`/`parent_id`), and the emitting thread. Nesting is
+//! tracked per thread: a new span's parent is the thread's innermost open
+//! span, and it inherits that span's trace id; a span opened with no
+//! ancestor starts a fresh trace. For work fanned out across rayon workers,
+//! capture the context before the `par_iter` ([`SpanGuard::ctx`] or
+//! [`crate::TraceContext::capture`]) and either attach it
+//! ([`crate::TraceContext::attach`]) or open children directly with
+//! [`crate::span_under!`] / [`crate::span_fanout!`] — the child records the
+//! captured parent and trace while still stacking correctly on its worker
+//! thread.
 
+use crate::context::{self, TraceContext};
 use crate::sink::{emit, Event};
 use crate::value::Value;
-use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -18,33 +23,24 @@ static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_THREAD_IDX: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
-    /// Innermost open span id on this thread (0 = root).
-    static CURRENT: Cell<u64> = const { Cell::new(0) };
     /// Small dense per-thread index (ThreadId's integer form is unstable).
     static THREAD_IDX: u64 = NEXT_THREAD_IDX.fetch_add(1, Ordering::Relaxed);
 }
 
-/// A capturable reference to an open span (or the root, id 0). `Copy + Send`
-/// so it can cross into rayon closures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct SpanCtx(pub u64);
-
-impl SpanCtx {
-    /// The root context (no parent span).
-    pub const ROOT: SpanCtx = SpanCtx(0);
-}
-
-/// The id of this thread's innermost open span.
-pub fn current_span() -> SpanCtx {
-    CURRENT.with(|c| SpanCtx(c.get()))
+/// The context of this thread's innermost open span
+/// ([`TraceContext::NONE`] at top level).
+pub fn current_span() -> TraceContext {
+    context::current()
 }
 
 struct ActiveSpan {
+    trace: u64,
     id: u64,
     parent: u64,
-    /// What `CURRENT` must be restored to on drop (differs from `parent`
-    /// when the span was adopted across threads via [`SpanGuard::under`]).
-    prev: u64,
+    /// What the thread context must be restored to on drop (differs from
+    /// `parent` when the span was adopted across threads via
+    /// [`SpanGuard::under`]).
+    prev: TraceContext,
     name: &'static str,
     fields: Vec<(&'static str, Value)>,
     start: Instant,
@@ -65,31 +61,35 @@ pub struct SpanGuard {
 }
 
 impl SpanGuard {
-    /// Open a span whose parent is this thread's innermost open span.
+    /// Open a span whose parent is this thread's innermost open span
+    /// (starting a fresh trace when there is none).
     pub fn new(name: &'static str, fields: Vec<(&'static str, Value)>) -> SpanGuard {
-        let parent = CURRENT.with(|c| c.get());
-        SpanGuard::open(name, fields, parent, parent)
+        let cur = context::current();
+        SpanGuard::open(name, fields, cur, cur)
     }
 
-    /// Open a span under an explicitly captured parent (cross-thread
-    /// nesting, e.g. inside `par_iter`).
+    /// Open a span under an explicitly captured parent context
+    /// (cross-thread nesting, e.g. inside `par_iter`).
     pub fn under(
-        ctx: SpanCtx,
+        ctx: TraceContext,
         name: &'static str,
         fields: Vec<(&'static str, Value)>,
     ) -> SpanGuard {
-        let prev = CURRENT.with(|c| c.get());
-        SpanGuard::open(name, fields, ctx.0, prev)
+        let prev = context::current();
+        SpanGuard::open(name, fields, ctx, prev)
     }
 
     fn open(
         name: &'static str,
         fields: Vec<(&'static str, Value)>,
-        parent: u64,
-        prev: u64,
+        parent: TraceContext,
+        prev: TraceContext,
     ) -> SpanGuard {
         let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
-        CURRENT.with(|c| c.set(id));
+        // No open ancestor and no adopted context: this span roots a new
+        // trace; otherwise it inherits the parent's trace id.
+        let trace = if parent.trace_id != 0 { parent.trace_id } else { context::fresh_trace_id() };
+        context::restore(TraceContext { trace_id: trace, span_id: id });
         let alloc_at_open = crate::alloc::tracking_active().then(crate::alloc::thread_allocated);
         let profiled = crate::profiling_enabled();
         if profiled {
@@ -97,8 +97,9 @@ impl SpanGuard {
         }
         SpanGuard {
             inner: Some(ActiveSpan {
+                trace,
                 id,
-                parent,
+                parent: parent.span_id,
                 prev,
                 name,
                 fields,
@@ -123,9 +124,11 @@ impl SpanGuard {
     }
 
     /// This span as a parent context for children on other threads
-    /// (`SpanCtx::ROOT` if the guard is inert).
-    pub fn ctx(&self) -> SpanCtx {
-        SpanCtx(self.inner.as_ref().map_or(0, |s| s.id))
+    /// ([`TraceContext::NONE`] if the guard is inert).
+    pub fn ctx(&self) -> TraceContext {
+        self.inner
+            .as_ref()
+            .map_or(TraceContext::NONE, |s| TraceContext { trace_id: s.trace, span_id: s.id })
     }
 
     /// Time since the span opened (zero for inert guards).
@@ -138,7 +141,7 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(s) = self.inner.take() else { return };
         let dur_ns = u64::try_from(s.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        CURRENT.with(|c| c.set(s.prev));
+        context::restore(s.prev);
         if s.profiled {
             crate::profile::pop_span_frame();
         }
@@ -155,9 +158,15 @@ impl Drop for SpanGuard {
             event = event.field("alloc_bytes", delta);
         }
         let thread = THREAD_IDX.with(|t| *t);
+        // `span`/`parent` are the legacy field names; `trace_id`/`span_id`/
+        // `parent_id` are the causal-tracing schema. Both are emitted so
+        // pre-causal consumers keep working (additive schema change).
         event = event
             .field("span", s.id)
             .field("parent", s.parent)
+            .field("trace_id", s.trace)
+            .field("span_id", s.id)
+            .field("parent_id", s.parent)
             .field("thread", thread)
             .field("dur_ns", dur_ns);
         emit(&event);

@@ -1,0 +1,312 @@
+//! Causal-tracing integration tests: trace-id inheritance across rayon
+//! fan-outs, property-based span-forest round-trips through the sink, the
+//! Perfetto/Chrome export schema, and the panic-hook flush.
+//!
+//! The trace sink is process-global, so every test that installs one
+//! serializes on a shared mutex and clears the sink before releasing it.
+
+use irnuma_obs::{
+    clear_sink, set_sink, span, span_fanout, Event, MemorySink, Sink, SpanForest, SpanRecord,
+    TraceContext, Value,
+};
+use proptest::prelude::*;
+use rayon::prelude::*;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+fn sink_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poison) => poison.into_inner(),
+    }
+}
+
+fn with_memory_sink(f: impl FnOnce(&MemorySink)) {
+    let _guard = sink_lock();
+    let sink = MemorySink::new();
+    set_sink(sink.clone());
+    f(&sink);
+    clear_sink();
+}
+
+fn u64_field(e: &Event, key: &str) -> u64 {
+    match e.get(key) {
+        Some(&Value::U64(v)) => v,
+        other => panic!("field {key} of {e:?}: {other:?}"),
+    }
+}
+
+#[test]
+fn rayon_fanout_inherits_the_root_trace_id() {
+    with_memory_sink(|sink| {
+        let (root_trace, root_span);
+        {
+            let epoch = span!("test.epoch");
+            let ctx = epoch.ctx();
+            (root_trace, root_span) = (ctx.trace_id, ctx.span_id);
+            assert_ne!(root_trace, 0, "a root span starts a fresh trace");
+            let total: u64 = (0..48u32)
+                .into_par_iter()
+                .map(|i| {
+                    let _w = span_fanout!(ctx, "test.worker", idx = i as u64);
+                    // Nested spans on the worker thread must inherit the
+                    // trace through the thread-local context, not restart.
+                    let _leaf = span!("test.leaf");
+                    i as u64
+                })
+                .sum();
+            assert_eq!(total, 47 * 48 / 2);
+        }
+
+        let events = sink.events();
+        let workers: Vec<&Event> = events.iter().filter(|e| e.name == "test.worker").collect();
+        let leaves: Vec<&Event> = events.iter().filter(|e| e.name == "test.leaf").collect();
+        assert_eq!(workers.len(), 48);
+        assert_eq!(leaves.len(), 48);
+        for w in &workers {
+            assert_eq!(u64_field(w, "trace_id"), root_trace, "worker shares the epoch trace");
+            assert_eq!(u64_field(w, "parent_id"), root_span, "worker parents the epoch span");
+        }
+        for l in &leaves {
+            assert_eq!(u64_field(l, "trace_id"), root_trace, "leaf shares the epoch trace");
+        }
+        // Workers restored their thread-local context.
+        assert_eq!(TraceContext::capture(), TraceContext::NONE);
+    });
+}
+
+#[test]
+fn span_fanout_is_inert_without_a_trace_sink() {
+    let _guard = sink_lock();
+    clear_sink();
+    irnuma_obs::set_stats_enabled(true);
+    let ctx = TraceContext { trace_id: 1, span_id: 2 };
+    let w = span_fanout!(ctx, "test.hot_item");
+    // Stats-only mode: the hot fan-out macro must not open a span (that is
+    // the serving-path overhead contract), while plain span! still does.
+    assert_eq!(w.ctx(), TraceContext::NONE);
+    let s = span!("test.stats_span");
+    assert_ne!(s.ctx(), TraceContext::NONE);
+    drop(s);
+    drop(w);
+    irnuma_obs::set_stats_enabled(false);
+}
+
+#[test]
+fn forest_rebuilt_from_sink_events_matches_the_guard_hierarchy() {
+    with_memory_sink(|sink| {
+        {
+            let fit = span!("fit");
+            let ctx = fit.ctx();
+            for e in 0..3u64 {
+                let epoch = span!("epoch", epoch = e);
+                let ectx = epoch.ctx();
+                assert_eq!(ectx.trace_id, ctx.trace_id);
+                (0..8u32).into_par_iter().for_each(|i| {
+                    let _w = span_fanout!(ectx, "graph", idx = i as u64);
+                });
+            }
+        }
+        let records: Vec<SpanRecord> =
+            sink.events().iter().filter_map(SpanRecord::from_event).collect();
+        assert_eq!(records.len(), 1 + 3 + 24);
+        let forest = SpanForest::build(records);
+        assert!(forest.orphans.is_empty(), "explicit propagation leaves no orphans");
+        assert_eq!(forest.roots.len(), 1);
+        let root = forest.roots[0];
+        assert_eq!(forest.spans[root].name, "fit");
+        assert_eq!(forest.children(root).len(), 3);
+        for &e in forest.children(root) {
+            assert_eq!(forest.spans[e].name, "epoch");
+            assert_eq!(forest.children(e).len(), 8);
+        }
+        // Every span of the run carries one trace id.
+        let tid = forest.spans[root].trace_id;
+        assert!(forest.spans.iter().all(|s| s.trace_id == tid));
+        // The critical path through the root accounts for its entire wall,
+        // and stack-disciplined real spans keep efficiency within [0, 1].
+        let total: u64 = forest.critical_path(root).iter().map(|p| p.self_ns).sum();
+        assert_eq!(total, forest.spans[root].dur_ns);
+        let stats = forest.subtree_stats(root);
+        assert!(stats.efficiency >= 0.0 && stats.efficiency <= 1.0 + 1e-9, "{stats:?}");
+    });
+}
+
+/// A random forest shape: node `i` (span id `i+1`) either roots a trace or
+/// hangs under some earlier node; starts/durations are arbitrary (the
+/// analysis clamps children, so even skewed clocks keep the invariants).
+#[derive(Debug, Clone)]
+struct Node {
+    parent: usize, // 0 = root, else 1-based id of an earlier node
+    start: u64,
+    dur: u64,
+    thread: u64,
+}
+
+fn forest_strategy() -> impl Strategy<Value = Vec<Node>> {
+    prop::collection::vec((0u64..10_000, 0u64..5_000, 0u64..4, 0.0f64..1.0), 1..40).prop_map(
+        |raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (start, dur, thread, pick))| Node {
+                    // Bias toward trees: ~20% roots, otherwise a random
+                    // earlier node (ids are 1-based; 0 means root).
+                    parent: if i == 0 || pick < 0.2 { 0 } else { 1 + (pick * i as f64) as usize },
+                    start,
+                    dur,
+                    thread,
+                })
+                .collect()
+        },
+    )
+}
+
+fn to_records(nodes: &[Node]) -> Vec<SpanRecord> {
+    nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| SpanRecord {
+            trace_id: 7,
+            span_id: (i + 1) as u64,
+            parent_id: n.parent as u64,
+            thread: n.thread,
+            name: format!("n{}", i + 1),
+            start_ns: n.start,
+            dur_ns: n.dur,
+            args: Vec::new(),
+        })
+        .collect()
+}
+
+proptest! {
+    /// Records → sink events → parsed records → forest: the round trip is
+    /// lossless and the rebuilt forest satisfies the causal invariants on
+    /// any input shape.
+    #[test]
+    fn forest_round_trips_through_the_sink(nodes in forest_strategy()) {
+        let records = to_records(&nodes);
+
+        // Round-trip every record through an emitted span event (the sink
+        // wire format): SpanRecord -> Event -> SpanRecord must be identity.
+        let sink = MemorySink::new();
+        for r in &records {
+            let mut e = Event::now("span", r.name.clone());
+            e.ts_ns = r.end_ns(); // span events are emitted at close time
+            e = e
+                .field("span", r.span_id)
+                .field("parent", r.parent_id)
+                .field("trace_id", r.trace_id)
+                .field("span_id", r.span_id)
+                .field("parent_id", r.parent_id)
+                .field("thread", r.thread)
+                .field("dur_ns", r.dur_ns);
+            sink.emit(&e);
+        }
+        let parsed: Vec<SpanRecord> =
+            sink.events().iter().filter_map(SpanRecord::from_event).collect();
+        prop_assert_eq!(&parsed, &records);
+
+        let forest = SpanForest::build(parsed);
+        // Every parent id references an earlier node, so nothing orphans
+        // and roots + descendants partition the forest.
+        prop_assert!(forest.orphans.is_empty());
+        let covered: usize = forest.roots.iter().map(|&r| forest.subtree(r).len()).sum();
+        prop_assert_eq!(covered, nodes.len());
+
+        for &root in &forest.roots {
+            // Critical-path segments are non-empty for nonzero spans and
+            // sum exactly to the root's duration.
+            let path = forest.critical_path(root);
+            let total: u64 = path.iter().map(|p| p.self_ns).sum();
+            prop_assert_eq!(total, forest.spans[root].dur_ns);
+            prop_assert!(path.iter().all(|p| p.self_ns > 0));
+            // Self time never exceeds the span's own duration, and the
+            // stats stay well-defined even for skewed, non-nested inputs
+            // (efficiency can exceed 1 only when child intervals spill
+            // outside their parent — never for real stack-disciplined
+            // traces, checked separately above).
+            let stats = forest.subtree_stats(root);
+            prop_assert!(stats.efficiency.is_finite() && stats.efficiency >= 0.0);
+            prop_assert_eq!(stats.wall_ns, forest.spans[root].dur_ns);
+            prop_assert!(forest.self_ns(root) <= forest.spans[root].dur_ns);
+        }
+    }
+}
+
+#[test]
+fn perfetto_export_is_schema_valid_json() {
+    let records = vec![
+        SpanRecord {
+            trace_id: 0xdead,
+            span_id: 1,
+            parent_id: 0,
+            thread: 1,
+            name: "epoch".into(),
+            start_ns: 1_000,
+            dur_ns: 10_000,
+            args: vec![("epoch".into(), "0".into())],
+        },
+        SpanRecord {
+            trace_id: 0xdead,
+            span_id: 2,
+            parent_id: 1,
+            thread: 3,
+            name: "graph".into(),
+            start_ns: 2_000,
+            dur_ns: 4_000,
+            args: Vec::new(),
+        },
+    ];
+    let json = irnuma_obs::perfetto::to_chrome_trace(&records);
+    let v = serde_json::parse_value(&json).expect("export parses as JSON");
+    let events = v.field("traceEvents").and_then(|e| e.as_array()).expect("traceEvents array");
+    // 2 X events + 1 flow pair + 1 process row + 2 thread rows.
+    assert_eq!(events.len(), 2 + 2 + 1 + 2, "{json}");
+    let mut phases = std::collections::HashMap::new();
+    for e in events {
+        // Chrome Trace Event Format: every event needs ph/pid/tid; complete
+        // events additionally carry ts + dur and our causal args.
+        let ph = e.field("ph").and_then(|p| p.as_str()).expect("ph").to_string();
+        assert!(e.field("pid").and_then(|p| p.as_u64()).is_some());
+        assert!(e.field("tid").and_then(|t| t.as_u64()).is_some());
+        if ph == "X" {
+            assert!(e.field("ts").and_then(|t| t.as_f64()).is_some());
+            assert!(e.field("dur").and_then(|d| d.as_f64()).is_some());
+            let args = e.field("args").expect("args");
+            assert_eq!(args.field("trace_id").and_then(|t| t.as_str()), Some("000000000000dead"));
+            assert!(args.field("span_id").and_then(|s| s.as_u64()).is_some());
+        }
+        *phases.entry(ph).or_insert(0u32) += 1;
+    }
+    assert_eq!(phases.get("X"), Some(&2));
+    assert_eq!(phases.get("s"), Some(&1), "one cross-thread flow start");
+    assert_eq!(phases.get("f"), Some(&1), "one cross-thread flow finish");
+    assert_eq!(phases.get("M"), Some(&3), "process + two thread name rows");
+}
+
+#[test]
+fn panic_hook_flushes_buffered_trace_lines() {
+    let _guard = sink_lock();
+    let dir = std::env::temp_dir().join("irnuma-obs-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("panic_flush.jsonl");
+    irnuma_obs::install_panic_flush_hook();
+    set_sink(Arc::new(irnuma_obs::JsonlSink::create(&path).unwrap()));
+
+    let result = std::panic::catch_unwind(|| {
+        // Completed span: emitted (into the BufWriter) before the panic.
+        drop(span!("before.panic", step = 1u64));
+        panic!("injected fault");
+    });
+    assert!(result.is_err());
+
+    // Read the file *without* flushing ourselves: the bytes on disk are
+    // whatever the panic hook pushed out.
+    let body = std::fs::read_to_string(&path).unwrap();
+    assert!(
+        body.lines().any(|l| l.contains("before.panic")),
+        "pre-panic span survived the crash: {body:?}"
+    );
+    clear_sink();
+    std::fs::remove_file(&path).ok();
+}

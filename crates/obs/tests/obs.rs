@@ -5,7 +5,7 @@
 //! serializes on a shared mutex and clears the sink before releasing it.
 
 use irnuma_obs::{
-    clear_sink, current_span, set_sink, span, span_under, Event, MemorySink, SpanCtx, Value,
+    clear_sink, current_span, set_sink, span, span_under, Event, MemorySink, TraceContext, Value,
 };
 use rayon::prelude::*;
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
@@ -45,7 +45,7 @@ fn spans_nest_within_a_thread() {
             }
             assert_eq!(current_span(), outer.ctx());
         }
-        assert_eq!(current_span(), SpanCtx::ROOT);
+        assert_eq!(current_span(), TraceContext::NONE);
 
         let events = sink.events();
         assert_eq!(events.len(), 2, "{events:?}");
@@ -66,7 +66,7 @@ fn spans_nest_across_rayon_workers() {
         {
             let outer = span!("batch");
             let ctx = outer.ctx();
-            outer_id = ctx.0;
+            outer_id = ctx.span_id;
             let total: u64 = (0..64u32)
                 .into_par_iter()
                 .map(|i| {
@@ -98,7 +98,7 @@ fn spans_nest_across_rayon_workers() {
             );
         }
         // Every worker restored its thread-local stack.
-        assert_eq!(current_span(), SpanCtx::ROOT);
+        assert_eq!(current_span(), TraceContext::NONE);
     });
 }
 
@@ -107,8 +107,8 @@ fn disabled_tracing_produces_inert_guards() {
     let _guard = sink_lock();
     clear_sink();
     let s = span!("ignored", a = 1u64);
-    assert_eq!(s.ctx(), SpanCtx::ROOT);
-    assert_eq!(current_span(), SpanCtx::ROOT);
+    assert_eq!(s.ctx(), TraceContext::NONE);
+    assert_eq!(current_span(), TraceContext::NONE);
     drop(s);
 }
 

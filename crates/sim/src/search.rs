@@ -76,15 +76,17 @@ pub fn sweep_region(
     calls: u32,
 ) -> Vec<(Config, f64)> {
     let space = config_space(m);
-    let _span = irnuma_obs::span!(
+    let span = irnuma_obs::span!(
         "sim.sweep",
         region = r.name.as_str(),
         configs = space.len(),
         calls = calls
     );
+    let ctx = span.ctx();
     space
         .into_par_iter()
         .map(|c| {
+            let _g = irnuma_obs::span_fanout!(ctx, "sim.config", config = c.label());
             let t = match try_mean_time(r, m, &c, size, calls) {
                 Ok(t) => t,
                 Err(e) => {
@@ -117,16 +119,18 @@ pub fn exhaustive_best(
     if configs == 0 {
         return Err(SearchError::EmptyConfigSpace);
     }
-    let _span = irnuma_obs::span!(
+    let span = irnuma_obs::span!(
         "sim.exhaustive_best",
         region = r.name.as_str(),
         configs = configs,
         calls = calls
     );
+    let ctx = span.ctx();
     let (idx, best, t) = space
         .into_par_iter()
         .enumerate()
         .map(|(i, c)| {
+            let _g = irnuma_obs::span_fanout!(ctx, "sim.config", config = c.label());
             let t = match try_mean_time(r, m, &c, size, calls) {
                 Ok(t) => t,
                 Err(e) => {

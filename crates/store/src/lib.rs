@@ -77,6 +77,9 @@ pub fn atomic_write_with(
     path: &Path,
     write: impl FnOnce(&mut fs::File) -> io::Result<()>,
 ) -> io::Result<()> {
+    // One span per durable write, so traces show where checkpoint/dataset
+    // persistence sits on an epoch's critical path.
+    let mut span = irnuma_obs::span!("store.write");
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             fs::create_dir_all(parent)?;
@@ -92,6 +95,7 @@ pub fn atomic_write_with(
             f.sync_all()?;
             irnuma_obs::histogram!("store.fsync_ns").record_duration(t0.elapsed());
             irnuma_obs::counter!("store.write_bytes").inc(written);
+            span.field("bytes", written);
         } else {
             f.sync_all()?;
         }

@@ -61,6 +61,8 @@ fn main() -> ExitCode {
         "report" => report(rest),
         "trace" => trace(rest),
         "top" => top(rest),
+        "serve" => serve(rest),
+        "serve-bench" => serve_bench(rest),
         "bench-check" => run_bench_check(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -101,6 +103,12 @@ USAGE:
   irnuma trace export <trace.jsonl> --perfetto <out.json>
   irnuma top     [--once | --watch <secs>] [--connect <addr>]
                  [--listen <addr>]
+  irnuma serve   --model <model.json> [--addr <host:port>]
+                 [--max-batch <n>] [--batch-window-us <n>]
+                 [--queue-cap <n>] [--reload-poll-ms <n>]
+                 [--max-requests <n>]
+  irnuma serve-bench [--model <model.json> | --connect <addr>]
+                 [--requests <n>] [--clients <n>] [--out-json]
   irnuma bench-check [--quick] [--baselines <file.json>] [--root <dir>]
 
 Any command also accepts --no-dispatch: run the generic GNN kernels
@@ -117,6 +125,12 @@ started with IRNUMA_METRICS=<addr> (default: this process's own
 registry; --listen additionally serves it for scrapers).
 `bench-check` gates BENCH_*.json medians against the committed
 baselines in results/bench_baselines.json.
+`serve` runs the online prediction daemon: JSONL over TCP, one JSON
+request per line in, one prediction (or typed error) per line out,
+micro-batched through the planned inference engine, with atomic model
+hot-reload (--reload-poll-ms or on demand). `serve-bench` load-tests
+a daemon (in-process by default) and with --out-json writes
+BENCH_serving.json for the bench-check gate.
 
 ENVIRONMENT:
   IRNUMA_TRACE=<file>      write a JSONL trace of every command
@@ -504,6 +518,86 @@ fn top(rest: &[String]) -> Result<(), String> {
     }
     if let Some(s) = server {
         s.stop();
+    }
+    Ok(())
+}
+
+fn serve(rest: &[String]) -> Result<(), String> {
+    let model = opt_value(rest, "--model").ok_or("missing --model <model.json>")?;
+    let mut cfg = irnuma_serve::ServeConfig::new(model);
+    if let Some(addr) = opt_value(rest, "--addr") {
+        cfg.addr = addr.to_string();
+    }
+    if let Some(v) = opt_value(rest, "--max-batch") {
+        cfg.max_batch = v.parse().map_err(|_| "bad --max-batch")?;
+    }
+    if let Some(v) = opt_value(rest, "--batch-window-us") {
+        cfg.batch_window_us = v.parse().map_err(|_| "bad --batch-window-us")?;
+    }
+    if let Some(v) = opt_value(rest, "--queue-cap") {
+        cfg.queue_cap = v.parse().map_err(|_| "bad --queue-cap")?;
+    }
+    if let Some(v) = opt_value(rest, "--reload-poll-ms") {
+        cfg.reload_poll_ms = v.parse().map_err(|_| "bad --reload-poll-ms")?;
+    }
+    // `--max-requests` exits cleanly (flushing traces/metrics) after N
+    // responses — how CI smoke-tests the daemon without signals.
+    let max_requests: u64 = match opt_value(rest, "--max-requests") {
+        Some(v) => v.parse().map_err(|_| "bad --max-requests")?,
+        None => 0,
+    };
+    let server = irnuma_serve::Server::start(cfg).map_err(|e| format!("serve: {e}"))?;
+    println!("serving on {} (model {model})", server.addr());
+    if max_requests == 0 {
+        server.wait();
+        return Ok(());
+    }
+    let responses = irnuma_obs::registry().counter("serve.responses");
+    let errors = irnuma_obs::registry().counter("serve.bad_requests");
+    let rejected = irnuma_obs::registry().counter("serve.rejected");
+    while responses.get() + errors.get() + rejected.get() < max_requests {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    server.shutdown();
+    println!(
+        "served {} responses ({} bad requests, {} rejected); exiting after --max-requests {}",
+        responses.get(),
+        errors.get(),
+        rejected.get(),
+        max_requests
+    );
+    Ok(())
+}
+
+fn serve_bench(rest: &[String]) -> Result<(), String> {
+    let params = irnuma_core::serve_bench::ServeBenchParams {
+        model: opt_value(rest, "--model").map(PathBuf::from),
+        connect: opt_value(rest, "--connect").map(String::from),
+        requests: opt_value(rest, "--requests")
+            .unwrap_or("2000")
+            .parse()
+            .map_err(|_| "bad --requests")?,
+        clients: opt_value(rest, "--clients")
+            .unwrap_or("4")
+            .parse()
+            .map_err(|_| "bad --clients")?,
+    };
+    let report = irnuma_core::serve_bench::run(&params)?;
+    println!(
+        "serve-bench: {} served / {} rejected over {} clients\n\
+         latency p50 {:.1}us  p99 {:.1}us  mean {:.1}us\n\
+         throughput {:.0} req/s",
+        report.served,
+        report.rejected,
+        report.clients,
+        report.p50_us,
+        report.p99_us,
+        report.mean_us,
+        report.throughput_rps
+    );
+    if rest.iter().any(|a| a == "--out-json") {
+        let path = irnuma_core::serve_bench::write_report(&report).map_err(|e| e.to_string())?;
+        println!("wrote {}", path.display());
     }
     Ok(())
 }

@@ -28,6 +28,7 @@ pub mod dataset;
 pub mod evaluation;
 pub mod experiments;
 pub mod models;
+pub mod serve_bench;
 pub mod top;
 pub mod trace_report;
 pub mod trace_tree;

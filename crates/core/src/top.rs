@@ -136,8 +136,27 @@ pub fn render(snap: &Snapshot, prev: Option<&Snapshot>) -> String {
                     let before = prev
                         .and_then(|p| p.counters.iter().find(|(n, _)| n == name))
                         .map_or(0, |&(_, b)| b);
-                    let rate = (v.saturating_sub(before)) as f64 / dt;
-                    out.push_str(&format!("{:<34} {:>12} {:>12.1}\n", name, fmt_count(*v), rate));
+                    // Counters are monotonic within one process; a value
+                    // below the previous sample means the exporting process
+                    // restarted. The delta is meaningless then — mark the
+                    // sample instead of printing a garbage (or silently
+                    // clamped) rate.
+                    if *v < before {
+                        out.push_str(&format!(
+                            "{:<34} {:>12} {:>12}\n",
+                            name,
+                            fmt_count(*v),
+                            "reset"
+                        ));
+                    } else {
+                        let rate = (v - before) as f64 / dt;
+                        out.push_str(&format!(
+                            "{:<34} {:>12} {:>12.1}\n",
+                            name,
+                            fmt_count(*v),
+                            rate
+                        ));
+                    }
                 }
                 None => out.push_str(&format!("{:<34} {:>12}\n", name, fmt_count(*v))),
             }
@@ -219,6 +238,20 @@ mod tests {
         let txt = render(&cur, Some(&prev));
         assert!(txt.contains("/s"), "{txt}");
         assert!(txt.contains("32.0"), "64 graphs over 2s = 32/s: {txt}");
+    }
+
+    #[test]
+    fn watch_mode_marks_counter_resets_instead_of_fake_rates() {
+        let prev = parse_snapshot(BODY).unwrap();
+        let mut cur = prev.clone();
+        cur.ts_ns += 2_000_000_000;
+        cur.counters[0].1 = 5; // infer.graphs 128 -> 5: exporter restarted
+        let txt = render(&cur, Some(&prev));
+        let line = txt.lines().find(|l| l.contains("infer.graphs")).expect("counter row present");
+        assert!(line.contains("reset"), "reset must be marked, got: {line}");
+        // The other counter (unchanged) still gets a normal numeric rate.
+        let other = txt.lines().find(|l| l.contains("export.requests")).unwrap();
+        assert!(other.contains("0.0"), "{other}");
     }
 
     #[test]

@@ -44,7 +44,7 @@ use crate::model::GnnModel;
 use crate::tensor::{matmul_accumulate, Tensor};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 // ---------------------------------------------------------------------------
 // Dispatch switch
@@ -1266,6 +1266,106 @@ pub fn plan_for(hidden: usize, classes: usize, layers: usize, g: &GraphData) -> 
     plan
 }
 
+// ---------------------------------------------------------------------------
+// Shared model-plan cache (parameter fingerprint → Arc<ModelPlan>)
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64 fingerprint of a model's architecture and exact parameter
+/// bits. Two models agree iff their configs match and every parameter is
+/// bit-identical — the same contract a [`ModelPlan`]'s prepacked weights
+/// depend on, which is why [`shared_plan`] keys on this rather than on
+/// shape alone: two same-shape models with different weights must never
+/// share a cached plan (the packed panels *are* the weights).
+pub fn model_fingerprint(model: &GnnModel) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    let c = &model.cfg;
+    for v in [c.vocab_size, c.hidden, c.classes, c.layers, c.layer_norm as usize] {
+        eat(&(v as u64).to_le_bytes());
+    }
+    for p in &model.params {
+        eat(&(p.rows as u64).to_le_bytes());
+        eat(&(p.cols as u64).to_le_bytes());
+        for v in &p.data {
+            eat(&v.to_bits().to_le_bytes());
+        }
+    }
+    h
+}
+
+static MODEL_PLANS: Mutex<Option<HashMap<u64, Arc<ModelPlan>>>> = Mutex::new(None);
+static MODEL_PLAN_HITS: AtomicU64 = AtomicU64::new(0);
+static MODEL_PLAN_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Distinct live models kept; a serving process holds one or two (current
+/// plus the one being reloaded), so a tiny cap bounds stale-entry memory.
+const MODEL_PLAN_CAP: usize = 8;
+
+/// Lifetime shared-model-plan-cache `(hits, misses)` for this process.
+pub fn model_plan_cache_stats() -> (u64, u64) {
+    (MODEL_PLAN_HITS.load(Ordering::Relaxed), MODEL_PLAN_MISSES.load(Ordering::Relaxed))
+}
+
+/// One prepacked [`ModelPlan`] shared by every caller holding the same
+/// model bits: keyed by [`model_fingerprint`] (plus the dispatch switch,
+/// since it changes what the plan packs), memoized process-wide. This is
+/// the serving path's plan source — all connections share one immutable
+/// `Arc` per loaded model generation, and a hot-reload naturally misses to
+/// a fresh plan because the reloaded weights fingerprint differently.
+pub fn shared_plan(model: &GnnModel) -> Arc<ModelPlan> {
+    // The dispatch flag is part of the key: an empty (dispatch-off) plan
+    // must not be served after the flag flips on, and vice versa.
+    let key = model_fingerprint(model) ^ if dispatch_enabled() { 0 } else { 1 };
+    if let Some(plan) = MODEL_PLANS
+        .lock()
+        .expect("model plan cache poisoned")
+        .as_ref()
+        .and_then(|cache| cache.get(&key).cloned())
+    {
+        MODEL_PLAN_HITS.fetch_add(1, Ordering::Relaxed);
+        if irnuma_obs::telemetry_enabled() {
+            irnuma_obs::counter!("dispatch.model_plan_hits").inc(1);
+        }
+        return plan;
+    }
+    MODEL_PLAN_MISSES.fetch_add(1, Ordering::Relaxed);
+    if irnuma_obs::telemetry_enabled() {
+        irnuma_obs::counter!("dispatch.model_plan_misses").inc(1);
+    }
+    // Built outside the lock: packing touches every FC weight, and a
+    // concurrent reload should not serialize behind it. A racing builder
+    // produces an identical plan; first insert wins.
+    let plan = Arc::new(ModelPlan::build(model));
+    let mut guard = MODEL_PLANS.lock().expect("model plan cache poisoned");
+    let cache = guard.get_or_insert_with(HashMap::new);
+    if cache.len() >= MODEL_PLAN_CAP {
+        cache.clear();
+    }
+    cache.entry(key).or_insert_with(|| plan.clone()).clone()
+}
+
+/// Drop every cached kernel plan: the shared model plans *and* the
+/// graph-shape strategy cache. Called on model hot-reload so nothing
+/// derived from the previous generation's parameters (or its shape
+/// population) survives the swap; the next lookups rebuild from the live
+/// model. Existing `Arc<ModelPlan>` handles stay valid — invalidation
+/// unpins them from the cache, it does not free them under a reader.
+pub fn invalidate_plan_caches() {
+    if let Some(cache) = MODEL_PLANS.lock().expect("model plan cache poisoned").as_mut() {
+        cache.clear();
+    }
+    if let Some(cache) = PLAN_CACHE.lock().expect("plan cache poisoned").as_mut() {
+        cache.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1339,9 +1439,19 @@ mod tests {
         assert_eq!(plan_from_sig(&tiny).spmm[0], SpmmStrategy::EdgeMajor);
     }
 
+    /// Serializes tests that mutate the process-global plan caches (the
+    /// invalidation test clears them; the hit-count tests depend on entries
+    /// surviving between two lookups).
+    static CACHE_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn cache_test_guard() -> std::sync::MutexGuard<'static, ()> {
+        CACHE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn plan_cache_counts_hits_and_misses() {
         use crate::graphdata::GraphData;
+        let _serial = cache_test_guard();
         let g = GraphData::from_edge_lists(
             (0..5).collect(),
             [vec![(0, 1), (1, 2), (2, 3), (3, 4)], vec![], vec![]],
@@ -1354,5 +1464,76 @@ mod tests {
         assert_eq!(p1, p2);
         assert!(m1 > m0, "first lookup misses");
         assert!(h1 > h0, "second lookup hits");
+    }
+
+    #[test]
+    fn shared_plans_are_keyed_by_weights_not_shape() {
+        use crate::infer::Scratch;
+        use crate::model::GnnConfig;
+        let _serial = cache_test_guard();
+        let cfg = GnnConfig {
+            vocab_size: 16,
+            hidden: 8,
+            classes: 4,
+            layers: 2,
+            layer_norm: true,
+            seed: 1,
+        };
+        let a = GnnModel::new(cfg);
+        let b = GnnModel::new(GnnConfig { seed: 2, ..cfg });
+        // Same architecture, different weights: a shape-keyed cache would
+        // hand model b the plan packed from model a's parameters.
+        assert_ne!(model_fingerprint(&a), model_fingerprint(&b));
+        let pa = shared_plan(&a);
+        let pb = shared_plan(&b);
+        assert!(!Arc::ptr_eq(&pa, &pb), "same-shape models must not share a plan");
+        // The cached plan must reproduce each model's own unplanned forward
+        // bit-for-bit — stale packed weights would diverge here.
+        let g = GraphData::from_edge_lists(
+            vec![1, 3, 5, 7],
+            [vec![(0, 1), (1, 2), (2, 3)], vec![(3, 0)], vec![]],
+        );
+        let mut s = Scratch::new();
+        assert_eq!(a.infer_planned(&pa, &g, &mut s).logits, a.infer(&g).logits);
+        assert_eq!(b.infer_planned(&pb, &g, &mut s).logits, b.infer(&g).logits);
+        // Repeat lookups hit, returning the identical Arc.
+        let (h0, _) = model_plan_cache_stats();
+        assert!(Arc::ptr_eq(&shared_plan(&a), &pa));
+        let (h1, _) = model_plan_cache_stats();
+        assert!(h1 > h0, "second lookup hits");
+    }
+
+    #[test]
+    fn invalidation_drops_shared_plans_and_shape_cache() {
+        use crate::graphdata::GraphData;
+        use crate::model::GnnConfig;
+        let _serial = cache_test_guard();
+        let m = GnnModel::new(GnnConfig {
+            vocab_size: 16,
+            hidden: 8,
+            classes: 4,
+            layers: 2,
+            layer_norm: true,
+            seed: 3,
+        });
+        let p1 = shared_plan(&m);
+        invalidate_plan_caches();
+        let (_, miss0) = model_plan_cache_stats();
+        let p2 = shared_plan(&m);
+        let (_, miss1) = model_plan_cache_stats();
+        assert!(miss1 > miss0, "invalidated model plan must rebuild");
+        assert!(!Arc::ptr_eq(&p1, &p2), "rebuilt plan is a fresh Arc");
+        // The graph-shape strategy cache is dropped too: the same unique
+        // signature misses again after invalidation.
+        let g = GraphData::from_edge_lists(
+            (0..5).collect(),
+            [vec![(0, 1), (1, 2), (2, 3), (3, 4)], vec![], vec![]],
+        );
+        let _ = plan_for(9941, 13, 2, &g);
+        invalidate_plan_caches();
+        let (_, shape_miss0) = plan_cache_stats();
+        let _ = plan_for(9941, 13, 2, &g);
+        let (_, shape_miss1) = plan_cache_stats();
+        assert!(shape_miss1 > shape_miss0, "cleared shape cache misses on re-lookup");
     }
 }

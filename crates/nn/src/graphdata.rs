@@ -11,6 +11,45 @@ use std::sync::OnceLock;
 /// Number of edge relations (control, data, call).
 pub const NUM_RELATIONS: usize = 3;
 
+/// Why a graph is not safe to feed into the GNN kernels. Internally-built
+/// graphs ([`GraphData::from_graph`]) are valid by construction; graphs
+/// arriving from untrusted input (the serve wire protocol, deserialized
+/// files) must pass [`GraphData::validate`] first — the CSR build and the
+/// embedding gather index with edge endpoints and token ids directly, so an
+/// out-of-range value is an index panic, not a recoverable error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint references a node `>= num_nodes`.
+    EdgeOutOfRange { relation: usize, edge: usize, node: u32, num_nodes: usize },
+    /// A relation's `norm` array is not aligned with its edge list.
+    NormLengthMismatch { relation: usize, edges: usize, norms: usize },
+    /// A node's vocabulary token is `>= vocab_size` (embedding row gather
+    /// would read out of bounds).
+    TokenOutOfVocab { node: usize, token: u32, vocab_size: usize },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            GraphError::EdgeOutOfRange { relation, edge, node, num_nodes } => write!(
+                f,
+                "relation {relation} edge {edge} references node {node} \
+                 but the graph has {num_nodes} nodes"
+            ),
+            GraphError::NormLengthMismatch { relation, edges, norms } => {
+                write!(f, "relation {relation} has {edges} edges but {norms} norm entries")
+            }
+            GraphError::TokenOutOfVocab { node, token, vocab_size } => write!(
+                f,
+                "node {node} has vocabulary token {token} \
+                 but the model's vocabulary has {vocab_size} entries"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
 /// One relation's `(edges, norms)`, Rc-wrapped so tape ops can capture them
 /// without copying.
 pub type RelationArrays = (Rc<Vec<(u32, u32)>>, Rc<Vec<f32>>);
@@ -134,6 +173,69 @@ impl GraphData {
     ) -> GraphData {
         let norm = compute_norms(node_text.len(), &edges);
         GraphData::from_parts(node_text, edges, norm)
+    }
+
+    /// [`GraphData::from_edge_lists`] for untrusted input: edge endpoints
+    /// are range-checked *before* the norm computation indexes with them,
+    /// so a bad edge is a typed [`GraphError`] instead of an index panic.
+    /// Token ids are not checked here (the valid range depends on the
+    /// model's vocabulary) — callers holding a model should follow up with
+    /// [`GraphData::validate`].
+    pub fn try_from_edge_lists(
+        node_text: Vec<u32>,
+        edges: [Vec<(u32, u32)>; NUM_RELATIONS],
+    ) -> Result<GraphData, GraphError> {
+        let n = node_text.len();
+        for (relation, rel_edges) in edges.iter().enumerate() {
+            for (i, &(s, d)) in rel_edges.iter().enumerate() {
+                let bad = [s, d].into_iter().find(|&x| x as usize >= n);
+                if let Some(node) = bad {
+                    return Err(GraphError::EdgeOutOfRange {
+                        relation,
+                        edge: i,
+                        node,
+                        num_nodes: n,
+                    });
+                }
+            }
+        }
+        Ok(GraphData::from_edge_lists(node_text, edges))
+    }
+
+    /// Check that this graph is safe to feed into the kernels: every edge
+    /// endpoint in range, every `norm` array aligned with its edge list,
+    /// and every node token within `vocab_size`. Empty graphs and empty
+    /// relations are valid. Required at trust boundaries (deserialized or
+    /// wire-delivered graphs) — the kernels index without bounds recovery.
+    pub fn validate(&self, vocab_size: usize) -> Result<(), GraphError> {
+        let n = self.num_nodes();
+        for relation in 0..NUM_RELATIONS {
+            let (rel_edges, norms) = (&self.edges[relation], &self.norm[relation]);
+            if rel_edges.len() != norms.len() {
+                return Err(GraphError::NormLengthMismatch {
+                    relation,
+                    edges: rel_edges.len(),
+                    norms: norms.len(),
+                });
+            }
+            for (i, &(s, d)) in rel_edges.iter().enumerate() {
+                let bad = [s, d].into_iter().find(|&x| x as usize >= n);
+                if let Some(node) = bad {
+                    return Err(GraphError::EdgeOutOfRange {
+                        relation,
+                        edge: i,
+                        node,
+                        num_nodes: n,
+                    });
+                }
+            }
+        }
+        for (node, &token) in self.node_text.iter().enumerate() {
+            if token as usize >= vocab_size {
+                return Err(GraphError::TokenOutOfVocab { node, token, vocab_size });
+            }
+        }
+        Ok(())
     }
 
     pub fn num_nodes(&self) -> usize {
@@ -313,6 +415,63 @@ mod tests {
         let back: GraphData = serde_json::from_str(&json).unwrap();
         assert_eq!(back.csr()[1].src, d.csr()[1].src);
         assert_eq!(back.node_text, d.node_text);
+    }
+
+    #[test]
+    fn validate_accepts_internally_built_and_degenerate_graphs() {
+        let d = GraphData::from_graph(&toy());
+        assert_eq!(d.validate(10), Ok(()));
+        // Empty graph: zero nodes, zero edges — valid.
+        let empty = GraphData::from_edge_lists(vec![], Default::default());
+        assert_eq!(empty.validate(1), Ok(()));
+        // Single node, no edges — valid.
+        let single = GraphData::from_edge_lists(vec![0], Default::default());
+        assert_eq!(single.validate(1), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_what_the_kernels_would_panic_on() {
+        // Edge endpoint out of range (would panic in compute_norms / CSR).
+        let bad_edge = GraphData::from_parts(
+            vec![0, 1],
+            [vec![(0, 7)], vec![], vec![]],
+            [vec![1.0], vec![], vec![]],
+        );
+        assert_eq!(
+            bad_edge.validate(4),
+            Err(GraphError::EdgeOutOfRange { relation: 0, edge: 0, node: 7, num_nodes: 2 })
+        );
+        // Norm array misaligned with its edge list (would trip the CSR
+        // build's assert).
+        let bad_norm = GraphData::from_parts(
+            vec![0, 1],
+            [vec![(0, 1)], vec![], vec![]],
+            [vec![], vec![], vec![]],
+        );
+        assert_eq!(
+            bad_norm.validate(4),
+            Err(GraphError::NormLengthMismatch { relation: 0, edges: 1, norms: 0 })
+        );
+        // Token beyond the vocabulary (would read past the embedding rows).
+        let bad_token = GraphData::from_edge_lists(vec![0, 99], [vec![(0, 1)], vec![], vec![]]);
+        assert_eq!(
+            bad_token.validate(4),
+            Err(GraphError::TokenOutOfVocab { node: 1, token: 99, vocab_size: 4 })
+        );
+        assert!(bad_token.validate(100).is_ok());
+    }
+
+    #[test]
+    fn try_from_edge_lists_returns_typed_error_instead_of_panicking() {
+        // The unchecked constructor would index indeg[9] on a 2-node graph.
+        let err = GraphData::try_from_edge_lists(vec![0, 1], [vec![(0, 9)], vec![], vec![]])
+            .expect_err("out-of-range edge must be rejected");
+        assert_eq!(err, GraphError::EdgeOutOfRange { relation: 0, edge: 0, node: 9, num_nodes: 2 });
+        let ok = GraphData::try_from_edge_lists(vec![0, 1], [vec![(0, 1)], vec![], vec![]])
+            .expect("in-range edges");
+        assert_eq!(ok.norm[0], vec![1.0]);
+        let display = format!("{err}");
+        assert!(display.contains("node 9"), "{display}");
     }
 
     #[test]

@@ -305,6 +305,27 @@ impl GnnModel {
         out
     }
 
+    /// [`infer_batch_refs`](GnnModel::infer_batch_refs) through a prebuilt
+    /// (typically cached and `Arc`-shared) [`ModelPlan`] — the serving
+    /// path, where one immutable plan per model generation is shared by
+    /// every connection and rebuilding it per micro-batch would dominate
+    /// small batches. `plan` must have been built from this model's current
+    /// parameters; results are bit-identical to
+    /// [`infer_batch`](GnnModel::infer_batch).
+    pub fn infer_batch_planned(&self, plan: &ModelPlan, graphs: &[&GraphData]) -> Vec<InferOutput> {
+        let span = irnuma_obs::span!("infer.batch", graphs = graphs.len());
+        let ctx = span.ctx();
+        let out: Vec<InferOutput> = graphs
+            .par_iter()
+            .map(|g| {
+                let _g = irnuma_obs::span_fanout!(ctx, "infer.graph");
+                self.infer_planned_threadlocal(plan, g)
+            })
+            .collect();
+        self.record_batch(&span, graphs.len());
+        out
+    }
+
     fn record_batch(&self, span: &irnuma_obs::SpanGuard, graphs: usize) {
         if irnuma_obs::telemetry_enabled() {
             irnuma_obs::histogram!("infer.batch_ns").record_duration(span.elapsed());
@@ -405,6 +426,41 @@ mod tests {
         );
         let rf = out.router_features();
         assert_eq!(rf.len(), out.pooled.len() + out.probs.len() + 1);
+    }
+
+    #[test]
+    fn empty_graph_infers_to_a_well_defined_output() {
+        // Zero nodes, zero edges — reachable from untrusted serving input.
+        // The pooled embedding is all-zero, so the logits collapse to the
+        // FC head's response to a zero vector: finite, well-defined, and
+        // identical between the planned and unplanned paths.
+        let m = model();
+        let empty = GraphData::from_edge_lists(vec![], Default::default());
+        let out = m.infer(&empty);
+        assert_eq!(out.logits.len(), m.cfg.classes);
+        assert_eq!(out.pooled, vec![0.0; m.cfg.hidden]);
+        assert!(out.logits.iter().all(|v| v.is_finite()));
+        let sum: f32 = out.probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(out.margin >= 0.0 && out.margin <= 1.0);
+        let _ = out.label();
+        let batch = m.infer_batch(std::slice::from_ref(&empty));
+        assert_eq!(batch[0].logits, out.logits);
+    }
+
+    #[test]
+    fn planned_batch_matches_per_call_plan_batch() {
+        let m = model();
+        let graphs: Vec<GraphData> = (0..9).map(toy_graph).collect();
+        let refs: Vec<&GraphData> = graphs.iter().collect();
+        let plan = crate::dispatch::shared_plan(&m);
+        let planned = m.infer_batch_planned(&plan, &refs);
+        let per_call = m.infer_batch_refs(&refs);
+        for (a, b) in planned.iter().zip(&per_call) {
+            assert_eq!(a.logits, b.logits);
+            assert_eq!(a.pooled, b.pooled);
+            assert_eq!(a.probs, b.probs);
+        }
     }
 
     #[test]

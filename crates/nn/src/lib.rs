@@ -31,8 +31,11 @@ pub mod tensor;
 pub mod train;
 
 pub use backprop::{FusedEngine, GradBuffer, TrainScratch};
-pub use dispatch::{dispatch_enabled, set_dispatch, GraphPlan, ModelPlan, SpmmStrategy};
-pub use graphdata::{Csr, GraphData};
+pub use dispatch::{
+    dispatch_enabled, invalidate_plan_caches, model_fingerprint, set_dispatch, shared_plan,
+    GraphPlan, ModelPlan, SpmmStrategy,
+};
+pub use graphdata::{Csr, GraphData, GraphError};
 pub use infer::{InferOutput, Scratch};
 pub use model::{GnnConfig, GnnModel};
 pub use tensor::Tensor;

@@ -63,18 +63,71 @@ pub fn serve(addr: impl ToSocketAddrs) -> std::io::Result<ServerHandle> {
     Ok(ServerHandle { addr: bound, stop })
 }
 
+/// Longest request line accepted before the server answers 400 — far above
+/// any legitimate `GET /json HTTP/1.x` line, far below anything that could
+/// tie up the single server thread buffering garbage.
+const MAX_REQUEST_LINE: usize = 8 * 1024;
+
+/// Read one CRLF/LF-terminated request line, looping over however many TCP
+/// segments it arrives in. `Ok(None)` means the line was malformed: longer
+/// than [`MAX_REQUEST_LINE`], or the peer closed/timed out before sending a
+/// newline. A client that dribbles the line across several writes — which
+/// the old single-`read` implementation misrouted — is handled correctly.
+fn read_request_line(stream: &mut TcpStream) -> Option<String> {
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 512];
+    loop {
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let mut line = &buf[..pos];
+            if line.last() == Some(&b'\r') {
+                line = &line[..line.len() - 1];
+            }
+            return Some(String::from_utf8_lossy(line).into_owned());
+        }
+        // Size and wall-clock caps: neither a giant line nor a byte-trickle
+        // client may pin the single server thread.
+        if buf.len() > MAX_REQUEST_LINE || std::time::Instant::now() > deadline {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return None, // EOF or timeout mid-line
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+}
+
 fn handle_conn(mut stream: TcpStream) {
     stream.set_read_timeout(Some(Duration::from_millis(500))).ok();
     stream.set_write_timeout(Some(Duration::from_secs(2))).ok();
-    // One request line is all the routing needs; drain up to 1 KiB of it.
-    let mut buf = [0u8; 1024];
-    let n = stream.read(&mut buf).unwrap_or(0);
-    let request = String::from_utf8_lossy(&buf[..n]);
-    let first_line = request.lines().next().unwrap_or("");
     crate::registry().counter("export.requests").inc(1);
 
+    // Route on a fully-read, well-formed `GET <path> …` request line;
+    // anything else — oversized, truncated, or non-GET — is a 400, never a
+    // panic or a misrouted 200 (this thread serves every future scrape).
+    let path = read_request_line(&mut stream).and_then(|line| {
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next()) {
+            (Some("GET"), Some(path)) => Some(path.to_string()),
+            _ => None,
+        }
+    });
+    let Some(path) = path else {
+        crate::registry().counter("export.bad_requests").inc(1);
+        let body = "bad request: expected `GET <path>` within 8 KiB\n";
+        let header = format!(
+            "HTTP/1.0 400 Bad Request\r\nContent-Type: text/plain\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n",
+            body.len()
+        );
+        let _ = stream.write_all(header.as_bytes());
+        let _ = stream.write_all(body.as_bytes());
+        let _ = stream.flush();
+        return;
+    };
+
     let snap = crate::TelemetrySnapshot::capture();
-    let (content_type, body) = if first_line.contains("/json") {
+    let (content_type, body) = if path == "/json" || path.starts_with("/json?") {
         ("application/json", snap.to_json())
     } else {
         ("text/plain; version=0.0.4", snap.to_prometheus())
@@ -126,6 +179,58 @@ mod tests {
         // The endpoint counts its own requests.
         assert!(prom.contains("irnuma_export_requests"), "{prom}");
 
+        server.stop();
+    }
+
+    /// Write `parts` as separate TCP segments (flushing and pausing between
+    /// them), then return the full raw response.
+    fn raw_request(addr: &std::net::SocketAddr, parts: &[&[u8]]) -> String {
+        let mut stream = TcpStream::connect_timeout(addr, Duration::from_secs(2)).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        for part in parts {
+            // Ignore write errors: the server may already have answered
+            // (e.g. 400 on an oversized line) and closed its end.
+            let _ = stream.write_all(part);
+            let _ = stream.flush();
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap_or(0);
+        response
+    }
+
+    #[test]
+    fn request_line_split_across_reads_still_routes_correctly() {
+        let server = serve("127.0.0.1:0").expect("bind");
+        // The `/json` path arrives in two TCP segments: a single-read
+        // server sees only `GET /js` and misroutes to Prometheus text.
+        let response = raw_request(&server.addr(), &[b"GET /js", b"on HTTP/1.0\r\n\r\n"]);
+        assert!(response.starts_with("HTTP/1.0 200"), "{response}");
+        assert!(response.contains("application/json"), "split write misrouted: {response}");
+        server.stop();
+    }
+
+    #[test]
+    fn oversized_and_malformed_request_lines_get_400_and_leave_the_thread_alive() {
+        let server = serve("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+
+        // A request line far beyond the cap is rejected, not buffered.
+        let huge = vec![b'A'; 64 * 1024];
+        let response = raw_request(&addr, &[b"GET /", &huge]);
+        assert!(response.starts_with("HTTP/1.0 400"), "{response}");
+
+        // A non-GET / garbage line is a 400 too.
+        let response = raw_request(&addr, &[b"BOGUS\r\n\r\n"]);
+        assert!(response.starts_with("HTTP/1.0 400"), "{response}");
+
+        // An empty connection (closed before any newline) is also a 400.
+        let response = raw_request(&addr, &[b"GET /metrics"]); // no newline, then EOF
+        assert!(response.starts_with("HTTP/1.0 400"), "{response}");
+
+        // And after all of that abuse the server thread still serves.
+        let json = fetch(&addr.to_string(), "/json").expect("fetch json after abuse");
+        assert!(json.starts_with("{\"ts_ns\":"), "{json}");
         server.stop();
     }
 }

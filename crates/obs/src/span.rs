@@ -51,6 +51,11 @@ struct ActiveSpan {
     /// Whether this span pushed a frame onto the thread's profile stack
     /// (profiling may toggle mid-span; only pop what was pushed).
     profiled: bool,
+    /// A [`SpanGuard::detached`] span: it never touched this (or any)
+    /// thread's context stack, so the drop must not restore `prev` — the
+    /// guard may be dropped on a different thread than it was opened on,
+    /// and restoring there would corrupt that thread's context.
+    detached: bool,
 }
 
 /// An open span; emits its event when dropped. Construct through the
@@ -106,6 +111,42 @@ impl SpanGuard {
                 start: Instant::now(),
                 alloc_at_open,
                 profiled,
+                detached: false,
+            }),
+        }
+    }
+
+    /// Open a **detached** root span: it starts a fresh trace, is never
+    /// installed on any thread's context stack, and is therefore safe to
+    /// move across threads and drop wherever the work it measures finishes
+    /// — the lifecycle of a served request, which is parsed on a reader
+    /// thread, queued, and completed on a batch worker. A regular guard
+    /// must drop on its opening thread (its drop restores that thread's
+    /// context); a detached guard has nothing to restore. It still emits a
+    /// `span` event (parent 0 ⇒ a forest root in `trace analyze`) and
+    /// feeds the per-span-name latency aggregates; children on any thread
+    /// hang off [`SpanGuard::ctx`] via [`crate::span_under!`] /
+    /// [`crate::span_fanout!`]. Returns an inert guard when telemetry is
+    /// off, like the macros.
+    pub fn detached(name: &'static str, fields: Vec<(&'static str, Value)>) -> SpanGuard {
+        if !crate::telemetry_enabled() {
+            return SpanGuard::inert();
+        }
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        SpanGuard {
+            inner: Some(ActiveSpan {
+                trace: context::fresh_trace_id(),
+                id,
+                parent: 0,
+                prev: TraceContext::NONE,
+                name,
+                fields,
+                start: Instant::now(),
+                // Thread-bound bookkeeping (allocation deltas, the profile
+                // stack) is skipped: open and drop may be different threads.
+                alloc_at_open: None,
+                profiled: false,
+                detached: true,
             }),
         }
     }
@@ -141,7 +182,9 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(s) = self.inner.take() else { return };
         let dur_ns = u64::try_from(s.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        context::restore(s.prev);
+        if !s.detached {
+            context::restore(s.prev);
+        }
         if s.profiled {
             crate::profile::pop_span_frame();
         }

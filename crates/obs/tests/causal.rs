@@ -6,8 +6,8 @@
 //! serializes on a shared mutex and clears the sink before releasing it.
 
 use irnuma_obs::{
-    clear_sink, set_sink, span, span_fanout, Event, MemorySink, Sink, SpanForest, SpanRecord,
-    TraceContext, Value,
+    clear_sink, set_sink, span, span_fanout, span_under, Event, MemorySink, Sink, SpanForest,
+    SpanGuard, SpanRecord, TraceContext, Value,
 };
 use proptest::prelude::*;
 use rayon::prelude::*;
@@ -309,4 +309,43 @@ fn panic_hook_flushes_buffered_trace_lines() {
     );
     clear_sink();
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn detached_spans_cross_threads_without_corrupting_contexts() {
+    with_memory_sink(|sink| {
+        let outer = span!("test.outer");
+        let outer_ctx = outer.ctx();
+        let req = SpanGuard::detached("test.request", vec![("id", Value::from(7u64))]);
+        let req_ctx = req.ctx();
+        assert_ne!(req_ctx.trace_id, 0, "detached spans are live under a sink");
+        assert_ne!(req_ctx.trace_id, outer_ctx.trace_id, "detached spans root fresh traces");
+        // Opening a detached span must not have touched this thread's
+        // context stack — `outer` is still the innermost open span.
+        assert_eq!(TraceContext::capture(), outer_ctx);
+        // Move the guard to a worker, open a child under it there, then
+        // drop it there — the worker's context must stay untouched.
+        let worker_ctx_after = std::thread::spawn(move || {
+            {
+                let _child = span_under!(req.ctx(), "test.request.work");
+            }
+            drop(req);
+            TraceContext::capture()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(worker_ctx_after, TraceContext::NONE, "worker context corrupted by drop");
+        assert_eq!(TraceContext::capture(), outer_ctx, "opener context corrupted");
+        drop(outer);
+
+        let events = sink.events();
+        let req_span =
+            events.iter().find(|e| e.kind == "span" && e.name == "test.request").unwrap();
+        assert_eq!(u64_field(req_span, "parent_id"), 0, "detached spans are forest roots");
+        assert_eq!(u64_field(req_span, "trace_id"), req_ctx.trace_id);
+        assert_eq!(u64_field(req_span, "span_id"), req_ctx.span_id);
+        let child = events.iter().find(|e| e.name == "test.request.work").unwrap();
+        assert_eq!(u64_field(child, "parent_id"), req_ctx.span_id);
+        assert_eq!(u64_field(child, "trace_id"), req_ctx.trace_id);
+    });
 }

@@ -1,0 +1,53 @@
+//! Minimal blocking client for the JSONL wire protocol — used by the
+//! pipeline tests and the `irnuma serve-bench` load generator, and small
+//! enough to crib for an external client.
+
+use crate::protocol::{Reply, Request};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One connection to a serving daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Send one request line (does not wait for the reply).
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        let line = serde_json::to_string(req)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+        self.send_raw(&line)
+    }
+
+    /// Send a raw line verbatim — the malformed-input tests speak garbage.
+    pub fn send_raw(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Block for the next reply line and parse it.
+    pub fn recv(&mut self) -> io::Result<Reply> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"));
+        }
+        Reply::parse(line.trim_end()).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Send, then block for the reply (single-request convenience).
+    pub fn call(&mut self, req: &Request) -> io::Result<Reply> {
+        self.send(req)?;
+        self.recv()
+    }
+}

@@ -1,0 +1,164 @@
+//! JSONL wire protocol for `irnuma serve`.
+//!
+//! One JSON object per line in each direction. A request carries the raw
+//! region graph (vocabulary indices per node, edge lists per relation);
+//! the daemon computes the normalization constants server-side, so the
+//! wire format matches what a compiler-pass client can produce without
+//! linking the model crate. A reply is either a [`Response`] (prediction)
+//! or an [`ErrorReply`] (recognized by its `error` field). Floats use the
+//! round-trippable serializer, so a response carries the f32 logits and
+//! probabilities bit-exactly — the serving acceptance tests compare them
+//! against offline [`irnuma_nn::GnnModel::infer_batch`] with `==`.
+
+use serde::{Deserialize, Serialize};
+
+/// Machine-readable error classes carried in [`ErrorReply::code`].
+pub const CODE_BAD_REQUEST: &str = "bad_request";
+/// The line exceeded the daemon's size cap and was discarded.
+pub const CODE_PAYLOAD_TOO_LARGE: &str = "payload_too_large";
+/// The admission queue was full; retry after [`ErrorReply::retry_after_ms`].
+pub const CODE_OVERLOADED: &str = "overloaded";
+
+/// One prediction request: a region graph in edge-list form.
+///
+/// `edges[r]` is the `(src, dst)` list for relation `r`; relations beyond
+/// those listed are treated as empty, and more than
+/// [`irnuma_nn::graphdata::NUM_RELATIONS`] lists is a `bad_request`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the reply.
+    pub id: u64,
+    /// Vocabulary index per node (defines the node count).
+    pub node_text: Vec<u32>,
+    /// Per-relation edge lists as `[src, dst]` pairs.
+    pub edges: Vec<Vec<(u32, u32)>>,
+}
+
+/// A successful prediction for one request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Echo of [`Request::id`].
+    pub id: u64,
+    /// Predicted configuration class (argmax of `logits`).
+    pub label: usize,
+    /// Top-1 minus top-2 softmax probability (prediction confidence).
+    pub margin: f32,
+    /// Class logits.
+    pub logits: Vec<f32>,
+    /// Softmax distribution over classes.
+    pub probs: Vec<f32>,
+    /// Pooled graph embedding.
+    pub pooled: Vec<f32>,
+    /// Model generation that served this request (bumped on hot-reload).
+    pub generation: u64,
+}
+
+/// An error reply; distinguished from [`Response`] by its `error` field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorReply {
+    /// Echo of the request id when one could be parsed, else 0.
+    pub id: u64,
+    /// Human-readable description.
+    pub error: String,
+    /// One of the `CODE_*` constants.
+    pub code: String,
+    /// For `overloaded`: suggested client backoff. 0 otherwise.
+    pub retry_after_ms: u64,
+}
+
+impl ErrorReply {
+    pub fn new(id: u64, code: &str, error: impl Into<String>) -> ErrorReply {
+        ErrorReply { id, error: error.into(), code: code.to_string(), retry_after_ms: 0 }
+    }
+}
+
+/// One parsed reply line: prediction or error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    Ok(Response),
+    Err(ErrorReply),
+}
+
+impl Reply {
+    /// Parse a reply line. Routes on the presence of an `error` field, then
+    /// does a typed parse so f32 payloads round-trip bit-exactly.
+    pub fn parse(line: &str) -> Result<Reply, String> {
+        let v = serde_json::parse_value(line).map_err(|e| format!("malformed reply: {e:?}"))?;
+        if v.field("error").is_some() {
+            serde_json::from_str::<ErrorReply>(line)
+                .map(Reply::Err)
+                .map_err(|e| format!("malformed error reply: {e:?}"))
+        } else {
+            serde_json::from_str::<Response>(line)
+                .map(Reply::Ok)
+                .map_err(|e| format!("malformed response: {e:?}"))
+        }
+    }
+
+    /// The correlation id, whichever arm.
+    pub fn id(&self) -> u64 {
+        match self {
+            Reply::Ok(r) => r.id,
+            Reply::Err(e) => e.id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_and_replies_round_trip() {
+        let req = Request {
+            id: 7,
+            node_text: vec![1, 2, 3],
+            edges: vec![vec![(0, 1), (1, 2)], vec![], vec![(2, 0)]],
+        };
+        let line = serde_json::to_string(&req).unwrap();
+        let back: Request = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, req);
+
+        let resp = Response {
+            id: 7,
+            label: 2,
+            margin: 0.25f32,
+            logits: vec![0.1, -1.5e-8, 3.0],
+            probs: vec![0.2, 0.3, 0.5],
+            pooled: vec![1.0f32 / 3.0],
+            generation: 1,
+        };
+        let line = serde_json::to_string(&resp).unwrap();
+        match Reply::parse(&line).unwrap() {
+            Reply::Ok(back) => assert_eq!(back, resp),
+            Reply::Err(e) => panic!("response parsed as error: {e:?}"),
+        }
+
+        let err = ErrorReply::new(9, CODE_OVERLOADED, "queue full");
+        let line = serde_json::to_string(&err).unwrap();
+        match Reply::parse(&line).unwrap() {
+            Reply::Err(back) => assert_eq!(back, err),
+            Reply::Ok(r) => panic!("error parsed as response: {r:?}"),
+        }
+    }
+
+    #[test]
+    fn f32_payloads_round_trip_bit_exactly() {
+        // Values chosen to be awkward under f64 double-rounding.
+        let vals = [f32::MIN_POSITIVE, 1.0e-7f32, 0.1f32, 16_777_217.0f32, f32::MAX];
+        let resp = Response {
+            id: 1,
+            label: 0,
+            margin: vals[2],
+            logits: vals.to_vec(),
+            probs: vals.to_vec(),
+            pooled: vals.to_vec(),
+            generation: 0,
+        };
+        let line = serde_json::to_string(&resp).unwrap();
+        let Reply::Ok(back) = Reply::parse(&line).unwrap() else { panic!() };
+        for (a, b) in resp.logits.iter().zip(&back.logits) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+    }
+}

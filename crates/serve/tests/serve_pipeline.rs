@@ -1,0 +1,256 @@
+//! End-to-end contract of the serving daemon, with the offline batch
+//! engine as the oracle: every reply a client reads off the socket must be
+//! bit-identical to what `GnnModel::infer_batch` computes on the same
+//! weights — including across a hot-reload — and every abuse mode
+//! (malformed lines, oversized payloads, admission-queue overflow) must
+//! produce a typed error on the wire, never a dead connection or a dead
+//! daemon.
+
+use irnuma_nn::graphdata::NUM_RELATIONS;
+use irnuma_nn::{GnnClassifier, GnnConfig, GraphData};
+use irnuma_serve::{
+    response_matches, Client, Reply, Request, ServeConfig, Server, CODE_BAD_REQUEST,
+    CODE_OVERLOADED, CODE_PAYLOAD_TOO_LARGE,
+};
+use proptest::prelude::*;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+const VOCAB: usize = 24;
+
+fn test_model_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("irnuma-serve-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}.json"))
+}
+
+fn classifier(seed: u64) -> GnnClassifier {
+    GnnClassifier::new(GnnConfig {
+        vocab_size: VOCAB,
+        hidden: 8,
+        classes: 4,
+        layers: 2,
+        layer_norm: true,
+        seed,
+    })
+}
+
+/// Deterministic small multigraph family; index 0 is the empty graph and
+/// index 1 single-node, so the degenerate shapes ride through every test.
+fn graph(idx: u64) -> GraphData {
+    let n = (idx % 6) as u32;
+    let node_text: Vec<u32> = (0..n).map(|i| (i * 7 + idx as u32 * 3 + 1) % VOCAB as u32).collect();
+    let mut edges: [Vec<(u32, u32)>; NUM_RELATIONS] = Default::default();
+    for i in 1..n {
+        edges[(i as usize + idx as usize) % NUM_RELATIONS].push((i - 1, i));
+    }
+    if n > 1 {
+        edges[idx as usize % NUM_RELATIONS].push((n - 1, 0));
+    }
+    GraphData::from_edge_lists(node_text, edges)
+}
+
+fn to_request(id: u64, g: &GraphData) -> Request {
+    Request { id, node_text: g.node_text.clone(), edges: g.edges.to_vec() }
+}
+
+fn start(name: &str, seed: u64, tweak: impl FnOnce(&mut ServeConfig)) -> (Server, PathBuf) {
+    let path = test_model_path(name);
+    classifier(seed).save_json(&path).unwrap();
+    let mut cfg = ServeConfig::new(&path);
+    tweak(&mut cfg);
+    (Server::start(cfg).unwrap(), path)
+}
+
+#[test]
+fn malformed_lines_get_typed_errors_and_the_connection_survives() {
+    let (server, _) = start("malformed", 1, |_| {});
+    let mut c = Client::connect(server.addr()).unwrap();
+
+    // Not JSON at all.
+    c.send_raw("{this is not json").unwrap();
+    let Reply::Err(e) = c.recv().unwrap() else { panic!("garbage must error") };
+    assert_eq!((e.code.as_str(), e.id), (CODE_BAD_REQUEST, 0));
+
+    // Valid JSON, wrong schema — the id is still salvaged for correlation.
+    c.send_raw(r#"{"id":42,"node_text":"nope","edges":[]}"#).unwrap();
+    let Reply::Err(e) = c.recv().unwrap() else { panic!("wrong schema must error") };
+    assert_eq!((e.code.as_str(), e.id), (CODE_BAD_REQUEST, 42));
+
+    // Well-formed request with an out-of-range edge endpoint.
+    c.send_raw(r#"{"id":43,"node_text":[1,2],"edges":[[[0,9]],[],[]]}"#).unwrap();
+    let Reply::Err(e) = c.recv().unwrap() else { panic!("bad edge must error") };
+    assert_eq!((e.code.as_str(), e.id), (CODE_BAD_REQUEST, 43));
+
+    // Token outside the model's vocabulary (caught at batch time).
+    c.send_raw(r#"{"id":44,"node_text":[9999],"edges":[]}"#).unwrap();
+    let Reply::Err(e) = c.recv().unwrap() else { panic!("bad token must error") };
+    assert_eq!((e.code.as_str(), e.id), (CODE_BAD_REQUEST, 44));
+
+    // And after all that, the same connection still serves predictions —
+    // including for the empty graph (0 nodes), which must not panic.
+    for idx in [0u64, 1, 5] {
+        let g = graph(idx);
+        match c.call(&to_request(100 + idx, &g)).unwrap() {
+            Reply::Ok(r) => {
+                assert_eq!(r.id, 100 + idx);
+                assert!(r.probs.iter().all(|p| p.is_finite()));
+            }
+            Reply::Err(e) => panic!("valid request {idx} rejected: {e:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn oversized_lines_are_rejected_without_killing_the_stream() {
+    let (server, _) = start("oversized", 2, |cfg| cfg.max_line_bytes = 4096);
+    let mut c = Client::connect(server.addr()).unwrap();
+
+    let huge = format!(r#"{{"id":7,"node_text":[{}],"edges":[]}}"#, "1,".repeat(40_000) + "1");
+    assert!(huge.len() > 64 * 1024);
+    c.send_raw(&huge).unwrap();
+    let Reply::Err(e) = c.recv().unwrap() else { panic!("oversized line must error") };
+    assert_eq!(e.code, CODE_PAYLOAD_TOO_LARGE);
+
+    // The oversized line was discarded through its newline: the next,
+    // well-formed request on the same connection is served normally.
+    let g = graph(3);
+    match c.call(&to_request(8, &g)).unwrap() {
+        Reply::Ok(r) => assert_eq!(r.id, 8),
+        Reply::Err(e) => panic!("follow-up request rejected: {e:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn full_admission_queue_rejects_with_retry_after_instead_of_buffering() {
+    let (server, _) = start("backpressure", 3, |cfg| {
+        cfg.queue_cap = 1;
+        cfg.max_batch = 1;
+        cfg.batch_window_us = 0;
+        cfg.batch_hold_ms = 150; // slow batcher: the queue must fill
+    });
+    let mut c = Client::connect(server.addr()).unwrap();
+
+    const N: u64 = 12;
+    let g = graph(4);
+    for id in 0..N {
+        c.send(&to_request(id, &g)).unwrap();
+    }
+    let mut served = 0u64;
+    let mut rejected = 0u64;
+    for _ in 0..N {
+        match c.recv().unwrap() {
+            Reply::Ok(_) => served += 1,
+            Reply::Err(e) => {
+                assert_eq!(e.code, CODE_OVERLOADED, "{e:?}");
+                assert!(e.retry_after_ms >= 1, "retry hint must be positive: {e:?}");
+                rejected += 1;
+            }
+        }
+    }
+    // Every request got exactly one reply; under a 150 ms/request batcher
+    // the 12 near-instant sends cannot all have fit a 1-deep queue.
+    assert_eq!(served + rejected, N);
+    assert!(served >= 1, "the first request must be served");
+    assert!(rejected >= 1, "a 1-deep queue under a held batcher must reject");
+    server.shutdown();
+}
+
+#[test]
+fn hot_reload_swaps_generations_and_stays_bit_identical_mid_stream() {
+    let (server, path) = start("hot-reload", 10, |_| {});
+    let m1 = classifier(10);
+    let m2 = classifier(20);
+    let graphs: Vec<GraphData> = (0..6).map(graph).collect();
+    let offline1 = m1.model.infer_batch(&graphs);
+    let offline2 = m2.model.infer_batch(&graphs);
+
+    let mut c = Client::connect(server.addr()).unwrap();
+    for (i, g) in graphs.iter().enumerate() {
+        let Reply::Ok(r) = c.call(&to_request(i as u64, g)).unwrap() else { panic!() };
+        assert_eq!(r.generation, 0);
+        assert!(response_matches(&r, &offline1[i]), "pre-reload drift on graph {i}");
+    }
+
+    // Swap the artifact under the daemon and reload on the SAME stream.
+    // The prepacked dispatch plans keyed by the old weights must not leak
+    // into post-reload responses.
+    classifier(20).save_json(&path).unwrap();
+    assert_eq!(server.reload_now().unwrap(), 1);
+    assert_eq!(server.generation(), 1);
+
+    for (i, g) in graphs.iter().enumerate() {
+        let Reply::Ok(r) = c.call(&to_request(100 + i as u64, g)).unwrap() else { panic!() };
+        assert_eq!(r.generation, 1);
+        assert!(response_matches(&r, &offline2[i]), "post-reload drift on graph {i}");
+    }
+
+    // A corrupt artifact must not take the daemon down or roll generations.
+    std::fs::write(&path, b"definitely not a model").unwrap();
+    assert!(server.reload_now().is_err());
+    assert_eq!(server.generation(), 1);
+    let Reply::Ok(r) = c.call(&to_request(999, &graphs[5])).unwrap() else { panic!() };
+    assert!(response_matches(&r, &offline2[5]), "corrupt reload must keep serving gen 1");
+    server.shutdown();
+}
+
+/// One shared daemon for the property test (started on first use; the
+/// server thread dies with the test process).
+fn shared_server() -> (&'static GnnClassifier, SocketAddr) {
+    static SHARED: OnceLock<(GnnClassifier, SocketAddr)> = OnceLock::new();
+    let (clf, addr) = SHARED.get_or_init(|| {
+        let (server, _) = start("proptest", 30, |cfg| {
+            cfg.max_batch = 8;
+            cfg.batch_window_us = 100;
+        });
+        let addr = server.addr();
+        std::mem::forget(server);
+        (classifier(30), addr)
+    });
+    (clf, *addr)
+}
+
+/// Arbitrary small multigraph (self-loops, duplicates, empty and
+/// single-node shapes all included).
+fn graph_strategy() -> impl Strategy<Value = GraphData> {
+    (0usize..7, prop::collection::vec((0u8..3, 0u16..64, 0u16..64), 0..14)).prop_map(
+        |(n, extra)| {
+            let node_text: Vec<u32> = (0..n as u32).map(|i| (i * 5 + 2) % VOCAB as u32).collect();
+            let mut edges: [Vec<(u32, u32)>; NUM_RELATIONS] = Default::default();
+            for i in 1..n as u32 {
+                edges[0].push((i - 1, i));
+            }
+            if n > 0 {
+                for (r, s, d) in extra {
+                    edges[r as usize].push((s as u32 % n as u32, d as u32 % n as u32));
+                }
+            }
+            GraphData::from_edge_lists(node_text, edges)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Anything the daemon serves == what the offline batch engine
+    /// computes, bitwise, for arbitrary well-formed graphs.
+    #[test]
+    fn served_predictions_match_offline_infer_batch(
+        graphs in prop::collection::vec(graph_strategy(), 1..6),
+    ) {
+        let (clf, addr) = shared_server();
+        let offline = clf.model.infer_batch(&graphs);
+        let mut c = Client::connect(addr).unwrap();
+        for (i, g) in graphs.iter().enumerate() {
+            let Reply::Ok(r) = c.call(&to_request(i as u64, g)).unwrap() else {
+                panic!("well-formed graph {i} rejected")
+            };
+            prop_assert_eq!(r.id, i as u64);
+            prop_assert!(response_matches(&r, &offline[i]), "serve/offline drift on graph {}", i);
+        }
+    }
+}

@@ -95,6 +95,19 @@ impl Dataset {
         irnuma_store::load_json(path, "dataset")
     }
 
+    /// Load a dataset from either storage format: a pack directory written
+    /// by `irnuma dataset pack` (shard manifest + binary graph records) or
+    /// the legacy single-file JSON cache. Detection is structural — a
+    /// directory containing a shard manifest is a pack; anything else goes
+    /// through [`Dataset::load_json`].
+    pub fn load_auto(path: &std::path::Path) -> std::io::Result<Dataset> {
+        if path.is_dir() && irnuma_store::shard::ShardManifest::exists(path) {
+            crate::dataset_pack::load_packed(path)
+        } else {
+            Dataset::load_json(path)
+        }
+    }
+
     /// Time of `region` under label class `label`.
     pub fn label_time(&self, region: usize, label: usize) -> f64 {
         self.regions[region].sweep[self.chosen_configs[label]]
@@ -154,6 +167,8 @@ pub enum DatasetError {
     RegionFailed(SkipRecord),
     /// Tolerant mode, but nothing survived to train on.
     NoRegionsSurvived { total: usize, skips: Vec<SkipRecord> },
+    /// A packed build could not write its shards/manifest.
+    Io(String),
 }
 
 impl fmt::Display for DatasetError {
@@ -167,11 +182,18 @@ impl fmt::Display for DatasetError {
                     None => write!(f, "<none recorded>"),
                 }
             }
+            DatasetError::Io(e) => write!(f, "dataset pack I/O failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for DatasetError {}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> DatasetError {
+        DatasetError::Io(e.to_string())
+    }
+}
 
 /// Build behavior orthogonal to the (persisted, `Copy`) [`DatasetParams`].
 #[derive(Debug, Clone, Default)]
@@ -236,36 +258,7 @@ pub fn build_dataset_report(
     let results: Vec<Result<RegionData, SkipRecord>> = specs
         .into_par_iter()
         .map(|spec| {
-            let _region_span =
-                irnuma_obs::span_under!(ctx, "dataset.region", region = spec.name.as_str());
-            let run = |attempt: u32| {
-                catch_unwind(AssertUnwindSafe(|| {
-                    build_region(&spec, &machine, &configs, &sequences, &vocab, params, {
-                        opts.fault.as_deref().filter(|f| fault_hits(f, &spec.name, attempt))
-                    })
-                }))
-                .unwrap_or_else(|payload| {
-                    Err(RegionError { stage: "panic", sequence: None, error: panic_msg(&payload) })
-                })
-            };
-            run(0).or_else(|first| {
-                // One retry covers transient failures (I/O hiccups, the
-                // `:once` injected fault); a deterministic error repeats.
-                irnuma_obs::counter!("dataset.retried").inc(1);
-                irnuma_obs::warn!(
-                    "{}: attempt 1 failed at {} ({}); retrying once",
-                    spec.name,
-                    first.stage,
-                    first.error
-                );
-                run(1).map_err(|e| SkipRecord {
-                    region: spec.name.clone(),
-                    sequence: e.sequence,
-                    stage: e.stage.to_string(),
-                    error: e.error,
-                    attempts: 2,
-                })
-            })
+            build_region_tolerant(&spec, &machine, &configs, &sequences, &vocab, params, opts, ctx)
         })
         .collect();
 
@@ -296,6 +289,52 @@ pub fn build_dataset_report(
     let dataset =
         Dataset { machine, size: params.size, sequences, configs, regions, chosen_configs, labels };
     Ok(DatasetBuild { dataset, skips })
+}
+
+/// Fault-isolated build of one region: a span under `ctx`, a
+/// [`catch_unwind`] around every stage, and one retry before the failure is
+/// condensed into a [`SkipRecord`]. Shared by the in-memory build above and
+/// the sharded packed build ([`crate::dataset_pack::build_packed_dataset`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_region_tolerant(
+    spec: &RegionSpec,
+    machine: &Machine,
+    configs: &[Config],
+    sequences: &[FlagSequence],
+    vocab: &Vocab,
+    params: &DatasetParams,
+    opts: &BuildOptions,
+    ctx: irnuma_obs::TraceContext,
+) -> Result<RegionData, SkipRecord> {
+    let _region_span = irnuma_obs::span_under!(ctx, "dataset.region", region = spec.name.as_str());
+    let run = |attempt: u32| {
+        catch_unwind(AssertUnwindSafe(|| {
+            build_region(spec, machine, configs, sequences, vocab, params, {
+                opts.fault.as_deref().filter(|f| fault_hits(f, &spec.name, attempt))
+            })
+        }))
+        .unwrap_or_else(|payload| {
+            Err(RegionError { stage: "panic", sequence: None, error: panic_msg(&payload) })
+        })
+    };
+    run(0).or_else(|first| {
+        // One retry covers transient failures (I/O hiccups, the `:once`
+        // injected fault); a deterministic error repeats.
+        irnuma_obs::counter!("dataset.retried").inc(1);
+        irnuma_obs::warn!(
+            "{}: attempt 1 failed at {} ({}); retrying once",
+            spec.name,
+            first.stage,
+            first.error
+        );
+        run(1).map_err(|e| SkipRecord {
+            region: spec.name.clone(),
+            sequence: e.sequence,
+            stage: e.stage.to_string(),
+            error: e.error,
+            attempts: 2,
+        })
+    })
 }
 
 /// Does the `--fault` spec hit `region` on this attempt?

@@ -1,0 +1,651 @@
+//! Packed (out-of-core) dataset storage: binary graph shards + JSON meta.
+//!
+//! A pack directory holds three kinds of files:
+//!
+//! - `shard-NNNN.bin` — `irnuma_store::shard` files of kind `graph-shard`;
+//!   each record is `[u32 region][u32 sequence]` followed by one
+//!   `irnuma_nn::binfmt` graph (CSR/CSC adjacency embedded, so streamed
+//!   training never rebuilds it).
+//! - `regions.bin` — one checksummed record per region with its float
+//!   tables (config sweep, dynamic features, default time). These dominate
+//!   the non-graph bytes of a dataset, so they live in the same binary
+//!   record format as the graphs instead of bloating the JSON meta.
+//! - `meta.json` — everything about the dataset *except* the graphs and
+//!   the per-region float tables ([`PackedMeta`]): machine, sequences,
+//!   configs, label set. Small, human-inspectable, store-framed.
+//! - `manifest.json` — the shard list with whole-file checksums
+//!   ([`irnuma_store::shard::ShardManifest`]). Written **last**, after every
+//!   shard and the meta: an interrupted pack has no manifest and is simply
+//!   not a pack, so the atomicity of the whole directory reduces to the
+//!   atomicity of one `irnuma_store` write.
+//!
+//! Sharded builds ([`build_packed_dataset`]) reuse the PR 3 fault-isolation
+//! machinery per region and keep only one region-group's graphs resident:
+//! survivors are encoded into the group's shard and dropped before the next
+//! group builds, so peak memory is bounded by the group size, not the
+//! corpus.
+
+use crate::dataset::{
+    build_region_tolerant, BuildOptions, Dataset, DatasetError, DatasetParams, RegionData,
+    SkipRecord,
+};
+use irnuma_graph::Vocab;
+use irnuma_nn::stream::{RecordMap, ShardStream, GRAPH_SHARD_KIND, RECORD_PREFIX};
+use irnuma_nn::{decode_graph, encode_graph, GraphData};
+use irnuma_passes::{sample_sequences, FlagSequence, SampleParams};
+use irnuma_sim::{config_space, Config, Machine, MicroArch};
+use irnuma_store::shard::{parse_shard, ShardEntry, ShardManifest, ShardWriter};
+use irnuma_store::{corruption, invalid};
+use irnuma_workloads::{all_regions, InputSize};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// File name of the dataset meta inside a pack directory.
+pub const META_FILE: &str = "meta.json";
+
+/// File name of the per-region float tables inside a pack directory.
+pub const REGIONS_FILE: &str = "regions.bin";
+
+const META_KIND: &str = "dataset-meta";
+const REGION_TABLE_KIND: &str = "region-tables";
+
+/// One region's identity in the meta; its float tables (sweep, dynamic
+/// features, default time) live as the matching record of `regions.bin`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PackedRegion {
+    pub spec: irnuma_workloads::RegionSpec,
+    /// Graphs this region contributed (one per flag sequence).
+    pub graph_count: usize,
+}
+
+/// The pack's dataset-level state: a [`Dataset`] with graphs externalized
+/// to the binary shards and the per-region float tables to `regions.bin`
+/// (whose [`ShardEntry`] is carried here so loads can verify it).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PackedMeta {
+    pub machine: Machine,
+    pub size: InputSize,
+    pub sequences: Vec<FlagSequence>,
+    pub configs: Vec<Config>,
+    pub regions: Vec<PackedRegion>,
+    pub region_tables: ShardEntry,
+    pub chosen_configs: Vec<usize>,
+    pub labels: Vec<usize>,
+}
+
+impl PackedMeta {
+    pub fn save(&self, dir: &Path) -> io::Result<()> {
+        irnuma_store::save_json(&dir.join(META_FILE), META_KIND, self)
+    }
+
+    pub fn total_graphs(&self) -> usize {
+        self.regions.iter().map(|r| r.graph_count).sum()
+    }
+}
+
+/// Load a pack directory's meta (no graphs touched).
+pub fn read_meta(dir: &Path) -> io::Result<PackedMeta> {
+    irnuma_store::load_json(&dir.join(META_FILE), META_KIND)
+}
+
+/// What [`pack_dataset`] wrote.
+#[derive(Debug, Clone, Copy)]
+pub struct PackSummary {
+    pub shards: usize,
+    pub graphs: usize,
+    pub bytes: u64,
+}
+
+/// Encode one region's float tables as a `regions.bin` record:
+/// `[u32 sweep_len][f64 sweep…][u32 dyn_len][f32 dyn…][f64 default_time]`,
+/// all little-endian.
+fn encode_region_tables(sweep: &[f64], dynamic: &[f32], default_time: f64, out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(&(sweep.len() as u32).to_le_bytes());
+    for v in sweep {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&(dynamic.len() as u32).to_le_bytes());
+    for v in dynamic {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&default_time.to_le_bytes());
+}
+
+/// One region's decoded float tables: `(sweep, dynamic_features,
+/// default_time)`.
+type RegionTables = (Vec<f64>, Vec<f32>, f64);
+
+fn decode_region_tables(rec: &[u8]) -> io::Result<RegionTables> {
+    fn take<'a>(rec: &'a [u8], at: &mut usize, n: usize) -> io::Result<&'a [u8]> {
+        let end = at
+            .checked_add(n)
+            .filter(|&e| e <= rec.len())
+            .ok_or_else(|| corruption("regions.bin record truncated".to_string()))?;
+        let s = &rec[*at..end];
+        *at = end;
+        Ok(s)
+    }
+    let overflow = || corruption("regions.bin record length overflow".to_string());
+    let mut at = 0usize;
+    let sweep_len = u32::from_le_bytes(take(rec, &mut at, 4)?.try_into().unwrap()) as usize;
+    let sweep = take(rec, &mut at, sweep_len.checked_mul(8).ok_or_else(overflow)?)?
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let dyn_len = u32::from_le_bytes(take(rec, &mut at, 4)?.try_into().unwrap()) as usize;
+    let dynamic = take(rec, &mut at, dyn_len.checked_mul(4).ok_or_else(overflow)?)?
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let default_time = f64::from_le_bytes(take(rec, &mut at, 8)?.try_into().unwrap());
+    if at != rec.len() {
+        return Err(invalid(format!("regions.bin record has {} trailing bytes", rec.len() - at)));
+    }
+    Ok((sweep, dynamic, default_time))
+}
+
+/// Write `regions.bin` from per-region `(sweep, dynamic_features,
+/// default_time)` rows, returning its manifest-style entry for the meta.
+fn write_region_tables<'a, I>(dir: &Path, rows: I) -> io::Result<ShardEntry>
+where
+    I: Iterator<Item = (&'a [f64], &'a [f32], f64)>,
+{
+    let mut writer = ShardWriter::new(REGION_TABLE_KIND);
+    let mut rec = Vec::new();
+    for (sweep, dynamic, default_time) in rows {
+        encode_region_tables(sweep, dynamic, default_time, &mut rec);
+        writer.push(&rec);
+    }
+    writer.finish(dir, REGIONS_FILE)
+}
+
+/// Read and verify `regions.bin` against its meta entry: structural length
+/// gate, per-record checksums via [`parse_shard`], and an exact region
+/// count match.
+fn read_region_tables(
+    dir: &Path,
+    entry: &ShardEntry,
+    expected: usize,
+) -> io::Result<Vec<RegionTables>> {
+    let bytes = std::fs::read(dir.join(&entry.file))
+        .map_err(|e| io::Error::new(e.kind(), format!("reading `{}`: {e}", entry.file)))?;
+    if bytes.len() as u64 != entry.bytes {
+        return Err(corruption(format!(
+            "`{}` is {} bytes, meta says {}",
+            entry.file,
+            bytes.len(),
+            entry.bytes
+        )));
+    }
+    entry.checksum()?; // reject malformed meta checksums up front
+    let ranges = parse_shard(REGION_TABLE_KIND, &bytes)?;
+    if ranges.len() != expected {
+        return Err(invalid(format!(
+            "`{}` holds {} region records, meta lists {expected} regions",
+            entry.file,
+            ranges.len()
+        )));
+    }
+    ranges.into_iter().map(|r| decode_region_tables(&bytes[r])).collect()
+}
+
+/// Pack an in-memory [`Dataset`] into `dir`: binary graph shards of
+/// `shard_graphs` records each, the meta, and — last — the manifest.
+pub fn pack_dataset(ds: &Dataset, dir: &Path, shard_graphs: usize) -> io::Result<PackSummary> {
+    let span = irnuma_obs::span!("dataset.pack", regions = ds.regions.len());
+    let _ = &span;
+    let mut manifest = ShardManifest::default();
+    let mut writer = ShardWriter::new(GRAPH_SHARD_KIND);
+    let mut rec = Vec::new();
+    let mut graphs = 0usize;
+    for (ri, region) in ds.regions.iter().enumerate() {
+        for (si, g) in region.graphs.iter().enumerate() {
+            rec.clear();
+            rec.extend_from_slice(&(ri as u32).to_le_bytes());
+            rec.extend_from_slice(&(si as u32).to_le_bytes());
+            encode_graph(g, &mut rec);
+            writer.push(&rec);
+            graphs += 1;
+            if writer.records() >= shard_graphs.max(1) {
+                let full = std::mem::replace(&mut writer, ShardWriter::new(GRAPH_SHARD_KIND));
+                let file = format!("shard-{:04}.bin", manifest.entries.len());
+                manifest.entries.push(full.finish(dir, &file)?);
+            }
+        }
+    }
+    if !writer.is_empty() {
+        let file = format!("shard-{:04}.bin", manifest.entries.len());
+        manifest.entries.push(writer.finish(dir, &file)?);
+    }
+
+    let region_tables = write_region_tables(
+        dir,
+        ds.regions
+            .iter()
+            .map(|r| (r.sweep.as_slice(), r.dynamic_features.as_slice(), r.default_time)),
+    )?;
+    let meta = PackedMeta {
+        machine: ds.machine.clone(),
+        size: ds.size,
+        sequences: ds.sequences.clone(),
+        configs: ds.configs.clone(),
+        regions: ds
+            .regions
+            .iter()
+            .map(|r| PackedRegion { spec: r.spec.clone(), graph_count: r.graphs.len() })
+            .collect(),
+        region_tables,
+        chosen_configs: ds.chosen_configs.clone(),
+        labels: ds.labels.clone(),
+    };
+    meta.save(dir)?;
+    let bytes = manifest.total_bytes();
+    manifest.save(dir)?; // the commit point: no manifest, no pack
+    Ok(PackSummary { shards: manifest.entries.len(), graphs, bytes })
+}
+
+/// Load a whole pack back into an in-memory [`Dataset`] (the legacy-path
+/// bridge: `predict`, evaluation, and small-corpus training all take a
+/// resident dataset). Every shard is checksum-verified; a record for an
+/// unknown `(region, sequence)`, a duplicate, or a missing graph is
+/// [`io::ErrorKind::InvalidData`].
+pub fn load_packed(dir: &Path) -> io::Result<Dataset> {
+    let meta = read_meta(dir)?;
+    let manifest = ShardManifest::load(dir)?;
+    let tables = read_region_tables(dir, &meta.region_tables, meta.regions.len())?;
+    let mut regions: Vec<RegionData> = meta
+        .regions
+        .iter()
+        .zip(tables)
+        .map(|(p, (sweep, dynamic_features, default_time))| RegionData {
+            spec: p.spec.clone(),
+            graphs: (0..p.graph_count)
+                .map(|_| GraphData::from_parts(Vec::new(), Default::default(), Default::default()))
+                .collect(),
+            sweep,
+            default_time,
+            dynamic_features,
+        })
+        .collect();
+    let mut filled: Vec<Vec<bool>> =
+        meta.regions.iter().map(|p| vec![false; p.graph_count]).collect();
+
+    for entry in &manifest.entries {
+        let bytes = std::fs::read(dir.join(&entry.file)).map_err(|e| {
+            io::Error::new(e.kind(), format!("reading shard `{}`: {e}", entry.file))
+        })?;
+        // Cheap structural gate against the manifest; byte integrity is
+        // covered by the per-record checksums `parse_shard` verifies, so
+        // the payload is hashed exactly once on this hot path. The
+        // whole-file checksum is re-derivable via [`ShardManifest::verify`]
+        // (`irnuma dataset info --verify`).
+        if bytes.len() as u64 != entry.bytes {
+            return Err(corruption(format!(
+                "shard `{}` is {} bytes, manifest says {}",
+                entry.file,
+                bytes.len(),
+                entry.bytes
+            )));
+        }
+        entry.checksum()?; // reject malformed manifest checksums up front
+        for range in parse_shard(GRAPH_SHARD_KIND, &bytes)? {
+            let rec = &bytes[range];
+            if rec.len() < RECORD_PREFIX {
+                return Err(corruption(format!(
+                    "shard `{}`: record too short for its (region, sequence) prefix",
+                    entry.file
+                )));
+            }
+            let r = u32::from_le_bytes(rec[..4].try_into().unwrap()) as usize;
+            let s = u32::from_le_bytes(rec[4..8].try_into().unwrap()) as usize;
+            let slot = filled.get_mut(r).and_then(|f| f.get_mut(s)).ok_or_else(|| {
+                invalid(format!(
+                    "shard `{}`: record for unknown (region {r}, sequence {s})",
+                    entry.file
+                ))
+            })?;
+            if *slot {
+                return Err(invalid(format!(
+                    "shard `{}`: duplicate record for (region {r}, sequence {s})",
+                    entry.file
+                )));
+            }
+            regions[r].graphs[s] = decode_graph(&rec[RECORD_PREFIX..])?;
+            *slot = true;
+        }
+    }
+    for (r, region_filled) in filled.iter().enumerate() {
+        if let Some(s) = region_filled.iter().position(|&f| !f) {
+            return Err(invalid(format!(
+                "pack is missing the graph for (region {r}, sequence {s})"
+            )));
+        }
+    }
+
+    Ok(Dataset {
+        machine: meta.machine,
+        size: meta.size,
+        sequences: meta.sequences,
+        configs: meta.configs,
+        regions,
+        chosen_configs: meta.chosen_configs,
+        labels: meta.labels,
+    })
+}
+
+/// Open a streaming source over a pack: records of sequences in
+/// `train_seqs` (indices into `meta.sequences`) are labeled with their
+/// region's class; everything else is filtered out at decode time.
+pub fn open_stream(dir: &Path, meta: &PackedMeta, train_seqs: &[usize]) -> io::Result<ShardStream> {
+    let mut allow = vec![false; meta.sequences.len()];
+    for &s in train_seqs {
+        if let Some(a) = allow.get_mut(s) {
+            *a = true;
+        }
+    }
+    let labels = meta.labels.clone();
+    let map: RecordMap = Box::new(move |region, seq| {
+        if !allow.get(seq as usize).copied().unwrap_or(false) {
+            return None;
+        }
+        labels.get(region as usize).copied()
+    });
+    ShardStream::open(dir, map)
+}
+
+/// A sharded build's outcome summary.
+#[derive(Debug, Clone)]
+pub struct PackedBuild {
+    pub regions: usize,
+    pub graphs: usize,
+    pub shards: usize,
+    pub label_coverage: f64,
+    pub skips: Vec<SkipRecord>,
+}
+
+/// Build the dataset straight into a pack directory, one shard per group
+/// of `shard_regions` regions. Groups build in sequence; regions within a
+/// group build in parallel with the same fault isolation as
+/// [`crate::dataset::build_dataset_report`] (catch_unwind, one retry,
+/// [`SkipRecord`]s, `dataset.skipped`/`dataset.retried` counters). Each
+/// group's surviving graphs are encoded into its shard and dropped before
+/// the next group starts, so peak memory is one group, not the corpus. The
+/// manifest is written last — a crashed build leaves no loadable pack.
+pub fn build_packed_dataset(
+    arch: MicroArch,
+    params: &DatasetParams,
+    opts: &BuildOptions,
+    dir: &Path,
+    shard_regions: usize,
+) -> Result<PackedBuild, DatasetError> {
+    let machine = Machine::new(arch);
+    let configs = config_space(&machine);
+    let sequences = sample_sequences(params.num_sequences, params.seed, SampleParams::default());
+    let vocab = Vocab::full();
+    let specs = all_regions();
+    let total = specs.len();
+
+    let span = irnuma_obs::span!(
+        "dataset.build",
+        regions = total,
+        sequences = sequences.len(),
+        configs = configs.len()
+    );
+    let ctx = span.ctx();
+
+    let mut manifest = ShardManifest::default();
+    let mut packed_regions: Vec<PackedRegion> = Vec::with_capacity(total);
+    let mut times: Vec<Vec<f64>> = Vec::with_capacity(total);
+    let mut base: Vec<f64> = Vec::with_capacity(total);
+    let mut dyns: Vec<Vec<f32>> = Vec::with_capacity(total);
+    let mut skips = Vec::new();
+    let mut graphs_total = 0usize;
+    let mut rec = Vec::new();
+
+    for group in specs.chunks(shard_regions.max(1)) {
+        let results: Vec<Result<RegionData, SkipRecord>> = group
+            .par_iter()
+            .map(|spec| {
+                build_region_tolerant(
+                    spec, &machine, &configs, &sequences, &vocab, params, opts, ctx,
+                )
+            })
+            .collect();
+        let mut writer = ShardWriter::new(GRAPH_SHARD_KIND);
+        for res in results {
+            match res {
+                Ok(r) => {
+                    let region_idx = packed_regions.len() as u32;
+                    for (seq, g) in r.graphs.iter().enumerate() {
+                        rec.clear();
+                        rec.extend_from_slice(&region_idx.to_le_bytes());
+                        rec.extend_from_slice(&(seq as u32).to_le_bytes());
+                        encode_graph(g, &mut rec);
+                        writer.push(&rec);
+                    }
+                    graphs_total += r.graphs.len();
+                    times.push(r.sweep);
+                    base.push(r.default_time);
+                    dyns.push(r.dynamic_features);
+                    packed_regions
+                        .push(PackedRegion { spec: r.spec, graph_count: sequences.len() });
+                    // r.graphs drop here — the group is this build's
+                    // high-water mark, not the whole corpus.
+                }
+                Err(skip) => {
+                    if opts.strict {
+                        return Err(DatasetError::RegionFailed(skip));
+                    }
+                    irnuma_obs::counter!("dataset.skipped").inc(1);
+                    skips.push(skip);
+                }
+            }
+        }
+        if !writer.is_empty() {
+            let file = format!("shard-{:04}.bin", manifest.entries.len());
+            manifest.entries.push(writer.finish(dir, &file)?);
+        }
+    }
+    if packed_regions.is_empty() {
+        return Err(DatasetError::NoRegionsSurvived { total, skips });
+    }
+
+    // Step C over the retained sweeps (the graphs are already on disk).
+    let chosen_configs = irnuma_ml::reduce_labels(&times, &base, params.num_labels);
+    let labels = irnuma_ml::labels::label_per_region(&times, &chosen_configs);
+    let label_coverage = irnuma_ml::coverage(&times, &base, &chosen_configs);
+
+    let region_tables = write_region_tables(
+        dir,
+        times.iter().zip(&dyns).zip(&base).map(|((sweep, dynamic), &default_time)| {
+            (sweep.as_slice(), dynamic.as_slice(), default_time)
+        }),
+    )?;
+    let meta = PackedMeta {
+        machine,
+        size: params.size,
+        sequences,
+        configs,
+        regions: packed_regions,
+        region_tables,
+        chosen_configs,
+        labels,
+    };
+    meta.save(dir)?;
+    let shards = manifest.entries.len();
+    manifest.save(dir)?; // the commit point
+    Ok(PackedBuild {
+        regions: meta.regions.len(),
+        graphs: graphs_total,
+        shards,
+        label_coverage,
+        skips,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{build_dataset_report, BuildOptions};
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join("irnuma-pack-test").join(name);
+        fs::remove_dir_all(&d).ok();
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn tiny() -> DatasetParams {
+        DatasetParams { num_sequences: 2, calls: 2, num_labels: 3, ..Default::default() }
+    }
+
+    fn assert_datasets_identical(a: &Dataset, b: &Dataset) {
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.chosen_configs, b.chosen_configs);
+        assert_eq!(a.sequences.len(), b.sequences.len());
+        assert_eq!(a.configs.len(), b.configs.len());
+        assert_eq!(a.regions.len(), b.regions.len());
+        for (x, y) in a.regions.iter().zip(&b.regions) {
+            assert_eq!(x.spec.name, y.spec.name);
+            assert_eq!(x.sweep, y.sweep);
+            assert_eq!(x.default_time, y.default_time);
+            assert_eq!(x.dynamic_features, y.dynamic_features);
+            assert_eq!(x.graphs.len(), y.graphs.len());
+            for (g, h) in x.graphs.iter().zip(&y.graphs) {
+                assert_eq!(g.node_text, h.node_text);
+                assert_eq!(g.edges, h.edges);
+                assert_eq!(g.norm, h.norm);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_then_load_round_trips_bit_identically() {
+        let ds = crate::dataset::build_dataset(MicroArch::Skylake, &tiny());
+        let d = tdir("roundtrip");
+        let summary = pack_dataset(&ds, &d, 16).unwrap();
+        assert_eq!(summary.graphs, 56 * 2);
+        assert_eq!(summary.shards, summary.graphs.div_ceil(16));
+        ShardManifest::load(&d).unwrap().verify(&d).unwrap();
+
+        let back = load_packed(&d).unwrap();
+        assert_datasets_identical(&ds, &back);
+        // And via the auto-detecting loader.
+        let auto = Dataset::load_auto(&d).unwrap();
+        assert_eq!(auto.labels, ds.labels);
+    }
+
+    #[test]
+    fn sharded_build_matches_the_in_memory_build() {
+        let d = tdir("build");
+        let opts = BuildOptions::default();
+        let built = build_packed_dataset(MicroArch::Skylake, &tiny(), &opts, &d, 10).unwrap();
+        assert_eq!(built.regions, 56);
+        assert_eq!(built.graphs, 56 * 2);
+        assert_eq!(built.shards, 56usize.div_ceil(10));
+        assert!(built.skips.is_empty());
+        assert!(built.label_coverage > 0.9, "coverage {}", built.label_coverage);
+
+        let from_pack = load_packed(&d).unwrap();
+        let in_memory = build_dataset_report(MicroArch::Skylake, &tiny(), &opts).unwrap().dataset;
+        assert_datasets_identical(&in_memory, &from_pack);
+    }
+
+    #[test]
+    fn poisoned_region_is_skipped_in_a_sharded_build() {
+        let d = tdir("poisoned");
+        let opts = BuildOptions { fault: Some("cg.spmv".into()), ..Default::default() };
+        let built = build_packed_dataset(MicroArch::Skylake, &tiny(), &opts, &d, 10).unwrap();
+        assert_eq!(built.regions, 55);
+        assert_eq!(built.skips.len(), 1);
+        assert_eq!(built.skips[0].region, "cg.spmv");
+        let back = load_packed(&d).unwrap();
+        assert_eq!(back.regions.len(), 55);
+        assert!(back.regions.iter().all(|r| r.spec.name != "cg.spmv"));
+        assert_eq!(back.labels.len(), 55);
+    }
+
+    #[test]
+    fn strict_sharded_build_fails_fast_and_leaves_no_manifest() {
+        let d = tdir("strict");
+        let opts = BuildOptions { strict: true, fault: Some("cg.spmv".into()) };
+        let err = build_packed_dataset(MicroArch::Skylake, &tiny(), &opts, &d, 10).unwrap_err();
+        assert!(matches!(err, DatasetError::RegionFailed(_)), "{err}");
+        assert!(!ShardManifest::exists(&d), "aborted build must not look like a pack");
+    }
+
+    #[test]
+    fn corrupt_or_missing_shards_fail_load_with_typed_errors() {
+        let ds = crate::dataset::build_dataset(MicroArch::Skylake, &tiny());
+        let d = tdir("corrupt");
+        pack_dataset(&ds, &d, 16).unwrap();
+
+        // Truncated shard.
+        let shard = d.join("shard-0000.bin");
+        let bytes = fs::read(&shard).unwrap();
+        fs::write(&shard, &bytes[..bytes.len() / 2]).unwrap();
+        let err = load_packed(&d).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // Bit-flipped record.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 9;
+        flipped[last] ^= 0x08;
+        fs::write(&shard, &flipped).unwrap();
+        let err = load_packed(&d).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "{err}");
+
+        // Missing shard still listed in the manifest.
+        fs::remove_file(&shard).unwrap();
+        let err = load_packed(&d).unwrap_err();
+        assert!(err.to_string().contains("shard-0000.bin"), "{err}");
+        // The streaming opener rejects it up front too.
+        let meta = read_meta(&d).unwrap();
+        let err = open_stream(&d, &meta, &[0, 1]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // Damaged region-tables sidecar: truncation trips the length gate,
+        // a bit flip trips the per-record checksum.
+        let d2 = tdir("corrupt-tables");
+        pack_dataset(&ds, &d2, 16).unwrap();
+        let tables = d2.join(REGIONS_FILE);
+        let tbytes = fs::read(&tables).unwrap();
+        fs::write(&tables, &tbytes[..tbytes.len() - 3]).unwrap();
+        let err = load_packed(&d2).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("regions.bin"), "{err}");
+        let mut tflipped = tbytes.clone();
+        let mid = tflipped.len() / 2;
+        tflipped[mid] ^= 0x01;
+        fs::write(&tables, &tflipped).unwrap();
+        let err = load_packed(&d2).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn stream_labels_come_from_the_region_label_table() {
+        let ds = crate::dataset::build_dataset(MicroArch::Skylake, &tiny());
+        let d = tdir("stream-labels");
+        pack_dataset(&ds, &d, 32).unwrap();
+        let meta = read_meta(&d).unwrap();
+        let mut stream = open_stream(&d, &meta, &[0]).unwrap(); // sequence 0 only
+        let n = irnuma_nn::stream::ShardSource::num_shards(&stream);
+        let order: Vec<usize> = (0..n).collect();
+        irnuma_nn::stream::ShardSource::begin_epoch(&mut stream, &order);
+        let mut labels_seen = Vec::new();
+        for _ in 0..n {
+            let b = irnuma_nn::stream::ShardSource::next_shard(&mut stream).unwrap();
+            labels_seen.extend_from_slice(&b.labels);
+            irnuma_nn::stream::ShardSource::recycle(&mut stream, b);
+        }
+        // One record per region survives the sequence filter, in region
+        // order (records were packed region-major).
+        assert_eq!(labels_seen, meta.labels);
+    }
+}

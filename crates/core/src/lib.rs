@@ -25,6 +25,7 @@
 
 pub mod bench_check;
 pub mod dataset;
+pub mod dataset_pack;
 pub mod evaluation;
 pub mod experiments;
 pub mod models;
@@ -36,5 +37,9 @@ pub mod trace_tree;
 pub use dataset::{
     build_dataset, build_dataset_report, BuildOptions, Dataset, DatasetBuild, DatasetError,
     DatasetParams, RegionData, SkipRecord,
+};
+pub use dataset_pack::{
+    build_packed_dataset, load_packed, open_stream, pack_dataset, read_meta, PackSummary,
+    PackedBuild, PackedMeta, PackedRegion,
 };
 pub use evaluation::{evaluate, Evaluation, FoldModels, PipelineConfig, RegionOutcome};

@@ -206,6 +206,126 @@ fn train_resume_is_bit_identical_to_an_uninterrupted_run() {
 }
 
 #[test]
+fn dataset_json_build_reports_skip_and_retry_counters() {
+    let dir = std::env::temp_dir().join("irnuma-cli-fault-json");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_file = dir.join("ds.json");
+    let out = irnuma(&[
+        "dataset",
+        "--seqs",
+        "2",
+        "--calls",
+        "2",
+        "--fault",
+        "cg.spmv",
+        "--json",
+        "--out",
+        out_file.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    // The fault panics on every attempt: one retry, then the region is
+    // dropped — and the build's --json summary must carry both counters.
+    assert!(text.contains("\"dataset.skipped\":1"), "{text}");
+    assert!(text.contains("\"dataset.retried\":1"), "{text}");
+    assert!(text.contains("\"regions\":55"), "{text}");
+    assert!(text.contains("cg.spmv"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn packed_streaming_train_matches_in_memory_and_resumes_bit_for_bit() {
+    let dir = std::env::temp_dir().join("irnuma-cli-pack-train");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let ds = dir.join("ds.json");
+    let out = irnuma(&["dataset", "--seqs", "2", "--calls", "2", "--out", ds.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // JSON cache -> binary pack, then verify every checksum.
+    let pack = dir.join("pack");
+    let out = irnuma(&[
+        "dataset",
+        "pack",
+        "--in",
+        ds.to_str().unwrap(),
+        "--out",
+        pack.to_str().unwrap(),
+        "--shard-graphs",
+        "16",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let info = irnuma(&["dataset", "info", pack.to_str().unwrap(), "--verify"]);
+    assert!(info.status.success(), "{}", String::from_utf8_lossy(&info.stderr));
+    assert!(String::from_utf8_lossy(&info.stdout).contains("verify ok"));
+
+    // Streaming vs the in-memory source over the same pack: byte-identical
+    // models (the determinism contract of the double-buffered loader).
+    let m_stream = dir.join("m-stream.json");
+    let out = irnuma(&[
+        "train",
+        "--dataset",
+        pack.to_str().unwrap(),
+        "--epochs",
+        "2",
+        "--out",
+        m_stream.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let m_mem = dir.join("m-mem.json");
+    let out = irnuma(&[
+        "train",
+        "--dataset",
+        pack.to_str().unwrap(),
+        "--epochs",
+        "2",
+        "--in-memory",
+        "--out",
+        m_mem.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let a = std::fs::read(&m_stream).unwrap();
+    let b = std::fs::read(&m_mem).unwrap();
+    assert_eq!(a, b, "streaming model differs from the in-memory source");
+
+    // Interrupt at epoch 1, resume to 2: bit-for-bit the uninterrupted run.
+    let ckpt = dir.join("ckpt");
+    let out = irnuma(&[
+        "train",
+        "--dataset",
+        pack.to_str().unwrap(),
+        "--epochs",
+        "1",
+        "--ckpt-dir",
+        ckpt.to_str().unwrap(),
+        "--every",
+        "1",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let m_resumed = dir.join("m-resumed.json");
+    let out = irnuma(&[
+        "train",
+        "--dataset",
+        pack.to_str().unwrap(),
+        "--epochs",
+        "2",
+        "--ckpt-dir",
+        ckpt.to_str().unwrap(),
+        "--every",
+        "1",
+        "--resume",
+        "--out",
+        m_resumed.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let c = std::fs::read(&m_resumed).unwrap();
+    assert_eq!(a, c, "resumed streaming model differs from the uninterrupted run");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn trace_then_report_covers_the_pipeline() {
     let dir = std::env::temp_dir().join("irnuma-cli-test");
     std::fs::create_dir_all(&dir).unwrap();

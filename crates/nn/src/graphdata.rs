@@ -283,6 +283,32 @@ impl GraphData {
         })
     }
 
+    /// Take the adjacency caches out of this graph (leaving the cells
+    /// empty), so the binary decoder can recycle their allocations when
+    /// overwriting a graph slot in place. Returns `None` per cache that was
+    /// never built.
+    pub(crate) fn take_adjacency(
+        &mut self,
+    ) -> (Option<[Csr; NUM_RELATIONS]>, Option<[Csr; NUM_RELATIONS]>) {
+        (self.csr.take(), self.csc.take())
+    }
+
+    /// Install prebuilt adjacency caches (decoded from the binary format,
+    /// where they were materialized at pack time). Replaces any existing
+    /// caches — callers must have already made `edges`/`norm` consistent
+    /// with the supplied views.
+    pub(crate) fn install_adjacency(
+        &mut self,
+        csr: [Csr; NUM_RELATIONS],
+        csc: [Csr; NUM_RELATIONS],
+    ) {
+        self.csr = OnceLock::new();
+        self.csc = OnceLock::new();
+        let _ = self.csr.set(csr);
+        let _ = self.csc.set(csc);
+        self.stats = OnceLock::new();
+    }
+
     /// Cached per-relation degree statistics (built on first call). An
     /// `n + e` counting pass per relation — negligible next to one layer of
     /// message passing — consumed by the kernel dispatcher's shape

@@ -23,14 +23,17 @@
 
 pub mod autograd;
 pub mod backprop;
+pub mod binfmt;
 pub mod dispatch;
 pub mod graphdata;
 pub mod infer;
 pub mod model;
+pub mod stream;
 pub mod tensor;
 pub mod train;
 
 pub use backprop::{FusedEngine, GradBuffer, TrainScratch};
+pub use binfmt::{decode_graph, decode_graph_into, encode_graph};
 pub use dispatch::{
     dispatch_enabled, invalidate_plan_caches, model_fingerprint, set_dispatch, shared_plan,
     GraphPlan, ModelPlan, SpmmStrategy,
@@ -38,5 +41,6 @@ pub use dispatch::{
 pub use graphdata::{Csr, GraphData, GraphError};
 pub use infer::{InferOutput, Scratch};
 pub use model::{GnnConfig, GnnModel};
+pub use stream::{MemorySource, RecordMap, ShardBatch, ShardSource, ShardStream, GRAPH_SHARD_KIND};
 pub use tensor::Tensor;
 pub use train::{CheckpointConfig, GnnClassifier, TrainCheckpoint, TrainEngine, TrainParams};

@@ -17,6 +17,7 @@
 use crate::backprop::FusedEngine;
 use crate::graphdata::GraphData;
 use crate::model::{GnnConfig, GnnModel};
+use crate::stream::ShardSource;
 use crate::tensor::Tensor;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -148,6 +149,14 @@ pub struct TrainCheckpoint {
     pub classifier: GnnClassifier,
     adam: Adam,
     pub history: Vec<f64>,
+    /// Whether this checkpoint came from the streaming loop
+    /// ([`GnnClassifier::fit_streaming`]). The two loops consume graphs in
+    /// different seeded orders, so resuming one from the other's checkpoint
+    /// would silently change the training trajectory — each path refuses
+    /// the other's checkpoints. Defaults to `false` for pre-streaming
+    /// checkpoints.
+    #[serde(default)]
+    pub streaming: bool,
 }
 
 impl TrainCheckpoint {
@@ -284,6 +293,17 @@ impl GnnClassifier {
                         ),
                     ));
                 }
+                if saved.streaming {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "checkpoint at epoch {} came from the streaming loop; \
+                             resume it with `fit_streaming` (the in-memory loop \
+                             shuffles graphs in a different seeded order)",
+                            saved.epoch
+                        ),
+                    ));
+                }
                 start_epoch = saved.epoch;
                 *self = saved.classifier;
                 adam = saved.adam;
@@ -403,6 +423,160 @@ impl GnnClassifier {
                         classifier: self.clone(),
                         adam: adam.clone(),
                         history: history.clone(),
+                        streaming: false,
+                    }
+                    .save(&c.dir)?;
+                    irnuma_obs::counter!("ckpt.written").inc(1);
+                }
+            }
+        }
+        if let Some(&last) = history.last() {
+            fit_span.field("final_loss", last);
+        }
+        Ok(history)
+    }
+
+    /// Train from a [`ShardSource`] — the out-of-core epoch loop. Shards
+    /// are visited in a seeded order and only one decoded shard is resident
+    /// at a time (two with the [`crate::stream::ShardStream`] double
+    /// buffer), so the corpus never has to fit in memory.
+    ///
+    /// Determinism: each epoch derives a fresh RNG from
+    /// `seed ⊕ mix(epoch)`, then shuffles the shard order and each shard's
+    /// records with it. Shard arrival order is fixed by
+    /// [`ShardSource::begin_epoch`] and gradient reduction is the fused
+    /// engine's ordered tree, so the whole trajectory depends only on the
+    /// seed and the pack — never on thread timing. Per-epoch derivation
+    /// (rather than one sequential RNG) is what makes `--resume` exact with
+    /// no replay: epoch `k`'s shuffles are the same whether or not epochs
+    /// `0..k` ran in this process.
+    ///
+    /// Checkpoints are tagged `streaming: true`; resuming an in-memory
+    /// ([`GnnClassifier::fit_checkpointed`]) checkpoint here is refused
+    /// (and vice versa) since the two loops consume graphs in different
+    /// seeded orders.
+    pub fn fit_streaming(
+        &mut self,
+        source: &mut dyn ShardSource,
+        p: TrainParams,
+        ckpt: Option<&CheckpointConfig>,
+    ) -> io::Result<Vec<f64>> {
+        let mut adam = Adam::new(&self.model.params, p.lr);
+        let mut history = Vec::with_capacity(p.epochs);
+        let mut start_epoch = 0;
+
+        if let Some(c) = ckpt.filter(|c| c.resume) {
+            if let Some(saved) = TrainCheckpoint::load_latest(&c.dir)? {
+                let same = (saved.params.batch_size, saved.params.lr, saved.params.seed)
+                    == (p.batch_size, p.lr, p.seed);
+                if !same || saved.classifier.model.cfg != self.model.cfg {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "checkpoint at epoch {} was trained with different \
+                             hyper-parameters or model shape; refusing to resume",
+                            saved.epoch
+                        ),
+                    ));
+                }
+                if !saved.streaming {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "checkpoint at epoch {} came from the in-memory loop; \
+                             resume it with `fit_checkpointed` (the streaming loop \
+                             shuffles graphs in a different seeded order)",
+                            saved.epoch
+                        ),
+                    ));
+                }
+                start_epoch = saved.epoch;
+                *self = saved.classifier;
+                adam = saved.adam;
+                history = saved.history;
+                irnuma_obs::info!(
+                    "resuming streaming training at epoch {start_epoch}/{} from {}",
+                    p.epochs,
+                    c.dir.display()
+                );
+            }
+        }
+
+        let num_shards = source.num_shards();
+        let mut fused = FusedEngine::new();
+        let mut fit_span = irnuma_obs::span!(
+            "train.fit",
+            shards = num_shards,
+            epochs = p.epochs,
+            batch_size = p.batch_size
+        );
+        for epoch in start_epoch..p.epochs {
+            let mut epoch_span = irnuma_obs::span!("train.epoch", epoch = epoch);
+            let mut rng = ChaCha8Rng::seed_from_u64(streaming_epoch_seed(p.seed, epoch));
+            let mut shard_order: Vec<usize> = (0..num_shards).collect();
+            shard_order.shuffle(&mut rng);
+            source.begin_epoch(&shard_order);
+
+            let mut epoch_loss = 0.0;
+            let mut seen = 0usize;
+            let mut grad_sq = 0.0f64;
+            for _ in 0..num_shards {
+                let batch = source.next_shard()?;
+                for &l in &batch.labels {
+                    assert!(l < self.model.cfg.classes, "label {l} out of range");
+                }
+                let mut order: Vec<usize> = (0..batch.len()).collect();
+                order.shuffle(&mut rng);
+                let chunks = order.chunks(p.batch_size.max(1));
+                let last_chunk = chunks.len().saturating_sub(1);
+                for (chunk_i, chunk) in chunks.enumerate() {
+                    let (chunk_loss, gb) =
+                        fused.batch_grads(&self.model, &batch.graphs, &batch.labels, chunk);
+                    epoch_loss += chunk_loss;
+                    let views = gb.views();
+                    if irnuma_obs::telemetry_enabled() {
+                        // Gradient-norm telemetry samples the epoch's final
+                        // minibatch; each shard's last chunk overwrites the
+                        // previous, leaving the last shard's.
+                        if chunk_i == last_chunk {
+                            grad_sq = gb.squared_norm();
+                        }
+                        let t0 = std::time::Instant::now();
+                        adam.step(&mut self.model.params, &views);
+                        irnuma_obs::histogram!("train.adam_step_ns").record_duration(t0.elapsed());
+                        irnuma_obs::counter!("train.batches").inc(1);
+                    } else {
+                        adam.step(&mut self.model.params, &views);
+                    }
+                }
+                seen += batch.len();
+                source.recycle(batch);
+            }
+            if seen == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "streaming source yielded no training graphs",
+                ));
+            }
+            let mean_loss = epoch_loss / seen as f64;
+            if irnuma_obs::telemetry_enabled() {
+                epoch_span.field("loss", mean_loss);
+                epoch_span.field("grad_norm", grad_sq.sqrt());
+                irnuma_obs::histogram!("train.epoch_ns").record_duration(epoch_span.elapsed());
+                irnuma_obs::gauge!("train.loss").set(mean_loss);
+            }
+            history.push(mean_loss);
+
+            if let Some(c) = ckpt {
+                let done = epoch + 1;
+                if (c.every > 0 && done % c.every == 0) || done == p.epochs {
+                    TrainCheckpoint {
+                        epoch: done,
+                        params: p,
+                        classifier: self.clone(),
+                        adam: adam.clone(),
+                        history: history.clone(),
+                        streaming: true,
                     }
                     .save(&c.dir)?;
                     irnuma_obs::counter!("ckpt.written").inc(1);
@@ -455,9 +629,18 @@ impl GnnClassifier {
     }
 }
 
+/// The streaming loop's per-epoch RNG seed: the run seed xor-mixed with a
+/// splitmix-style odd multiplier of `epoch + 1` (so epoch 0 differs from
+/// the raw seed). Deriving per epoch — instead of advancing one sequential
+/// RNG — is what lets `--resume` start at epoch `k` with zero replay.
+fn streaming_epoch_seed(seed: u64, epoch: usize) -> u64 {
+    seed ^ (epoch as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stream::MemorySource;
     use irnuma_graph::{EdgeKind, Graph, NodeKind};
 
     /// Two synthetic graph families that differ in structure: "chains"
@@ -671,6 +854,91 @@ mod tests {
             .unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The test corpus split into 3 in-memory shards.
+    fn sharded_dataset() -> MemorySource {
+        let (gs, ls) = dataset();
+        let shards =
+            gs.chunks(8).zip(ls.chunks(8)).map(|(g, l)| (g.to_vec(), l.to_vec())).collect();
+        MemorySource::from_shards(shards)
+    }
+
+    #[test]
+    fn streaming_training_is_deterministic_and_learns() {
+        let p = TrainParams { epochs: 25, batch_size: 4, lr: 5e-3, seed: 11 };
+        let mut a = GnnClassifier::new(cfg());
+        let ha = a.fit_streaming(&mut sharded_dataset(), p, None).unwrap();
+        let mut b = GnnClassifier::new(cfg());
+        let hb = b.fit_streaming(&mut sharded_dataset(), p, None).unwrap();
+        assert_eq!(ha, hb, "loss history identical");
+        assert_eq!(a.model.params, b.model.params, "weights identical");
+        assert!(ha.last().unwrap() < &ha[0], "loss decreases: {ha:?}");
+        let (gs, ls) = dataset();
+        assert!(a.accuracy(&gs, &ls).unwrap() >= 0.9);
+    }
+
+    #[test]
+    fn streaming_resume_matches_uninterrupted_bit_for_bit() {
+        let p4 = TrainParams { epochs: 4, batch_size: 4, lr: 1e-3, seed: 11 };
+        let dir = ckpt_dir("stream-resume");
+
+        let mut full = GnnClassifier::new(cfg());
+        let h_full = full.fit_streaming(&mut sharded_dataset(), p4, None).unwrap();
+
+        let mut first = GnnClassifier::new(cfg());
+        let cc = CheckpointConfig { dir: dir.clone(), every: 1, resume: false };
+        first
+            .fit_streaming(&mut sharded_dataset(), TrainParams { epochs: 2, ..p4 }, Some(&cc))
+            .unwrap();
+
+        let mut resumed = GnnClassifier::new(cfg());
+        let cr = CheckpointConfig { resume: true, ..cc };
+        let h_res = resumed.fit_streaming(&mut sharded_dataset(), p4, Some(&cr)).unwrap();
+
+        assert_eq!(h_full, h_res, "loss history identical across the interruption");
+        assert_eq!(full.model.params, resumed.model.params, "weights identical");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_and_in_memory_checkpoints_are_mutually_refused() {
+        let (gs, ls) = dataset();
+        let p = TrainParams { epochs: 2, batch_size: 4, lr: 1e-3, seed: 5 };
+
+        // A streaming checkpoint must not resume under the in-memory loop.
+        let dir = ckpt_dir("stream-cross-a");
+        let cc = CheckpointConfig { dir: dir.clone(), every: 1, resume: false };
+        GnnClassifier::new(cfg()).fit_streaming(&mut sharded_dataset(), p, Some(&cc)).unwrap();
+        let cr = CheckpointConfig { resume: true, ..cc };
+        let err = GnnClassifier::new(cfg())
+            .fit_checkpointed(&gs, &ls, TrainParams { epochs: 4, ..p }, Some(&cr))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("streaming"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+
+        // And an in-memory checkpoint must not resume under streaming.
+        let dir = ckpt_dir("stream-cross-b");
+        let cc = CheckpointConfig { dir: dir.clone(), every: 1, resume: false };
+        GnnClassifier::new(cfg()).fit_checkpointed(&gs, &ls, p, Some(&cc)).unwrap();
+        let cr = CheckpointConfig { resume: true, ..cc };
+        let err = GnnClassifier::new(cfg())
+            .fit_streaming(&mut sharded_dataset(), TrainParams { epochs: 4, ..p }, Some(&cr))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("in-memory"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_with_no_training_graphs_is_a_typed_error() {
+        let mut empty = MemorySource::from_shards(vec![(Vec::new(), Vec::new())]);
+        let err = GnnClassifier::new(cfg())
+            .fit_streaming(&mut empty, TrainParams::default(), None)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("no training graphs"), "{err}");
     }
 
     #[test]

@@ -156,6 +156,9 @@ pub fn metric_help(name: &str) -> &'static str {
         "infer.batch_ns" => "Latency of one batched inference call (ns).",
         "dataset.skipped" => "Regions dropped from a dataset build after retry.",
         "dataset.retried" => "Region builds retried after a first failure.",
+        "dataset.shards_read" => "Dataset shards read by the streaming loader.",
+        "dataset.decode_ns" => "Time spent decoding dataset shards into graphs (ns).",
+        "loader.prefetch_stall_ns" => "Time the trainer blocked waiting on shard prefetch (ns).",
         "graph.builds" => "ProGraML-style region graphs constructed.",
         "sim.config.skipped" => "Simulated configurations skipped after a panic.",
         "store.write_bytes" => "Bytes durably written through the artifact store.",
@@ -168,6 +171,7 @@ pub fn metric_help(name: &str) -> &'static str {
             Some("train") => "Training-engine metric.",
             Some("infer") => "Inference-engine metric.",
             Some("dataset") => "Dataset-construction metric.",
+            Some("loader") => "Streaming-loader metric.",
             Some("graph") => "Graph-construction metric.",
             Some("sim") => "Simulator metric.",
             Some("store") => "Artifact-store metric.",

@@ -30,6 +30,8 @@ use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
+pub mod shard;
+
 /// Current on-disk frame version. Bump on any incompatible header change.
 pub const FORMAT_VERSION: u32 = 1;
 
@@ -46,14 +48,16 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-fn invalid(msg: impl Into<String>) -> io::Error {
+/// An [`io::ErrorKind::InvalidData`] error for usage mistakes (wrong kind,
+/// malformed header fields) as opposed to on-disk damage.
+pub fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
 /// [`invalid`], but for genuine on-disk damage (truncation, bit flips, torn
 /// headers) as opposed to usage errors like a kind mismatch — damage is
 /// additionally counted so operators see it in `irnuma top`.
-fn corruption(msg: impl Into<String>) -> io::Error {
+pub fn corruption(msg: impl Into<String>) -> io::Error {
     irnuma_obs::counter!("store.corruption_detected").inc(1);
     invalid(msg)
 }
